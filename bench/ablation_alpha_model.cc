@@ -1,0 +1,42 @@
+// Ablation: the analytic alpha-cost model (sim/alpha_model.h) against the
+// simulated messaging cost of Fig. 4. The model is meant to predict the
+// U-shape and the location of the minimum, not absolute counts.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "mobieyes/sim/alpha_model.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> alphas = {0.5, 1, 2, 4, 6, 8, 12, 16};
+  std::vector<Series> series = {{"simulated msgs/s", {}},
+                                {"model msgs/s", {}},
+                                {"model uplink", {}},
+                                {"model downlink", {}}};
+  RunOptions options;
+  options.steps = 8;
+
+  sim::SimulationParams defaults;
+  sim::AlphaCostModel model(defaults);
+  for (double alpha : alphas) {
+    sim::SimulationParams params;
+    params.alpha = alpha;
+    Progress("ablation_alpha alpha=" + std::to_string(alpha));
+    series[0].values.push_back(
+        RunMode(params, sim::SimMode::kMobiEyesEager, options)
+            .MessagesPerSecond());
+    series[1].values.push_back(model.MessagesPerSecond(alpha));
+    series[2].values.push_back(model.UplinkPerSecond(alpha));
+    series[3].values.push_back(model.DownlinkPerSecond(alpha));
+  }
+  PrintTable("Ablation: analytic alpha model vs simulation (EQP)", "alpha",
+             alphas, series);
+  std::printf("model-optimal alpha: %.3f (paper sweet spot: [4, 6])\n",
+              model.OptimalAlpha());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation: dead-reckoning threshold Δ (§3.4). Small Δ keeps predictions
+// tight (low result error) at the price of frequent velocity-change reports
+// and their broadcasts; large Δ trades accuracy for traffic. The paper does
+// not fix Δ; this sweep documents the choice of the repository default.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> deltas = {0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
+  std::vector<Series> series = {{"msgs/s", {}},
+                                {"uplink msgs/s", {}},
+                                {"avg error", {}}};
+  RunOptions options;
+  options.steps = 8;
+  options.measure_error = true;
+
+  for (double delta : deltas) {
+    sim::SimulationParams params;
+    params.num_objects = 2000;
+    params.num_queries = 200;
+    params.velocity_changes_per_step = 200;
+    params.dead_reckoning_threshold = delta;
+    Progress("ablation_delta delta=" + std::to_string(delta));
+    sim::RunMetrics metrics =
+        RunMode(params, sim::SimMode::kMobiEyesEager, options);
+    series[0].values.push_back(metrics.MessagesPerSecond());
+    series[1].values.push_back(metrics.UplinkMessagesPerSecond());
+    series[2].values.push_back(metrics.AverageError());
+  }
+  PrintTable("Ablation: dead-reckoning threshold (EQP, 2000 objects)",
+             "delta_miles", deltas, series);
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace mobieyes::bench {
+
+sim::RunMetrics RunMode(const sim::SimulationParams& params, sim::SimMode mode,
+                        const RunOptions& options,
+                        const core::MobiEyesOptions& mobieyes) {
+  sim::SimulationConfig config;
+  config.params = params;
+  config.mode = mode;
+  config.mobieyes = mobieyes;
+  config.measure_error = options.measure_error;
+  config.track_per_object_bytes = options.track_per_object_bytes;
+  config.warmup_steps = options.warmup_steps;
+  auto simulation = sim::Simulation::Make(config);
+  if (!simulation.ok()) {
+    std::fprintf(stderr, "simulation setup failed: %s\n",
+                 simulation.status().ToString().c_str());
+    return sim::RunMetrics{};
+  }
+  (*simulation)->Run(options.steps);
+  return (*simulation)->metrics();
+}
+
+void PrintTable(const std::string& title, const std::string& xlabel,
+                const std::vector<double>& xs,
+                const std::vector<Series>& series) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-14s", xlabel.c_str());
+  for (const Series& s : series) {
+    std::printf("  %-18s", s.name.c_str());
+  }
+  std::printf("\n");
+  for (size_t row = 0; row < xs.size(); ++row) {
+    std::printf("%-14.6g", xs[row]);
+    for (const Series& s : series) {
+      if (row < s.values.size()) {
+        std::printf("  %-18.6g", s.values[row]);
+      } else {
+        std::printf("  %-18s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void Progress(const std::string& note) {
+  std::fprintf(stderr, "[bench] %s\n", note.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace mobieyes::bench

@@ -1,0 +1,45 @@
+#ifndef MOBIEYES_BENCH_BENCH_COMMON_H_
+#define MOBIEYES_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the figure-reproduction benches: run one simulation
+// mode over one parameter setting and print paper-style tables (one row per
+// x-value, one column per series).
+
+#include <string>
+#include <vector>
+
+#include "mobieyes/core/options.h"
+#include "mobieyes/sim/simulation.h"
+
+namespace mobieyes::bench {
+
+struct RunOptions {
+  int steps = 10;
+  int warmup_steps = 2;
+  bool measure_error = false;
+  bool track_per_object_bytes = false;
+};
+
+// Builds, warms up and runs one simulation; returns its metrics.
+sim::RunMetrics RunMode(const sim::SimulationParams& params,
+                        sim::SimMode mode, const RunOptions& options = {},
+                        const core::MobiEyesOptions& mobieyes = {});
+
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+// Prints an aligned table: header `title`, x column labeled `xlabel`, one
+// column per series. Values are printed with %.6g.
+void PrintTable(const std::string& title, const std::string& xlabel,
+                const std::vector<double>& xs,
+                const std::vector<Series>& series);
+
+// Progress note to stderr so long sweeps show life without polluting the
+// table output on stdout.
+void Progress(const std::string& note);
+
+}  // namespace mobieyes::bench
+
+#endif  // MOBIEYES_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,44 @@
+// Figure 1: impact of distributed query processing on server load.
+// Server load (seconds of server-side processing per time step, log scale in
+// the paper) as a function of the number of queries, for the centralized
+// object-index and query-index baselines and MobiEyes with eager and lazy
+// query propagation.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> query_counts = {100, 250, 500, 750, 1000};
+  std::vector<Series> series = {{"ObjectIndex", {}},
+                                {"QueryIndex", {}},
+                                {"MobiEyes-EQP", {}},
+                                {"MobiEyes-LQP", {}}};
+  RunOptions options;
+  options.steps = 8;
+
+  for (double nmq : query_counts) {
+    sim::SimulationParams params;
+    params.num_queries = static_cast<int>(nmq);
+    Progress("fig01 nmq=" + std::to_string(params.num_queries));
+    series[0].values.push_back(
+        RunMode(params, sim::SimMode::kObjectIndex, options)
+            .ServerLoadPerStep());
+    series[1].values.push_back(
+        RunMode(params, sim::SimMode::kQueryIndex, options)
+            .ServerLoadPerStep());
+    series[2].values.push_back(
+        RunMode(params, sim::SimMode::kMobiEyesEager, options)
+            .ServerLoadPerStep());
+    series[3].values.push_back(
+        RunMode(params, sim::SimMode::kMobiEyesLazy, options)
+            .ServerLoadPerStep());
+  }
+  PrintTable("Fig 1: server load (s/step) vs number of queries",
+             "num_queries", query_counts, series);
+  return 0;
+}

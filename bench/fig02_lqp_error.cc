@@ -1,0 +1,42 @@
+// Figure 2: error associated with lazy query propagation. Average query
+// result error (missing fraction vs the exact result) as a function of the
+// number of objects changing their velocity vector per time step, for
+// several grid cell sizes alpha.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> velocity_changes = {100, 250, 500, 750, 1000};
+  std::vector<double> alphas = {2.0, 5.0, 10.0};
+  std::vector<Series> series;
+  for (double alpha : alphas) {
+    series.push_back({"alpha=" + std::to_string(static_cast<int>(alpha)), {}});
+  }
+
+  RunOptions options;
+  options.steps = 8;
+  options.measure_error = true;
+
+  for (double nmo : velocity_changes) {
+    for (size_t k = 0; k < alphas.size(); ++k) {
+      sim::SimulationParams params;
+      params.velocity_changes_per_step = static_cast<int>(nmo);
+      params.alpha = alphas[k];
+      Progress("fig02 nmo=" + std::to_string(params.velocity_changes_per_step) +
+               " alpha=" + std::to_string(params.alpha));
+      series[k].values.push_back(
+          RunMode(params, sim::SimMode::kMobiEyesLazy, options)
+              .AverageError());
+    }
+  }
+  PrintTable(
+      "Fig 2: LQP average result error vs objects changing velocity per step",
+      "nmo", velocity_changes, series);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 3: effect of the grid cell size alpha on server load, compared
+// against the (alpha-independent) centralized baselines.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> alphas = {0.5, 1, 2, 4, 8, 16};
+  std::vector<Series> series = {{"ObjectIndex", {}},
+                                {"QueryIndex", {}},
+                                {"MobiEyes-EQP", {}},
+                                {"MobiEyes-LQP", {}}};
+  RunOptions options;
+  options.steps = 8;
+
+  // The centralized baselines do not depend on alpha: measure them once on
+  // the default configuration and repeat the value across rows.
+  sim::SimulationParams defaults;
+  Progress("fig03 centralized baselines");
+  double object_index =
+      RunMode(defaults, sim::SimMode::kObjectIndex, options)
+          .ServerLoadPerStep();
+  double query_index = RunMode(defaults, sim::SimMode::kQueryIndex, options)
+                           .ServerLoadPerStep();
+
+  for (double alpha : alphas) {
+    sim::SimulationParams params;
+    params.alpha = alpha;
+    Progress("fig03 alpha=" + std::to_string(alpha));
+    series[0].values.push_back(object_index);
+    series[1].values.push_back(query_index);
+    series[2].values.push_back(
+        RunMode(params, sim::SimMode::kMobiEyesEager, options)
+            .ServerLoadPerStep());
+    series[3].values.push_back(
+        RunMode(params, sim::SimMode::kMobiEyesLazy, options)
+            .ServerLoadPerStep());
+  }
+  PrintTable("Fig 3: server load (s/step) vs alpha", "alpha", alphas, series);
+  return 0;
+}

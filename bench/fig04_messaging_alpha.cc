@@ -1,0 +1,39 @@
+// Figure 4: effect of the grid cell size alpha on messaging cost. Total
+// messages per second on the wireless medium for MobiEyes (eager
+// propagation) as a function of alpha, for several query counts. The paper
+// finds a U-shape with the sweet spot around alpha in [4, 6].
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> alphas = {0.5, 1, 2, 4, 6, 8, 12, 16};
+  std::vector<double> query_counts = {100, 400, 1000};
+  std::vector<Series> series;
+  for (double nmq : query_counts) {
+    series.push_back({"nmq=" + std::to_string(static_cast<int>(nmq)), {}});
+  }
+  RunOptions options;
+  options.steps = 8;
+
+  for (double alpha : alphas) {
+    for (size_t k = 0; k < query_counts.size(); ++k) {
+      sim::SimulationParams params;
+      params.alpha = alpha;
+      params.num_queries = static_cast<int>(query_counts[k]);
+      Progress("fig04 alpha=" + std::to_string(alpha) +
+               " nmq=" + std::to_string(params.num_queries));
+      series[k].values.push_back(
+          RunMode(params, sim::SimMode::kMobiEyesEager, options)
+              .MessagesPerSecond());
+    }
+  }
+  PrintTable("Fig 4: messages/second vs alpha (MobiEyes EQP)", "alpha",
+             alphas, series);
+  return 0;
+}

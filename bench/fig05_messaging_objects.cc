@@ -1,0 +1,55 @@
+// Figure 5: effect of the number of objects on messaging cost. Messages per
+// second for the naive and central-optimal reporting schemes and MobiEyes
+// EQP/LQP as the object population grows; the ratio nmo/no is held at its
+// default (10%) as in the paper.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> object_counts = {1000, 2500, 5000, 7500, 10000};
+  std::vector<double> query_counts = {100, 1000};
+  std::vector<Series> series;
+  for (double nmq : query_counts) {
+    std::string suffix = " (nmq=" + std::to_string(static_cast<int>(nmq)) + ")";
+    series.push_back({"Naive" + suffix, {}});
+    series.push_back({"CentralOpt" + suffix, {}});
+    series.push_back({"EQP" + suffix, {}});
+    series.push_back({"LQP" + suffix, {}});
+  }
+  RunOptions options;
+  options.steps = 8;
+
+  for (double no : object_counts) {
+    size_t column = 0;
+    for (double nmq : query_counts) {
+      sim::SimulationParams params;
+      params.num_objects = static_cast<int>(no);
+      params.num_queries = static_cast<int>(nmq);
+      // Keep nmo/no constant at the default ratio 1000/10000.
+      params.velocity_changes_per_step = static_cast<int>(no * 0.1);
+      Progress("fig05 no=" + std::to_string(params.num_objects) +
+               " nmq=" + std::to_string(params.num_queries));
+      series[column++].values.push_back(
+          RunMode(params, sim::SimMode::kNaive, options)
+              .MessagesPerSecond());
+      series[column++].values.push_back(
+          RunMode(params, sim::SimMode::kCentralOptimal, options)
+              .MessagesPerSecond());
+      series[column++].values.push_back(
+          RunMode(params, sim::SimMode::kMobiEyesEager, options)
+              .MessagesPerSecond());
+      series[column++].values.push_back(
+          RunMode(params, sim::SimMode::kMobiEyesLazy, options)
+              .MessagesPerSecond());
+    }
+  }
+  PrintTable("Fig 5: messages/second vs number of objects", "num_objects",
+             object_counts, series);
+  return 0;
+}

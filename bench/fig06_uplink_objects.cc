@@ -1,0 +1,42 @@
+// Figure 6: uplink component of the messaging cost (log scale in the
+// paper). Uplink messages per second vs the number of objects; LQP cuts the
+// uplink requirement drastically, which matters in asymmetric networks.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> object_counts = {1000, 2500, 5000, 7500, 10000};
+  std::vector<Series> series = {{"Naive", {}},
+                                {"CentralOpt", {}},
+                                {"MobiEyes-EQP", {}},
+                                {"MobiEyes-LQP", {}}};
+  RunOptions options;
+  options.steps = 8;
+
+  for (double no : object_counts) {
+    sim::SimulationParams params;
+    params.num_objects = static_cast<int>(no);
+    params.velocity_changes_per_step = static_cast<int>(no * 0.1);
+    Progress("fig06 no=" + std::to_string(params.num_objects));
+    series[0].values.push_back(RunMode(params, sim::SimMode::kNaive, options)
+                                   .UplinkMessagesPerSecond());
+    series[1].values.push_back(
+        RunMode(params, sim::SimMode::kCentralOptimal, options)
+            .UplinkMessagesPerSecond());
+    series[2].values.push_back(
+        RunMode(params, sim::SimMode::kMobiEyesEager, options)
+            .UplinkMessagesPerSecond());
+    series[3].values.push_back(
+        RunMode(params, sim::SimMode::kMobiEyesLazy, options)
+            .UplinkMessagesPerSecond());
+  }
+  PrintTable("Fig 6: uplink messages/second vs number of objects",
+             "num_objects", object_counts, series);
+  return 0;
+}

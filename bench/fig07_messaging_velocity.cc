@@ -1,0 +1,52 @@
+// Figure 7: effect of the number of objects changing their velocity vector
+// per time step (nmo) on the messaging cost.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> velocity_changes = {100, 250, 500, 750, 1000};
+  std::vector<double> query_counts = {100, 1000};
+  std::vector<Series> series;
+  for (double nmq : query_counts) {
+    std::string suffix = " (nmq=" + std::to_string(static_cast<int>(nmq)) + ")";
+    series.push_back({"Naive" + suffix, {}});
+    series.push_back({"CentralOpt" + suffix, {}});
+    series.push_back({"EQP" + suffix, {}});
+    series.push_back({"LQP" + suffix, {}});
+  }
+  RunOptions options;
+  options.steps = 8;
+
+  for (double nmo : velocity_changes) {
+    size_t column = 0;
+    for (double nmq : query_counts) {
+      sim::SimulationParams params;
+      params.velocity_changes_per_step = static_cast<int>(nmo);
+      params.num_queries = static_cast<int>(nmq);
+      Progress("fig07 nmo=" + std::to_string(params.velocity_changes_per_step) +
+               " nmq=" + std::to_string(params.num_queries));
+      series[column++].values.push_back(
+          RunMode(params, sim::SimMode::kNaive, options)
+              .MessagesPerSecond());
+      series[column++].values.push_back(
+          RunMode(params, sim::SimMode::kCentralOptimal, options)
+              .MessagesPerSecond());
+      series[column++].values.push_back(
+          RunMode(params, sim::SimMode::kMobiEyesEager, options)
+              .MessagesPerSecond());
+      series[column++].values.push_back(
+          RunMode(params, sim::SimMode::kMobiEyesLazy, options)
+              .MessagesPerSecond());
+    }
+  }
+  PrintTable(
+      "Fig 7: messages/second vs objects changing velocity vector per step",
+      "nmo", velocity_changes, series);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 8: effect of the base station coverage area on messaging cost.
+// Messages per second for MobiEyes EQP as a function of the base station
+// side length; the paper finds cost falling until a monitoring region fits
+// inside a single station's coverage, after which the effect disappears.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> station_sides = {5, 10, 20, 40, 80};
+  std::vector<double> query_counts = {100, 400, 1000};
+  std::vector<Series> series;
+  for (double nmq : query_counts) {
+    series.push_back({"nmq=" + std::to_string(static_cast<int>(nmq)), {}});
+  }
+  RunOptions options;
+  options.steps = 8;
+
+  for (double alen : station_sides) {
+    for (size_t k = 0; k < query_counts.size(); ++k) {
+      sim::SimulationParams params;
+      params.base_station_side = alen;
+      params.num_queries = static_cast<int>(query_counts[k]);
+      Progress("fig08 alen=" + std::to_string(alen) +
+               " nmq=" + std::to_string(params.num_queries));
+      series[k].values.push_back(
+          RunMode(params, sim::SimMode::kMobiEyesEager, options)
+              .MessagesPerSecond());
+    }
+  }
+  PrintTable("Fig 8: messages/second vs base station side length (EQP)",
+             "alen", station_sides, series);
+  return 0;
+}

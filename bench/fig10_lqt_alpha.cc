@@ -1,0 +1,37 @@
+// Figure 10: effect of alpha on the average number of queries a moving
+// object evaluates per time step (the average LQT size). Grows roughly
+// exponentially with alpha since monitoring regions scale with cell area.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> alphas = {1, 2, 4, 8, 16};
+  std::vector<double> query_counts = {100, 400, 1000};
+  std::vector<Series> series;
+  for (double nmq : query_counts) {
+    series.push_back({"nmq=" + std::to_string(static_cast<int>(nmq)), {}});
+  }
+  RunOptions options;
+  options.steps = 8;
+
+  for (double alpha : alphas) {
+    for (size_t k = 0; k < query_counts.size(); ++k) {
+      sim::SimulationParams params;
+      params.alpha = alpha;
+      params.num_queries = static_cast<int>(query_counts[k]);
+      Progress("fig10 alpha=" + std::to_string(alpha) +
+               " nmq=" + std::to_string(params.num_queries));
+      series[k].values.push_back(
+          RunMode(params, sim::SimMode::kMobiEyesEager, options)
+              .AverageLqtSize());
+    }
+  }
+  PrintTable("Fig 10: average LQT size vs alpha", "alpha", alphas, series);
+  return 0;
+}

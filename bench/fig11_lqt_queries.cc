@@ -1,0 +1,37 @@
+// Figure 11: effect of the total number of queries on the average LQT size
+// (linear growth, per the paper).
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> query_counts = {100, 250, 500, 750, 1000};
+  std::vector<double> alphas = {2.0, 5.0, 10.0};
+  std::vector<Series> series;
+  for (double alpha : alphas) {
+    series.push_back({"alpha=" + std::to_string(static_cast<int>(alpha)), {}});
+  }
+  RunOptions options;
+  options.steps = 8;
+
+  for (double nmq : query_counts) {
+    for (size_t k = 0; k < alphas.size(); ++k) {
+      sim::SimulationParams params;
+      params.num_queries = static_cast<int>(nmq);
+      params.alpha = alphas[k];
+      Progress("fig11 nmq=" + std::to_string(params.num_queries) +
+               " alpha=" + std::to_string(params.alpha));
+      series[k].values.push_back(
+          RunMode(params, sim::SimMode::kMobiEyesEager, options)
+              .AverageLqtSize());
+    }
+  }
+  PrintTable("Fig 11: average LQT size vs number of queries", "num_queries",
+             query_counts, series);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 13: effect of the safe period optimization on the average query
+// processing load of a moving object (seconds spent evaluating the LQT per
+// object per step). Helps at large alpha (bigger monitoring regions, more
+// distant objects), slightly hurts at alpha = 1.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace mobieyes;       // NOLINT(build/namespaces)
+using namespace mobieyes::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::vector<double> alphas = {1, 2, 4, 8, 16};
+  std::vector<Series> series = {{"no-safe-period", {}},
+                                {"safe-period", {}},
+                                {"evals/step/obj (sp)", {}},
+                                {"skips/step/obj (sp)", {}}};
+  RunOptions options;
+  options.steps = 8;
+
+  for (double alpha : alphas) {
+    sim::SimulationParams params;
+    params.alpha = alpha;
+    Progress("fig13 alpha=" + std::to_string(alpha));
+
+    core::MobiEyesOptions plain;
+    plain.enable_safe_period = false;
+    sim::RunMetrics without =
+        RunMode(params, sim::SimMode::kMobiEyesEager, options, plain);
+    core::MobiEyesOptions with_sp;
+    with_sp.enable_safe_period = true;
+    sim::RunMetrics with =
+        RunMode(params, sim::SimMode::kMobiEyesEager, options, with_sp);
+
+    series[0].values.push_back(without.ClientProcessingPerStep());
+    series[1].values.push_back(with.ClientProcessingPerStep());
+    double denom = static_cast<double>(with.steps) *
+                   static_cast<double>(with.objects);
+    series[2].values.push_back(static_cast<double>(with.queries_evaluated) /
+                               denom);
+    series[3].values.push_back(static_cast<double>(with.safe_period_skips) /
+                               denom);
+  }
+  PrintTable(
+      "Fig 13: per-object query processing load (s/step) vs alpha, with and "
+      "without safe periods",
+      "alpha", alphas, series);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Microbenchmarks for MobiEyes protocol primitives (google-benchmark):
+// per-step cost of a full deployment tick and of the Bmap minimal cover.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "mobieyes/net/bmap.h"
+
+namespace {
+
+using namespace mobieyes;  // NOLINT(build/namespaces)
+
+void BM_SimulationStepEager(benchmark::State& state) {
+  sim::SimulationConfig config;
+  config.mode = sim::SimMode::kMobiEyesEager;
+  config.params.num_objects = static_cast<int>(state.range(0));
+  config.params.num_queries = config.params.num_objects / 10;
+  config.params.velocity_changes_per_step = config.params.num_objects / 10;
+  config.warmup_steps = 2;
+  auto simulation = sim::Simulation::Make(config);
+  if (!simulation.ok()) {
+    state.SkipWithError(simulation.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    (*simulation)->Run(1);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationStepEager)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BmapMinimalCover(benchmark::State& state) {
+  geo::Rect universe{0, 0, 316, 316};
+  auto grid = geo::Grid::Make(universe, 5.0);
+  auto layout = net::BaseStationLayout::Make(universe, 10.0);
+  auto bmap = net::Bmap::Make(*grid, *layout);
+  geo::CellRange region{10, 10 + static_cast<int32_t>(state.range(0)), 10,
+                        10 + static_cast<int32_t>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*bmap).MinimalCover(region));
+  }
+}
+BENCHMARK(BM_BmapMinimalCover)->Arg(2)->Arg(8)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Microbenchmarks for the R*-tree substrate (google-benchmark): insert,
+// update and search costs that drive the centralized baselines' server load.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/rtree/rstar_tree.h"
+
+namespace {
+
+using mobieyes::Rng;
+using mobieyes::geo::Point;
+using mobieyes::geo::Rect;
+using mobieyes::rtree::RStarTree;
+
+std::vector<Rect> RandomPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (int k = 0; k < n; ++k) {
+    rects.push_back(
+        Rect{rng.NextDouble(0, 316), rng.NextDouble(0, 316), 0, 0});
+  }
+  return rects;
+}
+
+void BM_RStarInsert(benchmark::State& state) {
+  auto rects = RandomPoints(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    RStarTree tree;
+    for (size_t k = 0; k < rects.size(); ++k) {
+      tree.Insert(rects[k], k);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RStarInsert)->Arg(1000)->Arg(10000);
+
+void BM_RStarUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto rects = RandomPoints(n, 2);
+  RStarTree tree;
+  for (int k = 0; k < n; ++k) tree.Insert(rects[k], k);
+  Rng rng(3);
+  for (auto _ : state) {
+    int k = static_cast<int>(rng.NextUint64(n));
+    Rect next{rng.NextDouble(0, 316), rng.NextDouble(0, 316), 0, 0};
+    benchmark::DoNotOptimize(tree.Update(rects[k], next, k).ok());
+    rects[k] = next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RStarUpdate)->Arg(1000)->Arg(10000);
+
+void BM_RStarRangeSearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto rects = RandomPoints(n, 4);
+  RStarTree tree;
+  for (int k = 0; k < n; ++k) tree.Insert(rects[k], k);
+  Rng rng(5);
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    Rect query{rng.NextDouble(0, 300), rng.NextDouble(0, 300), 10, 10};
+    tree.SearchIntersects(query, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RStarRangeSearch)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Table 1: simulation parameters. Prints the default configuration and the
+// value ranges swept by the figure benches, plus a validation check.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  mobieyes::sim::SimulationParams params;
+  std::printf("=== Table 1: Simulation Parameters ===\n");
+  std::printf("%-10s %-55s %-28s %s\n", "Parameter", "Description",
+              "Value range", "Default");
+  std::printf("%-10s %-55s %-28s %.6g\n", "ts", "Time step (seconds)", "30",
+              params.time_step);
+  std::printf("%-10s %-55s %-28s %.6g\n", "alpha", "Grid cell side length",
+              "0.5-16 miles", params.alpha);
+  std::printf("%-10s %-55s %-28s %d\n", "no", "Number of objects",
+              "1,000-10,000", params.num_objects);
+  std::printf("%-10s %-55s %-28s %d\n", "nmq", "Number of moving queries",
+              "100-1,000", params.num_queries);
+  std::printf("%-10s %-55s %-28s %d\n", "nmo",
+              "Objects changing velocity vector per time step", "100-1,000",
+              params.velocity_changes_per_step);
+  std::printf("%-10s %-55s %-28s %.6g\n", "area", "Area of consideration",
+              "100,000 square miles", params.area_square_miles);
+  std::printf("%-10s %-55s %-28s %.6g\n", "alen", "Base station side length",
+              "5-80 miles", params.base_station_side);
+  std::printf("%-10s %-55s %-28s %s\n", "qradius", "Query radius",
+              "{3, 2, 1, 4, 5} miles (zipf)", "normal(mean, mean/5)");
+  std::printf("%-10s %-55s %-28s %.6g\n", "qselect", "Query selectivity",
+              "0.75", params.query_selectivity);
+  std::printf("%-10s %-55s %-28s %s\n", "mospeed", "Max. object speed",
+              "{100, 50, 150, 200, 250} mph", "zipf(0.8)");
+  mobieyes::Status status = params.Validate();
+  std::printf("\nvalidation: %s\n", status.ToString().c_str());
+  return status.ok() ? 0 : 1;
+}

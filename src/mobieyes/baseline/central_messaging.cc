@@ -1,0 +1,43 @@
+#include "mobieyes/baseline/central_messaging.h"
+
+namespace mobieyes::baseline {
+
+void NaiveTracker::OnTick() {
+  for (const auto& object : world_->objects()) {
+    // Position changed iff the object moved during the last step.
+    if (object.vel.x != 0.0 || object.vel.y != 0.0) {
+      network_->SendUplink(object.oid,
+                           net::MakeMessage(net::PositionReport{
+                               object.oid, object.pos}));
+    }
+  }
+}
+
+CentralOptimalTracker::CentralOptimalTracker(const mobility::World& world,
+                                             net::WirelessNetwork& network,
+                                             Miles dead_reckoning_threshold)
+    : world_(&world),
+      network_(&network),
+      threshold_(dead_reckoning_threshold) {
+  last_relayed_.reserve(world.object_count());
+  for (const auto& object : world.objects()) {
+    last_relayed_.push_back(
+        net::FocalState{object.pos, object.vel, world.now()});
+  }
+}
+
+void CentralOptimalTracker::OnTick() {
+  Seconds now = world_->now();
+  for (const auto& object : world_->objects()) {
+    net::FocalState& relayed = last_relayed_[object.oid];
+    geo::Point predicted = relayed.PredictPosition(now);
+    if (geo::Distance(object.pos, predicted) > threshold_) {
+      relayed = net::FocalState{object.pos, object.vel, now};
+      network_->SendUplink(object.oid,
+                           net::MakeMessage(net::VelocityChangeReport{
+                               object.oid, relayed}));
+    }
+  }
+}
+
+}  // namespace mobieyes::baseline

@@ -1,0 +1,51 @@
+#ifndef MOBIEYES_BASELINE_CENTRAL_MESSAGING_H_
+#define MOBIEYES_BASELINE_CENTRAL_MESSAGING_H_
+
+#include <vector>
+
+#include "mobieyes/common/units.h"
+#include "mobieyes/mobility/world.h"
+#include "mobieyes/net/message.h"
+#include "mobieyes/net/network.h"
+
+namespace mobieyes::baseline {
+
+// The "naive" centralized reporting scheme (paper §5.3): every object whose
+// position changed sends its position to the server each time step.
+class NaiveTracker {
+ public:
+  NaiveTracker(const mobility::World& world, net::WirelessNetwork& network)
+      : world_(&world), network_(&network) {}
+
+  // Run once per time step after the world advanced.
+  void OnTick();
+
+ private:
+  const mobility::World* world_;
+  net::WirelessNetwork* network_;
+};
+
+// The "central optimal" reporting scheme (paper §5.3): every object applies
+// dead reckoning against the velocity vector it last relayed and reports a
+// new vector only when its true position drifts more than Δ from the
+// prediction — the minimum information a centralized approach needs without
+// trajectory assumptions.
+class CentralOptimalTracker {
+ public:
+  CentralOptimalTracker(const mobility::World& world,
+                        net::WirelessNetwork& network,
+                        Miles dead_reckoning_threshold);
+
+  // Run once per time step after the world advanced.
+  void OnTick();
+
+ private:
+  const mobility::World* world_;
+  net::WirelessNetwork* network_;
+  Miles threshold_;
+  std::vector<net::FocalState> last_relayed_;  // per object
+};
+
+}  // namespace mobieyes::baseline
+
+#endif  // MOBIEYES_BASELINE_CENTRAL_MESSAGING_H_

@@ -1,0 +1,61 @@
+#include "mobieyes/baseline/object_index.h"
+
+namespace mobieyes::baseline {
+
+namespace {
+
+geo::Rect PointRect(const geo::Point& p) {
+  return geo::Rect{p.x, p.y, 0.0, 0.0};
+}
+
+}  // namespace
+
+ObjectIndexProcessor::ObjectIndexProcessor(
+    std::vector<double> attrs, const std::vector<geo::Point>& initial_positions)
+    : attrs_(std::move(attrs)), positions_(initial_positions) {
+  for (size_t oid = 0; oid < positions_.size(); ++oid) {
+    index_.Insert(PointRect(positions_[oid]), oid);
+  }
+}
+
+void ObjectIndexProcessor::AddQuery(const CentralQuery& query) {
+  queries_.push_back(query);
+  results_[query.qid];
+}
+
+void ObjectIndexProcessor::OnPositionReport(ObjectId oid,
+                                            const geo::Point& pos) {
+  TimedSection timed(load_timer_);
+  auto index = static_cast<size_t>(oid);
+  // Delete + insert: the R*-tree has no in-place move.
+  (void)index_.Update(PointRect(positions_[index]), PointRect(pos), oid);
+  positions_[index] = pos;
+}
+
+void ObjectIndexProcessor::EvaluateAllQueries() {
+  TimedSection timed(load_timer_);
+  for (const CentralQuery& query : queries_) {
+    geo::Circle region{positions_[static_cast<size_t>(query.focal_oid)],
+                       query.radius};
+    std::unordered_set<ObjectId>& result = results_[query.qid];
+    result.clear();
+    index_.VisitIntersects(
+        region.BoundingRect(), [&](const geo::Rect& rect, uint64_t oid) {
+          geo::Point pos{rect.lx, rect.ly};
+          if (static_cast<ObjectId>(oid) != query.focal_oid &&
+              region.Contains(pos) &&
+              attrs_[oid] <= query.filter_threshold) {
+            result.insert(static_cast<ObjectId>(oid));
+          }
+          return true;
+        });
+  }
+}
+
+const std::unordered_set<ObjectId>* ObjectIndexProcessor::QueryResult(
+    QueryId qid) const {
+  auto it = results_.find(qid);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mobieyes::baseline

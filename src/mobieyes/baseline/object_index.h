@@ -1,0 +1,65 @@
+#ifndef MOBIEYES_BASELINE_OBJECT_INDEX_H_
+#define MOBIEYES_BASELINE_OBJECT_INDEX_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/common/stopwatch.h"
+#include "mobieyes/common/units.h"
+#include "mobieyes/geo/circle.h"
+#include "mobieyes/geo/point.h"
+#include "mobieyes/rtree/rstar_tree.h"
+
+namespace mobieyes::baseline {
+
+// A continuous query as seen by the centralized baselines: the spatial
+// region is a circle of `radius` around the focal object's last reported
+// position, filtered on target-object properties.
+struct CentralQuery {
+  QueryId qid = kInvalidQueryId;
+  ObjectId focal_oid = kInvalidObjectId;
+  Miles radius = 0.0;
+  double filter_threshold = 1.0;
+};
+
+// Centralized "indexing objects" baseline (paper §5.2): an R*-tree is built
+// over object positions and updated as position reports arrive; every time
+// step all queries are evaluated against the index from scratch. The main
+// cost is the high index update rate.
+class ObjectIndexProcessor {
+ public:
+  // `attrs[oid]` is the filter property of each object; `initial_positions`
+  // seeds the index. Queries may be added later via AddQuery.
+  ObjectIndexProcessor(std::vector<double> attrs,
+                       const std::vector<geo::Point>& initial_positions);
+
+  void AddQuery(const CentralQuery& query);
+
+  // Handles one position report: updates the spatial index.
+  void OnPositionReport(ObjectId oid, const geo::Point& pos);
+
+  // Periodic evaluation of all queries against the object index.
+  void EvaluateAllQueries();
+
+  const std::unordered_set<ObjectId>* QueryResult(QueryId qid) const;
+
+  // Accumulated server-side processing time ("server load").
+  double load_seconds() const { return load_timer_.total_seconds(); }
+  void ResetLoadTimer() { load_timer_.Reset(); }
+
+  const rtree::RStarTree& index() const { return index_; }
+
+ private:
+  std::vector<double> attrs_;
+  std::vector<geo::Point> positions_;  // last reported position per object
+  rtree::RStarTree index_;             // point rectangles keyed by oid
+  std::vector<CentralQuery> queries_;
+  std::unordered_map<QueryId, std::unordered_set<ObjectId>> results_;
+  ReentrantTimer load_timer_;
+};
+
+}  // namespace mobieyes::baseline
+
+#endif  // MOBIEYES_BASELINE_OBJECT_INDEX_H_

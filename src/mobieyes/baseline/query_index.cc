@@ -1,0 +1,70 @@
+#include "mobieyes/baseline/query_index.h"
+
+namespace mobieyes::baseline {
+
+QueryIndexProcessor::QueryIndexProcessor(
+    std::vector<double> attrs, const std::vector<geo::Point>& initial_positions)
+    : attrs_(std::move(attrs)), positions_(initial_positions) {}
+
+geo::Circle QueryIndexProcessor::RegionOf(const CentralQuery& query) const {
+  return geo::Circle{positions_[static_cast<size_t>(query.focal_oid)],
+                     query.radius};
+}
+
+void QueryIndexProcessor::AddQuery(const CentralQuery& query) {
+  queries_[query.qid] = query;
+  focal_queries_[query.focal_oid].push_back(query.qid);
+  results_[query.qid];
+  index_.Insert(RegionOf(query).BoundingRect(), query.qid);
+}
+
+void QueryIndexProcessor::OnPositionReport(ObjectId oid,
+                                           const geo::Point& pos) {
+  TimedSection timed(load_timer_);
+  auto object_index = static_cast<size_t>(oid);
+  geo::Point old_pos = positions_[object_index];
+
+  // 1. If this object is a focal object, move its queries' index regions.
+  auto focal_it = focal_queries_.find(oid);
+  if (focal_it != focal_queries_.end()) {
+    for (QueryId qid : focal_it->second) {
+      const CentralQuery& query = queries_.at(qid);
+      geo::Rect old_rect =
+          geo::Circle{old_pos, query.radius}.BoundingRect();
+      geo::Rect new_rect = geo::Circle{pos, query.radius}.BoundingRect();
+      (void)index_.Update(old_rect, new_rect, qid);
+    }
+  }
+  positions_[object_index] = pos;
+
+  // 2. Differential result maintenance: queries this object now contributes
+  // to, against the ones it contributed to before.
+  std::unordered_set<QueryId>& member_of = memberships_[oid];
+  std::unordered_set<QueryId> now_in;
+  index_.VisitIntersects(
+      geo::Rect{pos.x, pos.y, 0.0, 0.0},
+      [&](const geo::Rect&, uint64_t raw_qid) {
+        auto qid = static_cast<QueryId>(raw_qid);
+        const CentralQuery& query = queries_.at(qid);
+        if (query.focal_oid != oid && RegionOf(query).Contains(pos) &&
+            attrs_[object_index] <= query.filter_threshold) {
+          now_in.insert(qid);
+        }
+        return true;
+      });
+  for (QueryId qid : member_of) {
+    if (!now_in.contains(qid)) results_[qid].erase(oid);
+  }
+  for (QueryId qid : now_in) {
+    if (!member_of.contains(qid)) results_[qid].insert(oid);
+  }
+  member_of = std::move(now_in);
+}
+
+const std::unordered_set<ObjectId>* QueryIndexProcessor::QueryResult(
+    QueryId qid) const {
+  auto it = results_.find(qid);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mobieyes::baseline

@@ -1,0 +1,57 @@
+#ifndef MOBIEYES_BASELINE_QUERY_INDEX_H_
+#define MOBIEYES_BASELINE_QUERY_INDEX_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mobieyes/baseline/object_index.h"
+#include "mobieyes/common/stopwatch.h"
+#include "mobieyes/geo/circle.h"
+#include "mobieyes/rtree/rstar_tree.h"
+
+namespace mobieyes::baseline {
+
+// Centralized "indexing queries" baseline (paper §5.2): an R*-tree is built
+// over the queries' spatial regions (bounding boxes of the circles around
+// each focal object's last reported position). Arriving object positions
+// are run through the query index and results are updated differentially;
+// the main cost is updating the index when focal objects move.
+class QueryIndexProcessor {
+ public:
+  QueryIndexProcessor(std::vector<double> attrs,
+                      const std::vector<geo::Point>& initial_positions);
+
+  void AddQuery(const CentralQuery& query);
+
+  // Handles one position report: moves the regions of queries bound to this
+  // object (if it is focal) and differentially updates the results this
+  // object contributes to.
+  void OnPositionReport(ObjectId oid, const geo::Point& pos);
+
+  const std::unordered_set<ObjectId>* QueryResult(QueryId qid) const;
+
+  double load_seconds() const { return load_timer_.total_seconds(); }
+  void ResetLoadTimer() { load_timer_.Reset(); }
+
+  const rtree::RStarTree& index() const { return index_; }
+
+ private:
+  geo::Circle RegionOf(const CentralQuery& query) const;
+
+  std::vector<double> attrs_;
+  std::vector<geo::Point> positions_;
+  rtree::RStarTree index_;  // query circle bounding boxes keyed by qid
+  std::unordered_map<QueryId, CentralQuery> queries_;
+  // Queries bound to a given focal object.
+  std::unordered_map<ObjectId, std::vector<QueryId>> focal_queries_;
+  std::unordered_map<QueryId, std::unordered_set<ObjectId>> results_;
+  // Queries currently counting each object as a target (for differential
+  // maintenance).
+  std::unordered_map<ObjectId, std::unordered_set<QueryId>> memberships_;
+  ReentrantTimer load_timer_;
+};
+
+}  // namespace mobieyes::baseline
+
+#endif  // MOBIEYES_BASELINE_QUERY_INDEX_H_

@@ -1,0 +1,20 @@
+#ifndef MOBIEYES_COMMON_IDS_H_
+#define MOBIEYES_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace mobieyes {
+
+// Identifier types shared across layers. Objects and queries use distinct
+// 64-bit id spaces; base stations are small and indexed densely.
+using ObjectId = int64_t;
+using QueryId = int64_t;
+using BaseStationId = int32_t;
+
+inline constexpr ObjectId kInvalidObjectId = -1;
+inline constexpr QueryId kInvalidQueryId = -1;
+inline constexpr BaseStationId kInvalidBaseStationId = -1;
+
+}  // namespace mobieyes
+
+#endif  // MOBIEYES_COMMON_IDS_H_

@@ -1,0 +1,64 @@
+#ifndef MOBIEYES_COMMON_RANDOM_H_
+#define MOBIEYES_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mobieyes {
+
+// Deterministic xoshiro256++ PRNG. The simulation must be reproducible from
+// a single seed across platforms, so we avoid std::mt19937/std::*_distribution
+// (whose outputs are not portable across standard library implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform in [0, n). Precondition: n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller (deterministic given the stream).
+  double NextGaussian();
+
+  // Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  // True with probability p.
+  bool NextBernoulli(double p);
+
+  // Forks an independent deterministic stream (used to give each simulation
+  // component its own stream so adding a component does not perturb others).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf sampler over ranks {0, .., n-1}: P(k) proportional to 1/(k+1)^theta.
+// Table 1 assigns query radii and object max speeds with a zipf(0.8)
+// distribution over short preference lists.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double theta);
+
+  // Draws a rank in [0, n).
+  int Sample(Rng& rng) const;
+
+  // Probability mass of rank k.
+  double pmf(int k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace mobieyes
+
+#endif  // MOBIEYES_COMMON_RANDOM_H_

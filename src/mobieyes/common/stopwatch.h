@@ -1,0 +1,118 @@
+#ifndef MOBIEYES_COMMON_STOPWATCH_H_
+#define MOBIEYES_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mobieyes {
+
+// Accumulating monotonic stopwatch; used to measure "server load" and
+// "per-object processing load" (wall time spent inside processing logic per
+// simulation step), mirroring the paper's §5.2 metric.
+class Stopwatch {
+ public:
+  void Start() { start_ = Clock::now(); }
+
+  // Stops the current interval and adds it to the accumulated total.
+  void Stop() {
+    total_ += std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double total_seconds() const { return total_; }
+  void Reset() { total_ = 0.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  double total_ = 0.0;
+};
+
+// Reentrancy-safe accumulating timer: only the outermost Enter/Exit pair
+// starts and stops the clock, so synchronous message deliveries that loop
+// back into an already-timed component are not double counted. Pause/Resume
+// exclude nested foreign work (e.g. message delivery into other components)
+// from the measurement.
+class ReentrantTimer {
+ public:
+  void Enter() {
+    bool was = running();
+    ++enter_depth_;
+    Sync(was);
+  }
+  void Exit() {
+    bool was = running();
+    --enter_depth_;
+    Sync(was);
+  }
+  void Pause() {
+    bool was = running();
+    ++pause_depth_;
+    Sync(was);
+  }
+  void Resume() {
+    bool was = running();
+    --pause_depth_;
+    Sync(was);
+  }
+
+  double total_seconds() const { return watch_.total_seconds(); }
+  void Reset() { watch_.Reset(); }
+
+ private:
+  bool running() const { return enter_depth_ > 0 && pause_depth_ == 0; }
+  void Sync(bool was_running) {
+    bool now = running();
+    if (now && !was_running) watch_.Start();
+    if (!now && was_running) watch_.Stop();
+  }
+
+  Stopwatch watch_;
+  int enter_depth_ = 0;
+  int pause_depth_ = 0;
+};
+
+// RAII guard excluding a scope from a ReentrantTimer's measurement.
+class TimerPause {
+ public:
+  explicit TimerPause(ReentrantTimer& timer) : timer_(timer) {
+    timer_.Pause();
+  }
+  ~TimerPause() { timer_.Resume(); }
+
+  TimerPause(const TimerPause&) = delete;
+  TimerPause& operator=(const TimerPause&) = delete;
+
+ private:
+  ReentrantTimer& timer_;
+};
+
+// RAII guard for ReentrantTimer.
+class TimedSection {
+ public:
+  explicit TimedSection(ReentrantTimer& timer) : timer_(timer) {
+    timer_.Enter();
+  }
+  ~TimedSection() { timer_.Exit(); }
+
+  TimedSection(const TimedSection&) = delete;
+  TimedSection& operator=(const TimedSection&) = delete;
+
+ private:
+  ReentrantTimer& timer_;
+};
+
+// RAII guard that accumulates the scope's duration into a Stopwatch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stopwatch& watch) : watch_(watch) { watch_.Start(); }
+  ~ScopedTimer() { watch_.Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch& watch_;
+};
+
+}  // namespace mobieyes
+
+#endif  // MOBIEYES_COMMON_STOPWATCH_H_

@@ -1,0 +1,24 @@
+#ifndef MOBIEYES_COMMON_UNITS_H_
+#define MOBIEYES_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace mobieyes {
+
+// The simulation works in miles and seconds. Speeds from Table 1 are given
+// in miles/hour; convert at the workload boundary and keep miles/second
+// internally so `pos += vel * dt_seconds` needs no further conversion.
+
+using Seconds = double;
+using Miles = double;
+
+constexpr double MphToMilesPerSecond(double mph) { return mph / 3600.0; }
+constexpr double MilesPerSecondToMph(double mps) { return mps * 3600.0; }
+
+// Simulation timestamps are integral step counts plus the step length, so
+// equality comparisons on "when was this recorded" are exact.
+using StepCount = int64_t;
+
+}  // namespace mobieyes
+
+#endif  // MOBIEYES_COMMON_UNITS_H_

@@ -1,0 +1,347 @@
+#include "mobieyes/core/client.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mobieyes::core {
+
+using net::FocalState;
+using net::Message;
+using net::QueryInfo;
+
+namespace {
+
+// Ordering that keeps groupable queries (same focal object) adjacent with
+// region reach descending, so group evaluation can stop at the first
+// circumscribing radius the object falls outside of (§4.1).
+bool EntryLess(const MobiEyesClient::LqtEntry& a,
+               const MobiEyesClient::LqtEntry& b) {
+  if (a.focal_oid != b.focal_oid) return a.focal_oid < b.focal_oid;
+  Miles reach_a = a.region.MaxReach();
+  Miles reach_b = b.region.MaxReach();
+  if (reach_a != reach_b) return reach_a > reach_b;
+  return a.qid < b.qid;
+}
+
+}  // namespace
+
+MobiEyesClient::MobiEyesClient(const mobility::World& world, ObjectId oid,
+                               net::WirelessNetwork& network,
+                               MobiEyesOptions options)
+    : world_(&world),
+      oid_(oid),
+      network_(&network),
+      options_(options),
+      prev_cell_(world.object(oid).cell) {}
+
+void MobiEyesClient::OnTick() {
+  const mobility::ObjectState& me = world_->object(oid_);
+  Seconds now = world_->now();
+
+  // 1. Grid-cell crossing (§3.5).
+  if (!(me.cell == prev_cell_)) {
+    HandleCellCrossing(me.cell);
+  }
+
+  // 2. Focal dead reckoning (§3.4): relay the velocity vector when the true
+  // position drifts more than Δ from what the last relayed vector predicts.
+  if (has_mq_) {
+    geo::Point predicted = last_relayed_.PredictPosition(now);
+    if (geo::Distance(me.pos, predicted) >
+        options_.dead_reckoning_threshold) {
+      last_relayed_ = FocalState{me.pos, me.vel, now};
+      network_->SendUplink(
+          oid_, net::MakeMessage(net::VelocityChangeReport{oid_,
+                                                           last_relayed_}));
+    }
+  }
+
+  // 3. Periodic evaluation of the LQT (§3.6).
+  EvaluateQueries();
+}
+
+void MobiEyesClient::HandleCellCrossing(const geo::CellCoord& new_cell) {
+  // Drop queries whose monitoring region no longer covers this object; the
+  // object is then provably outside their spatial region, so containment
+  // flips to false for entries that were targets.
+  std::vector<size_t> stale;
+  for (size_t k = 0; k < lqt_.size(); ++k) {
+    if (!lqt_[k].mon_region.Contains(new_cell)) stale.push_back(k);
+  }
+  RemoveEntries(stale);
+
+  // Under eager propagation every object reports the crossing (the server
+  // replies with newly relevant queries); under lazy propagation only focal
+  // objects must report, since the server tracks their current cell.
+  if (options_.propagation == PropagationMode::kEager || has_mq_) {
+    network_->SendUplink(oid_, net::MakeMessage(net::CellChangeReport{
+                                   oid_, prev_cell_, new_cell}));
+  }
+  prev_cell_ = new_cell;
+}
+
+void MobiEyesClient::EvaluateQueries() {
+  if (lqt_.empty()) return;
+  ScopedTimer timed(eval_watch_);
+
+  const mobility::ObjectState& me = world_->object(oid_);
+  Seconds now = world_->now();
+  const bool grouping = options_.enable_query_grouping;
+  std::vector<size_t> dirty_groups;  // start index of groups with flips
+  std::vector<size_t> flipped;       // individual entries (grouping off)
+
+  size_t begin = 0;
+  while (begin < lqt_.size()) {
+    size_t end = begin + 1;
+    while (end < lqt_.size() &&
+           lqt_[end].focal_oid == lqt_[begin].focal_oid) {
+      ++end;
+    }
+
+    // One distance computation per group: groupable queries share a focal
+    // object, and velocity broadcasts keep their kinematics in sync.
+    double dist = -1.0;  // computed lazily
+    geo::Point focal_pos;
+    bool group_dirty = false;
+    bool outside_larger = false;  // outside some circumscribing radius seen
+    for (size_t k = begin; k < end; ++k) {
+      LqtEntry& entry = lqt_[k];
+      if (options_.enable_safe_period && entry.ptm > now) {
+        ++safe_period_skips_;
+        continue;
+      }
+      bool inside;
+      if (grouping && outside_larger) {
+        // Entries are sorted by circumscribing radius descending: outside a
+        // larger reach implies outside all smaller regions (§4.1) — no
+        // containment check needed.
+        inside = false;
+      } else {
+        if (dist < 0.0) {
+          focal_pos = entry.focal.PredictPosition(now);
+          dist = geo::Distance(me.pos, focal_pos);
+        }
+        if (dist > entry.region.MaxReach()) {
+          inside = false;
+          outside_larger = true;
+        } else {
+          inside = entry.region.Contains(focal_pos, me.pos);
+        }
+      }
+      ++queries_evaluated_;
+      if (inside != entry.is_target) {
+        entry.is_target = inside;
+        group_dirty = true;
+        if (!grouping) flipped.push_back(k);
+      }
+      if (options_.enable_safe_period && !inside && dist >= 0.0) {
+        // Worst case both objects approach head-on at their maximum speeds;
+        // subtract the dead-reckoning slack Δ since the focal position is
+        // only known to within Δ (§4.2, DESIGN.md). The circumscribing
+        // radius upper-bounds the region for any shape.
+        double closing_speed = me.max_speed + entry.focal_max_speed;
+        double gap = dist - entry.region.MaxReach() -
+                     options_.dead_reckoning_threshold;
+        if (gap > 0.0) {
+          double sp = closing_speed > 0.0
+                          ? gap / closing_speed
+                          : std::numeric_limits<double>::infinity();
+          entry.ptm = now + sp;
+        }
+      }
+    }
+    if (group_dirty && grouping) dirty_groups.push_back(begin);
+    begin = end;
+  }
+
+  if (grouping) {
+    SendFlipReports(dirty_groups);
+  } else {
+    for (size_t k : flipped) {
+      net::ResultBitmapReport report;
+      report.oid = oid_;
+      report.qids.push_back(lqt_[k].qid);
+      report.bitmap = lqt_[k].is_target ? 1 : 0;
+      network_->SendUplink(oid_, net::MakeMessage(std::move(report)));
+    }
+  }
+}
+
+void MobiEyesClient::SendFlipReports(const std::vector<size_t>& dirty_groups) {
+  // One report per dirty group carrying the group's full bitmap (§4.1).
+  for (size_t begin : dirty_groups) {
+    net::ResultBitmapReport report;
+    report.oid = oid_;
+    for (size_t k = begin;
+         k < lqt_.size() && lqt_[k].focal_oid == lqt_[begin].focal_oid;
+         ++k) {
+      if (lqt_[k].is_target) {
+        report.bitmap |= uint64_t{1} << report.qids.size();
+      }
+      report.qids.push_back(lqt_[k].qid);
+      if (report.qids.size() == 64) break;  // bitmap capacity guard
+    }
+    network_->SendUplink(oid_, net::MakeMessage(std::move(report)));
+  }
+}
+
+void MobiEyesClient::OnDownlink(const Message& message) {
+  const mobility::ObjectState& me = world_->object(oid_);
+  Seconds now = world_->now();
+
+  switch (message.type) {
+    case net::MessageType::kPositionVelocityRequest: {
+      network_->SendUplink(
+          oid_,
+          net::MakeMessage(net::PositionVelocityReport{
+              oid_, FocalState{me.pos, me.vel, now}, me.max_speed}));
+      break;
+    }
+    case net::MessageType::kFocalNotification: {
+      const auto& note = std::get<net::FocalNotification>(message.payload);
+      if (note.qid == kInvalidQueryId) {
+        has_mq_ = false;
+      } else if (!has_mq_) {
+        has_mq_ = true;
+        // Mirror what the server just recorded in the FOT: the state this
+        // object reported during the installation round trip.
+        last_relayed_ = FocalState{me.pos, me.vel, now};
+      }
+      break;
+    }
+    case net::MessageType::kQueryInstallBroadcast: {
+      const auto& broadcast =
+          std::get<net::QueryInstallBroadcast>(message.payload);
+      for (const QueryInfo& info : broadcast.queries) {
+        InstallIfApplicable(info);
+      }
+      break;
+    }
+    case net::MessageType::kVelocityChangeBroadcast: {
+      const auto& broadcast =
+          std::get<net::VelocityChangeBroadcast>(message.payload);
+      for (auto& entry : lqt_) {
+        if (entry.focal_oid == broadcast.focal_oid) {
+          entry.focal = broadcast.state;
+        }
+      }
+      if (broadcast.carries_query_info) {
+        // Lazy propagation (§3.5): the expanded broadcast lets objects that
+        // silently crossed cells install the queries they missed.
+        for (const QueryInfo& info : broadcast.queries) {
+          InstallIfApplicable(info);
+        }
+      }
+      break;
+    }
+    case net::MessageType::kQueryUpdateBroadcast: {
+      const auto& broadcast =
+          std::get<net::QueryUpdateBroadcast>(message.payload);
+      std::vector<size_t> stale;
+      for (const QueryInfo& info : broadcast.queries) {
+        LqtEntry* entry = FindEntry(info.qid);
+        if (entry != nullptr) {
+          if (info.mon_region.Contains(me.cell)) {
+            entry->focal = info.focal;
+            entry->mon_region = info.mon_region;
+          } else {
+            stale.push_back(static_cast<size_t>(entry - lqt_.data()));
+          }
+        } else {
+          InstallIfApplicable(info);
+        }
+      }
+      std::sort(stale.begin(), stale.end());
+      RemoveEntries(stale);
+      break;
+    }
+    case net::MessageType::kQueryRemoveBroadcast: {
+      const auto& broadcast =
+          std::get<net::QueryRemoveBroadcast>(message.payload);
+      for (QueryId qid : broadcast.qids) {
+        LqtEntry* entry = FindEntry(qid);
+        if (entry != nullptr) {
+          lqt_.erase(lqt_.begin() + (entry - lqt_.data()));
+        }
+      }
+      break;
+    }
+    case net::MessageType::kNewQueriesNotification: {
+      const auto& note =
+          std::get<net::NewQueriesNotification>(message.payload);
+      for (const QueryInfo& info : note.queries) {
+        InstallIfApplicable(info);
+      }
+      break;
+    }
+    default:
+      // Uplink-only types are never valid on the downlink; ignore.
+      break;
+  }
+}
+
+void MobiEyesClient::InstallIfApplicable(const QueryInfo& info) {
+  if (info.focal_oid == oid_) return;  // never a target of its own query
+  const mobility::ObjectState& me = world_->object(oid_);
+  if (!info.mon_region.Contains(me.cell)) return;
+  if (me.attr > info.filter_threshold) return;  // filter not satisfied
+
+  if (LqtEntry* existing = FindEntry(info.qid)) {
+    existing->focal = info.focal;
+    existing->mon_region = info.mon_region;
+    existing->focal_max_speed = info.focal_max_speed;
+    return;
+  }
+  LqtEntry entry;
+  entry.qid = info.qid;
+  entry.focal_oid = info.focal_oid;
+  entry.focal = info.focal;
+  entry.region = info.region;
+  entry.filter_threshold = info.filter_threshold;
+  entry.mon_region = info.mon_region;
+  entry.focal_max_speed = info.focal_max_speed;
+  lqt_.insert(lqt_.begin() + InsertPosition(entry), std::move(entry));
+}
+
+void MobiEyesClient::RemoveEntries(const std::vector<size_t>& indices) {
+  if (indices.empty()) return;
+  // Report a flip to "not a target" for entries that were in a result: once
+  // outside the monitoring region the object is provably outside the
+  // query's spatial region.
+  net::ResultBitmapReport report;
+  report.oid = oid_;
+  for (size_t k : indices) {
+    if (lqt_[k].is_target) {
+      report.qids.push_back(lqt_[k].qid);
+    }
+  }
+  // Erase back to front so earlier indices stay valid.
+  for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+    lqt_.erase(lqt_.begin() + *it);
+  }
+  if (!report.qids.empty()) {
+    network_->SendUplink(oid_, net::MakeMessage(std::move(report)));
+  }
+}
+
+std::optional<bool> MobiEyesClient::IsTargetOf(QueryId qid) const {
+  for (const auto& entry : lqt_) {
+    if (entry.qid == qid) return entry.is_target;
+  }
+  return std::nullopt;
+}
+
+MobiEyesClient::LqtEntry* MobiEyesClient::FindEntry(QueryId qid) {
+  for (auto& entry : lqt_) {
+    if (entry.qid == qid) return &entry;
+  }
+  return nullptr;
+}
+
+size_t MobiEyesClient::InsertPosition(const LqtEntry& entry) const {
+  size_t lo = 0;
+  while (lo < lqt_.size() && EntryLess(lqt_[lo], entry)) ++lo;
+  return lo;
+}
+
+}  // namespace mobieyes::core

@@ -1,0 +1,111 @@
+#ifndef MOBIEYES_CORE_CLIENT_H_
+#define MOBIEYES_CORE_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/common/stopwatch.h"
+#include "mobieyes/common/units.h"
+#include "mobieyes/core/options.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/mobility/world.h"
+#include "mobieyes/net/message.h"
+#include "mobieyes/net/network.h"
+
+namespace mobieyes::core {
+
+// The moving-object side of MobiEyes (paper §3): each object keeps a local
+// query table (LQT) of the moving queries whose monitoring region covers
+// its current grid cell, evaluates them each time step by dead-reckoning
+// the focal object's position, and reports only containment *changes* to
+// the server. Focal objects additionally run dead reckoning on their own
+// trajectory and report significant velocity changes and cell crossings.
+class MobiEyesClient {
+ public:
+  // LQT row (paper §3.2) plus the safe-period gate ptm (§4.2).
+  struct LqtEntry {
+    QueryId qid = kInvalidQueryId;
+    ObjectId focal_oid = kInvalidObjectId;
+    net::FocalState focal;
+    geo::QueryRegion region;
+    double filter_threshold = 1.0;
+    geo::CellRange mon_region;
+    double focal_max_speed = 0.0;
+    bool is_target = false;
+    Seconds ptm = 0.0;  // next evaluation due at this time or later
+  };
+
+  // `world` provides this object's own ground-truth state (a real device
+  // would read its GPS); `network` carries all communication. Both must
+  // outlive the client.
+  MobiEyesClient(const mobility::World& world, ObjectId oid,
+                 net::WirelessNetwork& network, MobiEyesOptions options);
+
+  // Network entry point for downlink traffic (one-to-one and broadcast);
+  // wire this to WirelessNetwork::RegisterClient.
+  void OnDownlink(const net::Message& message);
+
+  // Per-time-step processing, run after the world advanced: cell-crossing
+  // handling, focal dead reckoning, and periodic LQT evaluation.
+  void OnTick();
+
+  // --- Introspection --------------------------------------------------------
+
+  ObjectId oid() const { return oid_; }
+  bool has_mq() const { return has_mq_; }
+  size_t lqt_size() const { return lqt_.size(); }
+  const std::vector<LqtEntry>& lqt() const { return lqt_; }
+
+  // Last containment status this object computed for a query, or nullopt
+  // when the query is not in the LQT.
+  std::optional<bool> IsTargetOf(QueryId qid) const;
+
+  // Accumulated wall time spent evaluating the LQT (Fig. 13 metric).
+  double processing_seconds() const { return eval_watch_.total_seconds(); }
+
+  // Number of per-query evaluations actually performed (safe-period skips
+  // excluded) and of evaluations skipped by the safe period.
+  uint64_t queries_evaluated() const { return queries_evaluated_; }
+  uint64_t safe_period_skips() const { return safe_period_skips_; }
+
+  // Clears the measurement counters (used after simulation warmup).
+  void ResetCounters() {
+    eval_watch_.Reset();
+    queries_evaluated_ = 0;
+    safe_period_skips_ = 0;
+  }
+
+ private:
+  void HandleCellCrossing(const geo::CellCoord& new_cell);
+  void EvaluateQueries();
+  // Installs or refreshes a query if this object lies in its monitoring
+  // region, satisfies the filter and is not the query's own focal object.
+  void InstallIfApplicable(const net::QueryInfo& info);
+  // Removes LQT entries at the given indices (sorted ascending), reporting
+  // a containment flip to false for entries that were targets.
+  void RemoveEntries(const std::vector<size_t>& indices);
+  void SendFlipReports(const std::vector<size_t>& dirty_groups);
+  LqtEntry* FindEntry(QueryId qid);
+  // Insertion position keeping lqt_ sorted by (focal_oid, radius desc, qid).
+  size_t InsertPosition(const LqtEntry& entry) const;
+
+  const mobility::World* world_;
+  ObjectId oid_;
+  net::WirelessNetwork* network_;
+  MobiEyesOptions options_;
+
+  std::vector<LqtEntry> lqt_;
+  bool has_mq_ = false;
+  net::FocalState last_relayed_;  // what others believe about this object
+  geo::CellCoord prev_cell_;
+
+  Stopwatch eval_watch_;
+  uint64_t queries_evaluated_ = 0;
+  uint64_t safe_period_skips_ = 0;
+};
+
+}  // namespace mobieyes::core
+
+#endif  // MOBIEYES_CORE_CLIENT_H_

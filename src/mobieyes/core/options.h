@@ -1,0 +1,39 @@
+#ifndef MOBIEYES_CORE_OPTIONS_H_
+#define MOBIEYES_CORE_OPTIONS_H_
+
+#include "mobieyes/common/units.h"
+
+namespace mobieyes::core {
+
+// How queries reach objects that changed their grid cell (paper §3.5).
+enum class PropagationMode {
+  // Eager: every object reports cell crossings; the server answers with the
+  // queries newly covering the object's cell.
+  kEager,
+  // Lazy: non-focal objects stay silent on cell crossings and pick up
+  // nearby queries from expanded velocity-change / query-update broadcasts.
+  kLazy,
+};
+
+// Toggles for the protocol variant run by both server and clients. Server
+// and clients of one deployment must share the same options.
+struct MobiEyesOptions {
+  PropagationMode propagation = PropagationMode::kEager;
+
+  // Safe-period optimization (§4.2): objects skip evaluating queries whose
+  // spatial region provably cannot reach them yet.
+  bool enable_safe_period = false;
+
+  // Query grouping (§4.1): groupable queries share broadcasts and result
+  // reports carry per-group bitmaps.
+  bool enable_query_grouping = true;
+
+  // Dead-reckoning threshold Δ (miles): a focal object relays its velocity
+  // vector when its true position drifts more than Δ from where the last
+  // relayed vector predicts it to be (§3.4).
+  Miles dead_reckoning_threshold = 0.2;
+};
+
+}  // namespace mobieyes::core
+
+#endif  // MOBIEYES_CORE_OPTIONS_H_

@@ -1,0 +1,34 @@
+#include "mobieyes/core/rqi.h"
+
+#include <algorithm>
+
+namespace mobieyes::core {
+
+void ReverseQueryIndex::Add(QueryId qid, const geo::CellRange& mon_region) {
+  mon_region.ForEach([&](int32_t i, int32_t j) {
+    cells_[grid_->FlatIndex(geo::CellCoord{i, j})].push_back(qid);
+  });
+}
+
+void ReverseQueryIndex::Remove(QueryId qid, const geo::CellRange& mon_region) {
+  mon_region.ForEach([&](int32_t i, int32_t j) {
+    auto& list = cells_[grid_->FlatIndex(geo::CellCoord{i, j})];
+    auto it = std::find(list.begin(), list.end(), qid);
+    if (it != list.end()) list.erase(it);
+  });
+}
+
+std::vector<QueryId> ReverseQueryIndex::NewQueriesForMove(
+    const geo::CellCoord& prev_cell, const geo::CellCoord& new_cell) const {
+  const auto& prev_list = QueriesForCell(prev_cell);
+  std::vector<QueryId> result;
+  for (QueryId qid : QueriesForCell(new_cell)) {
+    if (std::find(prev_list.begin(), prev_list.end(), qid) ==
+        prev_list.end()) {
+      result.push_back(qid);
+    }
+  }
+  return result;
+}
+
+}  // namespace mobieyes::core

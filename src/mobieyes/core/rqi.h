@@ -1,0 +1,44 @@
+#ifndef MOBIEYES_CORE_RQI_H_
+#define MOBIEYES_CORE_RQI_H_
+
+#include <vector>
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/geo/grid.h"
+
+namespace mobieyes::core {
+
+// Reverse Query Index (paper §3.2): an M x N matrix whose cell (i, j) holds
+// the identifiers of the queries whose monitoring region intersects grid
+// cell A_{i,j}. RQI(cell) equals nearby_queries(o) for every object o whose
+// current grid cell is that cell.
+class ReverseQueryIndex {
+ public:
+  explicit ReverseQueryIndex(const geo::Grid& grid)
+      : grid_(&grid), cells_(grid.CellCount()) {}
+
+  // Registers qid over every cell of its monitoring region.
+  void Add(QueryId qid, const geo::CellRange& mon_region);
+
+  // Unregisters qid from every cell of `mon_region` (must be the same range
+  // that was passed to Add).
+  void Remove(QueryId qid, const geo::CellRange& mon_region);
+
+  // Queries whose monitoring region covers cell c (unordered).
+  const std::vector<QueryId>& QueriesForCell(const geo::CellCoord& c) const {
+    return cells_[grid_->FlatIndex(c)];
+  }
+
+  // Queries covering `new_cell` but not `prev_cell`: what an object needs
+  // to newly install after a cell crossing (§3.5).
+  std::vector<QueryId> NewQueriesForMove(const geo::CellCoord& prev_cell,
+                                         const geo::CellCoord& new_cell) const;
+
+ private:
+  const geo::Grid* grid_;
+  std::vector<std::vector<QueryId>> cells_;
+};
+
+}  // namespace mobieyes::core
+
+#endif  // MOBIEYES_CORE_RQI_H_

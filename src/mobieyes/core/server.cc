@@ -1,0 +1,361 @@
+#include "mobieyes/core/server.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace mobieyes::core {
+
+using net::Message;
+using net::QueryInfo;
+
+MobiEyesServer::MobiEyesServer(const geo::Grid& grid,
+                               const net::BaseStationLayout& layout,
+                               const net::Bmap& bmap,
+                               net::WirelessNetwork& network,
+                               MobiEyesOptions options)
+    : grid_(&grid),
+      layout_(&layout),
+      bmap_(&bmap),
+      network_(&network),
+      options_(options),
+      rqi_(grid) {}
+
+Result<QueryId> MobiEyesServer::InstallQuery(ObjectId focal_oid, Miles radius,
+                                             double filter_threshold,
+                                             Seconds duration) {
+  if (radius <= 0.0) {
+    return Status::InvalidArgument("query radius must be positive");
+  }
+  return InstallQuery(focal_oid, geo::QueryRegion::MakeCircle(radius),
+                      filter_threshold, duration);
+}
+
+Result<QueryId> MobiEyesServer::InstallQuery(ObjectId focal_oid,
+                                             const geo::QueryRegion& region,
+                                             double filter_threshold,
+                                             Seconds duration) {
+  TimedSection timed(load_timer_);
+  if (!region.valid()) {
+    return Status::InvalidArgument("query region must have positive extent");
+  }
+  if (duration <= 0.0) {
+    return Status::InvalidArgument("query duration must be positive");
+  }
+
+  // §3.3 step 3: if the focal object is unknown, request its kinematics.
+  // Delivery is synchronous, so the PositionVelocityReport round trip
+  // completes (and fills the FOT) before the call below returns.
+  if (!fot_.contains(focal_oid)) {
+    TimerPause pause(load_timer_);  // delivery is not server work
+    network_->SendDownlinkTo(
+        focal_oid,
+        net::MakeMessage(net::PositionVelocityRequest{focal_oid}));
+    if (!fot_.contains(focal_oid)) {
+      return Status::NotFound("focal object did not report its position");
+    }
+  }
+  FotEntry& focal = fot_.at(focal_oid);
+
+  // §3.3 step 4: create the SQT entry and index it in the RQI.
+  QueryId qid = next_qid_++;
+  SqtEntry entry;
+  entry.qid = qid;
+  entry.focal_oid = focal_oid;
+  entry.region = region;
+  entry.filter_threshold = filter_threshold;
+  entry.curr_cell = focal.cell;
+  entry.mon_region = grid_->MonitoringRegion(entry.curr_cell,
+                                             region.ReachX(),
+                                             region.ReachY());
+  entry.expires_at =
+      duration == kNeverExpires ? kNeverExpires : now_ + duration;
+  rqi_.Add(qid, entry.mon_region);
+  focal.queries.push_back(qid);
+  auto [it, inserted] = sqt_.emplace(qid, std::move(entry));
+  (void)inserted;
+
+  // Tell the focal object it now has a bound query (sets hasMQ), then
+  // install the query on every object in the monitoring region through the
+  // minimal set of covering base stations.
+  {
+    TimerPause pause(load_timer_);
+    network_->SendDownlinkTo(focal_oid,
+                             net::MakeMessage(net::FocalNotification{
+                                 focal_oid, qid}));
+  }
+  net::QueryInstallBroadcast broadcast;
+  broadcast.queries.push_back(BuildQueryInfo(it->second));
+  BroadcastToRegion(it->second.mon_region,
+                    net::MakeMessage(std::move(broadcast)));
+  return qid;
+}
+
+void MobiEyesServer::AdvanceTime(Seconds now) {
+  now_ = now;
+  std::vector<QueryId> expired;
+  {
+    TimedSection timed(load_timer_);
+    for (const auto& [qid, entry] : sqt_) {
+      if (entry.expires_at <= now) expired.push_back(qid);
+    }
+  }
+  for (QueryId qid : expired) {
+    (void)RemoveQuery(qid);
+  }
+}
+
+Status MobiEyesServer::RemoveQuery(QueryId qid) {
+  TimedSection timed(load_timer_);
+  auto it = sqt_.find(qid);
+  if (it == sqt_.end()) return Status::NotFound("unknown query id");
+  SqtEntry entry = std::move(it->second);
+  sqt_.erase(it);
+  rqi_.Remove(qid, entry.mon_region);
+
+  auto fot_it = fot_.find(entry.focal_oid);
+  if (fot_it != fot_.end()) {
+    auto& queries = fot_it->second.queries;
+    queries.erase(std::find(queries.begin(), queries.end(), qid));
+    if (queries.empty()) {
+      // No query bound to this object anymore: clear its hasMQ flag (and
+      // drop it from the FOT — nothing left to mediate for it).
+      TimerPause pause(load_timer_);
+      network_->SendDownlinkTo(
+          entry.focal_oid,
+          net::MakeMessage(
+              net::FocalNotification{entry.focal_oid, kInvalidQueryId}));
+      fot_.erase(fot_it);
+    }
+  }
+
+  net::QueryRemoveBroadcast broadcast;
+  broadcast.qids.push_back(qid);
+  BroadcastToRegion(entry.mon_region, net::MakeMessage(std::move(broadcast)));
+  return Status::OK();
+}
+
+void MobiEyesServer::OnUplink(ObjectId from, const Message& message) {
+  (void)from;
+  TimedSection timed(load_timer_);
+  switch (message.type) {
+    case net::MessageType::kQueryInstallRequest:
+      HandleQueryInstallRequest(
+          std::get<net::QueryInstallRequest>(message.payload));
+      break;
+    case net::MessageType::kPositionVelocityReport:
+      HandlePositionVelocityReport(
+          std::get<net::PositionVelocityReport>(message.payload));
+      break;
+    case net::MessageType::kVelocityChangeReport:
+      HandleVelocityChange(
+          std::get<net::VelocityChangeReport>(message.payload));
+      break;
+    case net::MessageType::kCellChangeReport:
+      HandleCellChange(std::get<net::CellChangeReport>(message.payload));
+      break;
+    case net::MessageType::kResultBitmapReport:
+      HandleResultBitmap(std::get<net::ResultBitmapReport>(message.payload));
+      break;
+    default:
+      // Downlink-only types are never valid on the uplink; ignore.
+      break;
+  }
+}
+
+void MobiEyesServer::HandleQueryInstallRequest(
+    const net::QueryInstallRequest& request) {
+  // A user poses a query from their mobile device; same path as a
+  // server-side installation.
+  (void)InstallQuery(request.oid, request.region, request.filter_threshold);
+}
+
+void MobiEyesServer::HandlePositionVelocityReport(
+    const net::PositionVelocityReport& report) {
+  FotEntry& entry = fot_[report.oid];
+  entry.state = report.state;
+  entry.max_speed = report.max_speed;
+  entry.cell = grid_->CellOf(report.state.pos);
+}
+
+void MobiEyesServer::HandleVelocityChange(
+    const net::VelocityChangeReport& report) {
+  auto fot_it = fot_.find(report.oid);
+  if (fot_it == fot_.end()) return;  // stale report from an unbound object
+  FotEntry& focal = fot_it->second;
+  focal.state = report.state;
+  focal.cell = grid_->CellOf(report.state.pos);
+
+  // §3.4: relay the new vector to the monitoring region of each query bound
+  // to this focal object. Groupable queries sharing a monitoring region are
+  // served by a single broadcast (§4.1); without grouping each query gets
+  // its own broadcast as in the base protocol.
+  const bool lazy = options_.propagation == PropagationMode::kLazy;
+  if (options_.enable_query_grouping) {
+    std::map<std::tuple<int32_t, int32_t, int32_t, int32_t>,
+             std::vector<QueryId>>
+        by_region;
+    for (QueryId qid : focal.queries) {
+      const SqtEntry& entry = sqt_.at(qid);
+      by_region[{entry.mon_region.i_lo, entry.mon_region.i_hi,
+                 entry.mon_region.j_lo, entry.mon_region.j_hi}]
+          .push_back(qid);
+    }
+    for (const auto& [key, qids] : by_region) {
+      geo::CellRange region{std::get<0>(key), std::get<1>(key),
+                            std::get<2>(key), std::get<3>(key)};
+      net::VelocityChangeBroadcast broadcast;
+      broadcast.focal_oid = report.oid;
+      broadcast.state = report.state;
+      if (lazy) {
+        broadcast.carries_query_info = true;
+        for (QueryId qid : qids) {
+          broadcast.queries.push_back(BuildQueryInfo(sqt_.at(qid)));
+        }
+      }
+      BroadcastToRegion(region, net::MakeMessage(std::move(broadcast)));
+    }
+  } else {
+    for (QueryId qid : focal.queries) {
+      const SqtEntry& entry = sqt_.at(qid);
+      net::VelocityChangeBroadcast broadcast;
+      broadcast.focal_oid = report.oid;
+      broadcast.state = report.state;
+      if (lazy) {
+        broadcast.carries_query_info = true;
+        broadcast.queries.push_back(BuildQueryInfo(entry));
+      }
+      BroadcastToRegion(entry.mon_region,
+                        net::MakeMessage(std::move(broadcast)));
+    }
+  }
+}
+
+void MobiEyesServer::HandleCellChange(const net::CellChangeReport& report) {
+  // §3.5. For any reporting object under eager propagation, answer with the
+  // queries that newly cover its destination cell.
+  if (options_.propagation == PropagationMode::kEager) {
+    std::vector<QueryId> new_qids =
+        rqi_.NewQueriesForMove(report.prev_cell, report.new_cell);
+    // The object never monitors its own queries.
+    std::erase_if(new_qids, [&](QueryId qid) {
+      return sqt_.at(qid).focal_oid == report.oid;
+    });
+    if (!new_qids.empty()) {
+      net::NewQueriesNotification notification;
+      notification.oid = report.oid;
+      for (QueryId qid : new_qids) {
+        notification.queries.push_back(BuildQueryInfo(sqt_.at(qid)));
+      }
+      TimerPause pause(load_timer_);
+      network_->SendDownlinkTo(report.oid,
+                               net::MakeMessage(std::move(notification)));
+    }
+  }
+
+  // Additional operations when the mover is a focal object: recompute each
+  // bound query's monitoring region and notify the union of the old and new
+  // regions.
+  auto fot_it = fot_.find(report.oid);
+  if (fot_it == fot_.end()) return;
+  FotEntry& focal = fot_it->second;
+  focal.cell = report.new_cell;
+
+  // Group queries that share both old and new monitoring regions into one
+  // broadcast (matching monitoring regions, §4.1).
+  std::map<std::tuple<int32_t, int32_t, int32_t, int32_t, int32_t, int32_t,
+                      int32_t, int32_t>,
+           std::vector<QueryId>>
+      by_region_pair;
+  for (QueryId qid : focal.queries) {
+    SqtEntry& entry = sqt_.at(qid);
+    geo::CellRange old_region = entry.mon_region;
+    entry.curr_cell = report.new_cell;
+    entry.mon_region = grid_->MonitoringRegion(
+        report.new_cell, entry.region.ReachX(), entry.region.ReachY());
+    rqi_.Remove(qid, old_region);
+    rqi_.Add(qid, entry.mon_region);
+    auto key = std::make_tuple(old_region.i_lo, old_region.i_hi,
+                               old_region.j_lo, old_region.j_hi,
+                               entry.mon_region.i_lo, entry.mon_region.i_hi,
+                               entry.mon_region.j_lo, entry.mon_region.j_hi);
+    if (options_.enable_query_grouping) {
+      by_region_pair[key].push_back(qid);
+    } else {
+      net::QueryUpdateBroadcast broadcast;
+      broadcast.queries.push_back(BuildQueryInfo(entry));
+      BroadcastToRegion(geo::CellRange::Union(old_region, entry.mon_region),
+                        net::MakeMessage(std::move(broadcast)));
+    }
+  }
+  for (const auto& [key, qids] : by_region_pair) {
+    geo::CellRange old_region{std::get<0>(key), std::get<1>(key),
+                              std::get<2>(key), std::get<3>(key)};
+    geo::CellRange new_region{std::get<4>(key), std::get<5>(key),
+                              std::get<6>(key), std::get<7>(key)};
+    net::QueryUpdateBroadcast broadcast;
+    for (QueryId qid : qids) {
+      broadcast.queries.push_back(BuildQueryInfo(sqt_.at(qid)));
+    }
+    BroadcastToRegion(geo::CellRange::Union(old_region, new_region),
+                      net::MakeMessage(std::move(broadcast)));
+  }
+}
+
+void MobiEyesServer::HandleResultBitmap(const net::ResultBitmapReport& report) {
+  for (size_t k = 0; k < report.qids.size(); ++k) {
+    auto it = sqt_.find(report.qids[k]);
+    if (it == sqt_.end()) continue;
+    bool is_target = (report.bitmap >> k) & 1;
+    if (is_target) {
+      it->second.result.insert(report.oid);
+    } else {
+      it->second.result.erase(report.oid);
+    }
+  }
+}
+
+QueryInfo MobiEyesServer::BuildQueryInfo(const SqtEntry& entry) const {
+  QueryInfo info;
+  info.qid = entry.qid;
+  info.focal_oid = entry.focal_oid;
+  const FotEntry& focal = fot_.at(entry.focal_oid);
+  info.focal = focal.state;
+  info.region = entry.region;
+  info.filter_threshold = entry.filter_threshold;
+  info.mon_region = entry.mon_region;
+  info.focal_max_speed = focal.max_speed;
+  return info;
+}
+
+void MobiEyesServer::BroadcastToRegion(const geo::CellRange& region,
+                                       Message message) {
+  std::vector<BaseStationId> cover = bmap_->MinimalCover(region);
+  // Computing the cover is server work; the per-station delivery below is
+  // the wireless medium's (and the receivers'), so exclude it from the
+  // server-load measurement.
+  TimerPause pause(load_timer_);
+  for (BaseStationId sid : cover) {
+    network_->Broadcast(layout_->station(sid), message);
+  }
+}
+
+Result<std::unordered_set<ObjectId>> MobiEyesServer::QueryResult(
+    QueryId qid) const {
+  auto it = sqt_.find(qid);
+  if (it == sqt_.end()) return Status::NotFound("unknown query id");
+  return it->second.result;
+}
+
+const MobiEyesServer::SqtEntry* MobiEyesServer::FindQuery(QueryId qid) const {
+  auto it = sqt_.find(qid);
+  return it == sqt_.end() ? nullptr : &it->second;
+}
+
+const MobiEyesServer::FotEntry* MobiEyesServer::FindFocal(
+    ObjectId oid) const {
+  auto it = fot_.find(oid);
+  return it == fot_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mobieyes::core

@@ -1,0 +1,137 @@
+#ifndef MOBIEYES_CORE_SERVER_H_
+#define MOBIEYES_CORE_SERVER_H_
+
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/common/status.h"
+#include "mobieyes/common/stopwatch.h"
+#include "mobieyes/common/units.h"
+#include "mobieyes/core/options.h"
+#include "mobieyes/core/rqi.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/net/bmap.h"
+#include "mobieyes/net/message.h"
+#include "mobieyes/net/network.h"
+
+namespace mobieyes::core {
+
+// The MobiEyes server: a mediator between moving objects (paper §3). It
+// tracks focal objects (FOT), hosted queries (SQT) and the reverse query
+// index (RQI), and turns focal-object events into the minimal set of
+// base-station broadcasts that keep the affected monitoring regions
+// current. Query results are maintained differentially from the containment
+// flips reported by the objects themselves.
+class MobiEyesServer {
+ public:
+  // FOT row (paper §3.2): last reported kinematics of a focal object plus
+  // the queries bound to it.
+  struct FotEntry {
+    net::FocalState state;
+    double max_speed = 0.0;  // miles/second, carried for safe periods
+    // Last known grid cell, kept current by cell-change reports. The
+    // recorded kinematics must stay untouched between velocity reports or
+    // dead-reckoning predictions downstream would diverge.
+    geo::CellCoord cell;
+    std::vector<QueryId> queries;
+  };
+
+  // SQT row (paper §3.2) plus the expiry time: the paper's example queries
+  // are time-bounded ("during next 2 hours"), so a query may carry a
+  // duration after which the server uninstalls it everywhere.
+  struct SqtEntry {
+    QueryId qid = kInvalidQueryId;
+    ObjectId focal_oid = kInvalidObjectId;
+    geo::QueryRegion region;
+    double filter_threshold = 1.0;
+    geo::CellCoord curr_cell;
+    geo::CellRange mon_region;
+    Seconds expires_at = kNeverExpires;
+    std::unordered_set<ObjectId> result;
+  };
+
+  static constexpr Seconds kNeverExpires =
+      std::numeric_limits<Seconds>::infinity();
+
+  // `grid`, `layout`, `bmap` and `network` must outlive the server.
+  MobiEyesServer(const geo::Grid& grid, const net::BaseStationLayout& layout,
+                 const net::Bmap& bmap, net::WirelessNetwork& network,
+                 MobiEyesOptions options);
+
+  // Installs a moving query bound to `focal_oid` (paper §3.3). If the focal
+  // object is not yet in the FOT its kinematics are requested over the
+  // network (synchronous round trip). A finite `duration` (seconds from
+  // now) makes the query self-expire on a later AdvanceTime. Returns the
+  // assigned query id. The radius form installs the paper's circular
+  // region; the QueryRegion form accepts any supported shape.
+  Result<QueryId> InstallQuery(ObjectId focal_oid, Miles radius,
+                               double filter_threshold,
+                               Seconds duration = kNeverExpires);
+  Result<QueryId> InstallQuery(ObjectId focal_oid,
+                               const geo::QueryRegion& region,
+                               double filter_threshold,
+                               Seconds duration = kNeverExpires);
+
+  // Advances the server clock and removes queries whose lifetime has
+  // elapsed (removal broadcasts included). Call once per time step.
+  void AdvanceTime(Seconds now);
+
+  Seconds now() const { return now_; }
+
+  // Removes a query: clears server state and broadcasts the removal over
+  // the query's monitoring region.
+  Status RemoveQuery(QueryId qid);
+
+  // Network entry point for all uplink traffic; wire this to
+  // WirelessNetwork::set_server_handler.
+  void OnUplink(ObjectId from, const net::Message& message);
+
+  // --- Introspection (tests, oracle comparison, benches) -------------------
+
+  // Current differentially-maintained result of a query.
+  Result<std::unordered_set<ObjectId>> QueryResult(QueryId qid) const;
+
+  const SqtEntry* FindQuery(QueryId qid) const;
+  const FotEntry* FindFocal(ObjectId oid) const;
+  size_t query_count() const { return sqt_.size(); }
+  const ReverseQueryIndex& rqi() const { return rqi_; }
+
+  // Accumulated wall time spent in server-side logic ("server load", §5.2).
+  double load_seconds() const { return load_timer_.total_seconds(); }
+  void ResetLoadTimer() { load_timer_.Reset(); }
+
+ private:
+  void HandleQueryInstallRequest(const net::QueryInstallRequest& request);
+  void HandlePositionVelocityReport(const net::PositionVelocityReport& report);
+  void HandleVelocityChange(const net::VelocityChangeReport& report);
+  void HandleCellChange(const net::CellChangeReport& report);
+  void HandleResultBitmap(const net::ResultBitmapReport& report);
+
+  // Builds the installation payload for a query from FOT + SQT state.
+  net::QueryInfo BuildQueryInfo(const SqtEntry& entry) const;
+
+  // Sends `message` once per base station of the greedy minimal cover of
+  // `region`.
+  void BroadcastToRegion(const geo::CellRange& region, net::Message message);
+
+  const geo::Grid* grid_;
+  const net::BaseStationLayout* layout_;
+  const net::Bmap* bmap_;
+  net::WirelessNetwork* network_;
+  MobiEyesOptions options_;
+
+  std::unordered_map<ObjectId, FotEntry> fot_;
+  std::unordered_map<QueryId, SqtEntry> sqt_;
+  ReverseQueryIndex rqi_;
+  QueryId next_qid_ = 0;
+  Seconds now_ = 0.0;
+
+  ReentrantTimer load_timer_;
+};
+
+}  // namespace mobieyes::core
+
+#endif  // MOBIEYES_CORE_SERVER_H_

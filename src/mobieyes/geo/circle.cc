@@ -1,0 +1,16 @@
+#include "mobieyes/geo/circle.h"
+
+#include <algorithm>
+
+namespace mobieyes::geo {
+
+bool Circle::Intersects(const Rect& r) const {
+  // Distance from the center to the closest point of the rectangle.
+  double cx = std::clamp(center.x, r.lx, r.hx());
+  double cy = std::clamp(center.y, r.ly, r.hy());
+  double dx = center.x - cx;
+  double dy = center.y - cy;
+  return dx * dx + dy * dy <= radius * radius;
+}
+
+}  // namespace mobieyes::geo

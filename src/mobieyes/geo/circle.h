@@ -1,0 +1,31 @@
+#ifndef MOBIEYES_GEO_CIRCLE_H_
+#define MOBIEYES_GEO_CIRCLE_H_
+
+#include "mobieyes/geo/point.h"
+#include "mobieyes/geo/rect.h"
+
+namespace mobieyes::geo {
+
+// Circle(cx, cy, r) (paper §2.2). The query spatial region shape: its center
+// is the binding point attached to the query's focal object.
+struct Circle {
+  Point center;
+  Miles radius = 0.0;
+
+  bool Contains(const Point& p) const {
+    return SquaredDistance(center, p) <= radius * radius;
+  }
+
+  // Tight axis-aligned bounding box.
+  Rect BoundingRect() const {
+    return Rect{center.x - radius, center.y - radius, 2 * radius, 2 * radius};
+  }
+
+  bool Intersects(const Rect& r) const;
+
+  friend bool operator==(const Circle&, const Circle&) = default;
+};
+
+}  // namespace mobieyes::geo
+
+#endif  // MOBIEYES_GEO_CIRCLE_H_

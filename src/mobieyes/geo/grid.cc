@@ -1,0 +1,89 @@
+#include "mobieyes/geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mobieyes::geo {
+
+CellRange CellRange::Union(const CellRange& a, const CellRange& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return CellRange{std::min(a.i_lo, b.i_lo), std::max(a.i_hi, b.i_hi),
+                   std::min(a.j_lo, b.j_lo), std::max(a.j_hi, b.j_hi)};
+}
+
+void CellRange::ForEach(
+    const std::function<void(int32_t, int32_t)>& fn) const {
+  for (int32_t j = j_lo; j <= j_hi; ++j) {
+    for (int32_t i = i_lo; i <= i_hi; ++i) {
+      fn(i, j);
+    }
+  }
+}
+
+Result<Grid> Grid::Make(const Rect& universe, Miles alpha) {
+  if (alpha <= 0.0) {
+    return Status::InvalidArgument("grid cell side alpha must be positive");
+  }
+  if (universe.w <= 0.0 || universe.h <= 0.0) {
+    return Status::InvalidArgument("universe of discourse must be non-empty");
+  }
+  auto columns = static_cast<int32_t>(std::ceil(universe.w / alpha));
+  auto rows = static_cast<int32_t>(std::ceil(universe.h / alpha));
+  return Grid(universe, alpha, columns, rows);
+}
+
+CellCoord Grid::CellOf(const Point& p) const {
+  auto i = static_cast<int32_t>(std::floor((p.x - universe_.lx) / alpha_));
+  auto j = static_cast<int32_t>(std::floor((p.y - universe_.ly) / alpha_));
+  i = std::clamp(i, 0, columns_ - 1);
+  j = std::clamp(j, 0, rows_ - 1);
+  return CellCoord{i, j};
+}
+
+Rect Grid::CellRect(const CellCoord& c) const {
+  Miles lx = universe_.lx + c.i * alpha_;
+  Miles ly = universe_.ly + c.j * alpha_;
+  Miles w = std::min(alpha_, universe_.hx() - lx);
+  Miles h = std::min(alpha_, universe_.hy() - ly);
+  return Rect{lx, ly, w, h};
+}
+
+Rect Grid::QueryBoundingBox(const CellCoord& focal_cell, Miles radius) const {
+  return QueryBoundingBox(focal_cell, radius, radius);
+}
+
+Rect Grid::QueryBoundingBox(const CellCoord& focal_cell, Miles reach_x,
+                            Miles reach_y) const {
+  Rect cell = CellRect(focal_cell);
+  return Rect{cell.lx - reach_x, cell.ly - reach_y, cell.w + 2 * reach_x,
+              cell.h + 2 * reach_y};
+}
+
+CellRange Grid::MonitoringRegion(const CellCoord& focal_cell,
+                                 Miles radius) const {
+  return CellsIntersecting(QueryBoundingBox(focal_cell, radius));
+}
+
+CellRange Grid::MonitoringRegion(const CellCoord& focal_cell, Miles reach_x,
+                                 Miles reach_y) const {
+  return CellsIntersecting(QueryBoundingBox(focal_cell, reach_x, reach_y));
+}
+
+CellRange Grid::CellsIntersecting(const Rect& r) const {
+  if (!r.Intersects(universe_)) return CellRange{};
+  auto i_lo = static_cast<int32_t>(std::floor((r.lx - universe_.lx) / alpha_));
+  auto j_lo = static_cast<int32_t>(std::floor((r.ly - universe_.ly) / alpha_));
+  // Upper bounds are inclusive: a rectangle whose edge exactly touches a cell
+  // boundary intersects the neighboring cell as well (closed rectangles).
+  auto i_hi = static_cast<int32_t>(
+      std::floor((r.hx() - universe_.lx) / alpha_));
+  auto j_hi = static_cast<int32_t>(
+      std::floor((r.hy() - universe_.ly) / alpha_));
+  return CellRange{std::clamp(i_lo, 0, columns_ - 1),
+                   std::clamp(i_hi, 0, columns_ - 1),
+                   std::clamp(j_lo, 0, rows_ - 1),
+                   std::clamp(j_hi, 0, rows_ - 1)};
+}
+
+}  // namespace mobieyes::geo

@@ -1,0 +1,128 @@
+#ifndef MOBIEYES_GEO_GRID_H_
+#define MOBIEYES_GEO_GRID_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mobieyes/common/status.h"
+#include "mobieyes/geo/circle.h"
+#include "mobieyes/geo/point.h"
+#include "mobieyes/geo/rect.h"
+
+namespace mobieyes::geo {
+
+// Index of a grid cell. The paper's A_{i,j} is 1-based with ceiling mapping;
+// we use the equivalent 0-based floor mapping (see DESIGN.md). i indexes the
+// x-dimension (column), j the y-dimension (row).
+struct CellCoord {
+  int32_t i = 0;
+  int32_t j = 0;
+
+  friend bool operator==(const CellCoord&, const CellCoord&) = default;
+};
+
+struct CellCoordHash {
+  size_t operator()(const CellCoord& c) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(c.i) << 32) ^
+                                static_cast<uint32_t>(c.j));
+  }
+};
+
+// An axis-aligned rectangular block of grid cells [i_lo..i_hi] x [j_lo..j_hi]
+// (inclusive). Because a query's bounding box is a rectangle, its monitoring
+// region — the union of cells intersecting the bounding box — is always such
+// a block, so this is an exact (and compact) representation.
+struct CellRange {
+  int32_t i_lo = 0;
+  int32_t i_hi = -1;  // empty by default (hi < lo)
+  int32_t j_lo = 0;
+  int32_t j_hi = -1;
+
+  bool empty() const { return i_hi < i_lo || j_hi < j_lo; }
+  int64_t CellCount() const {
+    if (empty()) return 0;
+    return static_cast<int64_t>(i_hi - i_lo + 1) *
+           static_cast<int64_t>(j_hi - j_lo + 1);
+  }
+
+  bool Contains(const CellCoord& c) const {
+    return c.i >= i_lo && c.i <= i_hi && c.j >= j_lo && c.j <= j_hi;
+  }
+
+  bool Intersects(const CellRange& other) const {
+    return !empty() && !other.empty() && i_lo <= other.i_hi &&
+           other.i_lo <= i_hi && j_lo <= other.j_hi && other.j_lo <= j_hi;
+  }
+
+  // Smallest range covering both (used for the old-union-new broadcast when
+  // a focal object crosses cells, §3.5).
+  static CellRange Union(const CellRange& a, const CellRange& b);
+
+  // Invokes fn(i, j) for every cell in the range.
+  void ForEach(const std::function<void(int32_t, int32_t)>& fn) const;
+
+  friend bool operator==(const CellRange&, const CellRange&) = default;
+};
+
+// The grid G(U, alpha) over the universe of discourse U (paper §2.2).
+class Grid {
+ public:
+  // Creates a grid over `universe` with cell side `alpha`. Returns
+  // InvalidArgument for non-positive alpha or an empty universe.
+  static Result<Grid> Make(const Rect& universe, Miles alpha);
+
+  const Rect& universe() const { return universe_; }
+  Miles alpha() const { return alpha_; }
+  int32_t columns() const { return columns_; }  // N = ceil(W / alpha)
+  int32_t rows() const { return rows_; }        // M = ceil(H / alpha)
+  int64_t CellCount() const {
+    return static_cast<int64_t>(columns_) * rows_;
+  }
+
+  // Pmap: position -> current grid cell. Positions outside the universe are
+  // clamped to the border cell (objects are reflected at the border by the
+  // motion model, so this only matters for exact-boundary points).
+  CellCoord CellOf(const Point& p) const;
+
+  // The rectangle covered by cell (i, j), clipped to the universe edge cells.
+  Rect CellRect(const CellCoord& c) const;
+
+  bool IsValid(const CellCoord& c) const {
+    return c.i >= 0 && c.i < columns_ && c.j >= 0 && c.j < rows_;
+  }
+
+  // bound_box(q): the area the query region can reach while its focal
+  // object stays inside cell `focal_cell` (paper §2.3): the cell inflated
+  // by the region's per-axis reach. The radius overloads are the circular
+  // case used throughout the paper.
+  Rect QueryBoundingBox(const CellCoord& focal_cell, Miles radius) const;
+  Rect QueryBoundingBox(const CellCoord& focal_cell, Miles reach_x,
+                        Miles reach_y) const;
+
+  // mon_region(q): cells intersecting the bounding box, clamped to the grid.
+  CellRange MonitoringRegion(const CellCoord& focal_cell, Miles radius) const;
+  CellRange MonitoringRegion(const CellCoord& focal_cell, Miles reach_x,
+                             Miles reach_y) const;
+
+  // Cells intersecting an arbitrary rectangle, clamped to the grid.
+  CellRange CellsIntersecting(const Rect& r) const;
+
+  // Flat row-major index of a cell, for use as an array subscript.
+  int64_t FlatIndex(const CellCoord& c) const {
+    return static_cast<int64_t>(c.j) * columns_ + c.i;
+  }
+
+ private:
+  Grid(const Rect& universe, Miles alpha, int32_t columns, int32_t rows)
+      : universe_(universe), alpha_(alpha), columns_(columns), rows_(rows) {}
+
+  Rect universe_;
+  Miles alpha_;
+  int32_t columns_;
+  int32_t rows_;
+};
+
+}  // namespace mobieyes::geo
+
+#endif  // MOBIEYES_GEO_GRID_H_

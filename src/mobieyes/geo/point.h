@@ -1,0 +1,58 @@
+#ifndef MOBIEYES_GEO_POINT_H_
+#define MOBIEYES_GEO_POINT_H_
+
+#include <cmath>
+
+#include "mobieyes/common/units.h"
+
+namespace mobieyes::geo {
+
+// A 2D point in the universe of discourse, in miles.
+struct Point {
+  Miles x = 0.0;
+  Miles y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+// A 2D vector. Used for velocity (miles/second) and displacements.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  double Norm() const { return std::hypot(x, y); }
+
+  friend bool operator==(const Vec2&, const Vec2&) = default;
+};
+
+inline Point operator+(const Point& p, const Vec2& v) {
+  return Point{p.x + v.x, p.y + v.y};
+}
+
+inline Vec2 operator-(const Point& a, const Point& b) {
+  return Vec2{a.x - b.x, a.y - b.y};
+}
+
+inline Vec2 operator*(const Vec2& v, double s) {
+  return Vec2{v.x * s, v.y * s};
+}
+
+inline Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline Vec2 operator+(const Vec2& a, const Vec2& b) {
+  return Vec2{a.x + b.x, a.y + b.y};
+}
+
+inline double Distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+inline double SquaredDistance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace mobieyes::geo
+
+#endif  // MOBIEYES_GEO_POINT_H_

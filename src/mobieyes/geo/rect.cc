@@ -1,0 +1,36 @@
+#include "mobieyes/geo/rect.h"
+
+namespace mobieyes::geo {
+
+Rect Rect::Union(const Rect& a, const Rect& b) {
+  Miles lx = std::min(a.lx, b.lx);
+  Miles ly = std::min(a.ly, b.ly);
+  Miles hx = std::max(a.hx(), b.hx());
+  Miles hy = std::max(a.hy(), b.hy());
+  return Rect{lx, ly, hx - lx, hy - ly};
+}
+
+Rect Rect::FromCorners(const Point& a, const Point& b) {
+  Miles lx = std::min(a.x, b.x);
+  Miles ly = std::min(a.y, b.y);
+  return Rect{lx, ly, std::max(a.x, b.x) - lx, std::max(a.y, b.y) - ly};
+}
+
+double IntersectionArea(const Rect& a, const Rect& b) {
+  double w = std::min(a.hx(), b.hx()) - std::max(a.lx, b.lx);
+  double h = std::min(a.hy(), b.hy()) - std::max(a.ly, b.ly);
+  if (w <= 0.0 || h <= 0.0) return 0.0;
+  return w * h;
+}
+
+double Enlargement(const Rect& base, const Rect& extra) {
+  return Rect::Union(base, extra).Area() - base.Area();
+}
+
+double MinDistance(const Rect& r, const Point& p) {
+  double dx = std::max({r.lx - p.x, 0.0, p.x - r.hx()});
+  double dy = std::max({r.ly - p.y, 0.0, p.y - r.hy()});
+  return std::hypot(dx, dy);
+}
+
+}  // namespace mobieyes::geo

@@ -1,0 +1,58 @@
+#ifndef MOBIEYES_GEO_RECT_H_
+#define MOBIEYES_GEO_RECT_H_
+
+#include <algorithm>
+
+#include "mobieyes/geo/point.h"
+
+namespace mobieyes::geo {
+
+// Axis-aligned rectangle Rect(lx, ly, w, h) = [lx, lx+w] x [ly, ly+h]
+// (paper §2.2). Also used as the bounding-box type of the R*-tree.
+struct Rect {
+  Miles lx = 0.0;
+  Miles ly = 0.0;
+  Miles w = 0.0;
+  Miles h = 0.0;
+
+  Miles hx() const { return lx + w; }  // upper x bound
+  Miles hy() const { return ly + h; }  // upper y bound
+
+  double Area() const { return w * h; }
+  // Perimeter / 2; the "margin" used by the R*-split heuristic.
+  double Margin() const { return w + h; }
+  Point Center() const { return Point{lx + w / 2.0, ly + h / 2.0}; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= lx && p.x <= hx() && p.y >= ly && p.y <= hy();
+  }
+
+  bool Contains(const Rect& r) const {
+    return r.lx >= lx && r.hx() <= hx() && r.ly >= ly && r.hy() <= hy();
+  }
+
+  bool Intersects(const Rect& r) const {
+    return lx <= r.hx() && r.lx <= hx() && ly <= r.hy() && r.ly <= hy();
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  // Smallest rectangle containing both a and b.
+  static Rect Union(const Rect& a, const Rect& b);
+
+  // Rectangle from corner points (min/max are taken per axis).
+  static Rect FromCorners(const Point& a, const Point& b);
+};
+
+// Area of the intersection of a and b (0 when disjoint).
+double IntersectionArea(const Rect& a, const Rect& b);
+
+// Area increase needed for `base` to also cover `extra`.
+double Enlargement(const Rect& base, const Rect& extra);
+
+// Minimum distance from p to the rectangle (0 when inside).
+double MinDistance(const Rect& r, const Point& p);
+
+}  // namespace mobieyes::geo
+
+#endif  // MOBIEYES_GEO_RECT_H_

@@ -1,0 +1,27 @@
+#ifndef MOBIEYES_MOBILITY_MOTION_MODEL_H_
+#define MOBIEYES_MOBILITY_MOTION_MODEL_H_
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/geo/rect.h"
+#include "mobieyes/mobility/object_state.h"
+
+namespace mobieyes::mobility {
+
+// The movement model of §5.1: each time step a randomly chosen subset of
+// objects re-draws a uniformly random direction and a speed uniform in
+// [0, max_speed]; all other objects keep their velocity vector. Objects
+// reflect off the universe border so they stay inside the UoD.
+class RandomVelocityModel {
+ public:
+  // Assigns a fresh random normalized direction and speed to `object`.
+  static void RandomizeVelocity(ObjectState& object, Rng& rng);
+
+  // Advances the object's position by dt seconds, reflecting at the
+  // universe border (velocity component flips on reflection).
+  static void Advance(ObjectState& object, Seconds dt,
+                      const geo::Rect& universe);
+};
+
+}  // namespace mobieyes::mobility
+
+#endif  // MOBIEYES_MOBILITY_MOTION_MODEL_H_

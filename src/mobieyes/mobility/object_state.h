@@ -1,0 +1,28 @@
+#ifndef MOBIEYES_MOBILITY_OBJECT_STATE_H_
+#define MOBIEYES_MOBILITY_OBJECT_STATE_H_
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/common/units.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/geo/point.h"
+
+namespace mobieyes::mobility {
+
+// Ground-truth state of one moving object: the paper's
+// <oid, pos, vel, {props}> quadruple (§2.2) plus the per-object maximum
+// speed used by the motion model and the safe-period optimization.
+struct ObjectState {
+  ObjectId oid = kInvalidObjectId;
+  geo::Point pos;
+  geo::Vec2 vel;           // miles/second
+  double max_speed = 0.0;  // miles/second
+  // Object property used by query filters: uniform in [0, 1). A filter with
+  // threshold t selects this object iff attr <= t (selectivity t).
+  double attr = 0.0;
+  // Current grid cell; maintained by the World as the object moves.
+  geo::CellCoord cell;
+};
+
+}  // namespace mobieyes::mobility
+
+#endif  // MOBIEYES_MOBILITY_OBJECT_STATE_H_

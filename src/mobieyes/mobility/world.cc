@@ -1,0 +1,101 @@
+#include "mobieyes/mobility/world.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "mobieyes/mobility/motion_model.h"
+
+namespace mobieyes::mobility {
+
+Result<World> World::Make(const geo::Grid& grid,
+                          std::vector<ObjectState> objects) {
+  for (size_t k = 0; k < objects.size(); ++k) {
+    if (objects[k].oid != static_cast<ObjectId>(k)) {
+      return Status::InvalidArgument("object ids must be dense 0..n-1");
+    }
+    if (!grid.universe().Contains(objects[k].pos)) {
+      return Status::InvalidArgument("object outside universe of discourse");
+    }
+  }
+  return World(grid, std::move(objects));
+}
+
+World::World(const geo::Grid& grid, std::vector<ObjectState> objects)
+    : grid_(&grid),
+      objects_(std::move(objects)),
+      cell_objects_(grid.CellCount()) {
+  for (auto& object : objects_) {
+    object.cell = grid_->CellOf(object.pos);
+    cell_objects_[grid_->FlatIndex(object.cell)].push_back(object.oid);
+  }
+}
+
+void World::Step(Seconds dt, int velocity_changes, Rng& rng) {
+  // Pick `velocity_changes` distinct objects to re-draw their velocity.
+  int n = static_cast<int>(objects_.size());
+  int changes = std::min(velocity_changes, n);
+  std::unordered_set<ObjectId> chosen;
+  chosen.reserve(changes);
+  while (static_cast<int>(chosen.size()) < changes) {
+    chosen.insert(static_cast<ObjectId>(rng.NextUint64(n)));
+  }
+  for (ObjectId oid : chosen) {
+    RandomVelocityModel::RandomizeVelocity(objects_[oid], rng);
+  }
+
+  for (auto& object : objects_) {
+    RandomVelocityModel::Advance(object, dt, grid_->universe());
+    geo::CellCoord new_cell = grid_->CellOf(object.pos);
+    if (!(new_cell == object.cell)) {
+      auto& old_list = cell_objects_[grid_->FlatIndex(object.cell)];
+      old_list.erase(std::find(old_list.begin(), old_list.end(), object.oid));
+      cell_objects_[grid_->FlatIndex(new_cell)].push_back(object.oid);
+      object.cell = new_cell;
+    }
+  }
+
+  now_ += dt;
+  ++step_count_;
+}
+
+void World::ForEachObjectInCircle(
+    const geo::Circle& circle, const std::function<void(ObjectId)>& fn) const {
+  geo::CellRange cells = grid_->CellsIntersecting(circle.BoundingRect());
+  cells.ForEach([&](int32_t i, int32_t j) {
+    for (ObjectId oid : cell_objects_[grid_->FlatIndex(geo::CellCoord{i, j})]) {
+      if (circle.Contains(objects_[oid].pos)) fn(oid);
+    }
+  });
+}
+
+void World::ForEachObjectUnderCoverage(
+    const geo::Circle& circle, const std::function<void(ObjectId)>& fn) const {
+  geo::CellRange cells = grid_->CellsIntersecting(circle.BoundingRect());
+  cells.ForEach([&](int32_t i, int32_t j) {
+    geo::CellCoord c{i, j};
+    if (!circle.Intersects(grid_->CellRect(c))) return;
+    for (ObjectId oid : cell_objects_[grid_->FlatIndex(c)]) fn(oid);
+  });
+}
+
+void World::ForEachObjectInCell(const geo::CellCoord& c,
+                                const std::function<void(ObjectId)>& fn) const {
+  if (!grid_->IsValid(c)) return;
+  for (ObjectId oid : cell_objects_[grid_->FlatIndex(c)]) fn(oid);
+}
+
+void World::SetObjectState(ObjectId oid, const geo::Point& pos,
+                           const geo::Vec2& vel) {
+  ObjectState& object = objects_[static_cast<size_t>(oid)];
+  object.vel = vel;
+  object.pos = pos;
+  geo::CellCoord new_cell = grid_->CellOf(pos);
+  if (!(new_cell == object.cell)) {
+    auto& old_list = cell_objects_[grid_->FlatIndex(object.cell)];
+    old_list.erase(std::find(old_list.begin(), old_list.end(), object.oid));
+    cell_objects_[grid_->FlatIndex(new_cell)].push_back(object.oid);
+    object.cell = new_cell;
+  }
+}
+
+}  // namespace mobieyes::mobility

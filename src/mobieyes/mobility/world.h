@@ -1,0 +1,80 @@
+#ifndef MOBIEYES_MOBILITY_WORLD_H_
+#define MOBIEYES_MOBILITY_WORLD_H_
+
+#include <functional>
+#include <vector>
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/common/status.h"
+#include "mobieyes/common/units.h"
+#include "mobieyes/geo/circle.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/mobility/object_state.h"
+
+namespace mobieyes::mobility {
+
+// Ground truth of the simulation: owns every object's true state, advances
+// it by the §5.1 motion model, and maintains a grid-cell spatial index used
+// both for broadcast delivery (which objects are under a base station) and
+// for the exact-result oracle.
+//
+// ObjectIds are dense: objects are created with oid == index.
+class World {
+ public:
+  // Takes ownership of initial object states. Objects must have dense ids
+  // 0..n-1 and positions inside the grid universe.
+  static Result<World> Make(const geo::Grid& grid,
+                            std::vector<ObjectState> objects);
+
+  const geo::Grid& grid() const { return *grid_; }
+  size_t object_count() const { return objects_.size(); }
+  const ObjectState& object(ObjectId oid) const {
+    return objects_[static_cast<size_t>(oid)];
+  }
+  const std::vector<ObjectState>& objects() const { return objects_; }
+
+  Seconds now() const { return now_; }
+  StepCount step_count() const { return step_count_; }
+
+  // Advances the simulation by dt: re-draws the velocity of
+  // `velocity_changes` distinct random objects (the Table 1 `nmo`
+  // parameter), then moves every object and refreshes the cell index.
+  void Step(Seconds dt, int velocity_changes, Rng& rng);
+
+  // Invokes fn for every object whose true position lies inside the circle.
+  void ForEachObjectInCircle(const geo::Circle& circle,
+                             const std::function<void(ObjectId)>& fn) const;
+
+  // Invokes fn for every object whose *current grid cell* intersects the
+  // circle — a cell-granular alternative to ForEachObjectInCircle that
+  // over-approximates a coverage area at grid resolution. Broadcast
+  // delivery uses the exact point-in-circle rule; this variant exists for
+  // cell-level analyses and tests.
+  void ForEachObjectUnderCoverage(
+      const geo::Circle& circle,
+      const std::function<void(ObjectId)>& fn) const;
+
+  // Invokes fn for every object currently in grid cell c.
+  void ForEachObjectInCell(const geo::CellCoord& c,
+                           const std::function<void(ObjectId)>& fn) const;
+
+  // Test/setup hook: overwrite an object's kinematics and reindex it.
+  void SetObjectState(ObjectId oid, const geo::Point& pos,
+                      const geo::Vec2& vel);
+
+ private:
+  World(const geo::Grid& grid, std::vector<ObjectState> objects);
+
+  void Reindex(ObjectState& object);
+
+  const geo::Grid* grid_;
+  std::vector<ObjectState> objects_;
+  // Per-cell object lists, row-major by flat cell index.
+  std::vector<std::vector<ObjectId>> cell_objects_;
+  Seconds now_ = 0.0;
+  StepCount step_count_ = 0;
+};
+
+}  // namespace mobieyes::mobility
+
+#endif  // MOBIEYES_MOBILITY_WORLD_H_

@@ -1,0 +1,41 @@
+#include "mobieyes/net/base_station.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace mobieyes::net {
+
+Result<BaseStationLayout> BaseStationLayout::Make(const geo::Rect& universe,
+                                                  Miles side) {
+  if (side <= 0.0) {
+    return Status::InvalidArgument("base station side must be positive");
+  }
+  if (universe.w <= 0.0 || universe.h <= 0.0) {
+    return Status::InvalidArgument("universe of discourse must be non-empty");
+  }
+  auto columns = static_cast<int>(std::ceil(universe.w / side));
+  auto rows = static_cast<int>(std::ceil(universe.h / side));
+  // Circumscribing radius of the side x side lattice square, padded by a
+  // sub-micrometer relative margin so the closed square — corners included —
+  // stays inside the circle under floating-point rounding (a corner point
+  // is exactly at distance side/sqrt(2), where 1-ulp rounding of the radius
+  // would otherwise drop it out of coverage).
+  Miles radius = side / std::numbers::sqrt2 * (1.0 + 1e-9);
+  std::vector<BaseStation> stations;
+  stations.reserve(static_cast<size_t>(columns) * rows);
+  for (int j = 0; j < rows; ++j) {
+    for (int i = 0; i < columns; ++i) {
+      BaseStation station;
+      station.id = static_cast<BaseStationId>(stations.size());
+      station.coverage = geo::Circle{
+          geo::Point{universe.lx + (i + 0.5) * side,
+                     universe.ly + (j + 0.5) * side},
+          radius};
+      stations.push_back(station);
+    }
+  }
+  return BaseStationLayout(std::move(stations), side, columns, rows,
+                           universe);
+}
+
+}  // namespace mobieyes::net

@@ -1,0 +1,68 @@
+#ifndef MOBIEYES_NET_BASE_STATION_H_
+#define MOBIEYES_NET_BASE_STATION_H_
+
+#include <vector>
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/common/status.h"
+#include "mobieyes/geo/circle.h"
+#include "mobieyes/geo/rect.h"
+
+namespace mobieyes::net {
+
+// A base station with a circular coverage area (paper §2.2). A station can
+// broadcast to every object inside its coverage circle; an object can send
+// uplink traffic when inside at least one station's coverage.
+struct BaseStation {
+  BaseStationId id = kInvalidBaseStationId;
+  geo::Circle coverage;
+};
+
+// Lays out base stations on a square lattice with spacing `side` ("base
+// station side length", Table 1). Each station's coverage circle
+// circumscribes its side x side lattice square (radius side/sqrt(2)), so the
+// lattice covers the whole universe of discourse as §2.2 requires.
+class BaseStationLayout {
+ public:
+  // Returns InvalidArgument for non-positive side or empty universe.
+  static Result<BaseStationLayout> Make(const geo::Rect& universe,
+                                        Miles side);
+
+  const std::vector<BaseStation>& stations() const { return stations_; }
+  const BaseStation& station(BaseStationId id) const {
+    return stations_[static_cast<size_t>(id)];
+  }
+  Miles side() const { return side_; }
+  int columns() const { return columns_; }
+  int rows() const { return rows_; }
+  const geo::Rect& universe() const { return universe_; }
+
+  // The side x side lattice square owned by a station; its coverage circle
+  // circumscribes (fully covers) exactly this square, which is what makes
+  // square-based region covers sound (see Bmap::MinimalCover).
+  geo::Rect LatticeSquare(BaseStationId id) const {
+    int i = id % columns_;
+    int j = id / columns_;
+    return geo::Rect{universe_.lx + i * side_, universe_.ly + j * side_,
+                     side_, side_};
+  }
+
+ private:
+  BaseStationLayout(std::vector<BaseStation> stations, Miles side,
+                    int columns, int rows, const geo::Rect& universe)
+      : stations_(std::move(stations)),
+        side_(side),
+        columns_(columns),
+        rows_(rows),
+        universe_(universe) {}
+
+  std::vector<BaseStation> stations_;
+  Miles side_;
+  int columns_;
+  int rows_;
+  geo::Rect universe_;
+};
+
+}  // namespace mobieyes::net
+
+#endif  // MOBIEYES_NET_BASE_STATION_H_

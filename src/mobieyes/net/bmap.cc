@@ -1,0 +1,68 @@
+#include "mobieyes/net/bmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mobieyes::net {
+
+Result<Bmap> Bmap::Make(const geo::Grid& grid,
+                        const BaseStationLayout& layout) {
+  std::vector<std::vector<BaseStationId>> cells(grid.CellCount());
+  for (int32_t j = 0; j < grid.rows(); ++j) {
+    for (int32_t i = 0; i < grid.columns(); ++i) {
+      geo::CellCoord c{i, j};
+      geo::Rect cell_rect = grid.CellRect(c);
+      auto& list = cells[grid.FlatIndex(c)];
+      // Only stations whose lattice square is near the cell can intersect
+      // it; restrict the scan using the station lattice geometry.
+      for (const auto& station : layout.stations()) {
+        if (station.coverage.Intersects(cell_rect)) {
+          list.push_back(station.id);
+        }
+      }
+      if (list.empty()) {
+        return Status::Internal("grid cell not covered by any base station");
+      }
+    }
+  }
+  return Bmap(&grid, &layout, std::move(cells));
+}
+
+const std::vector<BaseStationId>& Bmap::StationsForCell(
+    const geo::CellCoord& c) const {
+  return cells_[grid_->FlatIndex(c)];
+}
+
+std::vector<BaseStationId> Bmap::MinimalCover(
+    const geo::CellRange& region) const {
+  std::vector<BaseStationId> cover;
+  if (region.empty()) return cover;
+
+  // Bounding rectangle of the region in miles.
+  geo::Rect low = grid_->CellRect(geo::CellCoord{region.i_lo, region.j_lo});
+  geo::Rect high = grid_->CellRect(geo::CellCoord{region.i_hi, region.j_hi});
+  geo::Rect rect = geo::Rect::Union(low, high);
+
+  // Stations whose lattice square overlaps the rectangle with positive
+  // area. Zero-measure edge touches need no coverage of their own: a point
+  // on a shared square edge lies inside the adjacent selected square's
+  // circumscribing circle as well.
+  Miles side = layout_->side();
+  const geo::Rect& universe = layout_->universe();
+  auto i_lo = static_cast<int>(std::floor((rect.lx - universe.lx) / side));
+  auto j_lo = static_cast<int>(std::floor((rect.ly - universe.ly) / side));
+  auto i_hi = static_cast<int>(std::ceil((rect.hx() - universe.lx) / side)) - 1;
+  auto j_hi = static_cast<int>(std::ceil((rect.hy() - universe.ly) / side)) - 1;
+  i_lo = std::max(i_lo, 0);
+  j_lo = std::max(j_lo, 0);
+  i_hi = std::min(i_hi, layout_->columns() - 1);
+  j_hi = std::min(j_hi, layout_->rows() - 1);
+  for (int j = j_lo; j <= j_hi; ++j) {
+    for (int i = i_lo; i <= i_hi; ++i) {
+      cover.push_back(static_cast<BaseStationId>(j * layout_->columns() + i));
+    }
+  }
+  return cover;
+}
+
+}  // namespace mobieyes::net

@@ -1,0 +1,47 @@
+#ifndef MOBIEYES_NET_BMAP_H_
+#define MOBIEYES_NET_BMAP_H_
+
+#include <vector>
+
+#include "mobieyes/common/status.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/net/base_station.h"
+
+namespace mobieyes::net {
+
+// Bmap: grid cell -> set of base stations covering it (paper §2.2). Also
+// provides the "minimal set of base stations covering a monitoring region"
+// used for query installation and focal-change broadcasts (§3.3).
+class Bmap {
+ public:
+  // Precomputes station sets for every grid cell. Returns Internal if some
+  // cell is covered by no station (the layout must cover the universe).
+  static Result<Bmap> Make(const geo::Grid& grid,
+                           const BaseStationLayout& layout);
+
+  // Stations whose coverage circle intersects cell c.
+  const std::vector<BaseStationId>& StationsForCell(
+      const geo::CellCoord& c) const;
+
+  // Stations that jointly cover the full *area* of `region`, so that every
+  // object inside it receives a broadcast sent through them: the stations
+  // whose own lattice square overlaps the region with positive area. Each
+  // coverage circle circumscribes its lattice square, so the union of the
+  // selected circles covers the region; the count scales with region area /
+  // station area, which is the mechanism behind Figs. 4 and 8.
+  std::vector<BaseStationId> MinimalCover(const geo::CellRange& region) const;
+
+ private:
+  Bmap(const geo::Grid* grid, const BaseStationLayout* layout,
+       std::vector<std::vector<BaseStationId>> cells)
+      : grid_(grid), layout_(layout), cells_(std::move(cells)) {}
+
+  const geo::Grid* grid_;
+  const BaseStationLayout* layout_;
+  // Row-major per-cell station lists.
+  std::vector<std::vector<BaseStationId>> cells_;
+};
+
+}  // namespace mobieyes::net
+
+#endif  // MOBIEYES_NET_BMAP_H_

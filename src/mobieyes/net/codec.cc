@@ -1,0 +1,433 @@
+#include "mobieyes/net/codec.h"
+
+#include <cstring>
+
+namespace mobieyes::net {
+
+namespace {
+
+// --- Little-endian primitive writers/readers --------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void I32(int32_t v) { Raw(&v, 4); }
+  void I64(int64_t v) { Raw(&v, 8); }
+  void F64(double v) { Raw(&v, 8); }
+
+  void Point(const geo::Point& p) {
+    F64(p.x);
+    F64(p.y);
+  }
+  void Vec(const geo::Vec2& v) {
+    F64(v.x);
+    F64(v.y);
+  }
+  void Cell(const geo::CellCoord& c) {
+    I32(c.i);
+    I32(c.j);
+  }
+  void Range(const geo::CellRange& r) {
+    I32(r.i_lo);
+    I32(r.i_hi);
+    I32(r.j_lo);
+    I32(r.j_hi);
+  }
+  void State(const FocalState& s) {
+    Point(s.pos);
+    Vec(s.vel);
+    F64(s.tm);
+  }
+  void Region(const geo::QueryRegion& region) {
+    U8(region.shape == geo::QueryRegion::Shape::kCircle ? 0 : 1);
+    if (region.shape == geo::QueryRegion::Shape::kCircle) {
+      F64(region.radius);
+      F64(0.0);
+    } else {
+      F64(region.half_w);
+      F64(region.half_h);
+    }
+  }
+  void Info(const QueryInfo& info) {
+    I64(info.qid);
+    I64(info.focal_oid);
+    State(info.focal);
+    Region(info.region);
+    F64(info.filter_threshold);
+    Range(info.mon_region);
+    F64(info.focal_max_speed);
+  }
+  // The static (kinematics-free) part of a QueryInfo, used by the lazy
+  // velocity-change expansion where the focal state is carried once.
+  void InfoStatic(const QueryInfo& info) {
+    I64(info.qid);
+    I64(info.focal_oid);
+    Region(info.region);
+    F64(info.filter_threshold);
+    Range(info.mon_region);
+    F64(info.focal_max_speed);
+  }
+
+ private:
+  void Raw(const void* data, size_t n) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), bytes, bytes + n);
+  }
+
+  std::vector<uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, 1);
+    return v;
+  }
+  uint16_t U16() {
+    uint16_t v = 0;
+    Raw(&v, 2);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, 4);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, 8);
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, 4);
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Raw(&v, 8);
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, 8);
+    return v;
+  }
+
+  geo::Point Point() {
+    geo::Point p;
+    p.x = F64();
+    p.y = F64();
+    return p;
+  }
+  geo::Vec2 Vec() {
+    geo::Vec2 v;
+    v.x = F64();
+    v.y = F64();
+    return v;
+  }
+  geo::CellCoord Cell() {
+    geo::CellCoord c;
+    c.i = I32();
+    c.j = I32();
+    return c;
+  }
+  geo::CellRange Range() {
+    geo::CellRange r;
+    r.i_lo = I32();
+    r.i_hi = I32();
+    r.j_lo = I32();
+    r.j_hi = I32();
+    return r;
+  }
+  FocalState State() {
+    FocalState s;
+    s.pos = Point();
+    s.vel = Vec();
+    s.tm = F64();
+    return s;
+  }
+  geo::QueryRegion Region() {
+    uint8_t shape = U8();
+    double a = F64();
+    double b = F64();
+    if (shape == 0) {
+      return geo::QueryRegion::MakeCircle(a);
+    }
+    return geo::QueryRegion::MakeRectangle(2.0 * a, 2.0 * b);
+  }
+  QueryInfo Info() {
+    QueryInfo info;
+    info.qid = I64();
+    info.focal_oid = I64();
+    info.focal = State();
+    info.region = Region();
+    info.filter_threshold = F64();
+    info.mon_region = Range();
+    info.focal_max_speed = F64();
+    return info;
+  }
+  QueryInfo InfoStatic() {
+    QueryInfo info;
+    info.qid = I64();
+    info.focal_oid = I64();
+    info.region = Region();
+    info.filter_threshold = F64();
+    info.mon_region = Range();
+    info.focal_max_speed = F64();
+    return info;
+  }
+
+ private:
+  void Raw(void* out, size_t n) {
+    if (pos_ + n > size_) {
+      ok_ = false;
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+struct EncodeBody {
+  Writer& w;
+  uint16_t count = 0;  // element count lifted into the header
+  uint8_t flags = 0;
+
+  void operator()(const QueryInstallRequest& p) {
+    w.I64(p.oid);
+    w.Region(p.region);
+    w.F64(p.filter_threshold);
+  }
+  void operator()(const PositionReport& p) {
+    w.I64(p.oid);
+    w.Point(p.pos);
+  }
+  void operator()(const PositionVelocityReport& p) {
+    w.I64(p.oid);
+    w.State(p.state);
+    w.F64(p.max_speed);
+  }
+  void operator()(const VelocityChangeReport& p) {
+    w.I64(p.oid);
+    w.State(p.state);
+  }
+  void operator()(const CellChangeReport& p) {
+    w.I64(p.oid);
+    w.Cell(p.prev_cell);
+    w.Cell(p.new_cell);
+  }
+  void operator()(const ResultBitmapReport& p) {
+    count = static_cast<uint16_t>(p.qids.size());
+    w.I64(p.oid);
+    for (QueryId qid : p.qids) w.I64(qid);
+    // ceil(n/8) bitmap bytes, little-endian bit order.
+    for (size_t byte = 0; byte < (p.qids.size() + 7) / 8; ++byte) {
+      w.U8(static_cast<uint8_t>(p.bitmap >> (8 * byte)));
+    }
+  }
+  void operator()(const FocalNotification& p) {
+    w.I64(p.oid);
+    w.I64(p.qid);
+  }
+  void operator()(const PositionVelocityRequest& p) { w.I64(p.oid); }
+  void operator()(const QueryInstallBroadcast& p) {
+    count = static_cast<uint16_t>(p.queries.size());
+    for (const QueryInfo& info : p.queries) w.Info(info);
+  }
+  void operator()(const VelocityChangeBroadcast& p) {
+    count = static_cast<uint16_t>(p.queries.size());
+    flags = p.carries_query_info ? 1 : 0;
+    w.I64(p.focal_oid);
+    w.State(p.state);
+    if (p.carries_query_info) {
+      for (const QueryInfo& info : p.queries) w.InfoStatic(info);
+    }
+  }
+  void operator()(const QueryUpdateBroadcast& p) {
+    count = static_cast<uint16_t>(p.queries.size());
+    for (const QueryInfo& info : p.queries) w.Info(info);
+  }
+  void operator()(const QueryRemoveBroadcast& p) {
+    count = static_cast<uint16_t>(p.qids.size());
+    for (QueryId qid : p.qids) w.I64(qid);
+  }
+  void operator()(const NewQueriesNotification& p) {
+    count = static_cast<uint16_t>(p.queries.size());
+    w.I64(p.oid);
+    for (const QueryInfo& info : p.queries) w.Info(info);
+  }
+};
+
+}  // namespace
+
+std::vector<uint8_t> MessageCodec::Encode(const Message& message) {
+  // Body first so the header can carry count/flags and the body length.
+  std::vector<uint8_t> body;
+  Writer body_writer(&body);
+  EncodeBody encoder{body_writer};
+  std::visit(encoder, message.payload);
+
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderBytes + body.size());
+  Writer header(&out);
+  header.U32(kMagic);
+  header.U8(static_cast<uint8_t>(message.type));
+  header.U8(encoder.flags);
+  header.U16(encoder.count);
+  header.U64(static_cast<uint64_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {
+  Reader r(buffer.data(), buffer.size());
+  if (buffer.size() < kHeaderBytes) {
+    return Status::InvalidArgument("buffer shorter than header");
+  }
+  if (r.U32() != kMagic) {
+    return Status::InvalidArgument("bad magic number");
+  }
+  uint8_t raw_type = r.U8();
+  uint8_t flags = r.U8();
+  uint16_t count = r.U16();
+  uint64_t body_size = r.U64();
+  if (body_size != buffer.size() - kHeaderBytes) {
+    return Status::InvalidArgument("body length mismatch");
+  }
+  if (raw_type > static_cast<uint8_t>(MessageType::kNewQueriesNotification)) {
+    return Status::InvalidArgument("unknown message type");
+  }
+  auto type = static_cast<MessageType>(raw_type);
+
+  MessagePayload payload;
+  switch (type) {
+    case MessageType::kQueryInstallRequest: {
+      QueryInstallRequest p;
+      p.oid = r.I64();
+      p.region = r.Region();
+      p.filter_threshold = r.F64();
+      payload = p;
+      break;
+    }
+    case MessageType::kPositionReport: {
+      PositionReport p;
+      p.oid = r.I64();
+      p.pos = r.Point();
+      payload = p;
+      break;
+    }
+    case MessageType::kPositionVelocityReport: {
+      PositionVelocityReport p;
+      p.oid = r.I64();
+      p.state = r.State();
+      p.max_speed = r.F64();
+      payload = p;
+      break;
+    }
+    case MessageType::kVelocityChangeReport: {
+      VelocityChangeReport p;
+      p.oid = r.I64();
+      p.state = r.State();
+      payload = p;
+      break;
+    }
+    case MessageType::kCellChangeReport: {
+      CellChangeReport p;
+      p.oid = r.I64();
+      p.prev_cell = r.Cell();
+      p.new_cell = r.Cell();
+      payload = p;
+      break;
+    }
+    case MessageType::kResultBitmapReport: {
+      ResultBitmapReport p;
+      p.oid = r.I64();
+      for (uint16_t k = 0; k < count; ++k) p.qids.push_back(r.I64());
+      for (size_t byte = 0; byte < (count + 7u) / 8u; ++byte) {
+        p.bitmap |= static_cast<uint64_t>(r.U8()) << (8 * byte);
+      }
+      payload = p;
+      break;
+    }
+    case MessageType::kFocalNotification: {
+      FocalNotification p;
+      p.oid = r.I64();
+      p.qid = r.I64();
+      payload = p;
+      break;
+    }
+    case MessageType::kPositionVelocityRequest: {
+      PositionVelocityRequest p;
+      p.oid = r.I64();
+      payload = p;
+      break;
+    }
+    case MessageType::kQueryInstallBroadcast: {
+      QueryInstallBroadcast p;
+      for (uint16_t k = 0; k < count; ++k) p.queries.push_back(r.Info());
+      payload = p;
+      break;
+    }
+    case MessageType::kVelocityChangeBroadcast: {
+      VelocityChangeBroadcast p;
+      p.focal_oid = r.I64();
+      p.state = r.State();
+      p.carries_query_info = (flags & 1) != 0;
+      if (p.carries_query_info) {
+        for (uint16_t k = 0; k < count; ++k) {
+          QueryInfo info = r.InfoStatic();
+          info.focal = p.state;  // shared kinematics
+          p.queries.push_back(info);
+        }
+      }
+      payload = p;
+      break;
+    }
+    case MessageType::kQueryUpdateBroadcast: {
+      QueryUpdateBroadcast p;
+      for (uint16_t k = 0; k < count; ++k) p.queries.push_back(r.Info());
+      payload = p;
+      break;
+    }
+    case MessageType::kQueryRemoveBroadcast: {
+      QueryRemoveBroadcast p;
+      for (uint16_t k = 0; k < count; ++k) p.qids.push_back(r.I64());
+      payload = p;
+      break;
+    }
+    case MessageType::kNewQueriesNotification: {
+      NewQueriesNotification p;
+      p.oid = r.I64();
+      for (uint16_t k = 0; k < count; ++k) p.queries.push_back(r.Info());
+      payload = p;
+      break;
+    }
+  }
+  if (!r.ok()) {
+    return Status::InvalidArgument("truncated message body");
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after body");
+  }
+  return Message{type, std::move(payload)};
+}
+
+}  // namespace mobieyes::net

@@ -1,0 +1,39 @@
+#ifndef MOBIEYES_NET_CODEC_H_
+#define MOBIEYES_NET_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mobieyes/common/status.h"
+#include "mobieyes/net/message.h"
+
+namespace mobieyes::net {
+
+// Binary wire codec for the MobiEyes protocol. The simulation itself passes
+// Message objects in memory for speed, but a real deployment (and the
+// byte-accounting model in message.h) needs a concrete encoding. The format
+// is little-endian with fixed-width fields:
+//
+//   header (16 bytes): magic u32 | type u8 | flags u8 | count u16 | body u64
+//   body: payload fields in declaration order, using the field sizes
+//         documented in message.h (ids i64, scalars f64, points 2xf64,
+//         cells 2xi32, cell ranges 4xi32).
+//
+// Encode output length equals WireSizeBytes(message) exactly; a test pins
+// this so the energy model (Fig. 9) cannot drift from the real encoding.
+class MessageCodec {
+ public:
+  static constexpr uint32_t kMagic = 0x4d6f4559;  // "MoEY"
+
+  // Serializes a message. Never fails: all payloads are encodable (bitmap
+  // reports are truncated to 64 queries by construction).
+  static std::vector<uint8_t> Encode(const Message& message);
+
+  // Parses a buffer produced by Encode. Returns InvalidArgument on a bad
+  // magic number, unknown type, truncated buffer, or trailing bytes.
+  static Result<Message> Decode(const std::vector<uint8_t>& buffer);
+};
+
+}  // namespace mobieyes::net
+
+#endif  // MOBIEYES_NET_CODEC_H_

@@ -1,0 +1,4 @@
+#include "mobieyes/net/energy.h"
+
+// RadioEnergyModel is header-only; this translation unit pins the header's
+// compilation into the library.

@@ -1,0 +1,44 @@
+#ifndef MOBIEYES_NET_ENERGY_H_
+#define MOBIEYES_NET_ENERGY_H_
+
+#include <cstdint>
+
+namespace mobieyes::net {
+
+// GPRS-style radio energy model from §5.3 of the paper: the transmit path
+// is transmitter electronics plus a transmit amplifier; the receive path is
+// receiver electronics. With the default constants this yields roughly
+// 82 uJ/bit transmitted and 4.3 uJ/bit received (the paper's ~80 / ~5).
+struct RadioEnergyModel {
+  double tx_electronics_watts = 0.150;  // 150 mW
+  double rx_electronics_watts = 0.120;  // 120 mW
+  double amplifier_watts = 0.300;       // 300 mW output
+  double amplifier_efficiency = 0.30;   // 30% efficient -> draws 1 W
+  double uplink_bits_per_second = 14000.0;    // 14 kbps GPRS uplink
+  double downlink_bits_per_second = 28000.0;  // 28 kbps GPRS downlink
+
+  double TxJoulesPerBit() const {
+    return (tx_electronics_watts + amplifier_watts / amplifier_efficiency) /
+           uplink_bits_per_second;
+  }
+
+  double RxJoulesPerBit() const {
+    return rx_electronics_watts / downlink_bits_per_second;
+  }
+
+  // Total radio energy for a byte budget.
+  double EnergyJoules(uint64_t tx_bytes, uint64_t rx_bytes) const {
+    return TxJoulesPerBit() * 8.0 * static_cast<double>(tx_bytes) +
+           RxJoulesPerBit() * 8.0 * static_cast<double>(rx_bytes);
+  }
+
+  // Average communication power over a time window, in watts.
+  double AveragePowerWatts(uint64_t tx_bytes, uint64_t rx_bytes,
+                           double window_seconds) const {
+    return EnergyJoules(tx_bytes, rx_bytes) / window_seconds;
+  }
+};
+
+}  // namespace mobieyes::net
+
+#endif  // MOBIEYES_NET_ENERGY_H_

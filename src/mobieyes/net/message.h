@@ -1,0 +1,207 @@
+#ifndef MOBIEYES_NET_MESSAGE_H_
+#define MOBIEYES_NET_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/common/units.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/geo/point.h"
+#include "mobieyes/geo/query_region.h"
+
+namespace mobieyes::net {
+
+// ---------------------------------------------------------------------------
+// Payloads. These mirror the information flows of §3 of the paper. Uplink
+// messages go from a moving object to the server; downlink messages go from
+// the server to one object (one-to-one) or to all objects under a base
+// station (broadcast).
+// ---------------------------------------------------------------------------
+
+// Kinematic state sample of an object, recorded object-side at time tm.
+struct FocalState {
+  geo::Point pos;
+  geo::Vec2 vel;  // miles/second
+  Seconds tm = 0.0;
+
+  // Dead-reckoned position at time `now` (paper §3.6).
+  geo::Point PredictPosition(Seconds now) const {
+    return pos + vel * (now - tm);
+  }
+};
+
+// Everything an object needs to install one query into its LQT.
+struct QueryInfo {
+  QueryId qid = kInvalidQueryId;
+  ObjectId focal_oid = kInvalidObjectId;
+  FocalState focal;
+  geo::QueryRegion region;
+  // Filter: a target object with property attr satisfies the filter iff
+  // attr <= filter_threshold (selectivity = threshold for uniform attr).
+  double filter_threshold = 1.0;
+  geo::CellRange mon_region;
+  // Upper bound on the focal object's speed (miles/second), for the safe
+  // period optimization (§4.2).
+  double focal_max_speed = 0.0;
+};
+
+// --- Uplink payloads --------------------------------------------------------
+
+// A user on a mobile device poses a new query bound to itself.
+struct QueryInstallRequest {
+  ObjectId oid = kInvalidObjectId;
+  geo::QueryRegion region;
+  double filter_threshold = 1.0;
+};
+
+// Plain position sample, used by the centralized "naive" baseline where
+// every object reports its position to the server each time step (§5.3).
+struct PositionReport {
+  ObjectId oid = kInvalidObjectId;
+  geo::Point pos;
+};
+
+// Response to a PositionVelocityRequest during installation (§3.3 step 3).
+struct PositionVelocityReport {
+  ObjectId oid = kInvalidObjectId;
+  FocalState state;
+  double max_speed = 0.0;
+};
+
+// Focal object's significant velocity-vector change (dead reckoning, §3.4).
+struct VelocityChangeReport {
+  ObjectId oid = kInvalidObjectId;
+  FocalState state;
+};
+
+// Object moved to a new grid cell (§3.5).
+struct CellChangeReport {
+  ObjectId oid = kInvalidObjectId;
+  geo::CellCoord prev_cell;
+  geo::CellCoord new_cell;
+};
+
+// Differential result update: bit k of `bitmap` is the new containment
+// status for qids[k]. Grouped queries (§4.1) share one report; ungrouped
+// queries send a report with a single qid.
+struct ResultBitmapReport {
+  ObjectId oid = kInvalidObjectId;
+  std::vector<QueryId> qids;
+  uint64_t bitmap = 0;
+};
+
+// --- Downlink payloads ------------------------------------------------------
+
+// Tells the focal object that a query is now bound to it (sets hasMQ).
+struct FocalNotification {
+  ObjectId oid = kInvalidObjectId;
+  QueryId qid = kInvalidQueryId;
+};
+
+// Server asks an object for its current kinematics (§3.3 step 3).
+struct PositionVelocityRequest {
+  ObjectId oid = kInvalidObjectId;
+};
+
+// Broadcast installing new queries over their monitoring regions.
+struct QueryInstallBroadcast {
+  std::vector<QueryInfo> queries;
+};
+
+// Broadcast relaying a focal object's velocity change to the monitoring
+// regions of its queries. Under eager propagation the receivers already hold
+// the queries and only kinematics are carried; under lazy propagation (§3.5)
+// the broadcast is expanded with full query info so newly-arrived objects
+// can install the queries they missed.
+struct VelocityChangeBroadcast {
+  ObjectId focal_oid = kInvalidObjectId;
+  FocalState state;
+  bool carries_query_info = false;  // lazy propagation expansion
+  std::vector<QueryInfo> queries;   // only when carries_query_info
+};
+
+// Broadcast after a focal object crossed into a new grid cell, sent to the
+// union of the old and new monitoring regions (§3.5): receivers install,
+// update, or drop the queries depending on their own cell.
+struct QueryUpdateBroadcast {
+  std::vector<QueryInfo> queries;
+};
+
+// Broadcast removing deleted queries.
+struct QueryRemoveBroadcast {
+  std::vector<QueryId> qids;
+};
+
+// One-to-one response under eager propagation: the queries an object must
+// newly install after changing its grid cell (§3.5).
+struct NewQueriesNotification {
+  ObjectId oid = kInvalidObjectId;
+  std::vector<QueryInfo> queries;
+};
+
+// ---------------------------------------------------------------------------
+// Message envelope
+// ---------------------------------------------------------------------------
+
+enum class MessageType {
+  kQueryInstallRequest,
+  kPositionReport,
+  kPositionVelocityReport,
+  kVelocityChangeReport,
+  kCellChangeReport,
+  kResultBitmapReport,
+  kFocalNotification,
+  kPositionVelocityRequest,
+  kQueryInstallBroadcast,
+  kVelocityChangeBroadcast,
+  kQueryUpdateBroadcast,
+  kQueryRemoveBroadcast,
+  kNewQueriesNotification,
+};
+
+using MessagePayload =
+    std::variant<QueryInstallRequest, PositionReport, PositionVelocityReport,
+                 VelocityChangeReport, CellChangeReport, ResultBitmapReport,
+                 FocalNotification, PositionVelocityRequest,
+                 QueryInstallBroadcast, VelocityChangeBroadcast,
+                 QueryUpdateBroadcast, QueryRemoveBroadcast,
+                 NewQueriesNotification>;
+
+struct Message {
+  MessageType type;
+  MessagePayload payload;
+};
+
+// Convenience constructor deducing `type` from the payload alternative.
+Message MakeMessage(MessagePayload payload);
+
+// --- Wire sizes -------------------------------------------------------------
+// On-air size model used for the byte/energy accounting of Fig. 9. Field
+// sizes follow a plain fixed-width binary encoding.
+
+inline constexpr size_t kHeaderBytes = 16;   // src, dst, type, length
+inline constexpr size_t kIdBytes = 8;        // object / query id
+inline constexpr size_t kPointBytes = 16;    // two doubles
+inline constexpr size_t kVecBytes = 16;      // two doubles
+inline constexpr size_t kTimeBytes = 8;      // timestamp
+inline constexpr size_t kCellBytes = 8;      // two int32 cell indices
+inline constexpr size_t kCellRangeBytes = 16;  // four int32 bounds
+inline constexpr size_t kScalarBytes = 8;    // threshold / speed
+inline constexpr size_t kRegionBytes = 1 + 2 * kScalarBytes;  // shape + extents
+inline constexpr size_t kFocalStateBytes = kPointBytes + kVecBytes + kTimeBytes;
+inline constexpr size_t kQueryInfoBytes = kIdBytes * 2 + kFocalStateBytes +
+                                          kRegionBytes + kScalarBytes * 2 +
+                                          kCellRangeBytes;
+
+// Total on-air bytes for a message, including the header.
+size_t WireSizeBytes(const Message& message);
+
+// Human-readable message type name (diagnostics and tests).
+const char* MessageTypeName(MessageType type);
+
+}  // namespace mobieyes::net
+
+#endif  // MOBIEYES_NET_MESSAGE_H_

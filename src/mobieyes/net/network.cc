@@ -1,0 +1,53 @@
+#include "mobieyes/net/network.h"
+
+namespace mobieyes::net {
+
+void WirelessNetwork::SendUplink(ObjectId from, Message message) {
+  if (observer_) observer_(Direction::kUplink, from, message);
+  size_t bytes = WireSizeBytes(message);
+  ++stats_.uplink_messages;
+  stats_.uplink_bytes += bytes;
+  if (track_per_object_bytes_) {
+    stats_.tx_bytes_per_object[from] += bytes;
+  }
+  if (server_handler_) server_handler_(from, message);
+}
+
+void WirelessNetwork::SendDownlinkTo(ObjectId to, Message message) {
+  if (observer_) observer_(Direction::kDownlink, to, message);
+  size_t bytes = WireSizeBytes(message);
+  ++stats_.downlink_messages;
+  stats_.downlink_bytes += bytes;
+  if (track_per_object_bytes_) {
+    stats_.rx_bytes_per_object[to] += bytes;
+  }
+  auto it = clients_.find(to);
+  if (it != clients_.end()) it->second(message);
+}
+
+void WirelessNetwork::Broadcast(const BaseStation& station, Message message) {
+  if (observer_) observer_(Direction::kBroadcast, station.id, message);
+  size_t bytes = WireSizeBytes(message);
+  ++stats_.downlink_messages;
+  ++stats_.broadcast_messages;
+  stats_.downlink_bytes += bytes;
+  if (!coverage_query_) return;
+  // Collect receivers first: handlers may re-enter the network (e.g. an
+  // object replying with an uplink), and must not observe a partially
+  // delivered broadcast.
+  std::vector<ObjectId> receivers;
+  coverage_query_(station.coverage,
+                  [&receivers](ObjectId oid) { receivers.push_back(oid); });
+  stats_.broadcast_receptions += receivers.size();
+  if (track_per_object_bytes_) {
+    for (ObjectId oid : receivers) {
+      stats_.rx_bytes_per_object[oid] += bytes;
+    }
+  }
+  for (ObjectId oid : receivers) {
+    auto it = clients_.find(oid);
+    if (it != clients_.end()) it->second(message);
+  }
+}
+
+}  // namespace mobieyes::net

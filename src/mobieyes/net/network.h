@@ -1,0 +1,132 @@
+#ifndef MOBIEYES_NET_NETWORK_H_
+#define MOBIEYES_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/geo/circle.h"
+#include "mobieyes/net/base_station.h"
+#include "mobieyes/net/message.h"
+
+namespace mobieyes::net {
+
+// Aggregate traffic statistics for one simulation run. "Messages sent on
+// the wireless medium" counts one per uplink transmission, one per
+// one-to-one downlink, and one per base-station broadcast (paper §5.3).
+struct NetworkStats {
+  uint64_t uplink_messages = 0;
+  uint64_t downlink_messages = 0;
+  uint64_t broadcast_messages = 0;  // subset of downlink_messages
+  uint64_t uplink_bytes = 0;
+  uint64_t downlink_bytes = 0;
+  // Broadcast receptions across all objects (an object in the coverage area
+  // of a broadcasting station receives the message whether or not it is
+  // relevant — the effect driving Fig. 9).
+  uint64_t broadcast_receptions = 0;
+
+  uint64_t total_messages() const {
+    return uplink_messages + downlink_messages;
+  }
+
+  // Per-object radio byte counters (indexed by ObjectId), for the energy
+  // model of Fig. 9.
+  std::unordered_map<ObjectId, uint64_t> tx_bytes_per_object;
+  std::unordered_map<ObjectId, uint64_t> rx_bytes_per_object;
+};
+
+// Direction of a transmission on the medium, as seen by the observer tap.
+enum class Direction {
+  kUplink,      // object -> server
+  kDownlink,    // server -> one object
+  kBroadcast,   // server -> base station coverage area
+};
+
+// Per-message-type traffic counters; fill via WirelessNetwork's observer to
+// analyze which protocol messages dominate a workload.
+struct MessageHistogram {
+  struct Row {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+  };
+  std::unordered_map<MessageType, Row> rows;
+
+  void Record(const Message& message) {
+    Row& row = rows[message.type];
+    ++row.messages;
+    row.bytes += WireSizeBytes(message);
+  }
+
+  uint64_t TotalMessages() const {
+    uint64_t total = 0;
+    for (const auto& [type, row] : rows) total += row.messages;
+    return total;
+  }
+};
+
+// Simulated asymmetric wireless medium (paper §2.2): objects can send
+// uplink messages to the server; the server can send one-to-one downlink
+// messages and per-base-station broadcasts. Delivery is synchronous — a
+// handler runs before the send call returns — which matches the paper's
+// per-time-step semantics and lets installation round trips complete inline.
+class WirelessNetwork {
+ public:
+  using ServerHandler = std::function<void(ObjectId from, const Message&)>;
+  using ClientHandler = std::function<void(const Message&)>;
+  // Enumerates the ids of all objects currently inside a circle (provided
+  // by the mobility layer; used to deliver broadcasts).
+  using CoverageQuery =
+      std::function<void(const geo::Circle&, const std::function<void(ObjectId)>&)>;
+
+  void set_server_handler(ServerHandler handler) {
+    server_handler_ = std::move(handler);
+  }
+  void RegisterClient(ObjectId oid, ClientHandler handler) {
+    clients_[oid] = std::move(handler);
+  }
+  void set_coverage_query(CoverageQuery query) {
+    coverage_query_ = std::move(query);
+  }
+
+  // Observer tap: invoked once per transmission on the medium (before
+  // delivery), with the direction and the party addressed (the sender for
+  // uplinks, the recipient for one-to-one downlinks, the base station id
+  // for broadcasts). Used for tracing and per-type histograms.
+  using Observer =
+      std::function<void(Direction, int64_t party, const Message&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  // Object -> server.
+  void SendUplink(ObjectId from, Message message);
+
+  // Server -> one object (routed through the base station serving it; one
+  // downlink message on the medium).
+  void SendDownlinkTo(ObjectId to, Message message);
+
+  // Server -> all objects under `station` (one downlink message on the
+  // medium; every covered object receives and decodes it).
+  void Broadcast(const BaseStation& station, Message message);
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  // When false (default true), per-object byte maps are not maintained;
+  // useful for large sweeps that only need message counts.
+  void set_track_per_object_bytes(bool enabled) {
+    track_per_object_bytes_ = enabled;
+  }
+
+ private:
+  ServerHandler server_handler_;
+  std::unordered_map<ObjectId, ClientHandler> clients_;
+  CoverageQuery coverage_query_;
+  Observer observer_;
+  NetworkStats stats_;
+  bool track_per_object_bytes_ = true;
+};
+
+}  // namespace mobieyes::net
+
+#endif  // MOBIEYES_NET_NETWORK_H_

@@ -1,0 +1,107 @@
+#ifndef MOBIEYES_RTREE_RSTAR_TREE_H_
+#define MOBIEYES_RTREE_RSTAR_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mobieyes/common/status.h"
+#include "mobieyes/geo/point.h"
+#include "mobieyes/geo/rect.h"
+
+namespace mobieyes::rtree {
+
+// An R*-tree over (rectangle, id) entries, after Beckmann, Kriegel,
+// Schneider and Seeger (SIGMOD 1990) — the index the paper uses for both
+// centralized baselines (§5.2). Implements ChooseSubtree with minimum
+// overlap enlargement at the leaf level, the topological R*-split (axis by
+// minimum margin sum, distribution by minimum overlap), forced reinsertion
+// on first overflow per level, and delete with under-full node condensing.
+//
+// Not thread safe; the simulation drives it from a single thread.
+class RStarTree {
+ public:
+  // Implementation node types; defined in the .cc file.
+  struct Node;
+  struct Entry;
+
+  struct Options {
+    // Maximum entries per node (M). Minimum is derived as max(2, M * 40%),
+    // the fill factor recommended in the R*-tree paper.
+    int max_entries = 16;
+    // Fraction of entries reinserted on forced reinsert (p = 30% in the
+    // paper).
+    double reinsert_fraction = 0.3;
+  };
+
+  RStarTree() : RStarTree(Options{}) {}
+  explicit RStarTree(Options options);
+  ~RStarTree();
+
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+  RStarTree(RStarTree&&) noexcept;
+  RStarTree& operator=(RStarTree&&) noexcept;
+
+  // Inserts an entry. Duplicate (rect, id) pairs are allowed and stored
+  // independently.
+  void Insert(const geo::Rect& rect, uint64_t id);
+
+  // Removes one entry matching (rect, id) exactly. NotFound when absent.
+  Status Delete(const geo::Rect& rect, uint64_t id);
+
+  // Convenience for moving data: Delete(old) + Insert(new) as one call.
+  Status Update(const geo::Rect& old_rect, const geo::Rect& new_rect,
+                uint64_t id);
+
+  // Appends ids of all entries whose rectangle intersects `query`.
+  void SearchIntersects(const geo::Rect& query,
+                        std::vector<uint64_t>* out) const;
+
+  // Appends ids of all entries whose rectangle contains `p`.
+  void SearchContainsPoint(const geo::Point& p,
+                           std::vector<uint64_t>* out) const;
+
+  // Appends the ids of the k entries whose rectangles are nearest to `p`
+  // (by minimum rectangle distance; 0 when the point is inside), nearest
+  // first. Best-first incremental search (Hjaltason & Samet). Returns fewer
+  // than k when the tree is smaller.
+  void SearchKNearest(const geo::Point& p, int k,
+                      std::vector<uint64_t>* out) const;
+
+  // Visits every (rect, id) entry whose rectangle intersects `query`;
+  // return false from the visitor to stop early.
+  void VisitIntersects(
+      const geo::Rect& query,
+      const std::function<bool(const geo::Rect&, uint64_t)>& visitor) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const;
+
+  // Structural self check for tests: node fill bounds, bounding-box
+  // tightness, uniform leaf depth, and entry count.
+  Status CheckInvariants() const;
+
+ private:
+  Node* ChooseSubtree(const Entry& entry, int target_level) const;
+  void InsertEntry(Entry entry, int target_level);
+  // Handles an overflowing node: forced reinsert on the first overflow at
+  // this level during one top-level insertion, split otherwise.
+  void OverflowTreatment(Node* node, std::vector<bool>* reinserted_on_level);
+  void Reinsert(Node* node, std::vector<bool>* reinserted_on_level);
+  void SplitNode(Node* node);
+  void AdjustRectsUpward(Node* node);
+  Status DeleteRec(const geo::Rect& rect, uint64_t id);
+  void CondenseTree(Node* leaf);
+
+  Options options_;
+  int min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace mobieyes::rtree
+
+#endif  // MOBIEYES_RTREE_RSTAR_TREE_H_

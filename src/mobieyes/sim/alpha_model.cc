@@ -1,0 +1,146 @@
+#include "mobieyes/sim/alpha_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "mobieyes/common/random.h"
+
+namespace mobieyes::sim {
+
+AlphaCostModel::AlphaCostModel(const SimulationParams& params)
+    : params_(params) {
+  // Mean speed: zipf-weighted mean of the speed caps, halved because each
+  // re-draw picks a speed uniform in [0, cap].
+  ZipfSampler speed_zipf(static_cast<int>(params.max_speeds_mph.size()),
+                         params.zipf_theta);
+  double mean_cap_mph = 0.0;
+  for (size_t k = 0; k < params.max_speeds_mph.size(); ++k) {
+    mean_cap_mph += speed_zipf.pmf(static_cast<int>(k)) *
+                    params.max_speeds_mph[k];
+  }
+  mean_speed_ = MphToMilesPerSecond(mean_cap_mph) / 2.0;
+
+  ZipfSampler radius_zipf(static_cast<int>(params.query_radius_means.size()),
+                          params.zipf_theta);
+  mean_radius_ = 0.0;
+  for (size_t k = 0; k < params.query_radius_means.size(); ++k) {
+    mean_radius_ += radius_zipf.pmf(static_cast<int>(k)) *
+                    params.query_radius_means[k];
+  }
+  mean_radius_ *= params.radius_factor;
+
+  // E[distinct] for nmq uniform draws from no objects.
+  double no = params.num_objects;
+  distinct_focals_ =
+      no * (1.0 - std::pow(1.0 - 1.0 / no, params.num_queries));
+}
+
+double AlphaCostModel::CellCrossingsPerObjectPerStep(Miles alpha) const {
+  // A segment of length v*ts in a uniformly random direction crosses the
+  // lines of a square lattice with spacing alpha (4 / pi) * length / alpha
+  // times in expectation. One report is sent per step at most.
+  double path = mean_speed_ * params_.time_step;
+  double crossings = (4.0 / std::numbers::pi) * path / alpha;
+  return std::min(1.0, crossings);
+}
+
+double AlphaCostModel::BroadcastsPerRegionEvent(Miles alpha) const {
+  // Monitoring region side: the focal cell plus the cells reached by the
+  // bounding box inflation (alpha + 2r rounded up to whole cells).
+  double cells_per_side = std::ceil((alpha + 2.0 * mean_radius_) / alpha) + 1.0;
+  double side = cells_per_side * alpha;
+  // Stations on a lattice of spacing alen whose coverage circle intersects
+  // the region: roughly one per alen along each axis plus the border ones.
+  double per_axis = side / params_.base_station_side + 1.0;
+  return per_axis * per_axis;
+}
+
+double AlphaCostModel::UplinkPerSecond(Miles alpha) const {
+  double ts = params_.time_step;
+  double no = params_.num_objects;
+  double crossings = CellCrossingsPerObjectPerStep(alpha) * no / ts;
+
+  // Velocity-change reports: a focal object re-drawn this step almost
+  // surely drifts beyond the dead-reckoning threshold.
+  double focal_fraction = distinct_focals_ / no;
+  double velocity_reports =
+      params_.velocity_changes_per_step * focal_fraction / ts;
+
+  // Result flips: flux of objects across query boundaries. The mean normal
+  // velocity component across a fixed line is v/pi, so the crossing rate of
+  // one circular boundary is density * perimeter * v / pi.
+  double density =
+      params_.num_objects / params_.area_square_miles;
+  double flips = params_.num_queries * density *
+                 (2.0 * std::numbers::pi * mean_radius_) * mean_speed_ /
+                 std::numbers::pi * params_.query_selectivity;
+
+  return crossings + velocity_reports + flips;
+}
+
+double AlphaCostModel::DownlinkPerSecond(Miles alpha) const {
+  double ts = params_.time_step;
+  double no = params_.num_objects;
+  double focal_fraction = distinct_focals_ / no;
+  double queries_per_focal =
+      params_.num_queries / std::max(1.0, distinct_focals_);
+
+  // Broadcast-triggering events per second: focal velocity changes and
+  // focal cell crossings, each fanning out one broadcast per covering
+  // station per (grouped) query region.
+  double focal_events =
+      (params_.velocity_changes_per_step * focal_fraction +
+       CellCrossingsPerObjectPerStep(alpha) * distinct_focals_) /
+      ts;
+  double broadcasts = focal_events * BroadcastsPerRegionEvent(alpha);
+  (void)queries_per_focal;  // grouping folds same-region queries together
+
+  // One-to-one new-query responses to non-focal cell crossings: sent only
+  // when the destination cell intersects some monitoring region the object
+  // was not already in. Approximate by the fraction of the universe covered
+  // by monitoring-region boundary bands.
+  double region_side =
+      (std::ceil((alpha + 2.0 * mean_radius_) / alpha) + 1.0) * alpha;
+  double covered_fraction = std::min(
+      1.0, params_.num_queries * region_side * region_side /
+               params_.area_square_miles);
+  double crossings_per_second =
+      CellCrossingsPerObjectPerStep(alpha) * no / ts;
+  double new_query_responses = crossings_per_second * covered_fraction;
+
+  return broadcasts + new_query_responses;
+}
+
+double AlphaCostModel::MessagesPerSecond(Miles alpha) const {
+  return UplinkPerSecond(alpha) + DownlinkPerSecond(alpha);
+}
+
+Miles AlphaCostModel::OptimalAlpha(Miles lo, Miles hi) const {
+  // Golden-section search; the modeled cost is unimodal in alpha.
+  constexpr double kGolden = 0.61803398874989484820;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kGolden * (b - a);
+  double x2 = a + kGolden * (b - a);
+  double f1 = MessagesPerSecond(x1);
+  double f2 = MessagesPerSecond(x2);
+  for (int iter = 0; iter < 80 && (b - a) > 1e-6; ++iter) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = MessagesPerSecond(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = MessagesPerSecond(x2);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace mobieyes::sim

@@ -1,0 +1,69 @@
+#ifndef MOBIEYES_SIM_ALPHA_MODEL_H_
+#define MOBIEYES_SIM_ALPHA_MODEL_H_
+
+#include "mobieyes/common/units.h"
+#include "mobieyes/sim/workload.h"
+
+namespace mobieyes::sim {
+
+// Analytic model of the MobiEyes (eager propagation) messaging cost as a
+// function of the grid cell size alpha. The paper states that "the optimal
+// value of the alpha parameter can be derived analytically using a simple
+// model" but omits it for space (§5.3); this is a reconstruction.
+//
+// Cost components (messages per second over the whole system):
+//  * Cell-change uplinks: every object crosses cell borders at rate
+//    ~ (4 v / pi) / alpha for mean speed v (mean number of side crossings
+//    of a square lattice per unit path length), so smaller alpha means more
+//    reports — the left, falling-in-alpha branch of the U-shape.
+//  * New-query downlinks answering those crossings (eager propagation).
+//  * Velocity-change uplinks from focal objects (alpha independent).
+//  * Velocity-change / cell-change broadcasts: one per covering base
+//    station of the monitoring region, whose side grows like
+//    2*alpha + 2*r, so larger alpha means more and wider broadcasts — the
+//    right, rising branch of the U-shape.
+//  * Result-change uplinks from target flips (alpha independent).
+//
+// The model is deliberately simple: it predicts the U-shape and the
+// location of the minimum, not absolute message counts.
+class AlphaCostModel {
+ public:
+  explicit AlphaCostModel(const SimulationParams& params);
+
+  // Mean object speed in miles/second implied by the workload model: zipf
+  // over the max-speed list, then uniform in [0, max].
+  double mean_speed() const { return mean_speed_; }
+
+  // Mean query radius in miles (zipf over the radius means, times the
+  // radius factor).
+  double mean_radius() const { return mean_radius_; }
+
+  // Expected number of distinct focal objects among nmq uniform picks.
+  double expected_distinct_focals() const { return distinct_focals_; }
+
+  // Expected grid-cell crossings per object per time step at cell size
+  // alpha (capped at 1: at most one cell-change report is sent per step).
+  double CellCrossingsPerObjectPerStep(Miles alpha) const;
+
+  // Expected number of base stations needed to cover one monitoring region.
+  double BroadcastsPerRegionEvent(Miles alpha) const;
+
+  // Predicted uplink / downlink / total messages per second.
+  double UplinkPerSecond(Miles alpha) const;
+  double DownlinkPerSecond(Miles alpha) const;
+  double MessagesPerSecond(Miles alpha) const;
+
+  // Minimizes MessagesPerSecond over [lo, hi] by golden-section search
+  // (the cost is unimodal in alpha).
+  Miles OptimalAlpha(Miles lo = 0.5, Miles hi = 16.0) const;
+
+ private:
+  SimulationParams params_;
+  double mean_speed_;
+  double mean_radius_;
+  double distinct_focals_;
+};
+
+}  // namespace mobieyes::sim
+
+#endif  // MOBIEYES_SIM_ALPHA_MODEL_H_

@@ -1,0 +1,87 @@
+#ifndef MOBIEYES_SIM_METRICS_H_
+#define MOBIEYES_SIM_METRICS_H_
+
+#include <cstdint>
+
+#include "mobieyes/common/units.h"
+#include "mobieyes/net/energy.h"
+#include "mobieyes/net/network.h"
+
+namespace mobieyes::sim {
+
+// Aggregated measurements of one simulation run, accumulated over the
+// measured (post-warmup) steps. Derived accessors produce exactly the
+// quantities plotted in the paper's figures.
+struct RunMetrics {
+  int64_t steps = 0;
+  Seconds simulated_seconds = 0.0;
+
+  // Wall time spent in server-side logic (Figs. 1, 3).
+  double server_seconds = 0.0;
+
+  // Network totals for the measured window (Figs. 4-8).
+  net::NetworkStats network;
+
+  // Sum over steps of the LQT size summed over all objects, and the object
+  // count (Figs. 10-12 plot the per-object per-step average).
+  uint64_t lqt_size_sum = 0;
+  int64_t objects = 0;
+
+  // Sum over steps of the per-query mean result error vs the oracle, and
+  // the number of sampled steps (Fig. 2).
+  double error_sum = 0.0;
+  int64_t error_samples = 0;
+
+  // Moving-object processing (Fig. 13).
+  double client_processing_seconds = 0.0;
+  uint64_t queries_evaluated = 0;
+  uint64_t safe_period_skips = 0;
+
+  // --- Derived figures ------------------------------------------------------
+
+  double MessagesPerSecond() const {
+    return simulated_seconds > 0.0
+               ? static_cast<double>(network.total_messages()) /
+                     simulated_seconds
+               : 0.0;
+  }
+
+  double UplinkMessagesPerSecond() const {
+    return simulated_seconds > 0.0
+               ? static_cast<double>(network.uplink_messages) /
+                     simulated_seconds
+               : 0.0;
+  }
+
+  double ServerLoadPerStep() const {
+    return steps > 0 ? server_seconds / static_cast<double>(steps) : 0.0;
+  }
+
+  double AverageLqtSize() const {
+    return steps > 0 && objects > 0
+               ? static_cast<double>(lqt_size_sum) /
+                     (static_cast<double>(steps) *
+                      static_cast<double>(objects))
+               : 0.0;
+  }
+
+  double AverageError() const {
+    return error_samples > 0 ? error_sum / static_cast<double>(error_samples)
+                             : 0.0;
+  }
+
+  // Per object per step, in seconds (Fig. 13).
+  double ClientProcessingPerStep() const {
+    return steps > 0 && objects > 0
+               ? client_processing_seconds / (static_cast<double>(steps) *
+                                              static_cast<double>(objects))
+               : 0.0;
+  }
+
+  // Average per-object communication power in milliwatts (Fig. 9).
+  double AveragePowerMilliwatts(const net::RadioEnergyModel& radio) const;
+};
+
+}  // namespace mobieyes::sim
+
+#endif  // MOBIEYES_SIM_METRICS_H_

@@ -1,0 +1,40 @@
+#include "mobieyes/sim/oracle.h"
+
+#include "mobieyes/geo/circle.h"
+
+namespace mobieyes::sim {
+
+std::unordered_set<ObjectId> ExactOracle::Evaluate(
+    ObjectId focal_oid, Miles radius, double filter_threshold) const {
+  return Evaluate(focal_oid, geo::QueryRegion::MakeCircle(radius),
+                  filter_threshold);
+}
+
+std::unordered_set<ObjectId> ExactOracle::Evaluate(
+    ObjectId focal_oid, const geo::QueryRegion& region,
+    double filter_threshold) const {
+  std::unordered_set<ObjectId> result;
+  const mobility::ObjectState& focal = world_->object(focal_oid);
+  // Scan the circumscribing circle and refine with the exact shape test.
+  geo::Circle scan{focal.pos, region.MaxReach()};
+  world_->ForEachObjectInCircle(scan, [&](ObjectId oid) {
+    if (oid != focal_oid && world_->object(oid).attr <= filter_threshold &&
+        region.Contains(focal.pos, world_->object(oid).pos)) {
+      result.insert(oid);
+    }
+  });
+  return result;
+}
+
+double ExactOracle::MissingFraction(
+    const std::unordered_set<ObjectId>& exact,
+    const std::unordered_set<ObjectId>& reported) {
+  if (exact.empty()) return 0.0;
+  size_t missing = 0;
+  for (ObjectId oid : exact) {
+    if (!reported.contains(oid)) ++missing;
+  }
+  return static_cast<double>(missing) / static_cast<double>(exact.size());
+}
+
+}  // namespace mobieyes::sim

@@ -1,0 +1,45 @@
+#ifndef MOBIEYES_SIM_ORACLE_H_
+#define MOBIEYES_SIM_ORACLE_H_
+
+#include <unordered_set>
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/common/units.h"
+#include "mobieyes/geo/query_region.h"
+#include "mobieyes/mobility/world.h"
+
+namespace mobieyes::sim {
+
+// Ground-truth query evaluator: computes the exact current result of a
+// moving query from the world's true object positions. Used to validate the
+// distributed protocol and to measure the result error of lazy query
+// propagation (Fig. 2).
+class ExactOracle {
+ public:
+  explicit ExactOracle(const mobility::World& world) : world_(&world) {}
+
+  // Objects strictly other than the focal object that lie within `radius`
+  // of the focal object's true position and satisfy the filter.
+  std::unordered_set<ObjectId> Evaluate(ObjectId focal_oid, Miles radius,
+                                        double filter_threshold) const;
+
+  // General-shape variant: the region is bound at the focal object's true
+  // position.
+  std::unordered_set<ObjectId> Evaluate(ObjectId focal_oid,
+                                        const geo::QueryRegion& region,
+                                        double filter_threshold) const;
+
+  // Fraction of the exact result that `reported` misses (paper's Fig. 2
+  // error metric: missing ids divided by correct result size). Zero when
+  // the exact result is empty.
+  static double MissingFraction(
+      const std::unordered_set<ObjectId>& exact,
+      const std::unordered_set<ObjectId>& reported);
+
+ private:
+  const mobility::World* world_;
+};
+
+}  // namespace mobieyes::sim
+
+#endif  // MOBIEYES_SIM_ORACLE_H_

@@ -1,0 +1,271 @@
+#include "mobieyes/sim/simulation.h"
+
+#include <utility>
+
+namespace mobieyes::sim {
+
+const char* SimModeName(SimMode mode) {
+  switch (mode) {
+    case SimMode::kMobiEyesEager:
+      return "MobiEyes-EQP";
+    case SimMode::kMobiEyesLazy:
+      return "MobiEyes-LQP";
+    case SimMode::kObjectIndex:
+      return "ObjectIndex";
+    case SimMode::kQueryIndex:
+      return "QueryIndex";
+    case SimMode::kNaive:
+      return "Naive";
+    case SimMode::kCentralOptimal:
+      return "CentralOptimal";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+bool IsMobiEyesMode(SimMode mode) {
+  return mode == SimMode::kMobiEyesEager || mode == SimMode::kMobiEyesLazy;
+}
+
+}  // namespace
+
+Simulation::Simulation(SimulationConfig config)
+    : config_(std::move(config)), rng_(config_.params.seed) {}
+
+Result<std::unique_ptr<Simulation>> Simulation::Make(SimulationConfig config) {
+  MOBIEYES_RETURN_NOT_OK(config.params.Validate());
+  auto simulation = std::unique_ptr<Simulation>(new Simulation(config));
+  MOBIEYES_RETURN_NOT_OK(simulation->Setup());
+  return simulation;
+}
+
+Status Simulation::Setup() {
+  const SimulationParams& params = config_.params;
+
+  auto grid = geo::Grid::Make(params.universe(), params.alpha);
+  MOBIEYES_RETURN_NOT_OK(grid.status());
+  grid_ = std::make_unique<geo::Grid>(std::move(grid).value());
+
+  Workload workload = GenerateWorkload(params, rng_);
+  query_specs_ = workload.queries;
+
+  auto world = mobility::World::Make(*grid_, std::move(workload.objects));
+  MOBIEYES_RETURN_NOT_OK(world.status());
+  world_ = std::make_unique<mobility::World>(std::move(world).value());
+  oracle_ = std::make_unique<ExactOracle>(*world_);
+
+  network_ = std::make_unique<net::WirelessNetwork>();
+  network_->set_track_per_object_bytes(config_.track_per_object_bytes);
+  network_->set_coverage_query(
+      [this](const geo::Circle& circle,
+             const std::function<void(ObjectId)>& fn) {
+        world_->ForEachObjectInCircle(circle, fn);
+      });
+
+  if (IsMobiEyesMode(config_.mode)) {
+    auto layout =
+        net::BaseStationLayout::Make(params.universe(),
+                                     params.base_station_side);
+    MOBIEYES_RETURN_NOT_OK(layout.status());
+    layout_ =
+        std::make_unique<net::BaseStationLayout>(std::move(layout).value());
+    auto bmap = net::Bmap::Make(*grid_, *layout_);
+    MOBIEYES_RETURN_NOT_OK(bmap.status());
+    bmap_ = std::make_unique<net::Bmap>(std::move(bmap).value());
+
+    core::MobiEyesOptions options = config_.mobieyes;
+    options.propagation = config_.mode == SimMode::kMobiEyesLazy
+                              ? core::PropagationMode::kLazy
+                              : core::PropagationMode::kEager;
+    options.dead_reckoning_threshold = params.dead_reckoning_threshold;
+
+    server_ = std::make_unique<core::MobiEyesServer>(*grid_, *layout_, *bmap_,
+                                                     *network_, options);
+    network_->set_server_handler(
+        [this](ObjectId from, const net::Message& message) {
+          server_->OnUplink(from, message);
+        });
+
+    clients_.reserve(world_->object_count());
+    for (size_t oid = 0; oid < world_->object_count(); ++oid) {
+      clients_.push_back(std::make_unique<core::MobiEyesClient>(
+          *world_, static_cast<ObjectId>(oid), *network_, options));
+      core::MobiEyesClient* client = clients_.back().get();
+      network_->RegisterClient(
+          static_cast<ObjectId>(oid),
+          [client](const net::Message& message) {
+            client->OnDownlink(message);
+          });
+    }
+
+    for (const QuerySpec& spec : query_specs_) {
+      auto qid = server_->InstallQuery(spec.focal_oid, spec.region,
+                                       spec.filter_threshold);
+      MOBIEYES_RETURN_NOT_OK(qid.status());
+      installed_qids_.push_back(*qid);
+    }
+  } else {
+    std::vector<double> attrs;
+    std::vector<geo::Point> positions;
+    attrs.reserve(world_->object_count());
+    positions.reserve(world_->object_count());
+    for (const auto& object : world_->objects()) {
+      attrs.push_back(object.attr);
+      positions.push_back(object.pos);
+    }
+
+    switch (config_.mode) {
+      case SimMode::kObjectIndex:
+        object_index_ = std::make_unique<baseline::ObjectIndexProcessor>(
+            attrs, positions);
+        network_->set_server_handler(
+            [this](ObjectId from, const net::Message& message) {
+              if (message.type == net::MessageType::kPositionReport) {
+                const auto& report =
+                    std::get<net::PositionReport>(message.payload);
+                object_index_->OnPositionReport(from, report.pos);
+              }
+            });
+        naive_ = std::make_unique<baseline::NaiveTracker>(*world_, *network_);
+        break;
+      case SimMode::kQueryIndex:
+        query_index_ = std::make_unique<baseline::QueryIndexProcessor>(
+            attrs, positions);
+        network_->set_server_handler(
+            [this](ObjectId from, const net::Message& message) {
+              if (message.type == net::MessageType::kPositionReport) {
+                const auto& report =
+                    std::get<net::PositionReport>(message.payload);
+                query_index_->OnPositionReport(from, report.pos);
+              }
+            });
+        naive_ = std::make_unique<baseline::NaiveTracker>(*world_, *network_);
+        break;
+      case SimMode::kNaive:
+        naive_ = std::make_unique<baseline::NaiveTracker>(*world_, *network_);
+        break;
+      case SimMode::kCentralOptimal:
+        central_optimal_ = std::make_unique<baseline::CentralOptimalTracker>(
+            *world_, *network_, params.dead_reckoning_threshold);
+        break;
+      default:
+        return Status::Internal("unhandled simulation mode");
+    }
+
+    for (size_t k = 0; k < query_specs_.size(); ++k) {
+      const QuerySpec& spec = query_specs_[k];
+      if (spec.region.shape != geo::QueryRegion::Shape::kCircle) {
+        return Status::InvalidArgument(
+            "centralized baseline modes support circular queries only");
+      }
+      baseline::CentralQuery query{static_cast<QueryId>(k), spec.focal_oid,
+                                   spec.region.radius,
+                                   spec.filter_threshold};
+      if (object_index_) object_index_->AddQuery(query);
+      if (query_index_) query_index_->AddQuery(query);
+      installed_qids_.push_back(query.qid);
+    }
+  }
+
+  for (int k = 0; k < config_.warmup_steps; ++k) {
+    StepOnce();
+  }
+  ResetMeasurement();
+  return Status::OK();
+}
+
+void Simulation::ResetMeasurement() {
+  metrics_ = RunMetrics{};
+  metrics_.objects = static_cast<int64_t>(world_->object_count());
+  network_->ResetStats();
+  if (server_) server_->ResetLoadTimer();
+  for (auto& client : clients_) client->ResetCounters();
+  if (object_index_) object_index_->ResetLoadTimer();
+  if (query_index_) query_index_->ResetLoadTimer();
+}
+
+void Simulation::Run(int steps) {
+  for (int k = 0; k < steps; ++k) {
+    StepOnce();
+    ++metrics_.steps;
+    metrics_.simulated_seconds += config_.params.time_step;
+    if (IsMobiEyesMode(config_.mode)) {
+      for (const auto& client : clients_) {
+        metrics_.lqt_size_sum += client->lqt_size();
+      }
+    }
+    if (config_.measure_error) {
+      metrics_.error_sum += CurrentResultError();
+      ++metrics_.error_samples;
+    }
+  }
+}
+
+void Simulation::StepOnce() {
+  world_->Step(config_.params.time_step,
+               config_.params.velocity_changes_per_step, rng_);
+  switch (config_.mode) {
+    case SimMode::kMobiEyesEager:
+    case SimMode::kMobiEyesLazy:
+      server_->AdvanceTime(world_->now());
+      for (auto& client : clients_) client->OnTick();
+      break;
+    case SimMode::kObjectIndex:
+      naive_->OnTick();  // position stream into the index
+      object_index_->EvaluateAllQueries();
+      break;
+    case SimMode::kQueryIndex:
+      naive_->OnTick();  // differential evaluation happens per report
+      break;
+    case SimMode::kNaive:
+      naive_->OnTick();
+      break;
+    case SimMode::kCentralOptimal:
+      central_optimal_->OnTick();
+      break;
+  }
+}
+
+RunMetrics Simulation::metrics() const {
+  RunMetrics snapshot = metrics_;
+  snapshot.network = network_->stats();
+  if (server_) snapshot.server_seconds = server_->load_seconds();
+  if (object_index_) snapshot.server_seconds = object_index_->load_seconds();
+  if (query_index_) snapshot.server_seconds = query_index_->load_seconds();
+  for (const auto& client : clients_) {
+    snapshot.client_processing_seconds += client->processing_seconds();
+    snapshot.queries_evaluated += client->queries_evaluated();
+    snapshot.safe_period_skips += client->safe_period_skips();
+  }
+  return snapshot;
+}
+
+const std::unordered_set<ObjectId>* Simulation::ReportedResult(
+    size_t k) const {
+  QueryId qid = installed_qids_[k];
+  if (server_) {
+    const core::MobiEyesServer::SqtEntry* entry = server_->FindQuery(qid);
+    return entry == nullptr ? nullptr : &entry->result;
+  }
+  if (object_index_) return object_index_->QueryResult(qid);
+  if (query_index_) return query_index_->QueryResult(qid);
+  return nullptr;
+}
+
+double Simulation::CurrentResultError() const {
+  if (installed_qids_.empty()) return 0.0;
+  double total = 0.0;
+  static const std::unordered_set<ObjectId> kEmpty;
+  for (size_t k = 0; k < installed_qids_.size(); ++k) {
+    const QuerySpec& spec = query_specs_[k];
+    auto exact = oracle_->Evaluate(spec.focal_oid, spec.region,
+                                   spec.filter_threshold);
+    const std::unordered_set<ObjectId>* reported = ReportedResult(k);
+    total += ExactOracle::MissingFraction(exact,
+                                          reported ? *reported : kEmpty);
+  }
+  return total / static_cast<double>(installed_qids_.size());
+}
+
+}  // namespace mobieyes::sim

@@ -1,0 +1,130 @@
+#ifndef MOBIEYES_SIM_SIMULATION_H_
+#define MOBIEYES_SIM_SIMULATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "mobieyes/baseline/central_messaging.h"
+#include "mobieyes/baseline/object_index.h"
+#include "mobieyes/baseline/query_index.h"
+#include "mobieyes/common/random.h"
+#include "mobieyes/common/status.h"
+#include "mobieyes/core/client.h"
+#include "mobieyes/core/options.h"
+#include "mobieyes/core/server.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/mobility/world.h"
+#include "mobieyes/net/base_station.h"
+#include "mobieyes/net/bmap.h"
+#include "mobieyes/net/network.h"
+#include "mobieyes/sim/metrics.h"
+#include "mobieyes/sim/oracle.h"
+#include "mobieyes/sim/workload.h"
+
+namespace mobieyes::sim {
+
+// Which query processing scheme a simulation run exercises. The same seeded
+// workload drives every mode, so runs are directly comparable.
+enum class SimMode {
+  kMobiEyesEager,    // MobiEyes with eager query propagation
+  kMobiEyesLazy,     // MobiEyes with lazy query propagation (LQP)
+  kObjectIndex,      // centralized R*-tree over object positions
+  kQueryIndex,       // centralized R*-tree over query regions
+  kNaive,            // messaging model: positions uplinked every step
+  kCentralOptimal,   // messaging model: dead-reckoned velocity uplinks
+};
+
+const char* SimModeName(SimMode mode);
+
+struct SimulationConfig {
+  SimulationParams params;
+  SimMode mode = SimMode::kMobiEyesEager;
+  // Optimization toggles for the MobiEyes modes; `propagation` is forced to
+  // match `mode`.
+  core::MobiEyesOptions mobieyes;
+  // Compare reported results against the oracle every step (Fig. 2). Adds
+  // oracle evaluation cost; off by default.
+  bool measure_error = false;
+  // Maintain per-object byte counters for the energy model (Fig. 9).
+  bool track_per_object_bytes = false;
+  // Steps run before measurement starts; stats reset afterwards.
+  int warmup_steps = 2;
+};
+
+// One end-to-end simulation: a seeded workload, the mobility world, the
+// wireless substrate, and the query processing scheme under test. Build
+// with Make(), then Run() measured steps and read metrics().
+class Simulation {
+ public:
+  static Result<std::unique_ptr<Simulation>> Make(SimulationConfig config);
+
+  // Advances `steps` measured time steps.
+  void Run(int steps);
+
+  // Metrics accumulated since the end of warmup (finalized snapshot).
+  RunMetrics metrics() const;
+
+  // Mean over installed queries of the current result's missing fraction
+  // vs the oracle (Fig. 2 error metric at this instant).
+  double CurrentResultError() const;
+
+  // --- Component access (tests, benches, examples) --------------------------
+
+  const SimulationConfig& config() const { return config_; }
+  const geo::Grid& grid() const { return *grid_; }
+  mobility::World& world() { return *world_; }
+  net::WirelessNetwork& network() { return *network_; }
+  const ExactOracle& oracle() const { return *oracle_; }
+  // Null unless running a MobiEyes mode.
+  core::MobiEyesServer* server() { return server_.get(); }
+  core::MobiEyesClient* client(ObjectId oid) {
+    return clients_.empty() ? nullptr
+                            : clients_[static_cast<size_t>(oid)].get();
+  }
+  baseline::ObjectIndexProcessor* object_index() {
+    return object_index_.get();
+  }
+  baseline::QueryIndexProcessor* query_index() { return query_index_.get(); }
+  const std::vector<QueryId>& installed_queries() const {
+    return installed_qids_;
+  }
+  const std::vector<QuerySpec>& query_specs() const { return query_specs_; }
+
+ private:
+  explicit Simulation(SimulationConfig config);
+
+  Status Setup();
+  void StepOnce();
+  void ResetMeasurement();
+  // Reported result of installed query k under the current mode.
+  const std::unordered_set<ObjectId>* ReportedResult(size_t k) const;
+
+  SimulationConfig config_;
+  Rng rng_;
+
+  std::unique_ptr<geo::Grid> grid_;
+  std::unique_ptr<mobility::World> world_;
+  std::unique_ptr<net::BaseStationLayout> layout_;
+  std::unique_ptr<net::Bmap> bmap_;
+  std::unique_ptr<net::WirelessNetwork> network_;
+  std::unique_ptr<ExactOracle> oracle_;
+
+  // MobiEyes deployment (modes kMobiEyesEager / kMobiEyesLazy).
+  std::unique_ptr<core::MobiEyesServer> server_;
+  std::vector<std::unique_ptr<core::MobiEyesClient>> clients_;
+
+  // Centralized baselines.
+  std::unique_ptr<baseline::ObjectIndexProcessor> object_index_;
+  std::unique_ptr<baseline::QueryIndexProcessor> query_index_;
+  std::unique_ptr<baseline::NaiveTracker> naive_;
+  std::unique_ptr<baseline::CentralOptimalTracker> central_optimal_;
+
+  std::vector<QuerySpec> query_specs_;
+  std::vector<QueryId> installed_qids_;
+
+  RunMetrics metrics_;
+};
+
+}  // namespace mobieyes::sim
+
+#endif  // MOBIEYES_SIM_SIMULATION_H_

@@ -1,0 +1,140 @@
+#include "mobieyes/sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mobieyes/mobility/motion_model.h"
+
+namespace mobieyes::sim {
+
+Miles SimulationParams::side() const { return std::sqrt(area_square_miles); }
+
+geo::Rect SimulationParams::universe() const {
+  return geo::Rect{0.0, 0.0, side(), side()};
+}
+
+Status SimulationParams::Validate() const {
+  if (time_step <= 0.0) {
+    return Status::InvalidArgument("time_step must be positive");
+  }
+  if (alpha <= 0.0) {
+    return Status::InvalidArgument("alpha must be positive");
+  }
+  if (num_objects <= 0) {
+    return Status::InvalidArgument("num_objects must be positive");
+  }
+  if (num_queries < 0) {
+    return Status::InvalidArgument("num_queries must be non-negative");
+  }
+  if (velocity_changes_per_step < 0) {
+    return Status::InvalidArgument(
+        "velocity_changes_per_step must be non-negative");
+  }
+  if (area_square_miles <= 0.0) {
+    return Status::InvalidArgument("area must be positive");
+  }
+  if (base_station_side <= 0.0) {
+    return Status::InvalidArgument("base_station_side must be positive");
+  }
+  if (query_selectivity < 0.0 || query_selectivity > 1.0) {
+    return Status::InvalidArgument("query_selectivity must be in [0, 1]");
+  }
+  if (query_radius_means.empty() || max_speeds_mph.empty()) {
+    return Status::InvalidArgument("radius/speed lists must be non-empty");
+  }
+  if (radius_factor <= 0.0) {
+    return Status::InvalidArgument("radius_factor must be positive");
+  }
+  if (dead_reckoning_threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "dead_reckoning_threshold must be positive");
+  }
+  if (rect_query_fraction < 0.0 || rect_query_fraction > 1.0) {
+    return Status::InvalidArgument("rect_query_fraction must be in [0, 1]");
+  }
+  if (object_distribution == ObjectDistribution::kHotspot) {
+    if (num_hotspots <= 0) {
+      return Status::InvalidArgument("num_hotspots must be positive");
+    }
+    if (hotspot_sigma_fraction <= 0.0) {
+      return Status::InvalidArgument("hotspot sigma must be positive");
+    }
+    if (hotspot_weight < 0.0 || hotspot_weight > 1.0) {
+      return Status::InvalidArgument("hotspot_weight must be in [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+Workload GenerateWorkload(const SimulationParams& params, Rng& rng) {
+  Workload workload;
+  geo::Rect universe = params.universe();
+
+  ZipfSampler speed_sampler(static_cast<int>(params.max_speeds_mph.size()),
+                            params.zipf_theta);
+
+  // Hotspot centers (only used for the skewed distribution).
+  std::vector<geo::Point> hotspots;
+  if (params.object_distribution == ObjectDistribution::kHotspot) {
+    hotspots.reserve(params.num_hotspots);
+    for (int k = 0; k < params.num_hotspots; ++k) {
+      hotspots.push_back(
+          geo::Point{rng.NextDouble(universe.lx, universe.hx()),
+                     rng.NextDouble(universe.ly, universe.hy())});
+    }
+  }
+  Miles sigma = params.hotspot_sigma_fraction * params.side();
+  auto draw_position = [&]() {
+    if (params.object_distribution == ObjectDistribution::kHotspot &&
+        rng.NextBernoulli(params.hotspot_weight)) {
+      const geo::Point& center =
+          hotspots[rng.NextUint64(hotspots.size())];
+      geo::Point p{rng.NextGaussian(center.x, sigma),
+                   rng.NextGaussian(center.y, sigma)};
+      p.x = std::clamp(p.x, universe.lx, universe.hx());
+      p.y = std::clamp(p.y, universe.ly, universe.hy());
+      return p;
+    }
+    return geo::Point{rng.NextDouble(universe.lx, universe.hx()),
+                      rng.NextDouble(universe.ly, universe.hy())};
+  };
+
+  workload.objects.reserve(params.num_objects);
+  for (int k = 0; k < params.num_objects; ++k) {
+    mobility::ObjectState object;
+    object.oid = k;
+    object.pos = draw_position();
+    object.max_speed = MphToMilesPerSecond(
+        params.max_speeds_mph[speed_sampler.Sample(rng)]);
+    object.attr = rng.NextDouble();
+    mobility::RandomVelocityModel::RandomizeVelocity(object, rng);
+    workload.objects.push_back(object);
+  }
+
+  ZipfSampler radius_sampler(
+      static_cast<int>(params.query_radius_means.size()), params.zipf_theta);
+  workload.queries.reserve(params.num_queries);
+  for (int k = 0; k < params.num_queries; ++k) {
+    QuerySpec spec;
+    spec.focal_oid =
+        static_cast<ObjectId>(rng.NextUint64(params.num_objects));
+    Miles mean = params.query_radius_means[radius_sampler.Sample(rng)];
+    Miles drawn = rng.NextGaussian(mean, mean / 5.0);
+    // Keep radii physically meaningful; the Normal tail can dip below zero.
+    Miles radius = std::max(0.1, drawn) * params.radius_factor;
+    if (rng.NextBernoulli(params.rect_query_fraction)) {
+      // Equal-area rectangle with a random aspect ratio in [0.5, 2].
+      double area = std::numbers::pi * radius * radius;
+      double aspect = rng.NextDouble(0.5, 2.0);
+      double height = std::sqrt(area / aspect);
+      spec.region = geo::QueryRegion::MakeRectangle(aspect * height, height);
+    } else {
+      spec.region = geo::QueryRegion::MakeCircle(radius);
+    }
+    spec.filter_threshold = params.query_selectivity;
+    workload.queries.push_back(spec);
+  }
+  return workload;
+}
+
+}  // namespace mobieyes::sim

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "mobieyes/common/units.h"
+#include "mobieyes/sim/alpha_model.h"
+
+namespace mobieyes::sim {
+namespace {
+
+TEST(AlphaModelTest, DerivedWorkloadStatistics) {
+  SimulationParams params;
+  AlphaCostModel model(params);
+  // Zipf(0.8)-weighted mean of {100,50,150,200,250} mph is ~118 mph; mean
+  // speed is half of that (uniform draw in [0, cap]).
+  EXPECT_GT(model.mean_speed(), MphToMilesPerSecond(40.0));
+  EXPECT_LT(model.mean_speed(), MphToMilesPerSecond(90.0));
+  // Zipf-weighted mean of {3,2,1,4,5} is between the extremes.
+  EXPECT_GT(model.mean_radius(), 1.0);
+  EXPECT_LT(model.mean_radius(), 5.0);
+  // 1000 picks from 10000 objects: ~951 distinct.
+  EXPECT_NEAR(model.expected_distinct_focals(), 951.0, 5.0);
+}
+
+TEST(AlphaModelTest, CrossingRateFallsWithAlpha) {
+  AlphaCostModel model(SimulationParams{});
+  double tiny = model.CellCrossingsPerObjectPerStep(0.5);
+  double mid = model.CellCrossingsPerObjectPerStep(5.0);
+  double large = model.CellCrossingsPerObjectPerStep(16.0);
+  EXPECT_GT(tiny, mid);
+  EXPECT_GT(mid, large);
+  EXPECT_LE(tiny, 1.0);  // capped at one report per step
+  EXPECT_GT(large, 0.0);
+}
+
+TEST(AlphaModelTest, BroadcastFanoutGrowsWithAlpha) {
+  AlphaCostModel model(SimulationParams{});
+  EXPECT_LT(model.BroadcastsPerRegionEvent(2.0),
+            model.BroadcastsPerRegionEvent(16.0));
+  EXPECT_GE(model.BroadcastsPerRegionEvent(0.5), 1.0);
+}
+
+TEST(AlphaModelTest, CostIsUShapedInAlpha) {
+  AlphaCostModel model(SimulationParams{});
+  double at_half = model.MessagesPerSecond(0.5);
+  double optimum = model.MessagesPerSecond(model.OptimalAlpha());
+  double at_16 = model.MessagesPerSecond(16.0);
+  EXPECT_LT(optimum, at_half);
+  EXPECT_LT(optimum, at_16);
+}
+
+TEST(AlphaModelTest, OptimalAlphaInPapersSweetSpot) {
+  // The paper reports alpha in [4, 6] as ideal for the Table 1 defaults
+  // (Fig. 4); the analytic reconstruction should land nearby.
+  AlphaCostModel model(SimulationParams{});
+  Miles optimum = model.OptimalAlpha(0.5, 16.0);
+  EXPECT_GT(optimum, 2.0);
+  EXPECT_LT(optimum, 10.0);
+}
+
+TEST(AlphaModelTest, MoreQueriesRaiseCostEverywhere) {
+  SimulationParams small;
+  small.num_queries = 100;
+  SimulationParams large;
+  large.num_queries = 1000;
+  AlphaCostModel few(small);
+  AlphaCostModel many(large);
+  for (double alpha : {1.0, 4.0, 8.0, 16.0}) {
+    EXPECT_LT(few.MessagesPerSecond(alpha), many.MessagesPerSecond(alpha))
+        << "alpha " << alpha;
+  }
+}
+
+TEST(AlphaModelTest, FasterObjectsShiftOptimumUp) {
+  // Faster objects cross cells more often, pushing the optimum toward
+  // larger cells.
+  SimulationParams slow;
+  slow.max_speeds_mph = {30.0};
+  SimulationParams fast;
+  fast.max_speeds_mph = {250.0};
+  EXPECT_LT(AlphaCostModel(slow).OptimalAlpha(),
+            AlphaCostModel(fast).OptimalAlpha());
+}
+
+TEST(AlphaModelTest, UplinkDominatedBySmallAlpha) {
+  AlphaCostModel model(SimulationParams{});
+  // At tiny alpha the uplink (cell crossings) dominates; at huge alpha the
+  // downlink (broadcast fanout) does.
+  EXPECT_GT(model.UplinkPerSecond(0.5), model.DownlinkPerSecond(0.5) * 0.5);
+  EXPECT_GT(model.DownlinkPerSecond(16.0), model.UplinkPerSecond(16.0));
+}
+
+}  // namespace
+}  // namespace mobieyes::sim

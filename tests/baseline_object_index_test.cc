@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "mobieyes/baseline/object_index.h"
+#include "mobieyes/common/random.h"
+
+namespace mobieyes::baseline {
+namespace {
+
+using geo::Point;
+
+TEST(ObjectIndexTest, EvaluatesRangeQueryExactly) {
+  std::vector<double> attrs = {0.0, 0.0, 0.0, 0.0};
+  std::vector<Point> positions = {{50, 50}, {52, 50}, {58, 50}, {50, 53}};
+  ObjectIndexProcessor processor(attrs, positions);
+  processor.AddQuery(CentralQuery{1, 0, 5.0, 1.0});
+  processor.EvaluateAllQueries();
+  const auto* result = processor.QueryResult(1);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_TRUE(result->contains(1));
+  EXPECT_TRUE(result->contains(3));
+}
+
+TEST(ObjectIndexTest, ExcludesFocalAndFiltered) {
+  std::vector<double> attrs = {0.0, 0.9, 0.1};
+  std::vector<Point> positions = {{50, 50}, {51, 50}, {52, 50}};
+  ObjectIndexProcessor processor(attrs, positions);
+  processor.AddQuery(CentralQuery{1, 0, 5.0, 0.5});
+  processor.EvaluateAllQueries();
+  const auto* result = processor.QueryResult(1);
+  ASSERT_NE(result, nullptr);
+  EXPECT_FALSE(result->contains(0));  // focal excluded
+  EXPECT_FALSE(result->contains(1));  // attr 0.9 > 0.5
+  EXPECT_TRUE(result->contains(2));
+}
+
+TEST(ObjectIndexTest, PositionReportsMoveObjects) {
+  std::vector<double> attrs = {0.0, 0.0};
+  std::vector<Point> positions = {{50, 50}, {90, 90}};
+  ObjectIndexProcessor processor(attrs, positions);
+  processor.AddQuery(CentralQuery{1, 0, 5.0, 1.0});
+  processor.EvaluateAllQueries();
+  EXPECT_TRUE(processor.QueryResult(1)->empty());
+
+  processor.OnPositionReport(1, Point{52, 50});
+  processor.EvaluateAllQueries();
+  EXPECT_TRUE(processor.QueryResult(1)->contains(1));
+}
+
+TEST(ObjectIndexTest, FocalMovementMovesQueryRegion) {
+  std::vector<double> attrs = {0.0, 0.0};
+  std::vector<Point> positions = {{50, 50}, {60, 50}};
+  ObjectIndexProcessor processor(attrs, positions);
+  processor.AddQuery(CentralQuery{1, 0, 5.0, 1.0});
+  processor.EvaluateAllQueries();
+  EXPECT_FALSE(processor.QueryResult(1)->contains(1));
+  processor.OnPositionReport(0, Point{57, 50});
+  processor.EvaluateAllQueries();
+  EXPECT_TRUE(processor.QueryResult(1)->contains(1));
+}
+
+TEST(ObjectIndexTest, MatchesBruteForceUnderRandomMotion) {
+  Rng rng(201);
+  const int n = 300;
+  std::vector<double> attrs;
+  std::vector<Point> positions;
+  for (int k = 0; k < n; ++k) {
+    attrs.push_back(rng.NextDouble());
+    positions.push_back({rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+  }
+  ObjectIndexProcessor processor(attrs, positions);
+  std::vector<CentralQuery> queries;
+  for (QueryId q = 0; q < 10; ++q) {
+    CentralQuery query{q, static_cast<ObjectId>(rng.NextUint64(n)),
+                       rng.NextDouble(2, 10), 0.75};
+    queries.push_back(query);
+    processor.AddQuery(query);
+  }
+
+  for (int round = 0; round < 5; ++round) {
+    // Random subset of objects moves.
+    for (int move = 0; move < 100; ++move) {
+      auto oid = static_cast<ObjectId>(rng.NextUint64(n));
+      Point pos{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+      positions[oid] = pos;
+      processor.OnPositionReport(oid, pos);
+    }
+    processor.EvaluateAllQueries();
+    for (const auto& query : queries) {
+      std::unordered_set<ObjectId> brute;
+      Point focal = positions[query.focal_oid];
+      for (int k = 0; k < n; ++k) {
+        if (k != query.focal_oid &&
+            geo::Distance(positions[k], focal) <= query.radius &&
+            attrs[k] <= query.filter_threshold) {
+          brute.insert(k);
+        }
+      }
+      ASSERT_EQ(*processor.QueryResult(query.qid), brute)
+          << "round " << round << " query " << query.qid;
+    }
+  }
+  EXPECT_TRUE(processor.index().CheckInvariants().ok());
+}
+
+TEST(ObjectIndexTest, LoadTimerAccumulates) {
+  std::vector<double> attrs(100, 0.0);
+  std::vector<Point> positions(100, Point{50, 50});
+  ObjectIndexProcessor processor(attrs, positions);
+  processor.AddQuery(CentralQuery{0, 0, 5.0, 1.0});
+  for (int k = 0; k < 100; ++k) {
+    processor.OnPositionReport(k % 100, Point{1.0 * (k % 90), 50});
+    processor.EvaluateAllQueries();
+  }
+  EXPECT_GT(processor.load_seconds(), 0.0);
+  processor.ResetLoadTimer();
+  EXPECT_EQ(processor.load_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace mobieyes::baseline

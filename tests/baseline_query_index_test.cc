@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "mobieyes/baseline/query_index.h"
+#include "mobieyes/common/random.h"
+
+namespace mobieyes::baseline {
+namespace {
+
+using geo::Point;
+
+TEST(QueryIndexTest, DifferentialUpdateOnObjectReport) {
+  std::vector<double> attrs = {0.0, 0.0};
+  std::vector<Point> positions = {{50, 50}, {90, 90}};
+  QueryIndexProcessor processor(attrs, positions);
+  processor.AddQuery(CentralQuery{1, 0, 5.0, 1.0});
+
+  processor.OnPositionReport(1, Point{52, 50});
+  EXPECT_TRUE(processor.QueryResult(1)->contains(1));
+  processor.OnPositionReport(1, Point{80, 50});
+  EXPECT_FALSE(processor.QueryResult(1)->contains(1));
+}
+
+TEST(QueryIndexTest, FilterAndFocalExclusion) {
+  std::vector<double> attrs = {0.0, 0.9};
+  std::vector<Point> positions = {{50, 50}, {51, 50}};
+  QueryIndexProcessor processor(attrs, positions);
+  processor.AddQuery(CentralQuery{1, 0, 5.0, 0.5});
+  processor.OnPositionReport(1, Point{52, 50});  // attr 0.9 > 0.5
+  EXPECT_TRUE(processor.QueryResult(1)->empty());
+  processor.OnPositionReport(0, Point{50, 50});  // focal itself
+  EXPECT_TRUE(processor.QueryResult(1)->empty());
+}
+
+TEST(QueryIndexTest, FocalReportMovesIndexedRegion) {
+  std::vector<double> attrs = {0.0, 0.0};
+  std::vector<Point> positions = {{50, 50}, {60, 50}};
+  QueryIndexProcessor processor(attrs, positions);
+  processor.AddQuery(CentralQuery{1, 0, 5.0, 1.0});
+  // Object 1 reports while out of range.
+  processor.OnPositionReport(1, Point{60, 50});
+  EXPECT_FALSE(processor.QueryResult(1)->contains(1));
+  // The focal moves next to it; object 1's next report lands inside.
+  processor.OnPositionReport(0, Point{58, 50});
+  processor.OnPositionReport(1, Point{60, 50});
+  EXPECT_TRUE(processor.QueryResult(1)->contains(1));
+}
+
+TEST(QueryIndexTest, StaleResultsUntilObjectReports) {
+  // The documented weakness of the query-index scheme: results only refresh
+  // when the affected object reports again.
+  std::vector<double> attrs = {0.0, 0.0};
+  std::vector<Point> positions = {{50, 50}, {52, 50}};
+  QueryIndexProcessor processor(attrs, positions);
+  processor.AddQuery(CentralQuery{1, 0, 5.0, 1.0});
+  processor.OnPositionReport(1, Point{52, 50});
+  ASSERT_TRUE(processor.QueryResult(1)->contains(1));
+  // The focal teleports away; object 1 has not reported since.
+  processor.OnPositionReport(0, Point{10, 10});
+  EXPECT_TRUE(processor.QueryResult(1)->contains(1));  // stale by design
+  processor.OnPositionReport(1, Point{52, 50});
+  EXPECT_FALSE(processor.QueryResult(1)->contains(1));
+}
+
+TEST(QueryIndexTest, MatchesBruteForceUnderFullReporting) {
+  // When every object reports every round (the naive feed used by the
+  // server-load experiments), results must equal brute force.
+  Rng rng(211);
+  const int n = 200;
+  std::vector<double> attrs;
+  std::vector<Point> positions;
+  for (int k = 0; k < n; ++k) {
+    attrs.push_back(rng.NextDouble());
+    positions.push_back({rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+  }
+  QueryIndexProcessor processor(attrs, positions);
+  std::vector<CentralQuery> queries;
+  for (QueryId q = 0; q < 8; ++q) {
+    CentralQuery query{q, static_cast<ObjectId>(rng.NextUint64(n)),
+                       rng.NextDouble(3, 12), 0.75};
+    queries.push_back(query);
+    processor.AddQuery(query);
+  }
+
+  for (int round = 0; round < 4; ++round) {
+    for (int k = 0; k < n; ++k) {
+      positions[k] = Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    }
+    // Every object reports its new position (focal moves are folded in).
+    for (int k = 0; k < n; ++k) {
+      processor.OnPositionReport(k, positions[k]);
+    }
+    // One more full pass so objects that reported before a focal moved are
+    // refreshed against the final query regions.
+    for (int k = 0; k < n; ++k) {
+      processor.OnPositionReport(k, positions[k]);
+    }
+    for (const auto& query : queries) {
+      std::unordered_set<ObjectId> brute;
+      Point focal = positions[query.focal_oid];
+      for (int k = 0; k < n; ++k) {
+        if (k != query.focal_oid &&
+            geo::Distance(positions[k], focal) <= query.radius &&
+            attrs[k] <= query.filter_threshold) {
+          brute.insert(k);
+        }
+      }
+      ASSERT_EQ(*processor.QueryResult(query.qid), brute)
+          << "round " << round << " query " << query.qid;
+    }
+  }
+  EXPECT_TRUE(processor.index().CheckInvariants().ok());
+}
+
+TEST(QueryIndexTest, MultipleQueriesPerFocal) {
+  std::vector<double> attrs = {0.0, 0.0};
+  std::vector<Point> positions = {{50, 50}, {53, 50}};
+  QueryIndexProcessor processor(attrs, positions);
+  processor.AddQuery(CentralQuery{1, 0, 2.0, 1.0});
+  processor.AddQuery(CentralQuery{2, 0, 5.0, 1.0});
+  processor.OnPositionReport(1, Point{53, 50});
+  EXPECT_FALSE(processor.QueryResult(1)->contains(1));  // dist 3 > 2
+  EXPECT_TRUE(processor.QueryResult(2)->contains(1));   // dist 3 <= 5
+}
+
+}  // namespace
+}  // namespace mobieyes::baseline

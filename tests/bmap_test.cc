@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/net/base_station.h"
+#include "mobieyes/net/bmap.h"
+
+namespace mobieyes::net {
+namespace {
+
+using geo::CellCoord;
+using geo::CellRange;
+using geo::Grid;
+using geo::Rect;
+
+TEST(BaseStationLayoutTest, RejectsBadArguments) {
+  EXPECT_FALSE(BaseStationLayout::Make(Rect{0, 0, 100, 100}, 0.0).ok());
+  EXPECT_FALSE(BaseStationLayout::Make(Rect{0, 0, 0, 100}, 10.0).ok());
+}
+
+TEST(BaseStationLayoutTest, LatticeCoversUniverse) {
+  auto layout = BaseStationLayout::Make(Rect{0, 0, 100, 100}, 10.0);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->stations().size(), 100u);
+  // Coverage circle circumscribes the lattice square (with a tiny padding
+  // against floating-point corner rounding).
+  EXPECT_NEAR(layout->stations()[0].coverage.radius, 10.0 / std::sqrt(2.0),
+              1e-6);
+  EXPECT_GE(layout->stations()[0].coverage.radius, 10.0 / std::sqrt(2.0));
+  // Corner points of the lattice square are inside the closed circle.
+  EXPECT_TRUE(layout->stations()[0].coverage.Contains(geo::Point{0, 0}));
+  EXPECT_TRUE(layout->stations()[0].coverage.Contains(geo::Point{10, 10}));
+  // The station's own lattice square is covered (corners sit exactly on
+  // the circumscribing circle, so test just inside them to avoid relying
+  // on floating-point rounding at the boundary).
+  const BaseStation& first = layout->station(0);
+  EXPECT_TRUE(first.coverage.Contains(geo::Point{0.01, 0.01}));
+  EXPECT_TRUE(first.coverage.Contains(geo::Point{9.99, 9.99}));
+  EXPECT_TRUE(first.coverage.Contains(geo::Point{5, 5}));
+}
+
+TEST(BaseStationLayoutTest, StationIdsAreDense) {
+  auto layout = BaseStationLayout::Make(Rect{0, 0, 50, 30}, 10.0);
+  ASSERT_TRUE(layout.ok());
+  ASSERT_EQ(layout->stations().size(), 15u);
+  for (size_t k = 0; k < layout->stations().size(); ++k) {
+    EXPECT_EQ(layout->stations()[k].id, static_cast<BaseStationId>(k));
+  }
+}
+
+class BmapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto grid = Grid::Make(Rect{0, 0, 100, 100}, 5.0);
+    ASSERT_TRUE(grid.ok());
+    grid_ = std::make_unique<Grid>(*grid);
+    auto layout = BaseStationLayout::Make(Rect{0, 0, 100, 100}, 10.0);
+    ASSERT_TRUE(layout.ok());
+    layout_ = std::make_unique<BaseStationLayout>(*layout);
+    auto bmap = Bmap::Make(*grid_, *layout_);
+    ASSERT_TRUE(bmap.ok());
+    bmap_ = std::make_unique<Bmap>(*bmap);
+  }
+
+  std::unique_ptr<Grid> grid_;
+  std::unique_ptr<BaseStationLayout> layout_;
+  std::unique_ptr<Bmap> bmap_;
+};
+
+TEST_F(BmapTest, EveryCellHasAtLeastOneStation) {
+  for (int32_t j = 0; j < grid_->rows(); ++j) {
+    for (int32_t i = 0; i < grid_->columns(); ++i) {
+      EXPECT_FALSE(bmap_->StationsForCell(CellCoord{i, j}).empty());
+    }
+  }
+}
+
+TEST_F(BmapTest, StationsForCellActuallyIntersect) {
+  for (int32_t j = 0; j < grid_->rows(); ++j) {
+    for (int32_t i = 0; i < grid_->columns(); ++i) {
+      Rect cell_rect = grid_->CellRect(CellCoord{i, j});
+      for (BaseStationId sid : bmap_->StationsForCell(CellCoord{i, j})) {
+        EXPECT_TRUE(layout_->station(sid).coverage.Intersects(cell_rect));
+      }
+    }
+  }
+}
+
+TEST_F(BmapTest, MinimalCoverCoversEveryRegionCell) {
+  CellRange region{2, 8, 3, 9};
+  std::vector<BaseStationId> cover = bmap_->MinimalCover(region);
+  ASSERT_FALSE(cover.empty());
+  region.ForEach([&](int32_t i, int32_t j) {
+    bool covered = false;
+    for (BaseStationId sid : cover) {
+      const auto& stations = bmap_->StationsForCell(CellCoord{i, j});
+      if (std::find(stations.begin(), stations.end(), sid) !=
+          stations.end()) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "cell (" << i << "," << j << ") uncovered";
+  });
+}
+
+TEST_F(BmapTest, MinimalCoverOfEmptyRegionIsEmpty) {
+  EXPECT_TRUE(bmap_->MinimalCover(CellRange{}).empty());
+}
+
+TEST_F(BmapTest, SingleCellNeedsOneStation) {
+  std::vector<BaseStationId> cover =
+      bmap_->MinimalCover(CellRange{4, 4, 4, 4});
+  EXPECT_EQ(cover.size(), 1u);
+}
+
+TEST_F(BmapTest, CoverIsNoLargerThanRegionCellCount) {
+  CellRange region{0, 19, 0, 19};  // the whole grid
+  std::vector<BaseStationId> cover = bmap_->MinimalCover(region);
+  EXPECT_LE(cover.size(), layout_->stations().size());
+  EXPECT_GE(cover.size(), 1u);
+}
+
+TEST_F(BmapTest, CoverIsDeterministic) {
+  CellRange region{1, 6, 1, 6};
+  EXPECT_EQ(bmap_->MinimalCover(region), bmap_->MinimalCover(region));
+}
+
+// Area soundness: every point of the region must be inside at least one
+// selected station's coverage circle, or objects would miss broadcasts.
+TEST_F(BmapTest, CoverIsAreaSound) {
+  mobieyes::Rng rng(401);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto i_lo = static_cast<int32_t>(rng.NextUint64(15));
+    auto j_lo = static_cast<int32_t>(rng.NextUint64(15));
+    CellRange region{i_lo,
+                     i_lo + static_cast<int32_t>(rng.NextUint64(5)),
+                     j_lo,
+                     j_lo + static_cast<int32_t>(rng.NextUint64(5))};
+    region.i_hi = std::min(region.i_hi, grid_->columns() - 1);
+    region.j_hi = std::min(region.j_hi, grid_->rows() - 1);
+    std::vector<BaseStationId> cover = bmap_->MinimalCover(region);
+
+    Rect low = grid_->CellRect(CellCoord{region.i_lo, region.j_lo});
+    Rect high = grid_->CellRect(CellCoord{region.i_hi, region.j_hi});
+    Rect rect = Rect::Union(low, high);
+    for (int sample = 0; sample < 200; ++sample) {
+      geo::Point p{rng.NextDouble(rect.lx, rect.hx()),
+                   rng.NextDouble(rect.ly, rect.hy())};
+      bool covered = false;
+      for (BaseStationId sid : cover) {
+        if (layout_->station(sid).coverage.Contains(p)) {
+          covered = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(covered) << "uncovered point (" << p.x << ", " << p.y
+                           << ") in trial " << trial;
+    }
+  }
+}
+
+// The Fig 4 mechanism: broadcast fan-out grows with the monitoring region
+// (i.e. with alpha), since covers scale with region area.
+TEST_F(BmapTest, CoverGrowsWithRegionArea) {
+  size_t small = bmap_->MinimalCover(CellRange{5, 6, 5, 6}).size();
+  size_t medium = bmap_->MinimalCover(CellRange{3, 9, 3, 9}).size();
+  size_t large = bmap_->MinimalCover(CellRange{0, 18, 0, 18}).size();
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+}
+
+TEST(BmapStandaloneTest, LargeStationsShrinkCover) {
+  auto grid = Grid::Make(Rect{0, 0, 100, 100}, 5.0);
+  ASSERT_TRUE(grid.ok());
+  auto small = BaseStationLayout::Make(Rect{0, 0, 100, 100}, 5.0);
+  auto large = BaseStationLayout::Make(Rect{0, 0, 100, 100}, 50.0);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  auto bmap_small = Bmap::Make(*grid, *small);
+  auto bmap_large = Bmap::Make(*grid, *large);
+  ASSERT_TRUE(bmap_small.ok());
+  ASSERT_TRUE(bmap_large.ok());
+  geo::CellRange region{4, 9, 4, 9};
+  // Bigger base stations cover the same region with fewer broadcasts — the
+  // mechanism behind Fig. 8.
+  EXPECT_LT(bmap_large->MinimalCover(region).size(),
+            bmap_small->MinimalCover(region).size());
+}
+
+}  // namespace
+}  // namespace mobieyes::net

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "test_harness.h"
+
+namespace mobieyes::core {
+namespace {
+
+using geo::Point;
+using geo::Vec2;
+using test::MiniDeployment;
+using test::ObjectSpec;
+
+TEST(ClientTest, TargetFlipReportedOnEntry) {
+  MiniDeployment deployment({
+      {Point{55, 55}},                   // focal
+      {Point{62, 55}, Vec2{-0.1, 0.0}},  // approaching target
+  });
+  auto qid = deployment.server().InstallQuery(0, 4.0, 1.0);
+  ASSERT_TRUE(qid.ok());
+  EXPECT_EQ(deployment.client(1).IsTargetOf(*qid), std::optional<bool>(false));
+
+  deployment.Tick();  // x=59: inside radius 4
+  EXPECT_EQ(deployment.client(1).IsTargetOf(*qid), std::optional<bool>(true));
+  EXPECT_TRUE(deployment.server().QueryResult(*qid)->contains(1));
+}
+
+TEST(ClientTest, NoReportWithoutChange) {
+  MiniDeployment deployment({
+      {Point{55, 55}},  // focal, stationary
+      {Point{57, 55}},  // target, stationary inside region
+  });
+  auto qid = deployment.server().InstallQuery(0, 4.0, 1.0);
+  ASSERT_TRUE(qid.ok());
+  deployment.Tick();  // first evaluation: flips to target, one report
+  uint64_t uplinks_after_first = deployment.network().stats().uplink_messages;
+  deployment.TickN(5);  // nothing changes: no further reports
+  EXPECT_EQ(deployment.network().stats().uplink_messages,
+            uplinks_after_first);
+}
+
+TEST(ClientTest, FilterBlocksInstallation) {
+  MiniDeployment deployment({
+      {Point{55, 55}},                 // focal
+      {Point{57, 55}, {}, 1.0, 0.9},   // attr 0.9 > threshold 0.5
+      {Point{53, 55}, {}, 1.0, 0.3},   // attr 0.3 <= 0.5
+  });
+  auto qid = deployment.server().InstallQuery(0, 4.0, 0.5);
+  ASSERT_TRUE(qid.ok());
+  EXPECT_EQ(deployment.client(1).lqt_size(), 0u);
+  EXPECT_EQ(deployment.client(2).lqt_size(), 1u);
+  deployment.Tick();
+  auto result = deployment.server().QueryResult(*qid);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->contains(1));
+  EXPECT_TRUE(result->contains(2));
+}
+
+TEST(ClientTest, DeadReckoningSuppressesRedundantReports) {
+  // A focal object moving with a constant velocity vector never drifts from
+  // its own prediction, so it sends no velocity-change reports.
+  MiniDeployment deployment({
+      {Point{20, 20}, Vec2{0.05, 0.0}},  // focal, constant velocity
+      {Point{23, 20}, Vec2{0.05, 0.0}},  // target moving in lockstep
+  });
+  auto qid = deployment.server().InstallQuery(0, 5.0, 1.0);
+  ASSERT_TRUE(qid.ok());
+  deployment.Tick();  // initial flip report from object 1
+  uint64_t uplinks = deployment.network().stats().uplink_messages;
+  deployment.TickN(3);  // constant motion, no cell crossing before x=30
+  EXPECT_EQ(deployment.network().stats().uplink_messages, uplinks);
+}
+
+TEST(ClientTest, DeadReckoningFiresOnVelocityChange) {
+  MiniDeployment deployment({
+      {Point{25, 25}},  // focal, initially stationary
+      {Point{28, 25}},
+  });
+  ASSERT_TRUE(deployment.server().InstallQuery(0, 5.0, 1.0).ok());
+  deployment.Tick();
+  uint64_t uplinks = deployment.network().stats().uplink_messages;
+
+  // Kick the focal: 0.05 mi/s * 30 s = 1.5 miles of drift > Δ = 0.2.
+  deployment.world().SetObjectState(0, deployment.world().object(0).pos,
+                                    Vec2{0.05, 0.0});
+  deployment.Tick();
+  EXPECT_GT(deployment.network().stats().uplink_messages, uplinks);
+  const auto* focal = deployment.server().FindFocal(0);
+  ASSERT_NE(focal, nullptr);
+  EXPECT_DOUBLE_EQ(focal->state.vel.x, 0.05);
+}
+
+TEST(ClientTest, PredictionKeepsResultExactUnderConstantVelocity) {
+  // Target evaluates against the *predicted* focal position; with constant
+  // focal velocity the prediction is exact, so containment matches ground
+  // truth each step.
+  MiniDeployment deployment({
+      {Point{20, 50}, Vec2{0.05, 0.0}},  // focal moving right
+      {Point{26, 50}},                   // stationary object in its path
+  });
+  auto qid = deployment.server().InstallQuery(0, 3.0, 1.0);
+  ASSERT_TRUE(qid.ok());
+
+  deployment.Tick();  // focal at 21.5, distance 4.5 > 3
+  EXPECT_FALSE(deployment.server().QueryResult(*qid)->contains(1));
+  deployment.TickN(2);  // focal at 24.5, distance 1.5 <= 3
+  EXPECT_TRUE(deployment.server().QueryResult(*qid)->contains(1));
+  deployment.TickN(4);  // focal at 30.5 — but it crossed a cell; still: 4.5 > 3
+  EXPECT_FALSE(deployment.server().QueryResult(*qid)->contains(1));
+}
+
+TEST(ClientTest, LeavingMonitoringRegionDropsAndReports) {
+  MiniDeployment deployment({
+      {Point{55, 55}},                  // focal
+      {Point{56, 55}, Vec2{0.2, 0.0}},  // target speeding away
+  });
+  auto qid = deployment.server().InstallQuery(0, 4.0, 1.0);
+  ASSERT_TRUE(qid.ok());
+  // Force an immediate in-region evaluation so the object is a target.
+  deployment.client(1).OnTick();
+  ASSERT_TRUE(deployment.server().QueryResult(*qid)->contains(1));
+
+  // 0.2 mi/s * 30 s = 6 miles per tick; after 3 ticks x=74, cell (7,5) —
+  // outside the monitoring region columns [4,6].
+  deployment.TickN(3);
+  EXPECT_EQ(deployment.client(1).lqt_size(), 0u);
+  EXPECT_FALSE(deployment.server().QueryResult(*qid)->contains(1));
+}
+
+TEST(ClientTest, ReenteringRegionReinstallsEagerly) {
+  MiniDeployment deployment({
+      {Point{55, 55}},                   // focal
+      {Point{75, 55}, Vec2{-0.15, 0.0}},  // sweeping through the region
+  });
+  auto qid = deployment.server().InstallQuery(0, 4.0, 1.0);
+  ASSERT_TRUE(qid.ok());
+  EXPECT_EQ(deployment.client(1).lqt_size(), 0u);
+
+  deployment.Tick();  // x=70.5, cell (7,5): still outside
+  EXPECT_EQ(deployment.client(1).lqt_size(), 0u);
+  deployment.Tick();  // x=66, cell (6,5): inside region -> installed
+  EXPECT_EQ(deployment.client(1).lqt_size(), 1u);
+  deployment.TickN(2);  // x=57: inside the circle
+  EXPECT_TRUE(deployment.server().QueryResult(*qid)->contains(1));
+}
+
+TEST(ClientTest, BoundaryContainmentIsInclusive) {
+  MiniDeployment deployment({
+      {Point{50, 50}},
+      {Point{54, 50}},  // exactly on the radius-4 boundary
+  });
+  auto qid = deployment.server().InstallQuery(0, 4.0, 1.0);
+  ASSERT_TRUE(qid.ok());
+  deployment.client(1).OnTick();
+  EXPECT_EQ(deployment.client(1).IsTargetOf(*qid), std::optional<bool>(true));
+}
+
+TEST(ClientTest, IsTargetOfUnknownQueryIsNullopt) {
+  MiniDeployment deployment({ObjectSpec(Point{50, 50})});
+  EXPECT_EQ(deployment.client(0).IsTargetOf(99), std::nullopt);
+}
+
+TEST(ClientTest, ProcessingCountersTrackEvaluations) {
+  MiniDeployment deployment({
+      {Point{55, 55}},
+      {Point{57, 55}},
+  });
+  ASSERT_TRUE(deployment.server().InstallQuery(0, 4.0, 1.0).ok());
+  deployment.TickN(4);
+  EXPECT_EQ(deployment.client(1).queries_evaluated(), 4u);
+  EXPECT_GT(deployment.client(1).processing_seconds(), 0.0);
+  deployment.client(1).ResetCounters();
+  EXPECT_EQ(deployment.client(1).queries_evaluated(), 0u);
+  EXPECT_EQ(deployment.client(1).processing_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace mobieyes::core

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "mobieyes/net/energy.h"
+
+namespace mobieyes::net {
+namespace {
+
+TEST(EnergyTest, DefaultsMatchPaperConstants) {
+  RadioEnergyModel radio;
+  // Paper §5.3 footnote: transmitting costs ~80 uJ/bit, receiving ~5 uJ/bit.
+  EXPECT_NEAR(radio.TxJoulesPerBit() * 1e6, 82.1, 0.5);
+  EXPECT_NEAR(radio.RxJoulesPerBit() * 1e6, 4.3, 0.1);
+  EXPECT_GT(radio.TxJoulesPerBit(), 10 * radio.RxJoulesPerBit());
+}
+
+TEST(EnergyTest, EnergyScalesLinearlyWithBytes) {
+  RadioEnergyModel radio;
+  double one = radio.EnergyJoules(100, 200);
+  double two = radio.EnergyJoules(200, 400);
+  EXPECT_NEAR(two, 2.0 * one, 1e-12);
+  EXPECT_EQ(radio.EnergyJoules(0, 0), 0.0);
+}
+
+TEST(EnergyTest, TransmitDominatesSymmetricTraffic) {
+  RadioEnergyModel radio;
+  EXPECT_GT(radio.EnergyJoules(1000, 0), radio.EnergyJoules(0, 1000));
+}
+
+TEST(EnergyTest, AveragePowerDividesByWindow) {
+  RadioEnergyModel radio;
+  double energy = radio.EnergyJoules(5000, 5000);
+  EXPECT_NEAR(radio.AveragePowerWatts(5000, 5000, 10.0), energy / 10.0,
+              1e-12);
+}
+
+TEST(EnergyTest, CustomRadioParameters) {
+  RadioEnergyModel radio;
+  radio.amplifier_efficiency = 1.0;  // ideal amplifier
+  double ideal = radio.TxJoulesPerBit();
+  radio.amplifier_efficiency = 0.5;
+  EXPECT_GT(radio.TxJoulesPerBit(), ideal);
+}
+
+}  // namespace
+}  // namespace mobieyes::net

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mobieyes/geo/circle.h"
+#include "mobieyes/geo/point.h"
+#include "mobieyes/geo/rect.h"
+
+namespace mobieyes::geo {
+namespace {
+
+// --- Point / Vec2 -----------------------------------------------------------
+
+TEST(PointTest, Arithmetic) {
+  Point p{1.0, 2.0};
+  Vec2 v{0.5, -1.0};
+  Point q = p + v;
+  EXPECT_DOUBLE_EQ(q.x, 1.5);
+  EXPECT_DOUBLE_EQ(q.y, 1.0);
+  Vec2 d = q - p;
+  EXPECT_DOUBLE_EQ(d.x, 0.5);
+  EXPECT_DOUBLE_EQ(d.y, -1.0);
+}
+
+TEST(PointTest, VectorScaling) {
+  Vec2 v{3.0, 4.0};
+  Vec2 w = v * 2.0;
+  EXPECT_DOUBLE_EQ(w.x, 6.0);
+  EXPECT_DOUBLE_EQ(w.y, 8.0);
+  Vec2 u = 0.5 * v;
+  EXPECT_DOUBLE_EQ(u.x, 1.5);
+  EXPECT_DOUBLE_EQ(u.Norm(), 2.5);
+}
+
+TEST(PointTest, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(Distance(Point{0, 0}, Point{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(Point{0, 0}, Point{3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(Point{1, 1}, Point{1, 1}), 0.0);
+}
+
+// --- Rect -------------------------------------------------------------------
+
+TEST(RectTest, BasicAccessors) {
+  Rect r{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r.hx(), 4.0);
+  EXPECT_DOUBLE_EQ(r.hy(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 7.0);
+  EXPECT_DOUBLE_EQ(r.Center().x, 2.5);
+  EXPECT_DOUBLE_EQ(r.Center().y, 4.0);
+}
+
+TEST(RectTest, ContainsPointIsClosed) {
+  Rect r{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(r.Contains(Point{5, 5}));
+  EXPECT_TRUE(r.Contains(Point{0, 0}));    // boundary included
+  EXPECT_TRUE(r.Contains(Point{10, 10}));  // boundary included
+  EXPECT_FALSE(r.Contains(Point{10.001, 5}));
+  EXPECT_FALSE(r.Contains(Point{-0.001, 5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.Contains(Rect{1, 1, 2, 2}));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect{9, 9, 2, 2}));
+}
+
+TEST(RectTest, IntersectsIsSymmetricAndClosed) {
+  Rect a{0, 0, 5, 5};
+  Rect b{5, 5, 5, 5};  // shares exactly one corner point
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  Rect c{5.001, 5.001, 1, 1};
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(RectTest, UnionCoversBoth) {
+  Rect u = Rect::Union(Rect{0, 0, 1, 1}, Rect{5, 5, 1, 1});
+  EXPECT_TRUE(u.Contains(Rect{0, 0, 1, 1}));
+  EXPECT_TRUE(u.Contains(Rect{5, 5, 1, 1}));
+  EXPECT_DOUBLE_EQ(u.Area(), 36.0);
+}
+
+TEST(RectTest, FromCornersNormalizesOrder) {
+  Rect r = Rect::FromCorners(Point{5, 1}, Point{2, 7});
+  EXPECT_DOUBLE_EQ(r.lx, 2.0);
+  EXPECT_DOUBLE_EQ(r.ly, 1.0);
+  EXPECT_DOUBLE_EQ(r.w, 3.0);
+  EXPECT_DOUBLE_EQ(r.h, 6.0);
+}
+
+TEST(RectTest, IntersectionArea) {
+  EXPECT_DOUBLE_EQ(IntersectionArea(Rect{0, 0, 4, 4}, Rect{2, 2, 4, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(IntersectionArea(Rect{0, 0, 1, 1}, Rect{2, 2, 1, 1}), 0.0);
+  // Touching edges have zero-area intersection.
+  EXPECT_DOUBLE_EQ(IntersectionArea(Rect{0, 0, 2, 2}, Rect{2, 0, 2, 2}), 0.0);
+}
+
+TEST(RectTest, Enlargement) {
+  Rect base{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(Enlargement(base, Rect{1, 1, 1, 1}), 0.0);  // contained
+  EXPECT_DOUBLE_EQ(Enlargement(base, Rect{0, 0, 4, 2}), 4.0);
+}
+
+TEST(RectTest, MinDistanceToPoint) {
+  Rect r{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(MinDistance(r, Point{1, 1}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(MinDistance(r, Point{5, 1}), 3.0);   // right of
+  EXPECT_DOUBLE_EQ(MinDistance(r, Point{5, 6}), 5.0);   // diagonal 3-4-5
+}
+
+// --- Circle -----------------------------------------------------------------
+
+TEST(CircleTest, ContainsIsClosed) {
+  Circle c{Point{0, 0}, 5.0};
+  EXPECT_TRUE(c.Contains(Point{3, 4}));   // exactly on boundary
+  EXPECT_TRUE(c.Contains(Point{0, 0}));
+  EXPECT_FALSE(c.Contains(Point{3.01, 4.01}));
+}
+
+TEST(CircleTest, BoundingRectIsTight) {
+  Circle c{Point{2, 3}, 1.5};
+  Rect bb = c.BoundingRect();
+  EXPECT_DOUBLE_EQ(bb.lx, 0.5);
+  EXPECT_DOUBLE_EQ(bb.ly, 1.5);
+  EXPECT_DOUBLE_EQ(bb.w, 3.0);
+  EXPECT_DOUBLE_EQ(bb.h, 3.0);
+}
+
+TEST(CircleTest, IntersectsRect) {
+  Circle c{Point{0, 0}, 1.0};
+  EXPECT_TRUE(c.Intersects(Rect{-0.5, -0.5, 1.0, 1.0}));  // center inside
+  EXPECT_TRUE(c.Intersects(Rect{0.9, -0.1, 1.0, 0.2}));   // edge overlap
+  EXPECT_FALSE(c.Intersects(Rect{2, 2, 1, 1}));
+  // Corner case: rect corner just outside the radius along the diagonal.
+  EXPECT_FALSE(c.Intersects(Rect{0.8, 0.8, 1, 1}));
+  EXPECT_TRUE(c.Intersects(Rect{0.7, 0.7, 1, 1}));
+}
+
+TEST(CircleTest, IntersectsRectContainingCircle) {
+  Circle c{Point{5, 5}, 1.0};
+  EXPECT_TRUE(c.Intersects(Rect{0, 0, 10, 10}));
+}
+
+}  // namespace
+}  // namespace mobieyes::geo

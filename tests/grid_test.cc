@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <utility>
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/geo/grid.h"
+
+namespace mobieyes::geo {
+namespace {
+
+Grid MakeGrid(double side = 100.0, double alpha = 10.0) {
+  auto grid = Grid::Make(Rect{0, 0, side, side}, alpha);
+  EXPECT_TRUE(grid.ok());
+  return *grid;
+}
+
+// --- Construction -----------------------------------------------------------
+
+TEST(GridTest, MakeRejectsBadArguments) {
+  EXPECT_FALSE(Grid::Make(Rect{0, 0, 10, 10}, 0.0).ok());
+  EXPECT_FALSE(Grid::Make(Rect{0, 0, 10, 10}, -1.0).ok());
+  EXPECT_FALSE(Grid::Make(Rect{0, 0, 0, 10}, 1.0).ok());
+}
+
+TEST(GridTest, DimensionsUseCeiling) {
+  Grid grid = MakeGrid(100.0, 10.0);
+  EXPECT_EQ(grid.columns(), 10);
+  EXPECT_EQ(grid.rows(), 10);
+  EXPECT_EQ(grid.CellCount(), 100);
+
+  // Non-divisible side: M = ceil(H / alpha) per the paper.
+  auto ragged = Grid::Make(Rect{0, 0, 105, 95}, 10.0);
+  ASSERT_TRUE(ragged.ok());
+  EXPECT_EQ(ragged->columns(), 11);
+  EXPECT_EQ(ragged->rows(), 10);
+}
+
+// --- Pmap (position -> cell) -----------------------------------------------
+
+TEST(GridTest, CellOfMapsInteriorPoints) {
+  Grid grid = MakeGrid();
+  EXPECT_EQ(grid.CellOf(Point{5, 5}), (CellCoord{0, 0}));
+  EXPECT_EQ(grid.CellOf(Point{15, 5}), (CellCoord{1, 0}));
+  EXPECT_EQ(grid.CellOf(Point{95, 95}), (CellCoord{9, 9}));
+}
+
+TEST(GridTest, CellOfClampsBoundary) {
+  Grid grid = MakeGrid();
+  // The far boundary belongs to the last cell (clamped).
+  EXPECT_EQ(grid.CellOf(Point{100, 100}), (CellCoord{9, 9}));
+  EXPECT_EQ(grid.CellOf(Point{0, 0}), (CellCoord{0, 0}));
+}
+
+TEST(GridTest, CellOfOffsetUniverse) {
+  auto grid = Grid::Make(Rect{-50, -50, 100, 100}, 10.0);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->CellOf(Point{-45, -45}), (CellCoord{0, 0}));
+  EXPECT_EQ(grid->CellOf(Point{0, 0}), (CellCoord{5, 5}));
+}
+
+TEST(GridTest, CellRectRoundTripsWithCellOf) {
+  Grid grid = MakeGrid();
+  Rng rng(31);
+  for (int trial = 0; trial < 1000; ++trial) {
+    Point p{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    CellCoord c = grid.CellOf(p);
+    EXPECT_TRUE(grid.CellRect(c).Contains(p))
+        << "point (" << p.x << "," << p.y << ") not in its own cell";
+  }
+}
+
+TEST(GridTest, CellRectClipsAtRaggedEdge) {
+  auto grid = Grid::Make(Rect{0, 0, 105, 100}, 10.0);
+  ASSERT_TRUE(grid.ok());
+  Rect last = grid->CellRect(CellCoord{10, 0});
+  EXPECT_DOUBLE_EQ(last.lx, 100.0);
+  EXPECT_DOUBLE_EQ(last.w, 5.0);  // clipped to the universe edge
+}
+
+// --- Bounding box & monitoring region (paper §2.3) --------------------------
+
+TEST(GridTest, QueryBoundingBoxInflatesCellByRadius) {
+  Grid grid = MakeGrid();
+  Rect bb = grid.QueryBoundingBox(CellCoord{3, 4}, 2.5);
+  EXPECT_DOUBLE_EQ(bb.lx, 27.5);
+  EXPECT_DOUBLE_EQ(bb.ly, 37.5);
+  EXPECT_DOUBLE_EQ(bb.w, 15.0);  // alpha + 2r
+  EXPECT_DOUBLE_EQ(bb.h, 15.0);
+}
+
+TEST(GridTest, MonitoringRegionCoversNeighborCells) {
+  Grid grid = MakeGrid();
+  // Radius smaller than alpha: the 3x3 block around the focal cell.
+  CellRange region = grid.MonitoringRegion(CellCoord{5, 5}, 2.0);
+  EXPECT_EQ(region.i_lo, 4);
+  EXPECT_EQ(region.i_hi, 6);
+  EXPECT_EQ(region.j_lo, 4);
+  EXPECT_EQ(region.j_hi, 6);
+  EXPECT_EQ(region.CellCount(), 9);
+}
+
+TEST(GridTest, MonitoringRegionGrowsWithRadius) {
+  Grid grid = MakeGrid();
+  // Radius larger than alpha: 5x5 block.
+  CellRange region = grid.MonitoringRegion(CellCoord{5, 5}, 12.0);
+  EXPECT_EQ(region.CellCount(), 25);
+}
+
+TEST(GridTest, MonitoringRegionClampedAtBorder) {
+  Grid grid = MakeGrid();
+  CellRange region = grid.MonitoringRegion(CellCoord{0, 0}, 2.0);
+  EXPECT_EQ(region.i_lo, 0);
+  EXPECT_EQ(region.j_lo, 0);
+  EXPECT_EQ(region.CellCount(), 4);  // 2x2 block in the corner
+}
+
+// Invariant from §2.3: wherever the focal object is inside its cell and
+// whatever direction the circle extends, the circle stays inside the
+// monitoring region.
+TEST(GridTest, MonitoringRegionContainsAllReachableCirclePositions) {
+  Grid grid = MakeGrid();
+  Rng rng(37);
+  for (int trial = 0; trial < 500; ++trial) {
+    Point focal{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    double radius = rng.NextDouble(0.5, 15.0);
+    CellCoord cell = grid.CellOf(focal);
+    CellRange region = grid.MonitoringRegion(cell, radius);
+    // Sample points on the circle boundary.
+    for (int k = 0; k < 16; ++k) {
+      double angle = k * std::numbers::pi / 8.0;
+      Point edge{focal.x + radius * std::cos(angle),
+                 focal.y + radius * std::sin(angle)};
+      if (!grid.universe().Contains(edge)) continue;  // outside the UoD
+      EXPECT_TRUE(region.Contains(grid.CellOf(edge)))
+          << "circle edge escapes monitoring region";
+    }
+  }
+}
+
+// --- CellRange --------------------------------------------------------------
+
+TEST(CellRangeTest, EmptyByDefault) {
+  CellRange range;
+  EXPECT_TRUE(range.empty());
+  EXPECT_EQ(range.CellCount(), 0);
+  EXPECT_FALSE(range.Contains(CellCoord{0, 0}));
+}
+
+TEST(CellRangeTest, ContainsAndCount) {
+  CellRange range{2, 4, 3, 3};
+  EXPECT_EQ(range.CellCount(), 3);
+  EXPECT_TRUE(range.Contains(CellCoord{3, 3}));
+  EXPECT_FALSE(range.Contains(CellCoord{3, 4}));
+}
+
+TEST(CellRangeTest, UnionAndIntersects) {
+  CellRange a{0, 2, 0, 2};
+  CellRange b{4, 5, 4, 5};
+  EXPECT_FALSE(a.Intersects(b));
+  CellRange u = CellRange::Union(a, b);
+  EXPECT_TRUE(u.Contains(CellCoord{3, 3}));  // union is the bounding block
+  EXPECT_TRUE(u.Intersects(a));
+  EXPECT_TRUE(u.Intersects(b));
+  EXPECT_EQ(CellRange::Union(a, CellRange{}).CellCount(), a.CellCount());
+}
+
+TEST(CellRangeTest, ForEachVisitsEveryCellOnce) {
+  CellRange range{1, 3, 2, 4};
+  std::set<std::pair<int32_t, int32_t>> seen;
+  range.ForEach([&](int32_t i, int32_t j) { seen.insert({i, j}); });
+  EXPECT_EQ(seen.size(), 9u);
+  EXPECT_TRUE(seen.contains({1, 2}));
+  EXPECT_TRUE(seen.contains({3, 4}));
+}
+
+TEST(GridTest, CellsIntersectingDisjointRect) {
+  Grid grid = MakeGrid();
+  EXPECT_TRUE(grid.CellsIntersecting(Rect{200, 200, 10, 10}).empty());
+}
+
+// Parameterized sweep: the core grid invariants hold across cell sizes,
+// including the paper's extreme settings alpha = 0.5 and alpha = 16.
+class GridAlphaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridAlphaSweepTest, PmapPartitionInvariants) {
+  double alpha = GetParam();
+  auto grid = Grid::Make(Rect{0, 0, 100, 100}, alpha);
+  ASSERT_TRUE(grid.ok());
+  Rng rng(83);
+  for (int trial = 0; trial < 300; ++trial) {
+    Point p{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    CellCoord c = grid->CellOf(p);
+    ASSERT_TRUE(grid->IsValid(c));
+    ASSERT_TRUE(grid->CellRect(c).Contains(p));
+  }
+}
+
+TEST_P(GridAlphaSweepTest, MonitoringRegionContainsCircleEverywhere) {
+  double alpha = GetParam();
+  auto grid = Grid::Make(Rect{0, 0, 100, 100}, alpha);
+  ASSERT_TRUE(grid.ok());
+  Rng rng(89);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point focal{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    double radius = rng.NextDouble(0.2, 8.0);
+    CellRange region = grid->MonitoringRegion(grid->CellOf(focal), radius);
+    for (int k = 0; k < 8; ++k) {
+      double angle = k * std::numbers::pi / 4.0;
+      Point edge{focal.x + radius * std::cos(angle),
+                 focal.y + radius * std::sin(angle)};
+      if (!grid->universe().Contains(edge)) continue;
+      ASSERT_TRUE(region.Contains(grid->CellOf(edge)))
+          << "alpha " << alpha << " radius " << radius;
+    }
+  }
+}
+
+TEST_P(GridAlphaSweepTest, AnisotropicRegionMatchesPerAxisReach) {
+  double alpha = GetParam();
+  auto grid = Grid::Make(Rect{0, 0, 100, 100}, alpha);
+  ASSERT_TRUE(grid.ok());
+  CellCoord center = grid->CellOf(Point{50, 50});
+  CellRange wide = grid->MonitoringRegion(center, 10.0, 0.5);
+  CellRange tall = grid->MonitoringRegion(center, 0.5, 10.0);
+  EXPECT_EQ(wide.i_hi - wide.i_lo, tall.j_hi - tall.j_lo);
+  EXPECT_EQ(wide.j_hi - wide.j_lo, tall.i_hi - tall.i_lo);
+  EXPECT_GE(wide.i_hi - wide.i_lo, wide.j_hi - wide.j_lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, GridAlphaSweepTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 16.0),
+                         [](const auto& info) {
+                           return "Alpha" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 10));
+                         });
+
+TEST(GridTest, FlatIndexIsRowMajorBijection) {
+  Grid grid = MakeGrid();
+  std::set<int64_t> seen;
+  for (int32_t j = 0; j < grid.rows(); ++j) {
+    for (int32_t i = 0; i < grid.columns(); ++i) {
+      seen.insert(grid.FlatIndex(CellCoord{i, j}));
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), grid.CellCount());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), grid.CellCount() - 1);
+}
+
+}  // namespace
+}  // namespace mobieyes::geo

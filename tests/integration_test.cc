@@ -1,0 +1,174 @@
+// End-to-end integration tests: the full distributed protocol against the
+// exact oracle, and cross-scheme result agreement on identical workloads.
+
+#include <gtest/gtest.h>
+
+#include "mobieyes/sim/simulation.h"
+#include "test_harness.h"
+
+namespace mobieyes {
+namespace {
+
+using geo::Point;
+using geo::Vec2;
+using sim::RunMetrics;
+using sim::SimMode;
+using sim::Simulation;
+using sim::SimulationConfig;
+using test::MiniDeployment;
+using test::ObjectSpec;
+
+SimulationConfig Config(SimMode mode, uint64_t seed = 4242) {
+  SimulationConfig config;
+  config.mode = mode;
+  config.params.num_objects = 400;
+  config.params.num_queries = 40;
+  config.params.velocity_changes_per_step = 40;
+  config.params.area_square_miles = 10000.0;
+  config.params.alpha = 10.0;
+  config.params.base_station_side = 20.0;
+  config.params.seed = seed;
+  config.measure_error = true;
+  return config;
+}
+
+TEST(IntegrationTest, EagerResultsTrackOracleClosely) {
+  auto simulation = Simulation::Make(Config(SimMode::kMobiEyesEager));
+  ASSERT_TRUE(simulation.ok()) << simulation.status().ToString();
+  (*simulation)->Run(10);
+  RunMetrics metrics = (*simulation)->metrics();
+  // Eager propagation with dead reckoning: only Δ-bounded prediction error
+  // remains, so the average missing fraction stays small.
+  EXPECT_LT(metrics.AverageError(), 0.06) << "error " << metrics.AverageError();
+}
+
+TEST(IntegrationTest, LazyErrorIsBoundedAndAboveEager) {
+  auto eager = Simulation::Make(Config(SimMode::kMobiEyesEager));
+  auto lazy = Simulation::Make(Config(SimMode::kMobiEyesLazy));
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(lazy.ok());
+  (*eager)->Run(10);
+  (*lazy)->Run(10);
+  double eager_error = (*eager)->metrics().AverageError();
+  double lazy_error = (*lazy)->metrics().AverageError();
+  EXPECT_LE(eager_error, lazy_error + 1e-9);
+  EXPECT_LE(lazy_error, 0.5);  // lazy trades accuracy, but stays useful
+}
+
+TEST(IntegrationTest, LazyUsesFewerUplinksThanEager) {
+  auto eager = Simulation::Make(Config(SimMode::kMobiEyesEager));
+  auto lazy = Simulation::Make(Config(SimMode::kMobiEyesLazy));
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(lazy.ok());
+  (*eager)->Run(10);
+  (*lazy)->Run(10);
+  EXPECT_LT((*lazy)->metrics().network.uplink_messages,
+            (*eager)->metrics().network.uplink_messages);
+}
+
+TEST(IntegrationTest, ObjectIndexMatchesOracleEveryStep) {
+  auto simulation = Simulation::Make(Config(SimMode::kObjectIndex));
+  ASSERT_TRUE(simulation.ok());
+  // The object index re-evaluates all queries from fresh positions each
+  // step, so it matches the oracle exactly.
+  (*simulation)->Run(5);
+  EXPECT_DOUBLE_EQ((*simulation)->metrics().AverageError(), 0.0);
+}
+
+TEST(IntegrationTest, MobiEyesServerLoadBelowCentralizedBaselines) {
+  auto mobieyes = Simulation::Make(Config(SimMode::kMobiEyesEager));
+  auto object_index = Simulation::Make(Config(SimMode::kObjectIndex));
+  ASSERT_TRUE(mobieyes.ok());
+  ASSERT_TRUE(object_index.ok());
+  (*mobieyes)->Run(8);
+  (*object_index)->Run(8);
+  // The headline claim (Fig. 1): distributed processing slashes server load.
+  EXPECT_LT((*mobieyes)->metrics().server_seconds,
+            (*object_index)->metrics().server_seconds);
+}
+
+TEST(IntegrationTest, SafePeriodReducesEvaluationsWithoutAccuracyLoss) {
+  SimulationConfig with_sp = Config(SimMode::kMobiEyesEager);
+  with_sp.mobieyes.enable_safe_period = true;
+  SimulationConfig without_sp = Config(SimMode::kMobiEyesEager);
+
+  auto sim_with = Simulation::Make(with_sp);
+  auto sim_without = Simulation::Make(without_sp);
+  ASSERT_TRUE(sim_with.ok());
+  ASSERT_TRUE(sim_without.ok());
+  (*sim_with)->Run(10);
+  (*sim_without)->Run(10);
+
+  EXPECT_LT((*sim_with)->metrics().queries_evaluated,
+            (*sim_without)->metrics().queries_evaluated);
+  EXPECT_GT((*sim_with)->metrics().safe_period_skips, 0u);
+  // Accuracy is preserved up to the Δ slack.
+  EXPECT_LT((*sim_with)->metrics().AverageError(),
+            (*sim_without)->metrics().AverageError() + 0.05);
+}
+
+// A controlled multi-query, multi-object scenario driven tick by tick,
+// cross-checked against the oracle at every step.
+TEST(IntegrationTest, MiniDeploymentTracksOracleExactlyUnderConstantMotion) {
+  std::vector<ObjectSpec> specs;
+  // Focal objects.
+  specs.push_back({Point{30, 30}, Vec2{0.02, 0.01}});
+  specs.push_back({Point{70, 70}, Vec2{-0.02, 0.0}});
+  // Bystanders with varied trajectories (constant velocity: predictions
+  // are exact, so the protocol must match the oracle exactly after each
+  // tick).
+  specs.push_back({Point{34, 30}, Vec2{-0.01, 0.01}});
+  specs.push_back({Point{66, 70}, Vec2{0.02, 0.0}});
+  specs.push_back({Point{50, 50}, Vec2{0.015, 0.015}});
+  specs.push_back({Point{28, 33}, Vec2{0.02, -0.01}});
+
+  MiniDeployment deployment(specs);
+  sim::ExactOracle oracle(deployment.world());
+  std::vector<QueryId> qids;
+  qids.push_back(*deployment.server().InstallQuery(0, 6.0, 1.0));
+  qids.push_back(*deployment.server().InstallQuery(1, 5.0, 1.0));
+  std::vector<std::pair<ObjectId, Miles>> query_defs = {{0, 6.0}, {1, 5.0}};
+
+  for (int step = 0; step < 15; ++step) {
+    deployment.Tick();
+    for (size_t k = 0; k < qids.size(); ++k) {
+      auto exact = oracle.Evaluate(query_defs[k].first, query_defs[k].second,
+                                   1.0);
+      auto reported = deployment.server().QueryResult(qids[k]);
+      ASSERT_TRUE(reported.ok());
+      ASSERT_EQ(*reported, exact) << "step " << step << " query " << k;
+    }
+  }
+}
+
+TEST(IntegrationTest, GroupingDoesNotChangeSimulationResults) {
+  SimulationConfig grouped = Config(SimMode::kMobiEyesEager);
+  grouped.mobieyes.enable_query_grouping = true;
+  SimulationConfig ungrouped = Config(SimMode::kMobiEyesEager);
+  ungrouped.mobieyes.enable_query_grouping = false;
+
+  auto sim_grouped = Simulation::Make(grouped);
+  auto sim_ungrouped = Simulation::Make(ungrouped);
+  ASSERT_TRUE(sim_grouped.ok());
+  ASSERT_TRUE(sim_ungrouped.ok());
+  (*sim_grouped)->Run(8);
+  (*sim_ungrouped)->Run(8);
+  // Identical error trajectories: grouping is purely an optimization.
+  EXPECT_DOUBLE_EQ((*sim_grouped)->metrics().AverageError(),
+                   (*sim_ungrouped)->metrics().AverageError());
+}
+
+TEST(IntegrationTest, UplinkShareShrinksUnderMobiEyes) {
+  auto naive = Simulation::Make(Config(SimMode::kNaive));
+  auto lazy = Simulation::Make(Config(SimMode::kMobiEyesLazy));
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(lazy.ok());
+  (*naive)->Run(8);
+  (*lazy)->Run(8);
+  // Fig. 6: LQP cuts uplink traffic by orders of magnitude vs naive.
+  EXPECT_LT((*lazy)->metrics().network.uplink_messages * 5,
+            (*naive)->metrics().network.uplink_messages);
+}
+
+}  // namespace
+}  // namespace mobieyes

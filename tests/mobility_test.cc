@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/mobility/motion_model.h"
+#include "mobieyes/mobility/world.h"
+
+namespace mobieyes::mobility {
+namespace {
+
+using geo::CellCoord;
+using geo::Circle;
+using geo::Grid;
+using geo::Point;
+using geo::Rect;
+using geo::Vec2;
+
+Grid MakeGrid() {
+  auto grid = Grid::Make(Rect{0, 0, 100, 100}, 10.0);
+  EXPECT_TRUE(grid.ok());
+  return *grid;
+}
+
+ObjectState MakeObject(ObjectId oid, Point pos, Vec2 vel = {},
+                       double max_speed = 1.0) {
+  ObjectState object;
+  object.oid = oid;
+  object.pos = pos;
+  object.vel = vel;
+  object.max_speed = max_speed;
+  return object;
+}
+
+// --- Motion model -----------------------------------------------------------
+
+TEST(MotionModelTest, RandomizeVelocityRespectsMaxSpeed) {
+  Rng rng(43);
+  ObjectState object = MakeObject(0, Point{50, 50}, {}, 2.5);
+  for (int k = 0; k < 1000; ++k) {
+    RandomVelocityModel::RandomizeVelocity(object, rng);
+    EXPECT_LE(object.vel.Norm(), 2.5 + 1e-12);
+  }
+}
+
+TEST(MotionModelTest, RandomizeVelocityCoversAllDirections) {
+  Rng rng(47);
+  ObjectState object = MakeObject(0, Point{50, 50}, {}, 1.0);
+  int quadrant_hits[4] = {0, 0, 0, 0};
+  for (int k = 0; k < 1000; ++k) {
+    RandomVelocityModel::RandomizeVelocity(object, rng);
+    int quadrant = (object.vel.x >= 0 ? 0 : 1) + (object.vel.y >= 0 ? 0 : 2);
+    ++quadrant_hits[quadrant];
+  }
+  for (int count : quadrant_hits) EXPECT_GT(count, 150);
+}
+
+TEST(MotionModelTest, AdvanceMovesLinearly) {
+  ObjectState object = MakeObject(0, Point{10, 10}, Vec2{1.0, 0.5});
+  RandomVelocityModel::Advance(object, 2.0, Rect{0, 0, 100, 100});
+  EXPECT_DOUBLE_EQ(object.pos.x, 12.0);
+  EXPECT_DOUBLE_EQ(object.pos.y, 11.0);
+}
+
+TEST(MotionModelTest, AdvanceReflectsAtBorder) {
+  ObjectState object = MakeObject(0, Point{1, 50}, Vec2{-2.0, 0.0});
+  RandomVelocityModel::Advance(object, 1.0, Rect{0, 0, 100, 100});
+  EXPECT_DOUBLE_EQ(object.pos.x, 1.0);  // bounced off x=0
+  EXPECT_DOUBLE_EQ(object.vel.x, 2.0);  // velocity flipped
+}
+
+TEST(MotionModelTest, AdvanceReflectsAtCorner) {
+  ObjectState object = MakeObject(0, Point{99, 99}, Vec2{2.0, 3.0});
+  RandomVelocityModel::Advance(object, 1.0, Rect{0, 0, 100, 100});
+  EXPECT_DOUBLE_EQ(object.pos.x, 99.0);
+  EXPECT_DOUBLE_EQ(object.pos.y, 98.0);
+  EXPECT_DOUBLE_EQ(object.vel.x, -2.0);
+  EXPECT_DOUBLE_EQ(object.vel.y, -3.0);
+}
+
+TEST(MotionModelTest, ObjectStaysInsideUniverseUnderLongSimulation) {
+  Rng rng(53);
+  Rect universe{0, 0, 100, 100};
+  ObjectState object = MakeObject(0, Point{50, 50}, {}, 3.0);
+  for (int step = 0; step < 5000; ++step) {
+    if (step % 10 == 0) RandomVelocityModel::RandomizeVelocity(object, rng);
+    RandomVelocityModel::Advance(object, 30.0, universe);
+    ASSERT_TRUE(universe.Contains(object.pos)) << "escaped at step " << step;
+  }
+}
+
+// --- World ------------------------------------------------------------------
+
+TEST(WorldTest, MakeRejectsSparseIds) {
+  Grid grid = MakeGrid();
+  std::vector<ObjectState> objects = {MakeObject(5, Point{1, 1})};
+  EXPECT_FALSE(World::Make(grid, objects).ok());
+}
+
+TEST(WorldTest, MakeRejectsOutOfUniversePositions) {
+  Grid grid = MakeGrid();
+  std::vector<ObjectState> objects = {MakeObject(0, Point{500, 1})};
+  EXPECT_FALSE(World::Make(grid, objects).ok());
+}
+
+TEST(WorldTest, AssignsInitialCells) {
+  Grid grid = MakeGrid();
+  auto world = World::Make(
+      grid, {MakeObject(0, Point{5, 5}), MakeObject(1, Point{95, 95})});
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->object(0).cell, (CellCoord{0, 0}));
+  EXPECT_EQ(world->object(1).cell, (CellCoord{9, 9}));
+}
+
+TEST(WorldTest, StepAdvancesTimeAndPositions) {
+  Grid grid = MakeGrid();
+  auto world = World::Make(
+      grid, {MakeObject(0, Point{50, 50}, Vec2{0.1, 0.0})});
+  ASSERT_TRUE(world.ok());
+  Rng rng(59);
+  world->Step(30.0, 0, rng);
+  EXPECT_DOUBLE_EQ(world->now(), 30.0);
+  EXPECT_EQ(world->step_count(), 1);
+  EXPECT_DOUBLE_EQ(world->object(0).pos.x, 53.0);
+}
+
+TEST(WorldTest, StepUpdatesCellIndex) {
+  Grid grid = MakeGrid();
+  auto world = World::Make(
+      grid, {MakeObject(0, Point{9.5, 5}, Vec2{0.1, 0.0})});
+  ASSERT_TRUE(world.ok());
+  Rng rng(61);
+  world->Step(30.0, 0, rng);  // moves 3 miles: crosses into cell (1, 0)
+  EXPECT_EQ(world->object(0).cell, (CellCoord{1, 0}));
+  std::set<ObjectId> in_new_cell;
+  world->ForEachObjectInCell(CellCoord{1, 0},
+                             [&](ObjectId oid) { in_new_cell.insert(oid); });
+  EXPECT_TRUE(in_new_cell.contains(0));
+  std::set<ObjectId> in_old_cell;
+  world->ForEachObjectInCell(CellCoord{0, 0},
+                             [&](ObjectId oid) { in_old_cell.insert(oid); });
+  EXPECT_FALSE(in_old_cell.contains(0));
+}
+
+TEST(WorldTest, VelocityChangesHitExactCount) {
+  Grid grid = MakeGrid();
+  std::vector<ObjectState> objects;
+  for (int k = 0; k < 100; ++k) {
+    objects.push_back(MakeObject(k, Point{50, 50}, Vec2{}, 1.0));
+  }
+  auto world = World::Make(grid, std::move(objects));
+  ASSERT_TRUE(world.ok());
+  Rng rng(67);
+  world->Step(30.0, 40, rng);
+  int moving = 0;
+  for (const auto& object : world->objects()) {
+    if (object.vel.Norm() > 0.0) ++moving;
+  }
+  // All objects started with zero velocity; exactly 40 were re-drawn (a
+  // freshly drawn speed is almost surely nonzero).
+  EXPECT_EQ(moving, 40);
+}
+
+TEST(WorldTest, ForEachObjectInCircleMatchesBruteForce) {
+  Grid grid = MakeGrid();
+  Rng rng(71);
+  std::vector<ObjectState> objects;
+  for (int k = 0; k < 500; ++k) {
+    objects.push_back(MakeObject(
+        k, Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)}));
+  }
+  auto world = World::Make(grid, std::move(objects));
+  ASSERT_TRUE(world.ok());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    Circle circle{Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)},
+                  rng.NextDouble(1, 25)};
+    std::set<ObjectId> via_index;
+    world->ForEachObjectInCircle(circle,
+                                 [&](ObjectId oid) { via_index.insert(oid); });
+    std::set<ObjectId> brute;
+    for (const auto& object : world->objects()) {
+      if (circle.Contains(object.pos)) brute.insert(object.oid);
+    }
+    ASSERT_EQ(via_index, brute);
+  }
+}
+
+TEST(WorldTest, CoverageQueryIsCellGranular) {
+  Grid grid = MakeGrid();
+  // Object at (12, 5): cell (1, 0) spans [10,20)x[0,10).
+  auto world = World::Make(grid, {MakeObject(0, Point{12, 5})});
+  ASSERT_TRUE(world.ok());
+
+  // Circle overlapping cell (1,0) but not containing the object's point:
+  // cell-granular coverage still reports the object...
+  Circle touching{Point{21, 5}, 2.0};
+  std::set<ObjectId> covered;
+  world->ForEachObjectUnderCoverage(touching,
+                                    [&](ObjectId oid) { covered.insert(oid); });
+  EXPECT_TRUE(covered.contains(0));
+  // ...while the exact point query does not.
+  covered.clear();
+  world->ForEachObjectInCircle(touching,
+                               [&](ObjectId oid) { covered.insert(oid); });
+  EXPECT_FALSE(covered.contains(0));
+
+  // A circle away from the object's cell reports nothing either way.
+  Circle far{Point{55, 55}, 3.0};
+  covered.clear();
+  world->ForEachObjectUnderCoverage(far,
+                                    [&](ObjectId oid) { covered.insert(oid); });
+  EXPECT_TRUE(covered.empty());
+}
+
+TEST(WorldTest, SetObjectStateReindexes) {
+  Grid grid = MakeGrid();
+  auto world = World::Make(grid, {MakeObject(0, Point{5, 5})});
+  ASSERT_TRUE(world.ok());
+  world->SetObjectState(0, Point{95, 95}, Vec2{1, 1});
+  EXPECT_EQ(world->object(0).cell, (CellCoord{9, 9}));
+  std::set<ObjectId> found;
+  world->ForEachObjectInCell(CellCoord{9, 9},
+                             [&](ObjectId oid) { found.insert(oid); });
+  EXPECT_TRUE(found.contains(0));
+}
+
+TEST(WorldTest, DeterministicGivenSeed) {
+  Grid grid = MakeGrid();
+  auto make = [&] {
+    std::vector<ObjectState> objects;
+    for (int k = 0; k < 50; ++k) {
+      objects.push_back(MakeObject(k, Point{50, 50}, Vec2{}, 2.0));
+    }
+    auto world = World::Make(grid, std::move(objects));
+    EXPECT_TRUE(world.ok());
+    return std::make_unique<World>(std::move(*world));
+  };
+  auto world_a = make();
+  auto world_b = make();
+  Rng rng_a(73);
+  Rng rng_b(73);
+  for (int step = 0; step < 20; ++step) {
+    world_a->Step(30.0, 10, rng_a);
+    world_b->Step(30.0, 10, rng_b);
+  }
+  for (size_t oid = 0; oid < 50; ++oid) {
+    EXPECT_EQ(world_a->object(oid).pos, world_b->object(oid).pos);
+  }
+}
+
+}  // namespace
+}  // namespace mobieyes::mobility

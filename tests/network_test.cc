@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mobieyes/net/base_station.h"
+#include "mobieyes/net/message.h"
+#include "mobieyes/net/network.h"
+
+namespace mobieyes::net {
+namespace {
+
+Message Ping() { return MakeMessage(PositionVelocityRequest{1}); }
+
+TEST(NetworkTest, UplinkReachesServerAndCounts) {
+  WirelessNetwork network;
+  ObjectId seen_from = kInvalidObjectId;
+  MessageType seen_type{};
+  network.set_server_handler([&](ObjectId from, const Message& message) {
+    seen_from = from;
+    seen_type = message.type;
+  });
+  network.SendUplink(5, MakeMessage(CellChangeReport{5, {0, 0}, {1, 0}}));
+  EXPECT_EQ(seen_from, 5);
+  EXPECT_EQ(seen_type, MessageType::kCellChangeReport);
+  EXPECT_EQ(network.stats().uplink_messages, 1u);
+  EXPECT_EQ(network.stats().downlink_messages, 0u);
+  EXPECT_GT(network.stats().uplink_bytes, 0u);
+  EXPECT_EQ(network.stats().tx_bytes_per_object.at(5),
+            network.stats().uplink_bytes);
+}
+
+TEST(NetworkTest, DownlinkReachesOnlyTarget) {
+  WirelessNetwork network;
+  int deliveries_to_1 = 0;
+  int deliveries_to_2 = 0;
+  network.RegisterClient(1, [&](const Message&) { ++deliveries_to_1; });
+  network.RegisterClient(2, [&](const Message&) { ++deliveries_to_2; });
+  network.SendDownlinkTo(1, Ping());
+  EXPECT_EQ(deliveries_to_1, 1);
+  EXPECT_EQ(deliveries_to_2, 0);
+  EXPECT_EQ(network.stats().downlink_messages, 1u);
+  EXPECT_EQ(network.stats().broadcast_messages, 0u);
+}
+
+TEST(NetworkTest, BroadcastReachesObjectsInCoverage) {
+  WirelessNetwork network;
+  // Objects 0,1 inside coverage; 2 outside.
+  std::vector<geo::Point> positions = {{1, 1}, {2, 2}, {50, 50}};
+  network.set_coverage_query(
+      [&](const geo::Circle& circle, const std::function<void(ObjectId)>& fn) {
+        for (size_t oid = 0; oid < positions.size(); ++oid) {
+          if (circle.Contains(positions[oid])) fn(static_cast<ObjectId>(oid));
+        }
+      });
+  std::vector<int> deliveries(3, 0);
+  for (ObjectId oid = 0; oid < 3; ++oid) {
+    network.RegisterClient(oid,
+                           [&deliveries, oid](const Message&) {
+                             ++deliveries[oid];
+                           });
+  }
+  BaseStation station{0, geo::Circle{geo::Point{0, 0}, 5.0}};
+  network.Broadcast(station, Ping());
+  EXPECT_EQ(deliveries[0], 1);
+  EXPECT_EQ(deliveries[1], 1);
+  EXPECT_EQ(deliveries[2], 0);
+  // One broadcast = one downlink message on the medium, two receptions.
+  EXPECT_EQ(network.stats().downlink_messages, 1u);
+  EXPECT_EQ(network.stats().broadcast_messages, 1u);
+  EXPECT_EQ(network.stats().broadcast_receptions, 2u);
+  EXPECT_TRUE(network.stats().rx_bytes_per_object.contains(0));
+  EXPECT_TRUE(network.stats().rx_bytes_per_object.contains(1));
+  EXPECT_FALSE(network.stats().rx_bytes_per_object.contains(2));
+}
+
+TEST(NetworkTest, ReentrantDeliveryIsSafe) {
+  WirelessNetwork network;
+  // The client replies with an uplink from inside the downlink handler.
+  int server_receipts = 0;
+  network.set_server_handler(
+      [&](ObjectId, const Message&) { ++server_receipts; });
+  network.RegisterClient(1, [&](const Message& message) {
+    if (message.type == MessageType::kPositionVelocityRequest) {
+      network.SendUplink(1, MakeMessage(PositionVelocityReport{}));
+    }
+  });
+  network.SendDownlinkTo(1, Ping());
+  EXPECT_EQ(server_receipts, 1);
+  EXPECT_EQ(network.stats().uplink_messages, 1u);
+  EXPECT_EQ(network.stats().downlink_messages, 1u);
+}
+
+TEST(NetworkTest, ResetStatsClearsEverything) {
+  WirelessNetwork network;
+  network.SendUplink(1, Ping());
+  network.ResetStats();
+  EXPECT_EQ(network.stats().total_messages(), 0u);
+  EXPECT_TRUE(network.stats().tx_bytes_per_object.empty());
+}
+
+TEST(NetworkTest, PerObjectTrackingCanBeDisabled) {
+  WirelessNetwork network;
+  network.set_track_per_object_bytes(false);
+  network.SendUplink(1, Ping());
+  EXPECT_EQ(network.stats().uplink_messages, 1u);
+  EXPECT_TRUE(network.stats().tx_bytes_per_object.empty());
+}
+
+TEST(NetworkTest, ObserverSeesEveryTransmission) {
+  WirelessNetwork network;
+  network.set_coverage_query(
+      [](const geo::Circle&, const std::function<void(ObjectId)>& fn) {
+        fn(7);
+      });
+  network.RegisterClient(7, [](const Message&) {});
+
+  MessageHistogram histogram;
+  std::vector<Direction> directions;
+  std::vector<int64_t> parties;
+  network.set_observer(
+      [&](Direction direction, int64_t party, const Message& message) {
+        directions.push_back(direction);
+        parties.push_back(party);
+        histogram.Record(message);
+      });
+
+  network.SendUplink(3, MakeMessage(CellChangeReport{3, {0, 0}, {1, 0}}));
+  network.SendDownlinkTo(7, Ping());
+  BaseStation station{42, geo::Circle{geo::Point{0, 0}, 5.0}};
+  network.Broadcast(station, MakeMessage(QueryRemoveBroadcast{{1}}));
+
+  ASSERT_EQ(directions.size(), 3u);
+  EXPECT_EQ(directions[0], Direction::kUplink);
+  EXPECT_EQ(parties[0], 3);
+  EXPECT_EQ(directions[1], Direction::kDownlink);
+  EXPECT_EQ(parties[1], 7);
+  EXPECT_EQ(directions[2], Direction::kBroadcast);
+  EXPECT_EQ(parties[2], 42);
+
+  EXPECT_EQ(histogram.TotalMessages(), 3u);
+  EXPECT_EQ(histogram.rows.at(MessageType::kCellChangeReport).messages, 1u);
+  EXPECT_GT(histogram.rows.at(MessageType::kQueryRemoveBroadcast).bytes, 0u);
+}
+
+TEST(NetworkTest, UnregisteredRecipientDropsSilently) {
+  WirelessNetwork network;
+  network.SendDownlinkTo(99, Ping());  // no client registered: no crash
+  EXPECT_EQ(network.stats().downlink_messages, 1u);
+}
+
+}  // namespace
+}  // namespace mobieyes::net

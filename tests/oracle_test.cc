@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "mobieyes/sim/oracle.h"
+
+namespace mobieyes::sim {
+namespace {
+
+using geo::Grid;
+using geo::Point;
+using geo::Rect;
+using mobility::ObjectState;
+using mobility::World;
+
+std::unique_ptr<World> MakeWorld(const Grid& grid,
+                                 std::vector<ObjectState> objects) {
+  auto world = World::Make(grid, std::move(objects));
+  EXPECT_TRUE(world.ok());
+  return std::make_unique<World>(std::move(*world));
+}
+
+ObjectState Obj(ObjectId oid, double x, double y, double attr = 0.0) {
+  ObjectState object;
+  object.oid = oid;
+  object.pos = Point{x, y};
+  object.attr = attr;
+  return object;
+}
+
+class OracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto grid = Grid::Make(Rect{0, 0, 100, 100}, 10.0);
+    ASSERT_TRUE(grid.ok());
+    grid_ = std::make_unique<Grid>(*grid);
+  }
+  std::unique_ptr<Grid> grid_;
+};
+
+TEST_F(OracleTest, FindsObjectsInsideRadius) {
+  auto world = MakeWorld(
+      *grid_, {Obj(0, 50, 50), Obj(1, 52, 50), Obj(2, 58, 50),
+               Obj(3, 50, 54)});
+  ExactOracle oracle(*world);
+  auto result = oracle.Evaluate(0, 5.0, 1.0);
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.contains(1));
+  EXPECT_TRUE(result.contains(3));
+  EXPECT_FALSE(result.contains(2));  // 8 miles away
+}
+
+TEST_F(OracleTest, ExcludesFocalObjectItself) {
+  auto world = MakeWorld(*grid_, {Obj(0, 50, 50), Obj(1, 51, 50)});
+  ExactOracle oracle(*world);
+  auto result = oracle.Evaluate(0, 5.0, 1.0);
+  EXPECT_FALSE(result.contains(0));
+  EXPECT_TRUE(result.contains(1));
+}
+
+TEST_F(OracleTest, AppliesFilterThreshold) {
+  auto world = MakeWorld(*grid_, {Obj(0, 50, 50), Obj(1, 51, 50, 0.9),
+                                  Obj(2, 52, 50, 0.2)});
+  ExactOracle oracle(*world);
+  auto result = oracle.Evaluate(0, 5.0, 0.5);
+  EXPECT_FALSE(result.contains(1));  // attr 0.9 > 0.5
+  EXPECT_TRUE(result.contains(2));
+}
+
+TEST_F(OracleTest, BoundaryIsInclusive) {
+  auto world = MakeWorld(*grid_, {Obj(0, 50, 50), Obj(1, 55, 50)});
+  ExactOracle oracle(*world);
+  EXPECT_TRUE(oracle.Evaluate(0, 5.0, 1.0).contains(1));
+  EXPECT_FALSE(oracle.Evaluate(0, 4.999, 1.0).contains(1));
+}
+
+TEST_F(OracleTest, TracksMovingWorld) {
+  auto world =
+      MakeWorld(*grid_, {Obj(0, 50, 50), Obj(1, 80, 50)});
+  ExactOracle oracle(*world);
+  EXPECT_TRUE(oracle.Evaluate(0, 5.0, 1.0).empty());
+  world->SetObjectState(1, Point{53, 50}, {});
+  EXPECT_TRUE(oracle.Evaluate(0, 5.0, 1.0).contains(1));
+}
+
+TEST(MissingFractionTest, EmptyExactIsZeroError) {
+  EXPECT_EQ(ExactOracle::MissingFraction({}, {}), 0.0);
+  EXPECT_EQ(ExactOracle::MissingFraction({}, {1, 2}), 0.0);
+}
+
+TEST(MissingFractionTest, CountsMissingIds) {
+  std::unordered_set<ObjectId> exact = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ExactOracle::MissingFraction(exact, {1, 2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(ExactOracle::MissingFraction(exact, {1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(ExactOracle::MissingFraction(exact, {}), 1.0);
+}
+
+TEST(MissingFractionTest, ExtraReportedIdsDoNotReduceError) {
+  std::unordered_set<ObjectId> exact = {1, 2};
+  // False positives are not part of the paper's error metric.
+  EXPECT_DOUBLE_EQ(ExactOracle::MissingFraction(exact, {1, 5, 6, 7}), 0.5);
+}
+
+}  // namespace
+}  // namespace mobieyes::sim

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mobieyes/core/rqi.h"
+
+namespace mobieyes::core {
+namespace {
+
+using geo::CellCoord;
+using geo::CellRange;
+using geo::Grid;
+using geo::Rect;
+
+Grid MakeGrid() {
+  auto grid = Grid::Make(Rect{0, 0, 100, 100}, 10.0);
+  EXPECT_TRUE(grid.ok());
+  return *grid;
+}
+
+bool Contains(const std::vector<QueryId>& list, QueryId qid) {
+  return std::find(list.begin(), list.end(), qid) != list.end();
+}
+
+TEST(RqiTest, AddRegistersOverWholeRegion) {
+  Grid grid = MakeGrid();
+  ReverseQueryIndex rqi(grid);
+  CellRange region{2, 4, 3, 5};
+  rqi.Add(7, region);
+  region.ForEach([&](int32_t i, int32_t j) {
+    EXPECT_TRUE(Contains(rqi.QueriesForCell(CellCoord{i, j}), 7));
+  });
+  EXPECT_FALSE(Contains(rqi.QueriesForCell(CellCoord{0, 0}), 7));
+  EXPECT_FALSE(Contains(rqi.QueriesForCell(CellCoord{5, 3}), 7));
+}
+
+TEST(RqiTest, RemoveUnregistersEverywhere) {
+  Grid grid = MakeGrid();
+  ReverseQueryIndex rqi(grid);
+  CellRange region{0, 2, 0, 2};
+  rqi.Add(1, region);
+  rqi.Remove(1, region);
+  region.ForEach([&](int32_t i, int32_t j) {
+    EXPECT_TRUE(rqi.QueriesForCell(CellCoord{i, j}).empty());
+  });
+}
+
+TEST(RqiTest, OverlappingQueriesCoexist) {
+  Grid grid = MakeGrid();
+  ReverseQueryIndex rqi(grid);
+  rqi.Add(1, CellRange{0, 3, 0, 3});
+  rqi.Add(2, CellRange{2, 5, 2, 5});
+  const auto& overlap = rqi.QueriesForCell(CellCoord{2, 2});
+  EXPECT_TRUE(Contains(overlap, 1));
+  EXPECT_TRUE(Contains(overlap, 2));
+  rqi.Remove(1, CellRange{0, 3, 0, 3});
+  EXPECT_FALSE(Contains(rqi.QueriesForCell(CellCoord{2, 2}), 1));
+  EXPECT_TRUE(Contains(rqi.QueriesForCell(CellCoord{2, 2}), 2));
+}
+
+TEST(RqiTest, NewQueriesForMoveReturnsDifference) {
+  Grid grid = MakeGrid();
+  ReverseQueryIndex rqi(grid);
+  rqi.Add(1, CellRange{0, 2, 0, 2});  // covers both cells below
+  rqi.Add(2, CellRange{2, 4, 0, 2});  // covers only the new cell
+  rqi.Add(3, CellRange{6, 8, 6, 8});  // covers neither
+  std::vector<QueryId> fresh =
+      rqi.NewQueriesForMove(CellCoord{1, 1}, CellCoord{3, 1});
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0], 2);
+}
+
+TEST(RqiTest, NewQueriesForMoveEmptyWhenNothingNew) {
+  Grid grid = MakeGrid();
+  ReverseQueryIndex rqi(grid);
+  rqi.Add(1, CellRange{0, 5, 0, 5});
+  EXPECT_TRUE(
+      rqi.NewQueriesForMove(CellCoord{1, 1}, CellCoord{2, 2}).empty());
+}
+
+TEST(RqiTest, MonitoringRegionMoveSimulation) {
+  // Simulates the server-side §3.5 flow: a query's region moves with its
+  // focal object; the RQI must track exactly the new region.
+  Grid grid = MakeGrid();
+  ReverseQueryIndex rqi(grid);
+  CellRange old_region = grid.MonitoringRegion(CellCoord{5, 5}, 3.0);
+  rqi.Add(9, old_region);
+  CellRange new_region = grid.MonitoringRegion(CellCoord{6, 5}, 3.0);
+  rqi.Remove(9, old_region);
+  rqi.Add(9, new_region);
+  EXPECT_FALSE(Contains(rqi.QueriesForCell(CellCoord{4, 5}), 9));
+  EXPECT_TRUE(Contains(rqi.QueriesForCell(CellCoord{7, 5}), 9));
+}
+
+}  // namespace
+}  // namespace mobieyes::core

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/rtree/rstar_tree.h"
+
+namespace mobieyes::rtree {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+
+TEST(KnnTest, EmptyTreeAndNonPositiveK) {
+  RStarTree tree;
+  std::vector<uint64_t> out;
+  tree.SearchKNearest(Point{0, 0}, 3, &out);
+  EXPECT_TRUE(out.empty());
+  tree.Insert(Rect{1, 1, 0, 0}, 1);
+  tree.SearchKNearest(Point{0, 0}, 0, &out);
+  EXPECT_TRUE(out.empty());
+  tree.SearchKNearest(Point{0, 0}, -2, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KnnTest, ReturnsNearestFirst) {
+  RStarTree tree;
+  tree.Insert(Rect{10, 0, 0, 0}, 1);
+  tree.Insert(Rect{5, 0, 0, 0}, 2);
+  tree.Insert(Rect{20, 0, 0, 0}, 3);
+  tree.Insert(Rect{1, 0, 0, 0}, 4);
+  std::vector<uint64_t> out;
+  tree.SearchKNearest(Point{0, 0}, 3, &out);
+  EXPECT_EQ(out, (std::vector<uint64_t>{4, 2, 1}));
+}
+
+TEST(KnnTest, KLargerThanTreeReturnsAll) {
+  RStarTree tree;
+  for (uint64_t k = 0; k < 5; ++k) {
+    tree.Insert(Rect{static_cast<double>(k), 0, 0, 0}, k);
+  }
+  std::vector<uint64_t> out;
+  tree.SearchKNearest(Point{0, 0}, 100, &out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(KnnTest, PointInsideRectangleHasDistanceZero) {
+  RStarTree tree;
+  tree.Insert(Rect{0, 0, 10, 10}, 1);   // query point inside
+  tree.Insert(Rect{20, 20, 1, 1}, 2);
+  std::vector<uint64_t> out;
+  tree.SearchKNearest(Point{5, 5}, 1, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1u);
+}
+
+TEST(KnnTest, MatchesBruteForceOnRandomPoints) {
+  Rng rng(301);
+  RStarTree tree;
+  std::vector<Point> points;
+  for (uint64_t k = 0; k < 500; ++k) {
+    Point p{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    points.push_back(p);
+    tree.Insert(Rect{p.x, p.y, 0, 0}, k);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    Point q{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    std::vector<uint64_t> got;
+    tree.SearchKNearest(q, 10, &got);
+    ASSERT_EQ(got.size(), 10u);
+
+    std::vector<uint64_t> ids(points.size());
+    for (size_t k = 0; k < ids.size(); ++k) ids[k] = k;
+    std::sort(ids.begin(), ids.end(), [&](uint64_t a, uint64_t b) {
+      return geo::SquaredDistance(points[a], q) <
+             geo::SquaredDistance(points[b], q);
+    });
+    // Distances must agree rank by rank (ids may tie, so compare distances).
+    for (int k = 0; k < 10; ++k) {
+      EXPECT_NEAR(geo::Distance(points[got[k]], q),
+                  geo::Distance(points[ids[k]], q), 1e-12)
+          << "rank " << k;
+    }
+  }
+}
+
+TEST(KnnTest, DistancesAreNonDecreasing) {
+  Rng rng(302);
+  RStarTree tree;
+  std::vector<Point> points;
+  for (uint64_t k = 0; k < 300; ++k) {
+    Point p{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    points.push_back(p);
+    tree.Insert(Rect{p.x, p.y, 0, 0}, k);
+  }
+  Point q{50, 50};
+  std::vector<uint64_t> out;
+  tree.SearchKNearest(q, 300, &out);
+  ASSERT_EQ(out.size(), 300u);
+  for (size_t k = 1; k < out.size(); ++k) {
+    EXPECT_LE(geo::Distance(points[out[k - 1]], q),
+              geo::Distance(points[out[k]], q) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mobieyes::rtree

@@ -1,0 +1,159 @@
+// Property-based tests: the R*-tree is compared against a brute-force list
+// model under randomized workloads of mixed inserts, deletes and updates,
+// across several node capacities (parameterized suite).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/rtree/rstar_tree.h"
+
+namespace mobieyes::rtree {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+
+struct ModelEntry {
+  Rect rect;
+  uint64_t id;
+};
+
+// Brute-force reference model.
+class ListModel {
+ public:
+  void Insert(const Rect& rect, uint64_t id) { entries_.push_back({rect, id}); }
+
+  bool Delete(const Rect& rect, uint64_t id) {
+    for (size_t k = 0; k < entries_.size(); ++k) {
+      if (entries_[k].id == id && entries_[k].rect == rect) {
+        entries_.erase(entries_.begin() + k);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<uint64_t> Search(const Rect& query) const {
+    std::vector<uint64_t> out;
+    for (const auto& entry : entries_) {
+      if (entry.rect.Intersects(query)) out.push_back(entry.id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<ModelEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<ModelEntry> entries_;
+};
+
+Rect RandomRect(Rng& rng) {
+  return Rect{rng.NextDouble(0, 95), rng.NextDouble(0, 95),
+              rng.NextDouble(0, 5), rng.NextDouble(0, 5)};
+}
+
+class RStarTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RStarTreePropertyTest, MatchesListModelUnderRandomWorkload) {
+  RStarTree::Options options;
+  options.max_entries = GetParam();
+  RStarTree tree(options);
+  ListModel model;
+  Rng rng(1000 + GetParam());
+
+  uint64_t next_id = 0;
+  for (int op = 0; op < 3000; ++op) {
+    double dice = rng.NextDouble();
+    if (dice < 0.55 || model.size() == 0) {
+      Rect r = RandomRect(rng);
+      tree.Insert(r, next_id);
+      model.Insert(r, next_id);
+      ++next_id;
+    } else if (dice < 0.8) {
+      // Delete a random existing entry.
+      const auto& entry =
+          model.entries()[rng.NextUint64(model.entries().size())];
+      Rect rect = entry.rect;
+      uint64_t id = entry.id;
+      ASSERT_TRUE(tree.Delete(rect, id).ok());
+      ASSERT_TRUE(model.Delete(rect, id));
+    } else {
+      // Update (move) a random entry.
+      const auto& entry =
+          model.entries()[rng.NextUint64(model.entries().size())];
+      Rect old_rect = entry.rect;
+      uint64_t id = entry.id;
+      Rect new_rect = RandomRect(rng);
+      ASSERT_TRUE(tree.Update(old_rect, new_rect, id).ok());
+      ASSERT_TRUE(model.Delete(old_rect, id));
+      model.Insert(new_rect, id);
+    }
+
+    ASSERT_EQ(tree.size(), model.size());
+    if (op % 100 == 99) {
+      Status invariants = tree.CheckInvariants();
+      ASSERT_TRUE(invariants.ok()) << invariants.ToString();
+      // Cross-check three random range queries.
+      for (int q = 0; q < 3; ++q) {
+        Rect query{rng.NextDouble(-5, 90), rng.NextDouble(-5, 90),
+                   rng.NextDouble(0, 30), rng.NextDouble(0, 30)};
+        std::vector<uint64_t> got;
+        tree.SearchIntersects(query, &got);
+        std::sort(got.begin(), got.end());
+        ASSERT_EQ(got, model.Search(query));
+      }
+    }
+  }
+}
+
+TEST_P(RStarTreePropertyTest, PointQueriesMatchModel) {
+  RStarTree::Options options;
+  options.max_entries = GetParam();
+  RStarTree tree(options);
+  ListModel model;
+  Rng rng(2000 + GetParam());
+
+  for (uint64_t k = 0; k < 500; ++k) {
+    Rect r = RandomRect(rng);
+    tree.Insert(r, k);
+    model.Insert(r, k);
+  }
+  for (int q = 0; q < 200; ++q) {
+    Point p{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    std::vector<uint64_t> got;
+    tree.SearchContainsPoint(p, &got);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, model.Search(Rect{p.x, p.y, 0, 0}));
+  }
+}
+
+TEST_P(RStarTreePropertyTest, HeightStaysLogarithmic) {
+  RStarTree::Options options;
+  options.max_entries = GetParam();
+  RStarTree tree(options);
+  Rng rng(3000 + GetParam());
+  const int n = 2000;
+  for (uint64_t k = 0; k < n; ++k) {
+    tree.Insert(RandomRect(rng), k);
+  }
+  // ceil(log_m(n)) with minimum fill m = max(2, 0.4 * M) is a safe bound.
+  int min_fill = std::max(2, static_cast<int>(options.max_entries * 0.4));
+  int bound = 2;
+  for (int cap = min_fill; cap < n; cap *= min_fill) ++bound;
+  EXPECT_LE(tree.height(), bound);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCapacities, RStarTreePropertyTest,
+                         ::testing::Values(4, 8, 16, 32),
+                         [](const auto& info) {
+                           return "Max" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mobieyes::rtree

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/rtree/rstar_tree.h"
+
+namespace mobieyes::rtree {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(RStarTreeTest, EmptyTree) {
+  RStarTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  std::vector<uint64_t> out;
+  tree.SearchIntersects(Rect{0, 0, 100, 100}, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, SingleInsertAndSearch) {
+  RStarTree tree;
+  tree.Insert(Rect{1, 1, 2, 2}, 7);
+  EXPECT_EQ(tree.size(), 1u);
+  std::vector<uint64_t> out;
+  tree.SearchIntersects(Rect{0, 0, 10, 10}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+  out.clear();
+  tree.SearchIntersects(Rect{5, 5, 1, 1}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RStarTreeTest, PointEntriesAndPointSearch) {
+  RStarTree tree;
+  for (uint64_t k = 0; k < 10; ++k) {
+    double x = static_cast<double>(k);
+    tree.Insert(Rect{x, x, 0, 0}, k);
+  }
+  std::vector<uint64_t> out;
+  tree.SearchContainsPoint(Point{3, 3}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 3u);
+}
+
+TEST(RStarTreeTest, SplitsKeepAllEntriesSearchable) {
+  RStarTree tree;
+  const int n = 200;  // forces several levels with max_entries=16
+  for (int k = 0; k < n; ++k) {
+    double x = (k % 20) * 5.0;
+    double y = (k / 20) * 5.0;
+    tree.Insert(Rect{x, y, 1.0, 1.0}, static_cast<uint64_t>(k));
+  }
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  EXPECT_GT(tree.height(), 1);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+
+  std::vector<uint64_t> out;
+  tree.SearchIntersects(Rect{-10, -10, 1000, 1000}, &out);
+  EXPECT_EQ(Sorted(out).size(), static_cast<size_t>(n));
+}
+
+TEST(RStarTreeTest, RangeSearchReturnsExactlyIntersecting) {
+  RStarTree tree;
+  // 10x10 lattice of unit squares at even coordinates (disjoint).
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      tree.Insert(Rect{i * 2.0, j * 2.0, 1.0, 1.0},
+                  static_cast<uint64_t>(i * 10 + j));
+    }
+  }
+  std::vector<uint64_t> out;
+  // Query covering squares with i in {1,2} and j in {1,2}.
+  tree.SearchIntersects(Rect{2.0, 2.0, 3.0, 3.0}, &out);
+  EXPECT_EQ(Sorted(out), (std::vector<uint64_t>{11, 12, 21, 22}));
+}
+
+TEST(RStarTreeTest, DeleteRemovesExactlyOneEntry) {
+  RStarTree tree;
+  tree.Insert(Rect{0, 0, 1, 1}, 1);
+  tree.Insert(Rect{0, 0, 1, 1}, 1);  // duplicate allowed
+  ASSERT_EQ(tree.size(), 2u);
+  ASSERT_TRUE(tree.Delete(Rect{0, 0, 1, 1}, 1).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  ASSERT_TRUE(tree.Delete(Rect{0, 0, 1, 1}, 1).ok());
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RStarTreeTest, DeleteMissingEntryIsNotFound) {
+  RStarTree tree;
+  tree.Insert(Rect{0, 0, 1, 1}, 1);
+  EXPECT_EQ(tree.Delete(Rect{0, 0, 1, 1}, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Delete(Rect{5, 5, 1, 1}, 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RStarTreeTest, UpdateMovesEntry) {
+  RStarTree tree;
+  tree.Insert(Rect{0, 0, 0, 0}, 42);
+  ASSERT_TRUE(tree.Update(Rect{0, 0, 0, 0}, Rect{50, 50, 0, 0}, 42).ok());
+  std::vector<uint64_t> out;
+  tree.SearchContainsPoint(Point{0, 0}, &out);
+  EXPECT_TRUE(out.empty());
+  tree.SearchContainsPoint(Point{50, 50}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+}
+
+TEST(RStarTreeTest, DeleteDownToEmptyAndRefill) {
+  RStarTree tree;
+  Rng rng(41);
+  std::vector<Rect> rects;
+  for (uint64_t k = 0; k < 100; ++k) {
+    Rect r{rng.NextDouble(0, 90), rng.NextDouble(0, 90), rng.NextDouble(0, 5),
+           rng.NextDouble(0, 5)};
+    rects.push_back(r);
+    tree.Insert(r, k);
+  }
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree.Delete(rects[k], k).ok()) << "k=" << k;
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << "k=" << k;
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1);
+  // The tree remains usable after draining.
+  tree.Insert(Rect{1, 1, 1, 1}, 7);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RStarTreeTest, VisitIntersectsEarlyStop) {
+  RStarTree tree;
+  for (uint64_t k = 0; k < 50; ++k) {
+    tree.Insert(Rect{static_cast<double>(k), 0, 0.5, 0.5}, k);
+  }
+  int visits = 0;
+  tree.VisitIntersects(Rect{-1, -1, 100, 100},
+                       [&](const Rect&, uint64_t) {
+                         ++visits;
+                         return visits < 5;
+                       });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(RStarTreeTest, MoveConstructionPreservesContents) {
+  RStarTree tree;
+  for (uint64_t k = 0; k < 30; ++k) {
+    tree.Insert(Rect{static_cast<double>(k), 0, 1, 1}, k);
+  }
+  RStarTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 30u);
+  std::vector<uint64_t> out;
+  moved.SearchIntersects(Rect{0, 0, 100, 100}, &out);
+  EXPECT_EQ(out.size(), 30u);
+}
+
+TEST(RStarTreeTest, SmallMaxEntriesStillValid) {
+  RStarTree::Options options;
+  options.max_entries = 4;
+  RStarTree tree(options);
+  for (uint64_t k = 0; k < 64; ++k) {
+    tree.Insert(Rect{static_cast<double>(k % 8), static_cast<double>(k / 8),
+                     0.5, 0.5},
+                k);
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<uint64_t> out;
+  tree.SearchIntersects(Rect{0, 0, 10, 10}, &out);
+  EXPECT_EQ(out.size(), 64u);
+}
+
+}  // namespace
+}  // namespace mobieyes::rtree

@@ -1,0 +1,121 @@
+#ifndef MOBIEYES_TESTS_TEST_HARNESS_H_
+#define MOBIEYES_TESTS_TEST_HARNESS_H_
+
+// Shared fixture for protocol-level tests: a small fully-wired MobiEyes
+// deployment (grid, base stations, world, network, server, one client per
+// object) with hand-placed objects and a deterministic step driver.
+
+#include <memory>
+#include <vector>
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/core/client.h"
+#include "mobieyes/core/options.h"
+#include "mobieyes/core/server.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/mobility/world.h"
+#include "mobieyes/net/base_station.h"
+#include "mobieyes/net/bmap.h"
+#include "mobieyes/net/network.h"
+
+namespace mobieyes::test {
+
+struct ObjectSpec {
+  // NOLINTNEXTLINE(google-explicit-constructor): terse test setup.
+  ObjectSpec(geo::Point pos_in, geo::Vec2 vel_in = {}, double max_speed_in = 1.0,
+             double attr_in = 0.0)
+      : pos(pos_in), vel(vel_in), max_speed(max_speed_in), attr(attr_in) {}
+
+  geo::Point pos;
+  geo::Vec2 vel;
+  double max_speed;  // miles/second
+  double attr;       // satisfies any filter by default
+};
+
+// A miniature deployment over a 100x100 universe with alpha = 10 and base
+// station side 20 (overridable). Objects get dense ids in spec order.
+class MiniDeployment {
+ public:
+  explicit MiniDeployment(const std::vector<ObjectSpec>& specs,
+                          core::MobiEyesOptions options = {},
+                          double alpha = 10.0,
+                          double base_station_side = 20.0)
+      : rng_(7) {
+    geo::Rect universe{0, 0, 100, 100};
+    grid_ = std::make_unique<geo::Grid>(*geo::Grid::Make(universe, alpha));
+    layout_ = std::make_unique<net::BaseStationLayout>(
+        *net::BaseStationLayout::Make(universe, base_station_side));
+    bmap_ = std::make_unique<net::Bmap>(*net::Bmap::Make(*grid_, *layout_));
+
+    std::vector<mobility::ObjectState> objects;
+    for (size_t k = 0; k < specs.size(); ++k) {
+      mobility::ObjectState object;
+      object.oid = static_cast<ObjectId>(k);
+      object.pos = specs[k].pos;
+      object.vel = specs[k].vel;
+      object.max_speed = specs[k].max_speed;
+      object.attr = specs[k].attr;
+      objects.push_back(object);
+    }
+    world_ = std::make_unique<mobility::World>(
+        *mobility::World::Make(*grid_, std::move(objects)));
+
+    network_ = std::make_unique<net::WirelessNetwork>();
+    network_->set_coverage_query(
+        [this](const geo::Circle& circle,
+               const std::function<void(ObjectId)>& fn) {
+          world_->ForEachObjectInCircle(circle, fn);
+        });
+
+    server_ = std::make_unique<core::MobiEyesServer>(*grid_, *layout_, *bmap_,
+                                                     *network_, options);
+    network_->set_server_handler(
+        [this](ObjectId from, const net::Message& message) {
+          server_->OnUplink(from, message);
+        });
+
+    for (size_t k = 0; k < specs.size(); ++k) {
+      clients_.push_back(std::make_unique<core::MobiEyesClient>(
+          *world_, static_cast<ObjectId>(k), *network_, options));
+      core::MobiEyesClient* client = clients_.back().get();
+      network_->RegisterClient(static_cast<ObjectId>(k),
+                               [client](const net::Message& message) {
+                                 client->OnDownlink(message);
+                               });
+    }
+  }
+
+  // One simulation step: advance the world (no random velocity re-draws so
+  // tests stay deterministic) and run every client's per-step logic.
+  void Tick(Seconds dt = 30.0) {
+    world_->Step(dt, /*velocity_changes=*/0, rng_);
+    server_->AdvanceTime(world_->now());
+    for (auto& client : clients_) client->OnTick();
+  }
+
+  void TickN(int steps, Seconds dt = 30.0) {
+    for (int k = 0; k < steps; ++k) Tick(dt);
+  }
+
+  geo::Grid& grid() { return *grid_; }
+  mobility::World& world() { return *world_; }
+  net::WirelessNetwork& network() { return *network_; }
+  core::MobiEyesServer& server() { return *server_; }
+  core::MobiEyesClient& client(ObjectId oid) {
+    return *clients_[static_cast<size_t>(oid)];
+  }
+
+ private:
+  Rng rng_;
+  std::unique_ptr<geo::Grid> grid_;
+  std::unique_ptr<net::BaseStationLayout> layout_;
+  std::unique_ptr<net::Bmap> bmap_;
+  std::unique_ptr<mobility::World> world_;
+  std::unique_ptr<net::WirelessNetwork> network_;
+  std::unique_ptr<core::MobiEyesServer> server_;
+  std::vector<std::unique_ptr<core::MobiEyesClient>> clients_;
+};
+
+}  // namespace mobieyes::test
+
+#endif  // MOBIEYES_TESTS_TEST_HARNESS_H_

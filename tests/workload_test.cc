@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mobieyes/sim/workload.h"
+
+namespace mobieyes::sim {
+namespace {
+
+TEST(SimulationParamsTest, DefaultsMatchTable1) {
+  SimulationParams params;
+  EXPECT_DOUBLE_EQ(params.time_step, 30.0);
+  EXPECT_DOUBLE_EQ(params.alpha, 5.0);
+  EXPECT_EQ(params.num_objects, 10000);
+  EXPECT_EQ(params.num_queries, 1000);
+  EXPECT_EQ(params.velocity_changes_per_step, 1000);
+  EXPECT_DOUBLE_EQ(params.area_square_miles, 100000.0);
+  EXPECT_DOUBLE_EQ(params.base_station_side, 10.0);
+  EXPECT_DOUBLE_EQ(params.query_selectivity, 0.75);
+  EXPECT_EQ(params.query_radius_means,
+            (std::vector<Miles>{3.0, 2.0, 1.0, 4.0, 5.0}));
+  EXPECT_EQ(params.max_speeds_mph,
+            (std::vector<double>{100.0, 50.0, 150.0, 200.0, 250.0}));
+  EXPECT_DOUBLE_EQ(params.zipf_theta, 0.8);
+  EXPECT_TRUE(params.Validate().ok());
+}
+
+TEST(SimulationParamsTest, SideIsSqrtOfArea) {
+  SimulationParams params;
+  EXPECT_NEAR(params.side(), 316.2278, 1e-3);
+  geo::Rect universe = params.universe();
+  EXPECT_DOUBLE_EQ(universe.Area(), 100000.0);
+}
+
+TEST(SimulationParamsTest, ValidateCatchesBadValues) {
+  SimulationParams params;
+  params.alpha = -1;
+  EXPECT_FALSE(params.Validate().ok());
+  params = SimulationParams{};
+  params.num_objects = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = SimulationParams{};
+  params.query_selectivity = 1.5;
+  EXPECT_FALSE(params.Validate().ok());
+  params = SimulationParams{};
+  params.time_step = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = SimulationParams{};
+  params.radius_factor = 0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : rng_(101) {
+    params_.num_objects = 2000;
+    params_.num_queries = 300;
+    workload_ = GenerateWorkload(params_, rng_);
+  }
+  SimulationParams params_;
+  Rng rng_;
+  Workload workload_;
+};
+
+TEST_F(WorkloadTest, GeneratesRequestedCounts) {
+  EXPECT_EQ(workload_.objects.size(), 2000u);
+  EXPECT_EQ(workload_.queries.size(), 300u);
+}
+
+TEST_F(WorkloadTest, ObjectsHaveDenseIdsAndValidState) {
+  geo::Rect universe = params_.universe();
+  for (size_t k = 0; k < workload_.objects.size(); ++k) {
+    const auto& object = workload_.objects[k];
+    EXPECT_EQ(object.oid, static_cast<ObjectId>(k));
+    EXPECT_TRUE(universe.Contains(object.pos));
+    EXPECT_GE(object.attr, 0.0);
+    EXPECT_LT(object.attr, 1.0);
+    EXPECT_GT(object.max_speed, 0.0);
+    EXPECT_LE(object.vel.Norm(), object.max_speed + 1e-12);
+  }
+}
+
+TEST_F(WorkloadTest, MaxSpeedsComeFromTable1List) {
+  std::set<double> speeds;
+  for (const auto& object : workload_.objects) {
+    speeds.insert(MilesPerSecondToMph(object.max_speed));
+  }
+  for (double mph : speeds) {
+    bool in_list = false;
+    for (double allowed : params_.max_speeds_mph) {
+      if (std::abs(mph - allowed) < 1e-9) in_list = true;
+    }
+    EXPECT_TRUE(in_list) << mph;
+  }
+  // Zipf(0.8) over {100, 50, ...}: 100 mph must be the most common cap.
+  int count_100 = 0;
+  for (const auto& object : workload_.objects) {
+    if (std::abs(MilesPerSecondToMph(object.max_speed) - 100.0) < 1e-9) {
+      ++count_100;
+    }
+  }
+  EXPECT_GT(count_100, 2000 / 4);
+}
+
+TEST_F(WorkloadTest, QueriesReferenceValidFocalsWithSelectivity) {
+  for (const auto& query : workload_.queries) {
+    EXPECT_GE(query.focal_oid, 0);
+    EXPECT_LT(query.focal_oid, 2000);
+    EXPECT_TRUE(query.region.valid());
+    EXPECT_EQ(query.region.shape, geo::QueryRegion::Shape::kCircle);
+    EXPECT_DOUBLE_EQ(query.filter_threshold, 0.75);
+  }
+}
+
+TEST_F(WorkloadTest, RadiusDistributionCentersOnZipfMeans) {
+  double sum = 0.0;
+  for (const auto& query : workload_.queries) sum += query.region.radius;
+  double mean = sum / workload_.queries.size();
+  // Expected mean = sum over zipf pmf of the means in {3,2,1,4,5} (~2.7);
+  // allow generous sampling slack.
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 3.5);
+}
+
+TEST_F(WorkloadTest, RadiusFactorScalesRadii) {
+  SimulationParams scaled = params_;
+  scaled.radius_factor = 2.0;
+  Rng rng(101);  // same seed: identical draws before scaling
+  Workload doubled = GenerateWorkload(scaled, rng);
+  ASSERT_EQ(doubled.queries.size(), workload_.queries.size());
+  for (size_t k = 0; k < doubled.queries.size(); ++k) {
+    EXPECT_NEAR(doubled.queries[k].region.radius,
+                2.0 * workload_.queries[k].region.radius,
+                1e-9);
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicGivenSeed) {
+  Rng rng(101);
+  Workload again = GenerateWorkload(params_, rng);
+  ASSERT_EQ(again.objects.size(), workload_.objects.size());
+  for (size_t k = 0; k < again.objects.size(); ++k) {
+    EXPECT_EQ(again.objects[k].pos, workload_.objects[k].pos);
+  }
+  for (size_t k = 0; k < again.queries.size(); ++k) {
+    EXPECT_EQ(again.queries[k].focal_oid, workload_.queries[k].focal_oid);
+    EXPECT_DOUBLE_EQ(again.queries[k].region.radius,
+                     workload_.queries[k].region.radius);
+  }
+}
+
+TEST(WorkloadHotspotTest, ValidatesHotspotParameters) {
+  SimulationParams params;
+  params.object_distribution = ObjectDistribution::kHotspot;
+  EXPECT_TRUE(params.Validate().ok());
+  params.num_hotspots = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = SimulationParams{};
+  params.object_distribution = ObjectDistribution::kHotspot;
+  params.hotspot_weight = 1.5;
+  EXPECT_FALSE(params.Validate().ok());
+  params.hotspot_weight = 0.8;
+  params.hotspot_sigma_fraction = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(WorkloadHotspotTest, HotspotPositionsAreSkewed) {
+  SimulationParams uniform;
+  uniform.num_objects = 4000;
+  uniform.num_queries = 0;
+  SimulationParams hotspot = uniform;
+  hotspot.object_distribution = ObjectDistribution::kHotspot;
+  hotspot.num_hotspots = 3;
+  hotspot.hotspot_weight = 0.9;
+
+  Rng rng_a(7);
+  Rng rng_b(7);
+  Workload flat = GenerateWorkload(uniform, rng_a);
+  Workload skewed = GenerateWorkload(hotspot, rng_b);
+
+  // Skew measure: occupancy of a coarse grid. The hotspot population must
+  // concentrate far more objects into its busiest bucket.
+  auto max_bucket = [&](const Workload& workload) {
+    std::vector<int> counts(100, 0);
+    double side = uniform.side();
+    for (const auto& object : workload.objects) {
+      int i = std::min(9, static_cast<int>(object.pos.x / side * 10));
+      int j = std::min(9, static_cast<int>(object.pos.y / side * 10));
+      ++counts[j * 10 + i];
+    }
+    return *std::max_element(counts.begin(), counts.end());
+  };
+  EXPECT_GT(max_bucket(skewed), 2 * max_bucket(flat));
+
+  // Positions stay inside the universe despite the gaussian tails.
+  geo::Rect universe = hotspot.universe();
+  for (const auto& object : skewed.objects) {
+    EXPECT_TRUE(universe.Contains(object.pos));
+  }
+}
+
+TEST(WorkloadHotspotTest, ZeroWeightDegeneratesToUniform) {
+  SimulationParams params;
+  params.num_objects = 100;
+  params.num_queries = 10;
+  params.object_distribution = ObjectDistribution::kHotspot;
+  params.hotspot_weight = 0.0;
+  Rng rng(11);
+  Workload workload = GenerateWorkload(params, rng);
+  EXPECT_EQ(workload.objects.size(), 100u);  // draws fine, no hotspot pulls
+}
+
+TEST(WorkloadEdgeTest, RadiiAreClampedPositive) {
+  SimulationParams params;
+  params.num_objects = 10;
+  params.num_queries = 2000;
+  params.query_radius_means = {0.05};  // Normal tail would go negative
+  Rng rng(103);
+  Workload workload = GenerateWorkload(params, rng);
+  for (const auto& query : workload.queries) {
+    EXPECT_GE(query.region.radius, 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace mobieyes::sim

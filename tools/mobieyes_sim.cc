@@ -1,0 +1,226 @@
+// mobieyes_sim: command-line driver for the MobiEyes simulator. Runs one
+// query-processing scheme over a Table 1-style workload and prints the full
+// metrics report (server load, messaging cost, LQT sizes, result error,
+// per-object power), plus the analytic alpha-model prediction.
+//
+// Usage:
+//   mobieyes_sim [--mode=eqp|lqp|object-index|query-index|naive|central-optimal]
+//                [--objects=N] [--queries=N] [--nmo=N] [--alpha=F]
+//                [--area=F] [--alen=F] [--steps=N] [--warmup=N] [--seed=N]
+//                [--delta=F] [--radius-factor=F] [--selectivity=F]
+//                [--safe-period] [--no-grouping] [--no-error] [--no-bytes]
+//                [--hotspots] [--histogram]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mobieyes/net/energy.h"
+#include "mobieyes/sim/alpha_model.h"
+#include "mobieyes/sim/simulation.h"
+
+using namespace mobieyes;  // NOLINT(build/namespaces)
+
+namespace {
+
+struct CliOptions {
+  sim::SimulationConfig config;
+  int steps = 20;
+  bool show_alpha_model = true;
+  bool show_histogram = false;
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--mode=eqp|lqp|object-index|query-index|naive|"
+               "central-optimal]\n"
+               "          [--objects=N] [--queries=N] [--nmo=N] [--alpha=F]\n"
+               "          [--area=F] [--alen=F] [--steps=N] [--warmup=N]\n"
+               "          [--seed=N] [--delta=F] [--radius-factor=F]\n"
+               "          [--selectivity=F] [--safe-period] [--no-grouping]\n"
+               "          [--no-error] [--no-bytes]\n",
+               argv0);
+}
+
+// Parses "--key=value" into key/value; returns false for non-options.
+bool SplitFlag(const char* arg, std::string* key, std::string* value) {
+  if (std::strncmp(arg, "--", 2) != 0) return false;
+  const char* eq = std::strchr(arg, '=');
+  if (eq == nullptr) {
+    *key = arg + 2;
+    value->clear();
+  } else {
+    key->assign(arg + 2, eq);
+    value->assign(eq + 1);
+  }
+  return true;
+}
+
+bool ParseMode(const std::string& value, sim::SimMode* mode) {
+  if (value == "eqp") *mode = sim::SimMode::kMobiEyesEager;
+  else if (value == "lqp") *mode = sim::SimMode::kMobiEyesLazy;
+  else if (value == "object-index") *mode = sim::SimMode::kObjectIndex;
+  else if (value == "query-index") *mode = sim::SimMode::kQueryIndex;
+  else if (value == "naive") *mode = sim::SimMode::kNaive;
+  else if (value == "central-optimal") *mode = sim::SimMode::kCentralOptimal;
+  else return false;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* cli) {
+  cli->config.measure_error = true;
+  cli->config.track_per_object_bytes = true;
+  for (int k = 1; k < argc; ++k) {
+    std::string key;
+    std::string value;
+    if (!SplitFlag(argv[k], &key, &value)) return false;
+    auto& params = cli->config.params;
+    if (key == "mode") {
+      if (!ParseMode(value, &cli->config.mode)) return false;
+    } else if (key == "objects") {
+      params.num_objects = std::atoi(value.c_str());
+    } else if (key == "queries") {
+      params.num_queries = std::atoi(value.c_str());
+    } else if (key == "nmo") {
+      params.velocity_changes_per_step = std::atoi(value.c_str());
+    } else if (key == "alpha") {
+      params.alpha = std::atof(value.c_str());
+    } else if (key == "area") {
+      params.area_square_miles = std::atof(value.c_str());
+    } else if (key == "alen") {
+      params.base_station_side = std::atof(value.c_str());
+    } else if (key == "steps") {
+      cli->steps = std::atoi(value.c_str());
+    } else if (key == "warmup") {
+      cli->config.warmup_steps = std::atoi(value.c_str());
+    } else if (key == "seed") {
+      params.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "delta") {
+      params.dead_reckoning_threshold = std::atof(value.c_str());
+    } else if (key == "radius-factor") {
+      params.radius_factor = std::atof(value.c_str());
+    } else if (key == "selectivity") {
+      params.query_selectivity = std::atof(value.c_str());
+    } else if (key == "safe-period") {
+      cli->config.mobieyes.enable_safe_period = true;
+    } else if (key == "no-grouping") {
+      cli->config.mobieyes.enable_query_grouping = false;
+    } else if (key == "no-error") {
+      cli->config.measure_error = false;
+    } else if (key == "no-bytes") {
+      cli->config.track_per_object_bytes = false;
+    } else if (key == "hotspots") {
+      params.object_distribution = sim::ObjectDistribution::kHotspot;
+    } else if (key == "histogram") {
+      cli->show_histogram = true;
+    } else if (key == "help") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  auto simulation = sim::Simulation::Make(cli.config);
+  if (!simulation.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 simulation.status().ToString().c_str());
+    return 1;
+  }
+  net::MessageHistogram histogram;
+  if (cli.show_histogram) {
+    (*simulation)->network().set_observer(
+        [&histogram](net::Direction, int64_t, const net::Message& message) {
+          histogram.Record(message);
+        });
+  }
+  std::printf("mode=%s objects=%d queries=%d nmo=%d alpha=%.3g alen=%.3g "
+              "area=%.4g seed=%llu\n",
+              sim::SimModeName(cli.config.mode), cli.config.params.num_objects,
+              cli.config.params.num_queries,
+              cli.config.params.velocity_changes_per_step,
+              cli.config.params.alpha, cli.config.params.base_station_side,
+              cli.config.params.area_square_miles,
+              static_cast<unsigned long long>(cli.config.params.seed));
+
+  (*simulation)->Run(cli.steps);
+  sim::RunMetrics metrics = (*simulation)->metrics();
+
+  std::printf("\n-- run -------------------------------------------------\n");
+  std::printf("steps                      %lld (%.0f simulated seconds)\n",
+              static_cast<long long>(metrics.steps),
+              metrics.simulated_seconds);
+  std::printf("server load                %.6g s/step\n",
+              metrics.ServerLoadPerStep());
+  std::printf("\n-- wireless medium -------------------------------------\n");
+  std::printf("messages/second            %.4g\n", metrics.MessagesPerSecond());
+  std::printf("uplink messages/second     %.4g\n",
+              metrics.UplinkMessagesPerSecond());
+  std::printf("uplink messages            %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(metrics.network.uplink_messages),
+              static_cast<unsigned long long>(metrics.network.uplink_bytes));
+  std::printf("downlink messages          %llu (%llu bytes, %llu broadcast)\n",
+              static_cast<unsigned long long>(
+                  metrics.network.downlink_messages),
+              static_cast<unsigned long long>(metrics.network.downlink_bytes),
+              static_cast<unsigned long long>(
+                  metrics.network.broadcast_messages));
+  std::printf("broadcast receptions       %llu\n",
+              static_cast<unsigned long long>(
+                  metrics.network.broadcast_receptions));
+  if (cli.config.track_per_object_bytes) {
+    net::RadioEnergyModel radio;
+    std::printf("per-object comm power      %.4g mW\n",
+                metrics.AveragePowerMilliwatts(radio));
+  }
+  if (cli.config.mode == sim::SimMode::kMobiEyesEager ||
+      cli.config.mode == sim::SimMode::kMobiEyesLazy) {
+    std::printf("\n-- moving objects --------------------------------------\n");
+    std::printf("average LQT size           %.4g queries/object\n",
+                metrics.AverageLqtSize());
+    std::printf("query evaluations          %llu (+%llu safe-period skips)\n",
+                static_cast<unsigned long long>(metrics.queries_evaluated),
+                static_cast<unsigned long long>(metrics.safe_period_skips));
+    std::printf("client processing          %.6g s/step/object\n",
+                metrics.ClientProcessingPerStep());
+  }
+  if (cli.config.measure_error) {
+    std::printf("\n-- accuracy --------------------------------------------\n");
+    std::printf("avg result error           %.4g (missing fraction)\n",
+                metrics.AverageError());
+  }
+  if (cli.show_histogram) {
+    std::printf("\n-- message mix (measured window) -----------------------\n");
+    for (const auto& [type, row] : histogram.rows) {
+      std::printf("%-26s %8llu msgs  %10llu bytes\n",
+                  net::MessageTypeName(type),
+                  static_cast<unsigned long long>(row.messages),
+                  static_cast<unsigned long long>(row.bytes));
+    }
+  }
+  if (cli.show_alpha_model &&
+      (cli.config.mode == sim::SimMode::kMobiEyesEager ||
+       cli.config.mode == sim::SimMode::kMobiEyesLazy)) {
+    sim::AlphaCostModel model(cli.config.params);
+    std::printf("\n-- analytic alpha model --------------------------------\n");
+    std::printf("predicted msgs/second      %.4g at alpha=%.3g\n",
+                model.MessagesPerSecond(cli.config.params.alpha),
+                cli.config.params.alpha);
+    double best = model.OptimalAlpha();
+    std::printf("model-optimal alpha        %.3g (predicted %.4g msgs/s)\n",
+                best, model.MessagesPerSecond(best));
+  }
+  return 0;
+}
