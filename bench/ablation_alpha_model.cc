@@ -12,7 +12,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("ablation_alpha_model", argc, argv);
   std::vector<double> alphas = {0.5, 1, 2, 4, 6, 8, 12, 16};
   std::vector<Series> series = {{"simulated msgs/s", {}},
                                 {"model msgs/s", {}},
@@ -21,15 +22,21 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  std::vector<SweepJob> jobs;
+  for (double alpha : alphas) {
+    SweepJob job;
+    job.params.alpha = alpha;
+    job.options = options;
+    job.label = "ablation_alpha alpha=" + std::to_string(alpha);
+    jobs.push_back(job);
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+
   sim::SimulationParams defaults;
   sim::AlphaCostModel model(defaults);
-  for (double alpha : alphas) {
-    sim::SimulationParams params;
-    params.alpha = alpha;
-    Progress("ablation_alpha alpha=" + std::to_string(alpha));
-    series[0].values.push_back(
-        RunMode(params, sim::SimMode::kMobiEyesEager, options)
-            .MessagesPerSecond());
+  for (size_t row = 0; row < alphas.size(); ++row) {
+    double alpha = alphas[row];
+    series[0].values.push_back(results[row].MessagesPerSecond());
     series[1].values.push_back(model.MessagesPerSecond(alpha));
     series[2].values.push_back(model.UplinkPerSecond(alpha));
     series[3].values.push_back(model.DownlinkPerSecond(alpha));
@@ -38,5 +45,5 @@ int main() {
              alphas, series);
   std::printf("model-optimal alpha: %.3f (paper sweet spot: [4, 6])\n",
               model.OptimalAlpha());
-  return 0;
+  return FinishBench();
 }

@@ -11,7 +11,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("ablation_dead_reckoning", argc, argv);
   std::vector<double> deltas = {0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
   std::vector<Series> series = {{"msgs/s", {}},
                                 {"uplink msgs/s", {}},
@@ -20,20 +21,24 @@ int main() {
   options.steps = 8;
   options.measure_error = true;
 
+  std::vector<SweepJob> jobs;
   for (double delta : deltas) {
-    sim::SimulationParams params;
-    params.num_objects = 2000;
-    params.num_queries = 200;
-    params.velocity_changes_per_step = 200;
-    params.dead_reckoning_threshold = delta;
-    Progress("ablation_delta delta=" + std::to_string(delta));
-    sim::RunMetrics metrics =
-        RunMode(params, sim::SimMode::kMobiEyesEager, options);
+    SweepJob job;
+    job.params.num_objects = 2000;
+    job.params.num_queries = 200;
+    job.params.velocity_changes_per_step = 200;
+    job.params.dead_reckoning_threshold = delta;
+    job.options = options;
+    job.label = "ablation_delta delta=" + std::to_string(delta);
+    jobs.push_back(job);
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  for (const sim::RunMetrics& metrics : results) {
     series[0].values.push_back(metrics.MessagesPerSecond());
     series[1].values.push_back(metrics.UplinkMessagesPerSecond());
     series[2].values.push_back(metrics.AverageError());
   }
   PrintTable("Ablation: dead-reckoning threshold (EQP, 2000 objects)",
              "delta_miles", deltas, series);
-  return 0;
+  return FinishBench();
 }

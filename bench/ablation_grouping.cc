@@ -11,7 +11,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("ablation_grouping", argc, argv);
   std::vector<double> query_counts = {100, 250, 500, 1000};
   std::vector<Series> series = {{"grouped msgs/s", {}},
                                 {"ungrouped msgs/s", {}},
@@ -20,23 +21,32 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  core::MobiEyesOptions grouped;
+  grouped.enable_query_grouping = true;
+  core::MobiEyesOptions ungrouped;
+  ungrouped.enable_query_grouping = false;
+
+  // Two cells per row: grouping on (even indices) and off (odd).
+  std::vector<SweepJob> jobs;
   for (double nmq : query_counts) {
-    sim::SimulationParams params;
-    params.num_objects = 1000;  // small pool -> skewed focal distribution
-    params.velocity_changes_per_step = 100;
-    params.num_queries = static_cast<int>(nmq);
-    Progress("ablation_grouping nmq=" + std::to_string(params.num_queries));
-
-    core::MobiEyesOptions grouped;
-    grouped.enable_query_grouping = true;
-    sim::RunMetrics with =
-        RunMode(params, sim::SimMode::kMobiEyesEager, options, grouped);
-
-    core::MobiEyesOptions ungrouped;
-    ungrouped.enable_query_grouping = false;
-    sim::RunMetrics without =
-        RunMode(params, sim::SimMode::kMobiEyesEager, options, ungrouped);
-
+    for (bool grouping : {true, false}) {
+      SweepJob job;
+      job.params.num_objects = 1000;  // small pool -> skewed focal distribution
+      job.params.velocity_changes_per_step = 100;
+      job.params.num_queries = static_cast<int>(nmq);
+      job.options = options;
+      job.mobieyes = grouping ? grouped : ungrouped;
+      job.label = "ablation_grouping nmq=" +
+                  std::to_string(job.params.num_queries) +
+                  (grouping ? " grouped" : " ungrouped");
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < query_counts.size(); ++row) {
+    sim::RunMetrics with = results[cell++];
+    sim::RunMetrics without = results[cell++];
     series[0].values.push_back(with.MessagesPerSecond());
     series[1].values.push_back(without.MessagesPerSecond());
     series[2].values.push_back(
@@ -46,5 +56,5 @@ int main() {
   }
   PrintTable("Ablation: query grouping under focal skew (1000 objects)",
              "num_queries", query_counts, series);
-  return 0;
+  return FinishBench();
 }

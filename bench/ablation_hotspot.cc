@@ -11,7 +11,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("ablation_hotspot", argc, argv);
   std::vector<double> query_counts = {100, 400, 1000};
   std::vector<Series> series = {{"uniform msgs/s", {}},
                                 {"hotspot msgs/s", {}},
@@ -22,17 +23,28 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  // Two cells per row: uniform (even indices) and hotspot (odd).
+  std::vector<SweepJob> jobs;
   for (double nmq : query_counts) {
-    sim::SimulationParams uniform;
-    uniform.num_queries = static_cast<int>(nmq);
-    sim::SimulationParams hotspot = uniform;
-    hotspot.object_distribution = sim::ObjectDistribution::kHotspot;
-    Progress("ablation_hotspot nmq=" + std::to_string(uniform.num_queries));
-
-    sim::RunMetrics flat =
-        RunMode(uniform, sim::SimMode::kMobiEyesEager, options);
-    sim::RunMetrics skewed =
-        RunMode(hotspot, sim::SimMode::kMobiEyesEager, options);
+    for (sim::ObjectDistribution distribution :
+         {sim::ObjectDistribution::kUniform,
+          sim::ObjectDistribution::kHotspot}) {
+      SweepJob job;
+      job.params.num_queries = static_cast<int>(nmq);
+      job.params.object_distribution = distribution;
+      job.options = options;
+      job.label =
+          "ablation_hotspot nmq=" + std::to_string(job.params.num_queries) +
+          (distribution == sim::ObjectDistribution::kHotspot ? " hotspot"
+                                                             : " uniform");
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < query_counts.size(); ++row) {
+    sim::RunMetrics flat = results[cell++];
+    sim::RunMetrics skewed = results[cell++];
     series[0].values.push_back(flat.MessagesPerSecond());
     series[1].values.push_back(skewed.MessagesPerSecond());
     series[2].values.push_back(flat.AverageLqtSize());
@@ -42,5 +54,5 @@ int main() {
   }
   PrintTable("Ablation: uniform vs hotspot object distribution (EQP)",
              "num_queries", query_counts, series);
-  return 0;
+  return FinishBench();
 }

@@ -1,8 +1,72 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "mobieyes/common/thread_pool.h"
 
 namespace mobieyes::bench {
+
+namespace {
+
+struct RecordedTable {
+  std::string title;
+  std::string xlabel;
+  std::vector<double> xs;
+  std::vector<Series> series;
+};
+
+struct BenchState {
+  std::string name = "bench";
+  int threads = 0;  // resolved in InitBench
+  std::string json_path;
+  std::chrono::steady_clock::time_point start;
+  std::vector<RecordedTable> tables;
+};
+
+BenchState& State() {
+  static BenchState state;
+  return state;
+}
+
+// JSON string escape for the characters our titles/labels can contain.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AppendDoubles(std::string* out, const std::vector<double>& values) {
+  *out += '[';
+  for (size_t k = 0; k < values.size(); ++k) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", values[k]);
+    if (k > 0) *out += ',';
+    *out += buffer;
+  }
+  *out += ']';
+}
+
+}  // namespace
 
 sim::RunMetrics RunMode(const sim::SimulationParams& params, sim::SimMode mode,
                         const RunOptions& options,
@@ -24,9 +88,57 @@ sim::RunMetrics RunMode(const sim::SimulationParams& params, sim::SimMode mode,
   return (*simulation)->metrics();
 }
 
+void InitBench(const std::string& name, int argc, char** argv) {
+  BenchState& state = State();
+  state.name = name;
+  state.threads = ThreadPool::HardwareThreads();
+  state.start = std::chrono::steady_clock::now();
+  for (int k = 1; k < argc; ++k) {
+    const char* arg = argv[k];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      int threads = std::atoi(arg + 10);
+      if (threads < 1) {
+        std::fprintf(stderr, "[bench] ignoring bad --threads value '%s'\n",
+                     arg + 10);
+      } else {
+        state.threads = threads;
+      }
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      state.json_path = arg + 7;
+    }
+  }
+}
+
+int BenchThreads() { return State().threads; }
+
+std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs) {
+  return RunSweep(jobs, BenchThreads());
+}
+
+std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs,
+                                      int threads) {
+  ThreadPool pool(threads);
+  // One Submit per job (not ParallelFor): cells vary widely in cost, so the
+  // shared queue load-balances; futures are joined by index, which pins the
+  // result order regardless of completion order.
+  std::vector<std::future<sim::RunMetrics>> pending;
+  pending.reserve(jobs.size());
+  for (const SweepJob& job : jobs) {
+    pending.push_back(pool.Submit([&job] {
+      if (!job.label.empty()) Progress(job.label);
+      return RunMode(job.params, job.mode, job.options, job.mobieyes);
+    }));
+  }
+  std::vector<sim::RunMetrics> results;
+  results.reserve(jobs.size());
+  for (auto& future : pending) results.push_back(future.get());
+  return results;
+}
+
 void PrintTable(const std::string& title, const std::string& xlabel,
                 const std::vector<double>& xs,
                 const std::vector<Series>& series) {
+  State().tables.push_back(RecordedTable{title, xlabel, xs, series});
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("%-14s", xlabel.c_str());
   for (const Series& s : series) {
@@ -45,6 +157,54 @@ void PrintTable(const std::string& title, const std::string& xlabel,
     std::printf("\n");
   }
   std::fflush(stdout);
+}
+
+int FinishBench() {
+  BenchState& state = State();
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    state.start)
+          .count();
+  if (state.json_path.empty()) return 0;
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"" + JsonEscape(state.name) + "\",\n";
+  json += "  \"threads\": " + std::to_string(state.threads) + ",\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(ThreadPool::HardwareThreads()) + ",\n";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", wall_seconds);
+  json += "  \"wall_seconds\": " + std::string(buffer) + ",\n";
+  json += "  \"tables\": [\n";
+  for (size_t t = 0; t < state.tables.size(); ++t) {
+    const RecordedTable& table = state.tables[t];
+    json += "    {\n";
+    json += "      \"title\": \"" + JsonEscape(table.title) + "\",\n";
+    json += "      \"xlabel\": \"" + JsonEscape(table.xlabel) + "\",\n";
+    json += "      \"x\": ";
+    AppendDoubles(&json, table.xs);
+    json += ",\n      \"series\": [\n";
+    for (size_t s = 0; s < table.series.size(); ++s) {
+      json += "        {\"name\": \"" + JsonEscape(table.series[s].name) +
+              "\", \"values\": ";
+      AppendDoubles(&json, table.series[s].values);
+      json += s + 1 < table.series.size() ? "},\n" : "}\n";
+    }
+    json += "      ]\n";
+    json += t + 1 < state.tables.size() ? "    },\n" : "    }\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* file = std::fopen(state.json_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n",
+                 state.json_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  Progress("wrote " + state.json_path);
+  return 0;
 }
 
 void Progress(const std::string& note) {

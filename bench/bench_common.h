@@ -1,9 +1,16 @@
 #ifndef MOBIEYES_BENCH_BENCH_COMMON_H_
 #define MOBIEYES_BENCH_BENCH_COMMON_H_
 
-// Shared harness for the figure-reproduction benches: run one simulation
-// mode over one parameter setting and print paper-style tables (one row per
-// x-value, one column per series).
+// Shared harness for the figure-reproduction benches: fan the sweep's
+// (x-value, mode) cells across a worker pool, then print paper-style tables
+// (one row per x-value, one column per series) and optionally a
+// machine-readable JSON report.
+//
+// Every cell is one fully independent simulation with its own seeded RNG
+// (the seed travels inside SimulationParams), so the table contents do not
+// depend on the thread count: results are collected by job index, never by
+// completion order. Only the wall-clock metrics (server/client seconds)
+// jitter run-to-run — exactly as they already did serially.
 
 #include <string>
 #include <vector>
@@ -25,16 +32,48 @@ sim::RunMetrics RunMode(const sim::SimulationParams& params,
                         sim::SimMode mode, const RunOptions& options = {},
                         const core::MobiEyesOptions& mobieyes = {});
 
+// One sweep cell: an independent simulation to run.
+struct SweepJob {
+  sim::SimulationParams params;
+  sim::SimMode mode = sim::SimMode::kMobiEyesEager;
+  RunOptions options;
+  core::MobiEyesOptions mobieyes;
+  std::string label;  // progress note, e.g. "fig03 alpha=2 EQP"
+};
+
+// Parses harness flags out of argv (unknown arguments are left alone) and
+// starts the bench wall clock. Call first in main().
+//   --threads=N   worker threads for RunSweep (default: hardware threads;
+//                 1 runs strictly serially on the calling thread)
+//   --json=PATH   also write every printed table to PATH as JSON
+void InitBench(const std::string& name, int argc, char** argv);
+
+// Worker thread count RunSweep will use.
+int BenchThreads();
+
+// Runs every job across the worker pool; results indexed like `jobs`.
+std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs);
+
+// Same, with an explicit worker count (1 = strictly serial). The counting
+// metrics of each cell depend only on its seed, never on `threads`.
+std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs,
+                                      int threads);
+
 struct Series {
   std::string name;
   std::vector<double> values;
 };
 
 // Prints an aligned table: header `title`, x column labeled `xlabel`, one
-// column per series. Values are printed with %.6g.
+// column per series. Values are printed with %.6g. The table is also
+// recorded for the --json report.
 void PrintTable(const std::string& title, const std::string& xlabel,
                 const std::vector<double>& xs,
                 const std::vector<Series>& series);
+
+// Writes the JSON report if --json was given. Returns 0 (the exit status),
+// so benches can end with `return FinishBench();`.
+int FinishBench();
 
 // Progress note to stderr so long sweeps show life without polluting the
 // table output on stdout.

@@ -12,8 +12,12 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig01_server_load_queries", argc, argv);
   std::vector<double> query_counts = {100, 250, 500, 750, 1000};
+  std::vector<sim::SimMode> modes = {
+      sim::SimMode::kObjectIndex, sim::SimMode::kQueryIndex,
+      sim::SimMode::kMobiEyesEager, sim::SimMode::kMobiEyesLazy};
   std::vector<Series> series = {{"ObjectIndex", {}},
                                 {"QueryIndex", {}},
                                 {"MobiEyes-EQP", {}},
@@ -21,24 +25,26 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  std::vector<SweepJob> jobs;
   for (double nmq : query_counts) {
-    sim::SimulationParams params;
-    params.num_queries = static_cast<int>(nmq);
-    Progress("fig01 nmq=" + std::to_string(params.num_queries));
-    series[0].values.push_back(
-        RunMode(params, sim::SimMode::kObjectIndex, options)
-            .ServerLoadPerStep());
-    series[1].values.push_back(
-        RunMode(params, sim::SimMode::kQueryIndex, options)
-            .ServerLoadPerStep());
-    series[2].values.push_back(
-        RunMode(params, sim::SimMode::kMobiEyesEager, options)
-            .ServerLoadPerStep());
-    series[3].values.push_back(
-        RunMode(params, sim::SimMode::kMobiEyesLazy, options)
-            .ServerLoadPerStep());
+    for (sim::SimMode mode : modes) {
+      SweepJob job;
+      job.params.num_queries = static_cast<int>(nmq);
+      job.mode = mode;
+      job.options = options;
+      job.label = "fig01 nmq=" + std::to_string(job.params.num_queries) +
+                  " " + sim::SimModeName(mode);
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < query_counts.size(); ++row) {
+    for (size_t s = 0; s < series.size(); ++s) {
+      series[s].values.push_back(results[cell++].ServerLoadPerStep());
+    }
   }
   PrintTable("Fig 1: server load (s/step) vs number of queries",
              "num_queries", query_counts, series);
-  return 0;
+  return FinishBench();
 }

@@ -11,7 +11,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig02_lqp_error", argc, argv);
   std::vector<double> velocity_changes = {100, 250, 500, 750, 1000};
   std::vector<double> alphas = {2.0, 5.0, 10.0};
   std::vector<Series> series;
@@ -23,20 +24,29 @@ int main() {
   options.steps = 8;
   options.measure_error = true;
 
+  std::vector<SweepJob> jobs;
   for (double nmo : velocity_changes) {
+    for (double alpha : alphas) {
+      SweepJob job;
+      job.params.velocity_changes_per_step = static_cast<int>(nmo);
+      job.params.alpha = alpha;
+      job.mode = sim::SimMode::kMobiEyesLazy;
+      job.options = options;
+      job.label =
+          "fig02 nmo=" + std::to_string(job.params.velocity_changes_per_step) +
+          " alpha=" + std::to_string(alpha);
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < velocity_changes.size(); ++row) {
     for (size_t k = 0; k < alphas.size(); ++k) {
-      sim::SimulationParams params;
-      params.velocity_changes_per_step = static_cast<int>(nmo);
-      params.alpha = alphas[k];
-      Progress("fig02 nmo=" + std::to_string(params.velocity_changes_per_step) +
-               " alpha=" + std::to_string(params.alpha));
-      series[k].values.push_back(
-          RunMode(params, sim::SimMode::kMobiEyesLazy, options)
-              .AverageError());
+      series[k].values.push_back(results[cell++].AverageError());
     }
   }
   PrintTable(
       "Fig 2: LQP average result error vs objects changing velocity per step",
       "nmo", velocity_changes, series);
-  return 0;
+  return FinishBench();
 }

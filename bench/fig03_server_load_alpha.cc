@@ -9,7 +9,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig03_server_load_alpha", argc, argv);
   std::vector<double> alphas = {0.5, 1, 2, 4, 8, 16};
   std::vector<Series> series = {{"ObjectIndex", {}},
                                 {"QueryIndex", {}},
@@ -19,28 +20,43 @@ int main() {
   options.steps = 8;
 
   // The centralized baselines do not depend on alpha: measure them once on
-  // the default configuration and repeat the value across rows.
-  sim::SimulationParams defaults;
-  Progress("fig03 centralized baselines");
-  double object_index =
-      RunMode(defaults, sim::SimMode::kObjectIndex, options)
-          .ServerLoadPerStep();
-  double query_index = RunMode(defaults, sim::SimMode::kQueryIndex, options)
-                           .ServerLoadPerStep();
-
+  // the default configuration (jobs 0 and 1) and repeat the value across
+  // rows; the per-alpha EQP/LQP cells follow pairwise.
+  std::vector<SweepJob> jobs;
+  {
+    SweepJob object_index;
+    object_index.mode = sim::SimMode::kObjectIndex;
+    object_index.options = options;
+    object_index.label = "fig03 ObjectIndex baseline";
+    jobs.push_back(object_index);
+    SweepJob query_index;
+    query_index.mode = sim::SimMode::kQueryIndex;
+    query_index.options = options;
+    query_index.label = "fig03 QueryIndex baseline";
+    jobs.push_back(query_index);
+  }
   for (double alpha : alphas) {
-    sim::SimulationParams params;
-    params.alpha = alpha;
-    Progress("fig03 alpha=" + std::to_string(alpha));
+    for (sim::SimMode mode :
+         {sim::SimMode::kMobiEyesEager, sim::SimMode::kMobiEyesLazy}) {
+      SweepJob job;
+      job.params.alpha = alpha;
+      job.mode = mode;
+      job.options = options;
+      job.label = "fig03 alpha=" + std::to_string(alpha) + " " +
+                  sim::SimModeName(mode);
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  double object_index = results[0].ServerLoadPerStep();
+  double query_index = results[1].ServerLoadPerStep();
+  size_t cell = 2;
+  for (size_t row = 0; row < alphas.size(); ++row) {
     series[0].values.push_back(object_index);
     series[1].values.push_back(query_index);
-    series[2].values.push_back(
-        RunMode(params, sim::SimMode::kMobiEyesEager, options)
-            .ServerLoadPerStep());
-    series[3].values.push_back(
-        RunMode(params, sim::SimMode::kMobiEyesLazy, options)
-            .ServerLoadPerStep());
+    series[2].values.push_back(results[cell++].ServerLoadPerStep());
+    series[3].values.push_back(results[cell++].ServerLoadPerStep());
   }
   PrintTable("Fig 3: server load (s/step) vs alpha", "alpha", alphas, series);
-  return 0;
+  return FinishBench();
 }

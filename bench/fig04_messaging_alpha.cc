@@ -11,7 +11,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig04_messaging_alpha", argc, argv);
   std::vector<double> alphas = {0.5, 1, 2, 4, 6, 8, 12, 16};
   std::vector<double> query_counts = {100, 400, 1000};
   std::vector<Series> series;
@@ -21,19 +22,26 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  std::vector<SweepJob> jobs;
   for (double alpha : alphas) {
+    for (double nmq : query_counts) {
+      SweepJob job;
+      job.params.alpha = alpha;
+      job.params.num_queries = static_cast<int>(nmq);
+      job.options = options;
+      job.label = "fig04 alpha=" + std::to_string(alpha) +
+                  " nmq=" + std::to_string(job.params.num_queries);
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < alphas.size(); ++row) {
     for (size_t k = 0; k < query_counts.size(); ++k) {
-      sim::SimulationParams params;
-      params.alpha = alpha;
-      params.num_queries = static_cast<int>(query_counts[k]);
-      Progress("fig04 alpha=" + std::to_string(alpha) +
-               " nmq=" + std::to_string(params.num_queries));
-      series[k].values.push_back(
-          RunMode(params, sim::SimMode::kMobiEyesEager, options)
-              .MessagesPerSecond());
+      series[k].values.push_back(results[cell++].MessagesPerSecond());
     }
   }
   PrintTable("Fig 4: messages/second vs alpha (MobiEyes EQP)", "alpha",
              alphas, series);
-  return 0;
+  return FinishBench();
 }

@@ -11,9 +11,13 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig05_messaging_objects", argc, argv);
   std::vector<double> object_counts = {1000, 2500, 5000, 7500, 10000};
   std::vector<double> query_counts = {100, 1000};
+  std::vector<sim::SimMode> modes = {
+      sim::SimMode::kNaive, sim::SimMode::kCentralOptimal,
+      sim::SimMode::kMobiEyesEager, sim::SimMode::kMobiEyesLazy};
   std::vector<Series> series;
   for (double nmq : query_counts) {
     std::string suffix = " (nmq=" + std::to_string(static_cast<int>(nmq)) + ")";
@@ -25,31 +29,32 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  std::vector<SweepJob> jobs;
   for (double no : object_counts) {
-    size_t column = 0;
     for (double nmq : query_counts) {
-      sim::SimulationParams params;
-      params.num_objects = static_cast<int>(no);
-      params.num_queries = static_cast<int>(nmq);
-      // Keep nmo/no constant at the default ratio 1000/10000.
-      params.velocity_changes_per_step = static_cast<int>(no * 0.1);
-      Progress("fig05 no=" + std::to_string(params.num_objects) +
-               " nmq=" + std::to_string(params.num_queries));
-      series[column++].values.push_back(
-          RunMode(params, sim::SimMode::kNaive, options)
-              .MessagesPerSecond());
-      series[column++].values.push_back(
-          RunMode(params, sim::SimMode::kCentralOptimal, options)
-              .MessagesPerSecond());
-      series[column++].values.push_back(
-          RunMode(params, sim::SimMode::kMobiEyesEager, options)
-              .MessagesPerSecond());
-      series[column++].values.push_back(
-          RunMode(params, sim::SimMode::kMobiEyesLazy, options)
-              .MessagesPerSecond());
+      for (sim::SimMode mode : modes) {
+        SweepJob job;
+        job.params.num_objects = static_cast<int>(no);
+        job.params.num_queries = static_cast<int>(nmq);
+        // Keep nmo/no constant at the default ratio 1000/10000.
+        job.params.velocity_changes_per_step = static_cast<int>(no * 0.1);
+        job.mode = mode;
+        job.options = options;
+        job.label = "fig05 no=" + std::to_string(job.params.num_objects) +
+                    " nmq=" + std::to_string(job.params.num_queries) + " " +
+                    sim::SimModeName(mode);
+        jobs.push_back(job);
+      }
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < object_counts.size(); ++row) {
+    for (size_t column = 0; column < series.size(); ++column) {
+      series[column].values.push_back(results[cell++].MessagesPerSecond());
     }
   }
   PrintTable("Fig 5: messages/second vs number of objects", "num_objects",
              object_counts, series);
-  return 0;
+  return FinishBench();
 }

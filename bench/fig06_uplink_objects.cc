@@ -10,8 +10,12 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig06_uplink_objects", argc, argv);
   std::vector<double> object_counts = {1000, 2500, 5000, 7500, 10000};
+  std::vector<sim::SimMode> modes = {
+      sim::SimMode::kNaive, sim::SimMode::kCentralOptimal,
+      sim::SimMode::kMobiEyesEager, sim::SimMode::kMobiEyesLazy};
   std::vector<Series> series = {{"Naive", {}},
                                 {"CentralOpt", {}},
                                 {"MobiEyes-EQP", {}},
@@ -19,24 +23,27 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  std::vector<SweepJob> jobs;
   for (double no : object_counts) {
-    sim::SimulationParams params;
-    params.num_objects = static_cast<int>(no);
-    params.velocity_changes_per_step = static_cast<int>(no * 0.1);
-    Progress("fig06 no=" + std::to_string(params.num_objects));
-    series[0].values.push_back(RunMode(params, sim::SimMode::kNaive, options)
-                                   .UplinkMessagesPerSecond());
-    series[1].values.push_back(
-        RunMode(params, sim::SimMode::kCentralOptimal, options)
-            .UplinkMessagesPerSecond());
-    series[2].values.push_back(
-        RunMode(params, sim::SimMode::kMobiEyesEager, options)
-            .UplinkMessagesPerSecond());
-    series[3].values.push_back(
-        RunMode(params, sim::SimMode::kMobiEyesLazy, options)
-            .UplinkMessagesPerSecond());
+    for (sim::SimMode mode : modes) {
+      SweepJob job;
+      job.params.num_objects = static_cast<int>(no);
+      job.params.velocity_changes_per_step = static_cast<int>(no * 0.1);
+      job.mode = mode;
+      job.options = options;
+      job.label = "fig06 no=" + std::to_string(job.params.num_objects) + " " +
+                  sim::SimModeName(mode);
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < object_counts.size(); ++row) {
+    for (size_t s = 0; s < series.size(); ++s) {
+      series[s].values.push_back(results[cell++].UplinkMessagesPerSecond());
+    }
   }
   PrintTable("Fig 6: uplink messages/second vs number of objects",
              "num_objects", object_counts, series);
-  return 0;
+  return FinishBench();
 }

@@ -9,9 +9,13 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig07_messaging_velocity", argc, argv);
   std::vector<double> velocity_changes = {100, 250, 500, 750, 1000};
   std::vector<double> query_counts = {100, 1000};
+  std::vector<sim::SimMode> modes = {
+      sim::SimMode::kNaive, sim::SimMode::kCentralOptimal,
+      sim::SimMode::kMobiEyesEager, sim::SimMode::kMobiEyesLazy};
   std::vector<Series> series;
   for (double nmq : query_counts) {
     std::string suffix = " (nmq=" + std::to_string(static_cast<int>(nmq)) + ")";
@@ -23,30 +27,32 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  std::vector<SweepJob> jobs;
   for (double nmo : velocity_changes) {
-    size_t column = 0;
     for (double nmq : query_counts) {
-      sim::SimulationParams params;
-      params.velocity_changes_per_step = static_cast<int>(nmo);
-      params.num_queries = static_cast<int>(nmq);
-      Progress("fig07 nmo=" + std::to_string(params.velocity_changes_per_step) +
-               " nmq=" + std::to_string(params.num_queries));
-      series[column++].values.push_back(
-          RunMode(params, sim::SimMode::kNaive, options)
-              .MessagesPerSecond());
-      series[column++].values.push_back(
-          RunMode(params, sim::SimMode::kCentralOptimal, options)
-              .MessagesPerSecond());
-      series[column++].values.push_back(
-          RunMode(params, sim::SimMode::kMobiEyesEager, options)
-              .MessagesPerSecond());
-      series[column++].values.push_back(
-          RunMode(params, sim::SimMode::kMobiEyesLazy, options)
-              .MessagesPerSecond());
+      for (sim::SimMode mode : modes) {
+        SweepJob job;
+        job.params.velocity_changes_per_step = static_cast<int>(nmo);
+        job.params.num_queries = static_cast<int>(nmq);
+        job.mode = mode;
+        job.options = options;
+        job.label =
+            "fig07 nmo=" + std::to_string(job.params.velocity_changes_per_step) +
+            " nmq=" + std::to_string(job.params.num_queries) + " " +
+            sim::SimModeName(mode);
+        jobs.push_back(job);
+      }
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < velocity_changes.size(); ++row) {
+    for (size_t column = 0; column < series.size(); ++column) {
+      series[column].values.push_back(results[cell++].MessagesPerSecond());
     }
   }
   PrintTable(
       "Fig 7: messages/second vs objects changing velocity vector per step",
       "nmo", velocity_changes, series);
-  return 0;
+  return FinishBench();
 }

@@ -11,7 +11,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig08_messaging_basestation", argc, argv);
   std::vector<double> station_sides = {5, 10, 20, 40, 80};
   std::vector<double> query_counts = {100, 400, 1000};
   std::vector<Series> series;
@@ -21,19 +22,26 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  std::vector<SweepJob> jobs;
   for (double alen : station_sides) {
+    for (double nmq : query_counts) {
+      SweepJob job;
+      job.params.base_station_side = alen;
+      job.params.num_queries = static_cast<int>(nmq);
+      job.options = options;
+      job.label = "fig08 alen=" + std::to_string(alen) +
+                  " nmq=" + std::to_string(job.params.num_queries);
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < station_sides.size(); ++row) {
     for (size_t k = 0; k < query_counts.size(); ++k) {
-      sim::SimulationParams params;
-      params.base_station_side = alen;
-      params.num_queries = static_cast<int>(query_counts[k]);
-      Progress("fig08 alen=" + std::to_string(alen) +
-               " nmq=" + std::to_string(params.num_queries));
-      series[k].values.push_back(
-          RunMode(params, sim::SimMode::kMobiEyesEager, options)
-              .MessagesPerSecond());
+      series[k].values.push_back(results[cell++].MessagesPerSecond());
     }
   }
   PrintTable("Fig 8: messages/second vs base station side length (EQP)",
              "alen", station_sides, series);
-  return 0;
+  return FinishBench();
 }

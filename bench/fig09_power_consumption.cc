@@ -13,8 +13,12 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig09_power_consumption", argc, argv);
   std::vector<double> query_counts = {100, 250, 500, 750, 1000};
+  std::vector<sim::SimMode> modes = {sim::SimMode::kNaive,
+                                     sim::SimMode::kCentralOptimal,
+                                     sim::SimMode::kMobiEyesEager};
   std::vector<Series> series = {{"Naive", {}},
                                 {"CentralOpt", {}},
                                 {"MobiEyes-EQP", {}}};
@@ -23,22 +27,28 @@ int main() {
   options.track_per_object_bytes = true;
   net::RadioEnergyModel radio;
 
+  std::vector<SweepJob> jobs;
   for (double nmq : query_counts) {
-    sim::SimulationParams params;
-    params.num_queries = static_cast<int>(nmq);
-    Progress("fig09 nmq=" + std::to_string(params.num_queries));
-    series[0].values.push_back(
-        RunMode(params, sim::SimMode::kNaive, options)
-            .AveragePowerMilliwatts(radio));
-    series[1].values.push_back(
-        RunMode(params, sim::SimMode::kCentralOptimal, options)
-            .AveragePowerMilliwatts(radio));
-    series[2].values.push_back(
-        RunMode(params, sim::SimMode::kMobiEyesEager, options)
-            .AveragePowerMilliwatts(radio));
+    for (sim::SimMode mode : modes) {
+      SweepJob job;
+      job.params.num_queries = static_cast<int>(nmq);
+      job.mode = mode;
+      job.options = options;
+      job.label = "fig09 nmq=" + std::to_string(job.params.num_queries) + " " +
+                  sim::SimModeName(mode);
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < query_counts.size(); ++row) {
+    for (size_t s = 0; s < series.size(); ++s) {
+      series[s].values.push_back(
+          results[cell++].AveragePowerMilliwatts(radio));
+    }
   }
   PrintTable(
       "Fig 9: per-object communication power (mW) vs number of queries",
       "num_queries", query_counts, series);
-  return 0;
+  return FinishBench();
 }

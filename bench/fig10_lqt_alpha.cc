@@ -10,7 +10,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig10_lqt_alpha", argc, argv);
   std::vector<double> alphas = {1, 2, 4, 8, 16};
   std::vector<double> query_counts = {100, 400, 1000};
   std::vector<Series> series;
@@ -20,18 +21,25 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  std::vector<SweepJob> jobs;
   for (double alpha : alphas) {
+    for (double nmq : query_counts) {
+      SweepJob job;
+      job.params.alpha = alpha;
+      job.params.num_queries = static_cast<int>(nmq);
+      job.options = options;
+      job.label = "fig10 alpha=" + std::to_string(alpha) +
+                  " nmq=" + std::to_string(job.params.num_queries);
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < alphas.size(); ++row) {
     for (size_t k = 0; k < query_counts.size(); ++k) {
-      sim::SimulationParams params;
-      params.alpha = alpha;
-      params.num_queries = static_cast<int>(query_counts[k]);
-      Progress("fig10 alpha=" + std::to_string(alpha) +
-               " nmq=" + std::to_string(params.num_queries));
-      series[k].values.push_back(
-          RunMode(params, sim::SimMode::kMobiEyesEager, options)
-              .AverageLqtSize());
+      series[k].values.push_back(results[cell++].AverageLqtSize());
     }
   }
   PrintTable("Fig 10: average LQT size vs alpha", "alpha", alphas, series);
-  return 0;
+  return FinishBench();
 }

@@ -9,7 +9,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig11_lqt_queries", argc, argv);
   std::vector<double> query_counts = {100, 250, 500, 750, 1000};
   std::vector<double> alphas = {2.0, 5.0, 10.0};
   std::vector<Series> series;
@@ -19,19 +20,26 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  std::vector<SweepJob> jobs;
   for (double nmq : query_counts) {
+    for (double alpha : alphas) {
+      SweepJob job;
+      job.params.num_queries = static_cast<int>(nmq);
+      job.params.alpha = alpha;
+      job.options = options;
+      job.label = "fig11 nmq=" + std::to_string(job.params.num_queries) +
+                  " alpha=" + std::to_string(alpha);
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < query_counts.size(); ++row) {
     for (size_t k = 0; k < alphas.size(); ++k) {
-      sim::SimulationParams params;
-      params.num_queries = static_cast<int>(nmq);
-      params.alpha = alphas[k];
-      Progress("fig11 nmq=" + std::to_string(params.num_queries) +
-               " alpha=" + std::to_string(params.alpha));
-      series[k].values.push_back(
-          RunMode(params, sim::SimMode::kMobiEyesEager, options)
-              .AverageLqtSize());
+      series[k].values.push_back(results[cell++].AverageLqtSize());
     }
   }
   PrintTable("Fig 11: average LQT size vs number of queries", "num_queries",
              query_counts, series);
-  return 0;
+  return FinishBench();
 }

@@ -10,7 +10,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig12_lqt_radius", argc, argv);
   std::vector<double> radius_factors = {0.5, 1.0, 1.5, 2.0, 3.0, 4.0};
   std::vector<double> alphas = {2.0, 5.0, 10.0};
   std::vector<Series> series;
@@ -20,19 +21,26 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  std::vector<SweepJob> jobs;
   for (double factor : radius_factors) {
+    for (double alpha : alphas) {
+      SweepJob job;
+      job.params.radius_factor = factor;
+      job.params.alpha = alpha;
+      job.options = options;
+      job.label = "fig12 factor=" + std::to_string(factor) +
+                  " alpha=" + std::to_string(alpha);
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < radius_factors.size(); ++row) {
     for (size_t k = 0; k < alphas.size(); ++k) {
-      sim::SimulationParams params;
-      params.radius_factor = factor;
-      params.alpha = alphas[k];
-      Progress("fig12 factor=" + std::to_string(factor) +
-               " alpha=" + std::to_string(params.alpha));
-      series[k].values.push_back(
-          RunMode(params, sim::SimMode::kMobiEyesEager, options)
-              .AverageLqtSize());
+      series[k].values.push_back(results[cell++].AverageLqtSize());
     }
   }
   PrintTable("Fig 12: average LQT size vs query radius factor",
              "radius_factor", radius_factors, series);
-  return 0;
+  return FinishBench();
 }

@@ -11,7 +11,8 @@
 using namespace mobieyes;       // NOLINT(build/namespaces)
 using namespace mobieyes::bench;  // NOLINT(build/namespaces)
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("fig13_safe_period", argc, argv);
   std::vector<double> alphas = {1, 2, 4, 8, 16};
   std::vector<Series> series = {{"no-safe-period", {}},
                                 {"safe-period", {}},
@@ -20,20 +21,29 @@ int main() {
   RunOptions options;
   options.steps = 8;
 
+  core::MobiEyesOptions plain;
+  plain.enable_safe_period = false;
+  core::MobiEyesOptions with_sp;
+  with_sp.enable_safe_period = true;
+
+  // Two cells per alpha: safe periods off (even indices) and on (odd).
+  std::vector<SweepJob> jobs;
   for (double alpha : alphas) {
-    sim::SimulationParams params;
-    params.alpha = alpha;
-    Progress("fig13 alpha=" + std::to_string(alpha));
-
-    core::MobiEyesOptions plain;
-    plain.enable_safe_period = false;
-    sim::RunMetrics without =
-        RunMode(params, sim::SimMode::kMobiEyesEager, options, plain);
-    core::MobiEyesOptions with_sp;
-    with_sp.enable_safe_period = true;
-    sim::RunMetrics with =
-        RunMode(params, sim::SimMode::kMobiEyesEager, options, with_sp);
-
+    for (bool safe_period : {false, true}) {
+      SweepJob job;
+      job.params.alpha = alpha;
+      job.options = options;
+      job.mobieyes = safe_period ? with_sp : plain;
+      job.label = "fig13 alpha=" + std::to_string(alpha) +
+                  (safe_period ? " safe-period" : " no-safe-period");
+      jobs.push_back(job);
+    }
+  }
+  std::vector<sim::RunMetrics> results = RunSweep(jobs);
+  size_t cell = 0;
+  for (size_t row = 0; row < alphas.size(); ++row) {
+    sim::RunMetrics without = results[cell++];
+    sim::RunMetrics with = results[cell++];
     series[0].values.push_back(without.ClientProcessingPerStep());
     series[1].values.push_back(with.ClientProcessingPerStep());
     double denom = static_cast<double>(with.steps) *
@@ -47,5 +57,5 @@ int main() {
       "Fig 13: per-object query processing load (s/step) vs alpha, with and "
       "without safe periods",
       "alpha", alphas, series);
-  return 0;
+  return FinishBench();
 }

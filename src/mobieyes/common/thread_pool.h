@@ -1,0 +1,104 @@
+#ifndef MOBIEYES_COMMON_THREAD_POOL_H_
+#define MOBIEYES_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mobieyes {
+
+// Fixed-size worker pool. Tasks are plain callables; Submit returns a future
+// carrying the callable's result (or its exception). The pool never shares
+// mutable state between tasks — callers own their data and any partitioning.
+//
+// With `threads <= 1` the pool runs every task inline on the calling thread
+// (no workers are spawned), so a single code path serves both the serial and
+// the parallel configuration and `--threads=1` is genuinely serial.
+class ThreadPool {
+ public:
+  // Number of concurrent hardware threads, at least 1.
+  static int HardwareThreads();
+
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Worker count; 0 means inline execution.
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  // Invokes fn(index) for every index in [begin, end), fanned across the
+  // pool in contiguous chunks, and blocks until all complete. If any
+  // invocation throws, one of the thrown exceptions is rethrown on the
+  // calling thread (after every index has been dispatched and joined).
+  template <typename Fn>
+  void ParallelFor(int64_t begin, int64_t end, const Fn& fn) {
+    if (begin >= end) return;
+    const int64_t count = end - begin;
+    const int64_t lanes =
+        std::min<int64_t>(count, std::max(thread_count(), 1));
+    if (lanes <= 1) {
+      for (int64_t index = begin; index < end; ++index) fn(index);
+      return;
+    }
+    std::vector<std::future<void>> pending;
+    pending.reserve(static_cast<size_t>(lanes));
+    const int64_t chunk = (count + lanes - 1) / lanes;
+    for (int64_t lo = begin; lo < end; lo += chunk) {
+      const int64_t hi = std::min(lo + chunk, end);
+      pending.push_back(Submit([&fn, lo, hi] {
+        for (int64_t index = lo; index < hi; ++index) fn(index);
+      }));
+    }
+    std::exception_ptr first_error;
+    for (auto& future : pending) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mobieyes
+
+#endif  // MOBIEYES_COMMON_THREAD_POOL_H_

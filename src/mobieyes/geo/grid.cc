@@ -12,15 +12,6 @@ CellRange CellRange::Union(const CellRange& a, const CellRange& b) {
                    std::min(a.j_lo, b.j_lo), std::max(a.j_hi, b.j_hi)};
 }
 
-void CellRange::ForEach(
-    const std::function<void(int32_t, int32_t)>& fn) const {
-  for (int32_t j = j_lo; j <= j_hi; ++j) {
-    for (int32_t i = i_lo; i <= i_hi; ++i) {
-      fn(i, j);
-    }
-  }
-}
-
 Result<Grid> Grid::Make(const Rect& universe, Miles alpha) {
   if (alpha <= 0.0) {
     return Status::InvalidArgument("grid cell side alpha must be positive");

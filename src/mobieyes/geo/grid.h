@@ -59,8 +59,16 @@ struct CellRange {
   // a focal object crosses cells, §3.5).
   static CellRange Union(const CellRange& a, const CellRange& b);
 
-  // Invokes fn(i, j) for every cell in the range.
-  void ForEach(const std::function<void(int32_t, int32_t)>& fn) const;
+  // Invokes fn(i, j) for every cell in the range. Templated so the loop
+  // body inlines — this drives the per-object hot loops in World.
+  template <typename Visitor>
+  void ForEach(const Visitor& fn) const {
+    for (int32_t j = j_lo; j <= j_hi; ++j) {
+      for (int32_t i = i_lo; i <= i_hi; ++i) {
+        fn(i, j);
+      }
+    }
+  }
 
   friend bool operator==(const CellRange&, const CellRange&) = default;
 };

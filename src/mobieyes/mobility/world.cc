@@ -1,7 +1,7 @@
 #include "mobieyes/mobility/world.h"
 
-#include <algorithm>
-#include <unordered_set>
+#include <numeric>
+#include <utility>
 
 #include "mobieyes/mobility/motion_model.h"
 
@@ -23,65 +23,54 @@ Result<World> World::Make(const geo::Grid& grid,
 World::World(const geo::Grid& grid, std::vector<ObjectState> objects)
     : grid_(&grid),
       objects_(std::move(objects)),
-      cell_objects_(grid.CellCount()) {
+      cell_objects_(grid.CellCount()),
+      slot_in_cell_(objects_.size()),
+      velocity_pick_buffer_(objects_.size()) {
   for (auto& object : objects_) {
     object.cell = grid_->CellOf(object.pos);
-    cell_objects_[grid_->FlatIndex(object.cell)].push_back(object.oid);
+    auto& list = cell_objects_[grid_->FlatIndex(object.cell)];
+    slot_in_cell_[object.oid] = static_cast<uint32_t>(list.size());
+    list.push_back(object.oid);
   }
+  std::iota(velocity_pick_buffer_.begin(), velocity_pick_buffer_.end(),
+            ObjectId{0});
+}
+
+void World::MigrateCell(ObjectState& object, const geo::CellCoord& new_cell) {
+  auto& old_list = cell_objects_[grid_->FlatIndex(object.cell)];
+  const uint32_t slot = slot_in_cell_[object.oid];
+  ObjectId moved = old_list.back();
+  old_list[slot] = moved;
+  slot_in_cell_[moved] = slot;
+  old_list.pop_back();
+  auto& new_list = cell_objects_[grid_->FlatIndex(new_cell)];
+  slot_in_cell_[object.oid] = static_cast<uint32_t>(new_list.size());
+  new_list.push_back(object.oid);
+  object.cell = new_cell;
 }
 
 void World::Step(Seconds dt, int velocity_changes, Rng& rng) {
-  // Pick `velocity_changes` distinct objects to re-draw their velocity.
-  int n = static_cast<int>(objects_.size());
-  int changes = std::min(velocity_changes, n);
-  std::unordered_set<ObjectId> chosen;
-  chosen.reserve(changes);
-  while (static_cast<int>(chosen.size()) < changes) {
-    chosen.insert(static_cast<ObjectId>(rng.NextUint64(n)));
-  }
-  for (ObjectId oid : chosen) {
-    RandomVelocityModel::RandomizeVelocity(objects_[oid], rng);
+  // Draw `velocity_changes` distinct objects with a partial Fisher-Yates
+  // shuffle over the persistent identity buffer: the first `changes` slots
+  // become a uniform random sample without replacement.
+  const auto n = static_cast<uint64_t>(objects_.size());
+  const auto changes = static_cast<uint64_t>(
+      std::min<int64_t>(velocity_changes, static_cast<int64_t>(n)));
+  for (uint64_t k = 0; k < changes; ++k) {
+    uint64_t pick = k + rng.NextUint64(n - k);
+    std::swap(velocity_pick_buffer_[k], velocity_pick_buffer_[pick]);
+    RandomVelocityModel::RandomizeVelocity(objects_[velocity_pick_buffer_[k]],
+                                           rng);
   }
 
   for (auto& object : objects_) {
     RandomVelocityModel::Advance(object, dt, grid_->universe());
     geo::CellCoord new_cell = grid_->CellOf(object.pos);
-    if (!(new_cell == object.cell)) {
-      auto& old_list = cell_objects_[grid_->FlatIndex(object.cell)];
-      old_list.erase(std::find(old_list.begin(), old_list.end(), object.oid));
-      cell_objects_[grid_->FlatIndex(new_cell)].push_back(object.oid);
-      object.cell = new_cell;
-    }
+    if (!(new_cell == object.cell)) MigrateCell(object, new_cell);
   }
 
   now_ += dt;
   ++step_count_;
-}
-
-void World::ForEachObjectInCircle(
-    const geo::Circle& circle, const std::function<void(ObjectId)>& fn) const {
-  geo::CellRange cells = grid_->CellsIntersecting(circle.BoundingRect());
-  cells.ForEach([&](int32_t i, int32_t j) {
-    for (ObjectId oid : cell_objects_[grid_->FlatIndex(geo::CellCoord{i, j})]) {
-      if (circle.Contains(objects_[oid].pos)) fn(oid);
-    }
-  });
-}
-
-void World::ForEachObjectUnderCoverage(
-    const geo::Circle& circle, const std::function<void(ObjectId)>& fn) const {
-  geo::CellRange cells = grid_->CellsIntersecting(circle.BoundingRect());
-  cells.ForEach([&](int32_t i, int32_t j) {
-    geo::CellCoord c{i, j};
-    if (!circle.Intersects(grid_->CellRect(c))) return;
-    for (ObjectId oid : cell_objects_[grid_->FlatIndex(c)]) fn(oid);
-  });
-}
-
-void World::ForEachObjectInCell(const geo::CellCoord& c,
-                                const std::function<void(ObjectId)>& fn) const {
-  if (!grid_->IsValid(c)) return;
-  for (ObjectId oid : cell_objects_[grid_->FlatIndex(c)]) fn(oid);
 }
 
 void World::SetObjectState(ObjectId oid, const geo::Point& pos,
@@ -90,12 +79,7 @@ void World::SetObjectState(ObjectId oid, const geo::Point& pos,
   object.vel = vel;
   object.pos = pos;
   geo::CellCoord new_cell = grid_->CellOf(pos);
-  if (!(new_cell == object.cell)) {
-    auto& old_list = cell_objects_[grid_->FlatIndex(object.cell)];
-    old_list.erase(std::find(old_list.begin(), old_list.end(), object.oid));
-    cell_objects_[grid_->FlatIndex(new_cell)].push_back(object.oid);
-    object.cell = new_cell;
-  }
+  if (!(new_cell == object.cell)) MigrateCell(object, new_cell);
 }
 
 }  // namespace mobieyes::mobility

@@ -1,7 +1,7 @@
 #ifndef MOBIEYES_MOBILITY_WORLD_H_
 #define MOBIEYES_MOBILITY_WORLD_H_
 
-#include <functional>
+#include <cstdint>
 #include <vector>
 
 #include "mobieyes/common/random.h"
@@ -17,6 +17,11 @@ namespace mobieyes::mobility {
 // it by the §5.1 motion model, and maintains a grid-cell spatial index used
 // both for broadcast delivery (which objects are under a base station) and
 // for the exact-result oracle.
+//
+// The visitor methods take the callable as a template parameter so the
+// per-object dispatch inlines; they sit on every mode's per-step hot path
+// (broadcast delivery, oracle evaluation) where a std::function per object
+// is measurable.
 //
 // ObjectIds are dense: objects are created with oid == index.
 class World {
@@ -42,21 +47,40 @@ class World {
   void Step(Seconds dt, int velocity_changes, Rng& rng);
 
   // Invokes fn for every object whose true position lies inside the circle.
+  template <typename Visitor>
   void ForEachObjectInCircle(const geo::Circle& circle,
-                             const std::function<void(ObjectId)>& fn) const;
+                             const Visitor& fn) const {
+    geo::CellRange cells = grid_->CellsIntersecting(circle.BoundingRect());
+    cells.ForEach([&](int32_t i, int32_t j) {
+      for (ObjectId oid :
+           cell_objects_[grid_->FlatIndex(geo::CellCoord{i, j})]) {
+        if (circle.Contains(objects_[oid].pos)) fn(oid);
+      }
+    });
+  }
 
   // Invokes fn for every object whose *current grid cell* intersects the
   // circle — a cell-granular alternative to ForEachObjectInCircle that
   // over-approximates a coverage area at grid resolution. Broadcast
   // delivery uses the exact point-in-circle rule; this variant exists for
   // cell-level analyses and tests.
-  void ForEachObjectUnderCoverage(
-      const geo::Circle& circle,
-      const std::function<void(ObjectId)>& fn) const;
+  template <typename Visitor>
+  void ForEachObjectUnderCoverage(const geo::Circle& circle,
+                                  const Visitor& fn) const {
+    geo::CellRange cells = grid_->CellsIntersecting(circle.BoundingRect());
+    cells.ForEach([&](int32_t i, int32_t j) {
+      geo::CellCoord c{i, j};
+      if (!circle.Intersects(grid_->CellRect(c))) return;
+      for (ObjectId oid : cell_objects_[grid_->FlatIndex(c)]) fn(oid);
+    });
+  }
 
   // Invokes fn for every object currently in grid cell c.
-  void ForEachObjectInCell(const geo::CellCoord& c,
-                           const std::function<void(ObjectId)>& fn) const;
+  template <typename Visitor>
+  void ForEachObjectInCell(const geo::CellCoord& c, const Visitor& fn) const {
+    if (!grid_->IsValid(c)) return;
+    for (ObjectId oid : cell_objects_[grid_->FlatIndex(c)]) fn(oid);
+  }
 
   // Test/setup hook: overwrite an object's kinematics and reindex it.
   void SetObjectState(ObjectId oid, const geo::Point& pos,
@@ -65,12 +89,21 @@ class World {
  private:
   World(const geo::Grid& grid, std::vector<ObjectState> objects);
 
-  void Reindex(ObjectState& object);
+  // Moves the object into `new_cell`, maintaining the per-cell lists with a
+  // swap-remove (O(1) via the object's slot index instead of a linear scan
+  // of the source cell's population).
+  void MigrateCell(ObjectState& object, const geo::CellCoord& new_cell);
 
   const geo::Grid* grid_;
   std::vector<ObjectState> objects_;
   // Per-cell object lists, row-major by flat cell index.
   std::vector<std::vector<ObjectId>> cell_objects_;
+  // slot_in_cell_[oid] == position of oid inside its cell's list.
+  std::vector<uint32_t> slot_in_cell_;
+  // Persistent identity permutation buffer for Step's partial Fisher-Yates
+  // draw of velocity-changing objects (no per-step allocation, and distinct
+  // picks cost O(velocity_changes) even when it approaches object_count).
+  std::vector<ObjectId> velocity_pick_buffer_;
   Seconds now_ = 0.0;
   StepCount step_count_ = 0;
 };

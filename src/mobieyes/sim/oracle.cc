@@ -13,21 +13,40 @@ std::unordered_set<ObjectId> ExactOracle::Evaluate(
 std::unordered_set<ObjectId> ExactOracle::Evaluate(
     ObjectId focal_oid, const geo::QueryRegion& region,
     double filter_threshold) const {
-  std::unordered_set<ObjectId> result;
+  std::vector<ObjectId> matches;
+  EvaluateInto(focal_oid, region, filter_threshold, &matches);
+  return std::unordered_set<ObjectId>(matches.begin(), matches.end());
+}
+
+void ExactOracle::EvaluateInto(ObjectId focal_oid,
+                               const geo::QueryRegion& region,
+                               double filter_threshold,
+                               std::vector<ObjectId>* out) const {
+  out->clear();
   const mobility::ObjectState& focal = world_->object(focal_oid);
   // Scan the circumscribing circle and refine with the exact shape test.
   geo::Circle scan{focal.pos, region.MaxReach()};
   world_->ForEachObjectInCircle(scan, [&](ObjectId oid) {
     if (oid != focal_oid && world_->object(oid).attr <= filter_threshold &&
         region.Contains(focal.pos, world_->object(oid).pos)) {
-      result.insert(oid);
+      out->push_back(oid);
     }
   });
-  return result;
 }
 
 double ExactOracle::MissingFraction(
     const std::unordered_set<ObjectId>& exact,
+    const std::unordered_set<ObjectId>& reported) {
+  if (exact.empty()) return 0.0;
+  size_t missing = 0;
+  for (ObjectId oid : exact) {
+    if (!reported.contains(oid)) ++missing;
+  }
+  return static_cast<double>(missing) / static_cast<double>(exact.size());
+}
+
+double ExactOracle::MissingFraction(
+    const std::vector<ObjectId>& exact,
     const std::unordered_set<ObjectId>& reported) {
   if (exact.empty()) return 0.0;
   size_t missing = 0;

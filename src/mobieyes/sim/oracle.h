@@ -2,6 +2,7 @@
 #define MOBIEYES_SIM_ORACLE_H_
 
 #include <unordered_set>
+#include <vector>
 
 #include "mobieyes/common/ids.h"
 #include "mobieyes/common/units.h"
@@ -29,11 +30,25 @@ class ExactOracle {
                                         const geo::QueryRegion& region,
                                         double filter_threshold) const;
 
+  // Allocation-free variant for per-step measurement loops: clears *out and
+  // fills it with the exact result. The cell index visits each object at
+  // most once, so the output needs no dedup and a caller-owned vector can be
+  // reused across queries and steps (Fig. 2 measures every query every
+  // step; a fresh hash set per query dominated the measurement cost).
+  void EvaluateInto(ObjectId focal_oid, const geo::QueryRegion& region,
+                    double filter_threshold,
+                    std::vector<ObjectId>* out) const;
+
   // Fraction of the exact result that `reported` misses (paper's Fig. 2
   // error metric: missing ids divided by correct result size). Zero when
   // the exact result is empty.
   static double MissingFraction(
       const std::unordered_set<ObjectId>& exact,
+      const std::unordered_set<ObjectId>& reported);
+
+  // Same metric over an EvaluateInto result.
+  static double MissingFraction(
+      const std::vector<ObjectId>& exact,
       const std::unordered_set<ObjectId>& reported);
 
  private:

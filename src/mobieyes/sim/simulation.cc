@@ -259,10 +259,10 @@ double Simulation::CurrentResultError() const {
   static const std::unordered_set<ObjectId> kEmpty;
   for (size_t k = 0; k < installed_qids_.size(); ++k) {
     const QuerySpec& spec = query_specs_[k];
-    auto exact = oracle_->Evaluate(spec.focal_oid, spec.region,
-                                   spec.filter_threshold);
+    oracle_->EvaluateInto(spec.focal_oid, spec.region, spec.filter_threshold,
+                          &oracle_scratch_);
     const std::unordered_set<ObjectId>* reported = ReportedResult(k);
-    total += ExactOracle::MissingFraction(exact,
+    total += ExactOracle::MissingFraction(oracle_scratch_,
                                           reported ? *reported : kEmpty);
   }
   return total / static_cast<double>(installed_qids_.size());

@@ -122,6 +122,10 @@ class Simulation {
   std::vector<QuerySpec> query_specs_;
   std::vector<QueryId> installed_qids_;
 
+  // Scratch for CurrentResultError, reused across queries and steps so the
+  // per-step error measurement does not allocate per query.
+  mutable std::vector<ObjectId> oracle_scratch_;
+
   RunMetrics metrics_;
 };
 

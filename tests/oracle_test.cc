@@ -82,8 +82,13 @@ TEST_F(OracleTest, TracksMovingWorld) {
 }
 
 TEST(MissingFractionTest, EmptyExactIsZeroError) {
-  EXPECT_EQ(ExactOracle::MissingFraction({}, {}), 0.0);
-  EXPECT_EQ(ExactOracle::MissingFraction({}, {1, 2}), 0.0);
+  EXPECT_EQ(
+      ExactOracle::MissingFraction(std::unordered_set<ObjectId>{}, {}), 0.0);
+  EXPECT_EQ(
+      ExactOracle::MissingFraction(std::unordered_set<ObjectId>{}, {1, 2}),
+      0.0);
+  EXPECT_EQ(
+      ExactOracle::MissingFraction(std::vector<ObjectId>{}, {1, 2}), 0.0);
 }
 
 TEST(MissingFractionTest, CountsMissingIds) {

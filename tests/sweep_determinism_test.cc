@@ -1,0 +1,96 @@
+// RunSweep must produce the same table no matter how many workers execute
+// it: every cell is an independent simulation seeded from its own params,
+// and results are collected by job index. These tests pin that contract by
+// comparing every counting (wall-clock-free) metric between a strictly
+// serial sweep and a multi-threaded sweep of the same jobs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace mobieyes::bench {
+namespace {
+
+std::vector<SweepJob> SmallSweep() {
+  std::vector<SweepJob> jobs;
+  RunOptions options;
+  options.steps = 4;
+  options.warmup_steps = 1;
+  options.measure_error = true;
+  for (double alpha : {5.0, 10.0}) {
+    for (sim::SimMode mode :
+         {sim::SimMode::kMobiEyesEager, sim::SimMode::kMobiEyesLazy,
+          sim::SimMode::kNaive, sim::SimMode::kCentralOptimal}) {
+      SweepJob job;
+      job.params.num_objects = 200;
+      job.params.num_queries = 20;
+      job.params.velocity_changes_per_step = 20;
+      job.params.area_square_miles = 10000.0;  // 100 x 100
+      job.params.alpha = alpha;
+      job.params.base_station_side = 20.0;
+      job.params.seed = 7 + static_cast<uint64_t>(alpha);
+      job.mode = mode;
+      job.options = options;
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
+}
+
+// The deterministic (seed-only) portion of RunMetrics: everything except
+// the stopwatch-based fields, which measure host wall time and jitter even
+// between two serial runs.
+void ExpectDeterministicFieldsEqual(const sim::RunMetrics& a,
+                                    const sim::RunMetrics& b,
+                                    const std::string& context) {
+  EXPECT_EQ(a.steps, b.steps) << context;
+  EXPECT_EQ(a.simulated_seconds, b.simulated_seconds) << context;
+  EXPECT_EQ(a.objects, b.objects) << context;
+  EXPECT_EQ(a.network.uplink_messages, b.network.uplink_messages) << context;
+  EXPECT_EQ(a.network.downlink_messages, b.network.downlink_messages)
+      << context;
+  EXPECT_EQ(a.network.broadcast_messages, b.network.broadcast_messages)
+      << context;
+  EXPECT_EQ(a.network.uplink_bytes, b.network.uplink_bytes) << context;
+  EXPECT_EQ(a.network.downlink_bytes, b.network.downlink_bytes) << context;
+  EXPECT_EQ(a.network.broadcast_receptions, b.network.broadcast_receptions)
+      << context;
+  EXPECT_EQ(a.lqt_size_sum, b.lqt_size_sum) << context;
+  EXPECT_EQ(a.error_sum, b.error_sum) << context;
+  EXPECT_EQ(a.error_samples, b.error_samples) << context;
+  EXPECT_EQ(a.queries_evaluated, b.queries_evaluated) << context;
+  EXPECT_EQ(a.safe_period_skips, b.safe_period_skips) << context;
+}
+
+TEST(SweepDeterminismTest, SerialAndParallelSweepsAgree) {
+  std::vector<SweepJob> jobs = SmallSweep();
+  std::vector<sim::RunMetrics> serial = RunSweep(jobs, 1);
+  std::vector<sim::RunMetrics> parallel = RunSweep(jobs, 4);
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (size_t k = 0; k < jobs.size(); ++k) {
+    ExpectDeterministicFieldsEqual(
+        serial[k], parallel[k],
+        "job " + std::to_string(k) + " (" + sim::SimModeName(jobs[k].mode) +
+            ")");
+    // The cells do real work; a zero-message result would mean a silently
+    // failed setup rather than a determinism win.
+    EXPECT_GT(serial[k].network.total_messages(), 0u);
+  }
+}
+
+TEST(SweepDeterminismTest, RepeatedParallelSweepsAgree) {
+  std::vector<SweepJob> jobs = SmallSweep();
+  std::vector<sim::RunMetrics> first = RunSweep(jobs, 4);
+  std::vector<sim::RunMetrics> second = RunSweep(jobs, 4);
+  for (size_t k = 0; k < jobs.size(); ++k) {
+    ExpectDeterministicFieldsEqual(first[k], second[k],
+                                   "job " + std::to_string(k));
+  }
+}
+
+}  // namespace
+}  // namespace mobieyes::bench

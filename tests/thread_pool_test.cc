@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "mobieyes/common/thread_pool.h"
+
+namespace mobieyes {
+namespace {
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> pending;
+  for (int k = 0; k < 100; ++k) {
+    pending.push_back(pool.Submit([&done] { ++done; }));
+  }
+  for (auto& future : pending) future.get();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResult) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 0);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&ran_on] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future =
+      pool.Submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PendingTasksDrainBeforeDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int k = 0; k < 50; ++k) {
+      pool.Submit([&done] { ++done; });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(done.load(), 50);
+}
+
+class ParallelForTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(GetParam());
+  constexpr int64_t kBegin = 3;
+  constexpr int64_t kEnd = 997;
+  std::vector<std::atomic<int>> visits(kEnd);
+  pool.ParallelFor(kBegin, kEnd, [&](int64_t index) {
+    ASSERT_GE(index, kBegin);
+    ASSERT_LT(index, kEnd);
+    ++visits[static_cast<size_t>(index)];
+  });
+  for (int64_t k = 0; k < kEnd; ++k) {
+    EXPECT_EQ(visits[static_cast<size_t>(k)].load(), k < kBegin ? 0 : 1)
+        << "index " << k;
+  }
+}
+
+TEST_P(ParallelForTest, EmptyAndSingletonRanges) {
+  ThreadPool pool(GetParam());
+  std::atomic<int> visits{0};
+  pool.ParallelFor(5, 5, [&](int64_t) { ++visits; });
+  EXPECT_EQ(visits.load(), 0);
+  pool.ParallelFor(7, 6, [&](int64_t) { ++visits; });
+  EXPECT_EQ(visits.load(), 0);
+  pool.ParallelFor(7, 8, [&](int64_t index) {
+    EXPECT_EQ(index, 7);
+    ++visits;
+  });
+  EXPECT_EQ(visits.load(), 1);
+}
+
+TEST_P(ParallelForTest, RethrowsTaskException) {
+  ThreadPool pool(GetParam());
+  std::atomic<int> visits{0};
+  EXPECT_THROW(pool.ParallelFor(0, 64,
+                                [&](int64_t index) {
+                                  ++visits;
+                                  if (index == 13) {
+                                    throw std::runtime_error("lane failed");
+                                  }
+                                }),
+               std::runtime_error);
+  // The throwing lane stops at the throw; the others finish before
+  // ParallelFor returns, so no visit can land after this line.
+  const int settled = visits.load();
+  EXPECT_GE(settled, 14);  // index 13 was reached
+  EXPECT_LE(settled, 64);
+  EXPECT_EQ(settled, visits.load());
+  // The failure must not poison the pool for later calls.
+  std::atomic<int> after{0};
+  pool.ParallelFor(0, 32, [&](int64_t) { ++after; });
+  EXPECT_EQ(after.load(), 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ParallelForTest,
+                         ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "Threads" + std::to_string(info.param);
+                         });
+
+TEST(ThreadPoolTest, ParallelForMoreLanesThanItems) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.ParallelFor(0, 3, [&](int64_t index) {
+    ++visits[static_cast<size_t>(index)];
+  });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace mobieyes
