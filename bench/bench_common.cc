@@ -20,12 +20,26 @@ struct RecordedTable {
   std::vector<Series> series;
 };
 
+// One sweep cell's recorded observability output, in job order across all
+// RunSweep calls of the bench.
+struct RecordedCell {
+  std::string label;
+  std::string metrics_json;
+  std::vector<obs::TraceEvent> trace_events;
+};
+
 struct BenchState {
   std::string name = "bench";
   int threads = 0;  // resolved in InitBench
   std::string json_path;
+  std::string trace_path;
+  std::string metrics_path;
+  int sample_stride = 0;
+  int steps_override = 0;
+  int objects_override = 0;
   std::chrono::steady_clock::time_point start;
   std::vector<RecordedTable> tables;
+  std::vector<RecordedCell> cells;
 };
 
 BenchState& State() {
@@ -105,11 +119,98 @@ void InitBench(const std::string& name, int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       state.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      state.trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      state.metrics_path = arg + 15;
+    } else if (std::strncmp(arg, "--sample-stride=", 16) == 0) {
+      state.sample_stride = std::atoi(arg + 16);
+    } else if (std::strncmp(arg, "--steps=", 8) == 0) {
+      state.steps_override = std::atoi(arg + 8);
+    } else if (std::strncmp(arg, "--objects=", 10) == 0) {
+      state.objects_override = std::atoi(arg + 10);
     }
+  }
+  if (state.sample_stride == 0 && !state.metrics_path.empty()) {
+    state.sample_stride = 1;  // a metrics report should include a series
   }
 }
 
 int BenchThreads() { return State().threads; }
+
+namespace {
+
+// Builds, runs and observes one sweep cell. `pid` tags the cell's trace
+// events so a merged sweep trace shows one process track per cell.
+SweepCellResult RunCell(const SweepJob& job, const SweepObsOptions& obs,
+                        int32_t pid) {
+  sim::SimulationConfig config;
+  config.params = job.params;
+  config.mode = job.mode;
+  config.mobieyes = job.mobieyes;
+  config.measure_error = job.options.measure_error;
+  config.track_per_object_bytes = job.options.track_per_object_bytes;
+  config.warmup_steps = job.options.warmup_steps;
+  config.obs.enable_metrics = obs.metrics;
+  config.obs.enable_trace = obs.trace;
+  config.obs.sample_stride = obs.sample_stride;
+  SweepCellResult result;
+  auto simulation = sim::Simulation::Make(config);
+  if (!simulation.ok()) {
+    std::fprintf(stderr, "simulation setup failed: %s\n",
+                 simulation.status().ToString().c_str());
+    return result;
+  }
+  (*simulation)->Run(job.options.steps);
+  result.metrics = (*simulation)->metrics();
+  if (obs.metrics || obs.sample_stride > 0) {
+    // Timing-free so the report depends only on the cell's seed, keeping
+    // the parallel sweep deterministic; wall-clock detail belongs to the
+    // trace.
+    result.metrics_json =
+        (*simulation)->ObservabilityJson(/*include_timing=*/false);
+  }
+  if (obs.trace) {
+    obs::TraceRecorder* trace = (*simulation)->trace_recorder();
+    trace->SetPid(pid);
+    result.trace_events = trace->TakeEvents();
+  }
+  return result;
+}
+
+// Steps/objects smoke-run overrides from the harness flags.
+SweepJob ApplyOverrides(SweepJob job) {
+  const BenchState& state = State();
+  if (state.steps_override > 0) job.options.steps = state.steps_override;
+  if (state.objects_override > 0) {
+    job.params.num_objects = state.objects_override;
+  }
+  return job;
+}
+
+}  // namespace
+
+std::vector<SweepCellResult> RunSweepObserved(
+    const std::vector<SweepJob>& jobs, int threads,
+    const SweepObsOptions& obs) {
+  ThreadPool pool(threads);
+  // One Submit per job (not ParallelFor): cells vary widely in cost, so the
+  // shared queue load-balances; futures are joined by index, which pins the
+  // result order regardless of completion order.
+  std::vector<std::future<SweepCellResult>> pending;
+  pending.reserve(jobs.size());
+  for (size_t k = 0; k < jobs.size(); ++k) {
+    const SweepJob& job = jobs[k];
+    pending.push_back(pool.Submit([&job, &obs, k] {
+      if (!job.label.empty()) Progress(job.label);
+      return RunCell(job, obs, static_cast<int32_t>(k));
+    }));
+  }
+  std::vector<SweepCellResult> results;
+  results.reserve(jobs.size());
+  for (auto& future : pending) results.push_back(future.get());
+  return results;
+}
 
 std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs) {
   return RunSweep(jobs, BenchThreads());
@@ -117,21 +218,35 @@ std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs) {
 
 std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs,
                                       int threads) {
-  ThreadPool pool(threads);
-  // One Submit per job (not ParallelFor): cells vary widely in cost, so the
-  // shared queue load-balances; futures are joined by index, which pins the
-  // result order regardless of completion order.
-  std::vector<std::future<sim::RunMetrics>> pending;
-  pending.reserve(jobs.size());
-  for (const SweepJob& job : jobs) {
-    pending.push_back(pool.Submit([&job] {
-      if (!job.label.empty()) Progress(job.label);
-      return RunMode(job.params, job.mode, job.options, job.mobieyes);
-    }));
-  }
+  BenchState& state = State();
+  SweepObsOptions obs;
+  obs.metrics = !state.metrics_path.empty();
+  obs.trace = !state.trace_path.empty();
+  obs.sample_stride = obs.metrics ? state.sample_stride : 0;
+
+  std::vector<SweepJob> effective;
+  effective.reserve(jobs.size());
+  for (const SweepJob& job : jobs) effective.push_back(ApplyOverrides(job));
+
+  std::vector<SweepCellResult> cells =
+      RunSweepObserved(effective, threads, obs);
   std::vector<sim::RunMetrics> results;
-  results.reserve(jobs.size());
-  for (auto& future : pending) results.push_back(future.get());
+  results.reserve(cells.size());
+  const bool record = obs.metrics || obs.trace;
+  // Pids must be unique across RunSweep calls for the merged trace; shift
+  // this batch past the cells already recorded.
+  int32_t pid_base = static_cast<int32_t>(state.cells.size());
+  for (size_t k = 0; k < cells.size(); ++k) {
+    results.push_back(cells[k].metrics);
+    if (record) {
+      for (obs::TraceEvent& event : cells[k].trace_events) {
+        event.pid += pid_base;
+      }
+      state.cells.push_back(RecordedCell{effective[k].label,
+                                         std::move(cells[k].metrics_json),
+                                         std::move(cells[k].trace_events)});
+    }
+  }
   return results;
 }
 
@@ -159,12 +274,71 @@ void PrintTable(const std::string& title, const std::string& xlabel,
   std::fflush(stdout);
 }
 
+namespace {
+
+// Writes the merged Chrome trace: one process track per sweep cell, named
+// by the cell's job label.
+bool WriteTraceFile(const BenchState& state) {
+  std::vector<obs::TraceEvent> events;
+  std::vector<std::string> process_names;
+  process_names.reserve(state.cells.size());
+  for (const RecordedCell& cell : state.cells) {
+    process_names.push_back(cell.label.empty()
+                                ? "cell " + std::to_string(
+                                                process_names.size())
+                                : cell.label);
+    events.insert(events.end(), cell.trace_events.begin(),
+                  cell.trace_events.end());
+  }
+  return obs::TraceRecorder::WriteFile(state.trace_path, events,
+                                       process_names);
+}
+
+// Writes the per-cell metrics report. Cells are ordered by job index and
+// each cell's JSON is timing-free, so the file is byte-identical for any
+// --threads value.
+bool WriteMetricsFile(const BenchState& state) {
+  std::string json = "{\"bench\": \"" + JsonEscape(state.name) +
+                     "\",\n\"cells\": [\n";
+  for (size_t k = 0; k < state.cells.size(); ++k) {
+    const RecordedCell& cell = state.cells[k];
+    json += "{\"label\": \"" + JsonEscape(cell.label) + "\", \"report\": ";
+    json += cell.metrics_json.empty() ? "{}" : cell.metrics_json;
+    json += k + 1 < state.cells.size() ? "},\n" : "}\n";
+  }
+  json += "]}\n";
+  std::FILE* file = std::fopen(state.metrics_path.c_str(), "w");
+  if (file == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  return std::fclose(file) == 0 && written == json.size();
+}
+
+}  // namespace
+
 int FinishBench() {
   BenchState& state = State();
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     state.start)
           .count();
+  if (!state.trace_path.empty()) {
+    if (WriteTraceFile(state)) {
+      Progress("wrote " + state.trace_path);
+    } else {
+      std::fprintf(stderr, "[bench] cannot write %s\n",
+                   state.trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!state.metrics_path.empty()) {
+    if (WriteMetricsFile(state)) {
+      Progress("wrote " + state.metrics_path);
+    } else {
+      std::fprintf(stderr, "[bench] cannot write %s\n",
+                   state.metrics_path.c_str());
+      return 1;
+    }
+  }
   if (state.json_path.empty()) return 0;
 
   std::string json = "{\n";

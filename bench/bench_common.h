@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mobieyes/core/options.h"
+#include "mobieyes/obs/trace_recorder.h"
 #include "mobieyes/sim/simulation.h"
 
 namespace mobieyes::bench {
@@ -43,21 +44,58 @@ struct SweepJob {
 
 // Parses harness flags out of argv (unknown arguments are left alone) and
 // starts the bench wall clock. Call first in main().
-//   --threads=N   worker threads for RunSweep (default: hardware threads;
-//                 1 runs strictly serially on the calling thread)
-//   --json=PATH   also write every printed table to PATH as JSON
+//   --threads=N        worker threads for RunSweep (default: hardware
+//                      threads; 1 runs strictly serially)
+//   --json=PATH        also write every printed table to PATH as JSON
+//   --trace=PATH       record Chrome-trace spans in every sweep cell and
+//                      write one merged Perfetto-loadable file to PATH
+//                      (one "process" per cell, labeled by the job label)
+//   --metrics-json=PATH  per-cell MetricsRegistry + per-step series report;
+//                      deterministic (wall-clock instruments excluded), so
+//                      the file is identical for any --threads value
+//   --sample-stride=N  per-step sampling stride inside each cell
+//                      (default 1 when --metrics-json is given, else off)
+//   --steps=N          override every job's measured step count (smoke runs)
+//   --objects=N        override every job's object count (smoke runs)
 void InitBench(const std::string& name, int argc, char** argv);
 
 // Worker thread count RunSweep will use.
 int BenchThreads();
 
 // Runs every job across the worker pool; results indexed like `jobs`.
+// Honors the observability flags above: cells run with metrics/tracing
+// enabled and their outputs are recorded (tagged with the job label) for
+// FinishBench to write.
 std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs);
 
 // Same, with an explicit worker count (1 = strictly serial). The counting
 // metrics of each cell depend only on its seed, never on `threads`.
 std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs,
                                       int threads);
+
+// Observability toggles for RunSweepObserved (the flag-independent core
+// also used by tests).
+struct SweepObsOptions {
+  bool metrics = false;
+  bool trace = false;
+  int sample_stride = 0;
+};
+
+// One sweep cell's observability output.
+struct SweepCellResult {
+  sim::RunMetrics metrics;
+  // Simulation::ObservabilityJson(include_timing=false): deterministic for
+  // a given seed, identical across thread counts. Empty when !obs.metrics
+  // and the sampler is off.
+  std::string metrics_json;
+  // Trace events with pid = job index. Empty when !obs.trace.
+  std::vector<obs::TraceEvent> trace_events;
+};
+
+// RunSweep with explicit observability; results indexed like `jobs`.
+std::vector<SweepCellResult> RunSweepObserved(
+    const std::vector<SweepJob>& jobs, int threads,
+    const SweepObsOptions& obs);
 
 struct Series {
   std::string name;

@@ -83,6 +83,7 @@ void MobiEyesClient::HandleCellCrossing(const geo::CellCoord& new_cell) {
 void MobiEyesClient::EvaluateQueries() {
   if (lqt_.empty()) return;
   ScopedTimer timed(eval_watch_);
+  TRACE_SPAN(trace_, "client.evaluate_queries");
 
   const mobility::ObjectState& me = world_->object(oid_);
   Seconds now = world_->now();

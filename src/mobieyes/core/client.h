@@ -13,6 +13,7 @@
 #include "mobieyes/mobility/world.h"
 #include "mobieyes/net/message.h"
 #include "mobieyes/net/network.h"
+#include "mobieyes/obs/trace_recorder.h"
 
 namespace mobieyes::core {
 
@@ -77,6 +78,10 @@ class MobiEyesClient {
     safe_period_skips_ = 0;
   }
 
+  // Scoped-span tracing of LQT evaluation; null (the default) disables it.
+  // The recorder must outlive the client.
+  void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   void HandleCellCrossing(const geo::CellCoord& new_cell);
   void EvaluateQueries();
@@ -104,6 +109,7 @@ class MobiEyesClient {
   Stopwatch eval_watch_;
   uint64_t queries_evaluated_ = 0;
   uint64_t safe_period_skips_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace mobieyes::core

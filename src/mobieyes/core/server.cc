@@ -36,6 +36,7 @@ Result<QueryId> MobiEyesServer::InstallQuery(ObjectId focal_oid,
                                              double filter_threshold,
                                              Seconds duration) {
   TimedSection timed(load_timer_);
+  TRACE_SPAN(trace_, "server.install_query");
   if (!region.valid()) {
     return Status::InvalidArgument("query region must have positive extent");
   }
@@ -92,6 +93,7 @@ Result<QueryId> MobiEyesServer::InstallQuery(ObjectId focal_oid,
 }
 
 void MobiEyesServer::AdvanceTime(Seconds now) {
+  TRACE_SPAN(trace_, "server.advance_time");
   now_ = now;
   std::vector<QueryId> expired;
   {
@@ -139,24 +141,34 @@ void MobiEyesServer::OnUplink(ObjectId from, const Message& message) {
   (void)from;
   TimedSection timed(load_timer_);
   switch (message.type) {
-    case net::MessageType::kQueryInstallRequest:
+    case net::MessageType::kQueryInstallRequest: {
+      TRACE_SPAN(trace_, "server.handle_query_install_request");
       HandleQueryInstallRequest(
           std::get<net::QueryInstallRequest>(message.payload));
       break;
-    case net::MessageType::kPositionVelocityReport:
+    }
+    case net::MessageType::kPositionVelocityReport: {
+      TRACE_SPAN(trace_, "server.handle_position_velocity_report");
       HandlePositionVelocityReport(
           std::get<net::PositionVelocityReport>(message.payload));
       break;
-    case net::MessageType::kVelocityChangeReport:
+    }
+    case net::MessageType::kVelocityChangeReport: {
+      TRACE_SPAN(trace_, "server.handle_velocity_change");
       HandleVelocityChange(
           std::get<net::VelocityChangeReport>(message.payload));
       break;
-    case net::MessageType::kCellChangeReport:
+    }
+    case net::MessageType::kCellChangeReport: {
+      TRACE_SPAN(trace_, "server.handle_cell_change");
       HandleCellChange(std::get<net::CellChangeReport>(message.payload));
       break;
-    case net::MessageType::kResultBitmapReport:
+    }
+    case net::MessageType::kResultBitmapReport: {
+      TRACE_SPAN(trace_, "server.handle_result_bitmap");
       HandleResultBitmap(std::get<net::ResultBitmapReport>(message.payload));
       break;
+    }
     default:
       // Downlink-only types are never valid on the uplink; ignore.
       break;

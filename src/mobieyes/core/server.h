@@ -16,6 +16,7 @@
 #include "mobieyes/net/bmap.h"
 #include "mobieyes/net/message.h"
 #include "mobieyes/net/network.h"
+#include "mobieyes/obs/trace_recorder.h"
 
 namespace mobieyes::core {
 
@@ -103,6 +104,10 @@ class MobiEyesServer {
   double load_seconds() const { return load_timer_.total_seconds(); }
   void ResetLoadTimer() { load_timer_.Reset(); }
 
+  // Scoped-span tracing of the uplink handlers; null (the default) disables
+  // it. The recorder must outlive the server.
+  void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   void HandleQueryInstallRequest(const net::QueryInstallRequest& request);
   void HandlePositionVelocityReport(const net::PositionVelocityReport& report);
@@ -130,6 +135,7 @@ class MobiEyesServer {
   Seconds now_ = 0.0;
 
   ReentrantTimer load_timer_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace mobieyes::core

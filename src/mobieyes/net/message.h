@@ -162,6 +162,10 @@ enum class MessageType {
   kNewQueriesNotification,
 };
 
+// Number of MessageType alternatives; used to size per-type counter arrays.
+inline constexpr size_t kNumMessageTypes =
+    static_cast<size_t>(MessageType::kNewQueriesNotification) + 1;
+
 using MessagePayload =
     std::variant<QueryInstallRequest, PositionReport, PositionVelocityReport,
                  VelocityChangeReport, CellChangeReport, ResultBitmapReport,

@@ -1,12 +1,65 @@
 #include "mobieyes/net/network.h"
 
+#include "mobieyes/obs/metrics_registry.h"
+
 namespace mobieyes::net {
+
+NetworkStats& NetworkStats::operator+=(const NetworkStats& other) {
+  uplink_messages += other.uplink_messages;
+  downlink_messages += other.downlink_messages;
+  broadcast_messages += other.broadcast_messages;
+  uplink_bytes += other.uplink_bytes;
+  downlink_bytes += other.downlink_bytes;
+  broadcast_receptions += other.broadcast_receptions;
+  for (size_t k = 0; k < kNumMessageTypes; ++k) {
+    messages_by_type[k] += other.messages_by_type[k];
+  }
+  for (const auto& [oid, bytes] : other.tx_bytes_per_object) {
+    tx_bytes_per_object[oid] += bytes;
+  }
+  for (const auto& [oid, bytes] : other.rx_bytes_per_object) {
+    rx_bytes_per_object[oid] += bytes;
+  }
+  return *this;
+}
+
+void WirelessNetwork::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = WireMetrics{};
+    metrics_attached_ = false;
+    return;
+  }
+  static constexpr const char* kDirectionNames[3] = {"uplink", "downlink",
+                                                     "broadcast"};
+  for (size_t d = 0; d < 3; ++d) {
+    for (size_t t = 0; t < kNumMessageTypes; ++t) {
+      metrics_.msgs[d][t] = registry->GetCounter(
+          std::string("net.msgs.") + kDirectionNames[d] + "." +
+          MessageTypeName(static_cast<MessageType>(t)));
+    }
+  }
+  metrics_.bytes = registry->GetHistogram(
+      "net.message_bytes", obs::ExponentialBounds(32.0, 2.0, 12));
+  metrics_.broadcast_receptions =
+      registry->GetCounter("net.broadcast_receptions");
+  metrics_attached_ = true;
+}
+
+void WirelessNetwork::RecordMetrics(Direction direction,
+                                    const Message& message, size_t bytes) {
+  metrics_.msgs[static_cast<size_t>(direction)]
+              [static_cast<size_t>(message.type)]
+                  ->Increment();
+  metrics_.bytes->Observe(static_cast<double>(bytes));
+}
 
 void WirelessNetwork::SendUplink(ObjectId from, Message message) {
   if (observer_) observer_(Direction::kUplink, from, message);
   size_t bytes = WireSizeBytes(message);
   ++stats_.uplink_messages;
   stats_.uplink_bytes += bytes;
+  ++stats_.messages_by_type[static_cast<size_t>(message.type)];
+  if (metrics_attached_) RecordMetrics(Direction::kUplink, message, bytes);
   if (track_per_object_bytes_) {
     stats_.tx_bytes_per_object[from] += bytes;
   }
@@ -18,6 +71,8 @@ void WirelessNetwork::SendDownlinkTo(ObjectId to, Message message) {
   size_t bytes = WireSizeBytes(message);
   ++stats_.downlink_messages;
   stats_.downlink_bytes += bytes;
+  ++stats_.messages_by_type[static_cast<size_t>(message.type)];
+  if (metrics_attached_) RecordMetrics(Direction::kDownlink, message, bytes);
   if (track_per_object_bytes_) {
     stats_.rx_bytes_per_object[to] += bytes;
   }
@@ -31,6 +86,8 @@ void WirelessNetwork::Broadcast(const BaseStation& station, Message message) {
   ++stats_.downlink_messages;
   ++stats_.broadcast_messages;
   stats_.downlink_bytes += bytes;
+  ++stats_.messages_by_type[static_cast<size_t>(message.type)];
+  if (metrics_attached_) RecordMetrics(Direction::kBroadcast, message, bytes);
   if (!coverage_query_) return;
   // Collect receivers first: handlers may re-enter the network (e.g. an
   // object replying with an uplink), and must not observe a partially
@@ -39,6 +96,9 @@ void WirelessNetwork::Broadcast(const BaseStation& station, Message message) {
   coverage_query_(station.coverage,
                   [&receivers](ObjectId oid) { receivers.push_back(oid); });
   stats_.broadcast_receptions += receivers.size();
+  if (metrics_attached_) {
+    metrics_.broadcast_receptions->Increment(receivers.size());
+  }
   if (track_per_object_bytes_) {
     for (ObjectId oid : receivers) {
       stats_.rx_bytes_per_object[oid] += bytes;

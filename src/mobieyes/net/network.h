@@ -1,6 +1,7 @@
 #ifndef MOBIEYES_NET_NETWORK_H_
 #define MOBIEYES_NET_NETWORK_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -10,6 +11,12 @@
 #include "mobieyes/geo/circle.h"
 #include "mobieyes/net/base_station.h"
 #include "mobieyes/net/message.h"
+
+namespace mobieyes::obs {
+class MetricsRegistry;
+class Counter;
+class Histogram;
+}  // namespace mobieyes::obs
 
 namespace mobieyes::net {
 
@@ -27,6 +34,10 @@ struct NetworkStats {
   // relevant — the effect driving Fig. 9).
   uint64_t broadcast_receptions = 0;
 
+  // Transmissions on the medium by MessageType (all directions); summing
+  // this array always equals total_messages().
+  std::array<uint64_t, kNumMessageTypes> messages_by_type{};
+
   uint64_t total_messages() const {
     return uplink_messages + downlink_messages;
   }
@@ -35,6 +46,12 @@ struct NetworkStats {
   // model of Fig. 9.
   std::unordered_map<ObjectId, uint64_t> tx_bytes_per_object;
   std::unordered_map<ObjectId, uint64_t> rx_bytes_per_object;
+
+  // Field-wise merge. The single maintained merge point for these stats:
+  // any code combining runs (metrics snapshots, sweep aggregation) must use
+  // this instead of summing individual fields, so newly added counters are
+  // never silently dropped.
+  NetworkStats& operator+=(const NetworkStats& other);
 };
 
 // Direction of a transmission on the medium, as seen by the observer tap.
@@ -118,13 +135,32 @@ class WirelessNetwork {
     track_per_object_bytes_ = enabled;
   }
 
+  // Registers per-direction × per-MessageType counters and a message-bytes
+  // histogram in `registry` (names "net.msgs.<direction>.<Type>",
+  // "net.message_bytes") and records every delivery into them. Handles are
+  // resolved once here, so the per-send cost is two pointer increments.
+  // Pass nullptr to detach. The registry must outlive the network.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
+  // Pre-resolved registry handles, indexed [direction][type].
+  struct WireMetrics {
+    std::array<std::array<obs::Counter*, kNumMessageTypes>, 3> msgs{};
+    obs::Histogram* bytes = nullptr;
+    obs::Counter* broadcast_receptions = nullptr;
+  };
+
+  void RecordMetrics(Direction direction, const Message& message,
+                     size_t bytes);
+
   ServerHandler server_handler_;
   std::unordered_map<ObjectId, ClientHandler> clients_;
   CoverageQuery coverage_query_;
   Observer observer_;
   NetworkStats stats_;
   bool track_per_object_bytes_ = true;
+  WireMetrics metrics_;
+  bool metrics_attached_ = false;
 };
 
 }  // namespace mobieyes::net

@@ -1,0 +1,110 @@
+#include "mobieyes/obs/step_sampler.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace mobieyes::obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[32];
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value >= -9.0e15 && value <= 9.0e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  *out += buffer;
+}
+
+}  // namespace
+
+StepSampler::StepSampler(std::vector<Column> columns, int stride,
+                         size_t capacity)
+    : columns_(std::move(columns)),
+      stride_(stride),
+      capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void StepSampler::Record(int64_t step, const std::vector<double>& values) {
+  assert(values.size() == columns_.size());
+  Row& row = ring_[next_];
+  row.step = step;
+  row.values = values;
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+  ++total_recorded_;
+}
+
+void StepSampler::Clear() {
+  next_ = 0;
+  size_ = 0;
+  total_recorded_ = 0;
+}
+
+const StepSampler::Row& StepSampler::RowAt(size_t k) const {
+  // When the ring wrapped, the oldest surviving row sits at next_.
+  size_t start = size_ < capacity_ ? 0 : next_;
+  return ring_[(start + k) % capacity_];
+}
+
+std::vector<StepSampler::Row> StepSampler::rows() const {
+  std::vector<Row> out;
+  out.reserve(size_);
+  for (size_t k = 0; k < size_; ++k) out.push_back(RowAt(k));
+  return out;
+}
+
+std::string StepSampler::ToJson(bool include_timing) const {
+  std::string json = "{\"stride\": " + std::to_string(stride_) +
+                     ", \"total_recorded\": " +
+                     std::to_string(total_recorded_) + ", \"columns\": [";
+  bool first = true;
+  for (const Column& column : columns_) {
+    if (column.timing && !include_timing) continue;
+    if (!first) json += ", ";
+    first = false;
+    json += '"' + column.name + '"';
+  }
+  json += "], \"steps\": [";
+  for (size_t k = 0; k < size_; ++k) {
+    if (k > 0) json += ", ";
+    json += std::to_string(RowAt(k).step);
+  }
+  json += "], \"series\": {";
+  first = true;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].timing && !include_timing) continue;
+    if (!first) json += ", ";
+    first = false;
+    json += '"' + columns_[c].name + "\": [";
+    for (size_t k = 0; k < size_; ++k) {
+      if (k > 0) json += ", ";
+      AppendDouble(&json, RowAt(k).values[c]);
+    }
+    json += ']';
+  }
+  json += "}}";
+  return json;
+}
+
+std::string StepSampler::ToCsv() const {
+  std::string csv = "step";
+  for (const Column& column : columns_) csv += ',' + column.name;
+  csv += '\n';
+  for (size_t k = 0; k < size_; ++k) {
+    const Row& row = RowAt(k);
+    csv += std::to_string(row.step);
+    for (double value : row.values) {
+      csv += ',';
+      AppendDouble(&csv, value);
+    }
+    csv += '\n';
+  }
+  return csv;
+}
+
+}  // namespace mobieyes::obs

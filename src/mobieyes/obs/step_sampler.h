@@ -1,0 +1,76 @@
+#ifndef MOBIEYES_OBS_STEP_SAMPLER_H_
+#define MOBIEYES_OBS_STEP_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mobieyes::obs {
+
+// Per-step time series of a fixed set of columns, kept in a bounded ring
+// buffer. The simulation records one row every `stride` measured steps;
+// when more rows arrive than `capacity`, the oldest rows are overwritten,
+// so a long run keeps the most recent window instead of growing unbounded.
+//
+// Columns flagged `timing` hold wall-clock-derived values (e.g. server
+// microseconds this step); deterministic exports omit them, mirroring the
+// MetricsRegistry convention.
+class StepSampler {
+ public:
+  struct Column {
+    std::string name;
+    bool timing = false;
+  };
+
+  StepSampler(std::vector<Column> columns, int stride, size_t capacity);
+
+  // True when `step` (0-based measured step index) is on the stride.
+  bool ShouldSample(int64_t step) const {
+    return stride_ > 0 && step % stride_ == 0;
+  }
+
+  // Appends one row; values.size() must equal columns().size().
+  void Record(int64_t step, const std::vector<double>& values);
+
+  void Clear();
+
+  int stride() const { return stride_; }
+  size_t capacity() const { return capacity_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  // Rows currently held (<= capacity).
+  size_t size() const { return size_; }
+  // Rows ever recorded, including those the ring has since overwritten.
+  uint64_t total_recorded() const { return total_recorded_; }
+
+  struct Row {
+    int64_t step = 0;
+    std::vector<double> values;
+  };
+
+  // Rows in recording order, oldest surviving row first.
+  std::vector<Row> rows() const;
+
+  // {"stride": N, "columns": [...], "steps": [...], "series":
+  //  {col: [...]}} — column-major so one series plots directly. With
+  // include_timing=false, timing columns are omitted.
+  std::string ToJson(bool include_timing = true) const;
+
+  // Header line plus one line per row; timing columns always included (CSV
+  // export is for interactive plotting, not determinism checks).
+  std::string ToCsv() const;
+
+ private:
+  const Row& RowAt(size_t k) const;  // k-th oldest surviving row
+
+  std::vector<Column> columns_;
+  int stride_;
+  size_t capacity_;
+  std::vector<Row> ring_;
+  size_t next_ = 0;  // ring slot the next Record writes
+  size_t size_ = 0;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace mobieyes::obs
+
+#endif  // MOBIEYES_OBS_STEP_SAMPLER_H_

@@ -1,0 +1,69 @@
+#include "mobieyes/obs/trace_recorder.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace mobieyes::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') *out += '\\';
+    *out += *s;
+  }
+}
+
+}  // namespace
+
+std::vector<TraceEvent> TraceRecorder::TakeEvents() {
+  std::vector<TraceEvent> events = std::move(events_);
+  events_.clear();
+  return events;
+}
+
+void TraceRecorder::SetPid(int32_t pid) {
+  pid_ = pid;
+  for (TraceEvent& event : events_) event.pid = pid;
+}
+
+std::string TraceRecorder::ToJson(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::string>& process_names) {
+  std::string json = "{\"traceEvents\": [";
+  bool first = true;
+  for (size_t pid = 0; pid < process_names.size(); ++pid) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " +
+            std::to_string(pid) + ", \"tid\": 0, \"args\": {\"name\": \"";
+    AppendEscaped(&json, process_names[pid].c_str());
+    json += "\"}}";
+  }
+  for (const TraceEvent& event : events) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n{\"ph\": \"X\", \"name\": \"";
+    AppendEscaped(&json, event.name);
+    json += "\", \"cat\": \"";
+    AppendEscaped(&json, event.cat);
+    json += "\", \"ts\": " + std::to_string(event.ts_us) +
+            ", \"dur\": " + std::to_string(event.dur_us) +
+            ", \"pid\": " + std::to_string(event.pid) +
+            ", \"tid\": " + std::to_string(event.tid) + "}";
+  }
+  json += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return json;
+}
+
+bool TraceRecorder::WriteFile(const std::string& path,
+                              const std::vector<TraceEvent>& events,
+                              const std::vector<std::string>& process_names) {
+  std::string json = ToJson(events, process_names);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  return std::fclose(file) == 0 && written == json.size();
+}
+
+}  // namespace mobieyes::obs

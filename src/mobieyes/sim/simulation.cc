@@ -43,6 +43,8 @@ Result<std::unique_ptr<Simulation>> Simulation::Make(SimulationConfig config) {
 Status Simulation::Setup() {
   const SimulationParams& params = config_.params;
 
+  SetupObservability();
+
   auto grid = geo::Grid::Make(params.universe(), params.alpha);
   MOBIEYES_RETURN_NOT_OK(grid.status());
   grid_ = std::make_unique<geo::Grid>(std::move(grid).value());
@@ -57,6 +59,7 @@ Status Simulation::Setup() {
 
   network_ = std::make_unique<net::WirelessNetwork>();
   network_->set_track_per_object_bytes(config_.track_per_object_bytes);
+  if (registry_) network_->AttachMetrics(registry_.get());
   network_->set_coverage_query(
       [this](const geo::Circle& circle,
              const std::function<void(ObjectId)>& fn) {
@@ -82,6 +85,7 @@ Status Simulation::Setup() {
 
     server_ = std::make_unique<core::MobiEyesServer>(*grid_, *layout_, *bmap_,
                                                      *network_, options);
+    server_->set_trace_recorder(trace_.get());
     network_->set_server_handler(
         [this](ObjectId from, const net::Message& message) {
           server_->OnUplink(from, message);
@@ -92,6 +96,7 @@ Status Simulation::Setup() {
       clients_.push_back(std::make_unique<core::MobiEyesClient>(
           *world_, static_cast<ObjectId>(oid), *network_, options));
       core::MobiEyesClient* client = clients_.back().get();
+      client->set_trace_recorder(trace_.get());
       network_->RegisterClient(
           static_cast<ObjectId>(oid),
           [client](const net::Message& message) {
@@ -175,6 +180,38 @@ Status Simulation::Setup() {
   return Status::OK();
 }
 
+void Simulation::SetupObservability() {
+  const ObservabilityOptions& obs = config_.obs;
+  if (obs.enable_metrics) {
+    registry_ = std::make_unique<obs::MetricsRegistry>();
+    lqt_hist_ = registry_->GetHistogram(
+        "client.lqt_size", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+    server_step_us_hist_ = registry_->GetHistogram(
+        "server.step_micros", obs::ExponentialBounds(1.0, 4.0, 12),
+        /*timing=*/true);
+    client_step_us_hist_ = registry_->GetHistogram(
+        "client.step_micros", obs::ExponentialBounds(1.0, 4.0, 12),
+        /*timing=*/true);
+  }
+  if (obs.enable_trace) {
+    trace_ = std::make_unique<obs::TraceRecorder>();
+  }
+  if (obs.sample_stride > 0) {
+    sampler_ = std::make_unique<obs::StepSampler>(
+        std::vector<obs::StepSampler::Column>{
+            {"uplink_msgs", false},
+            {"downlink_msgs", false},
+            {"broadcast_msgs", false},
+            {"installs", false},
+            {"lqt_size", false},
+            {"safe_period_skips", false},
+            {"server_us", true},
+            {"client_us", true},
+        },
+        obs.sample_stride, obs.sample_capacity);
+  }
+}
+
 void Simulation::ResetMeasurement() {
   metrics_ = RunMetrics{};
   metrics_.objects = static_cast<int64_t>(world_->object_count());
@@ -183,9 +220,16 @@ void Simulation::ResetMeasurement() {
   for (auto& client : clients_) client->ResetCounters();
   if (object_index_) object_index_->ResetLoadTimer();
   if (query_index_) query_index_->ResetLoadTimer();
+  // Metrics cover the measured window, like RunMetrics; the trace is *not*
+  // cleared — setup and warmup transients (EQP install storms) are exactly
+  // what it exists to show.
+  if (registry_) registry_->Reset();
+  if (sampler_) sampler_->Clear();
+  cursor_ = StepCursor{};
 }
 
 void Simulation::Run(int steps) {
+  const bool observing = registry_ != nullptr || sampler_ != nullptr;
   for (int k = 0; k < steps; ++k) {
     StepOnce();
     ++metrics_.steps;
@@ -199,12 +243,79 @@ void Simulation::Run(int steps) {
       metrics_.error_sum += CurrentResultError();
       ++metrics_.error_samples;
     }
+    if (observing) RecordStepObservations(metrics_.steps - 1);
   }
 }
 
+void Simulation::RecordStepObservations(int64_t step) {
+  const net::NetworkStats& stats = network_->stats();
+
+  // Per-step deltas of the cumulative run counters.
+  uint64_t broadcast = stats.broadcast_messages - cursor_.broadcast;
+  uint64_t uplink = stats.uplink_messages - cursor_.uplink;
+  uint64_t downlink =
+      stats.downlink_messages - cursor_.downlink - broadcast;  // one-to-one
+  auto type_count = [&stats](net::MessageType type) {
+    return stats.messages_by_type[static_cast<size_t>(type)];
+  };
+  uint64_t installs_total =
+      type_count(net::MessageType::kQueryInstallBroadcast) +
+      type_count(net::MessageType::kQueryUpdateBroadcast) +
+      type_count(net::MessageType::kNewQueriesNotification);
+  uint64_t installs = installs_total - cursor_.installs;
+
+  double server_seconds = 0.0;
+  if (server_) server_seconds = server_->load_seconds();
+  if (object_index_) server_seconds = object_index_->load_seconds();
+  if (query_index_) server_seconds = query_index_->load_seconds();
+  double server_us = (server_seconds - cursor_.server_seconds) * 1e6;
+
+  uint64_t lqt_total = 0;
+  uint64_t skips_total = 0;
+  double client_seconds = 0.0;
+  for (const auto& client : clients_) {
+    size_t lqt_size = client->lqt_size();
+    lqt_total += lqt_size;
+    skips_total += client->safe_period_skips();
+    client_seconds += client->processing_seconds();
+    if (lqt_hist_ != nullptr) {
+      lqt_hist_->Observe(static_cast<double>(lqt_size));
+    }
+  }
+  uint64_t skips = skips_total - cursor_.skips;
+  double client_us = (client_seconds - cursor_.client_seconds) * 1e6;
+
+  if (server_step_us_hist_ != nullptr) {
+    server_step_us_hist_->Observe(server_us);
+    client_step_us_hist_->Observe(client_us);
+  }
+  if (sampler_ != nullptr && sampler_->ShouldSample(step)) {
+    sampler_->Record(step, {static_cast<double>(uplink),
+                            static_cast<double>(downlink),
+                            static_cast<double>(broadcast),
+                            static_cast<double>(installs),
+                            static_cast<double>(lqt_total),
+                            static_cast<double>(skips), server_us,
+                            client_us});
+  }
+
+  cursor_.uplink = stats.uplink_messages;
+  cursor_.downlink = stats.downlink_messages;
+  cursor_.broadcast = stats.broadcast_messages;
+  cursor_.installs = installs_total;
+  cursor_.skips = skips_total;
+  cursor_.server_seconds = server_seconds;
+  cursor_.client_seconds = client_seconds;
+}
+
 void Simulation::StepOnce() {
-  world_->Step(config_.params.time_step,
-               config_.params.velocity_changes_per_step, rng_);
+  obs::TraceRecorder* trace = trace_.get();
+  TRACE_SPAN(trace, "sim.step");
+  {
+    TRACE_SPAN(trace, "world.step");
+    world_->Step(config_.params.time_step,
+                 config_.params.velocity_changes_per_step, rng_);
+  }
   switch (config_.mode) {
     case SimMode::kMobiEyesEager:
     case SimMode::kMobiEyesLazy:
@@ -229,7 +340,7 @@ void Simulation::StepOnce() {
 
 RunMetrics Simulation::metrics() const {
   RunMetrics snapshot = metrics_;
-  snapshot.network = network_->stats();
+  snapshot.network += network_->stats();
   if (server_) snapshot.server_seconds = server_->load_seconds();
   if (object_index_) snapshot.server_seconds = object_index_->load_seconds();
   if (query_index_) snapshot.server_seconds = query_index_->load_seconds();
@@ -255,6 +366,7 @@ const std::unordered_set<ObjectId>* Simulation::ReportedResult(
 
 double Simulation::CurrentResultError() const {
   if (installed_qids_.empty()) return 0.0;
+  TRACE_SPAN(trace_.get(), "oracle.evaluate");
   double total = 0.0;
   static const std::unordered_set<ObjectId> kEmpty;
   for (size_t k = 0; k < installed_qids_.size(); ++k) {
@@ -266,6 +378,18 @@ double Simulation::CurrentResultError() const {
                                           reported ? *reported : kEmpty);
   }
   return total / static_cast<double>(installed_qids_.size());
+}
+
+std::string Simulation::ObservabilityJson(bool include_timing) const {
+  std::string json = "{\"mode\": \"";
+  json += SimModeName(config_.mode);
+  json += "\", \"steps\": " + std::to_string(metrics_.steps) +
+          ", \"metrics\": ";
+  json += registry_ ? registry_->ToJson(include_timing) : "{}";
+  json += ", \"series\": ";
+  json += sampler_ ? sampler_->ToJson(include_timing) : "{}";
+  json += '}';
+  return json;
 }
 
 }  // namespace mobieyes::sim

@@ -17,6 +17,9 @@
 #include "mobieyes/net/base_station.h"
 #include "mobieyes/net/bmap.h"
 #include "mobieyes/net/network.h"
+#include "mobieyes/obs/metrics_registry.h"
+#include "mobieyes/obs/step_sampler.h"
+#include "mobieyes/obs/trace_recorder.h"
 #include "mobieyes/sim/metrics.h"
 #include "mobieyes/sim/oracle.h"
 #include "mobieyes/sim/workload.h"
@@ -36,6 +39,28 @@ enum class SimMode {
 
 const char* SimModeName(SimMode mode);
 
+// Observability toggles for one simulation cell. Everything here is owned
+// by the cell (thread-confined) so parallel sweep cells never share
+// instruments; with every toggle off (the default), the only per-step cost
+// is a handful of null-pointer tests.
+struct ObservabilityOptions {
+  // Per-MessageType/per-direction counters, byte/LQT-size histograms, and
+  // per-step server/client processing-time histograms in a MetricsRegistry.
+  bool enable_metrics = false;
+  // Chrome-trace scoped spans (server handlers, client LQT evaluation,
+  // world step, oracle evaluation). The trace covers setup and warmup too,
+  // so installation storms stay visible.
+  bool enable_trace = false;
+  // Record a per-step sample every `sample_stride` measured steps into a
+  // ring buffer of `sample_capacity` rows; 0 disables the sampler.
+  int sample_stride = 0;
+  size_t sample_capacity = 4096;
+
+  bool any_enabled() const {
+    return enable_metrics || enable_trace || sample_stride > 0;
+  }
+};
+
 struct SimulationConfig {
   SimulationParams params;
   SimMode mode = SimMode::kMobiEyesEager;
@@ -49,6 +74,7 @@ struct SimulationConfig {
   bool track_per_object_bytes = false;
   // Steps run before measurement starts; stats reset afterwards.
   int warmup_steps = 2;
+  ObservabilityOptions obs;
 };
 
 // One end-to-end simulation: a seeded workload, the mobility world, the
@@ -90,12 +116,31 @@ class Simulation {
   }
   const std::vector<QuerySpec>& query_specs() const { return query_specs_; }
 
+  // --- Observability --------------------------------------------------------
+
+  // Null unless the matching ObservabilityOptions toggle is on.
+  obs::MetricsRegistry* metrics_registry() { return registry_.get(); }
+  obs::TraceRecorder* trace_recorder() { return trace_.get(); }
+  obs::StepSampler* step_sampler() { return sampler_.get(); }
+
+  // JSON report combining the registry and the per-step time series:
+  //   {"mode": ..., "steps": N, "metrics": {...}, "series": {...}}
+  // With include_timing=false, wall-clock-derived instruments and columns
+  // are omitted and the output depends only on the workload seed — the form
+  // the sweep harness persists so parallel sweeps stay deterministic.
+  // Returns "{}" sections for disabled components.
+  std::string ObservabilityJson(bool include_timing = true) const;
+
  private:
   explicit Simulation(SimulationConfig config);
 
   Status Setup();
+  void SetupObservability();
   void StepOnce();
   void ResetMeasurement();
+  // Feeds per-step histograms and the sampler after measured step `step`
+  // (0-based); called only when some observability component is on.
+  void RecordStepObservations(int64_t step);
   // Reported result of installed query k under the current mode.
   const std::unordered_set<ObjectId>* ReportedResult(size_t k) const;
 
@@ -127,6 +172,26 @@ class Simulation {
   mutable std::vector<ObjectId> oracle_scratch_;
 
   RunMetrics metrics_;
+
+  // Observability (all null when the corresponding toggle is off).
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  std::unique_ptr<obs::StepSampler> sampler_;
+  // Pre-resolved per-step histograms (owned by registry_).
+  obs::Histogram* lqt_hist_ = nullptr;
+  obs::Histogram* server_step_us_hist_ = nullptr;
+  obs::Histogram* client_step_us_hist_ = nullptr;
+  // Previous-step totals for per-step deltas of cumulative quantities.
+  struct StepCursor {
+    uint64_t uplink = 0;
+    uint64_t downlink = 0;
+    uint64_t broadcast = 0;
+    uint64_t installs = 0;
+    uint64_t skips = 0;
+    double server_seconds = 0.0;
+    double client_seconds = 0.0;
+  };
+  StepCursor cursor_;
 };
 
 }  // namespace mobieyes::sim

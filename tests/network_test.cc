@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <vector>
 
 #include "mobieyes/net/base_station.h"
 #include "mobieyes/net/message.h"
 #include "mobieyes/net/network.h"
+#include "mobieyes/obs/metrics_registry.h"
 
 namespace mobieyes::net {
 namespace {
@@ -146,6 +148,110 @@ TEST(NetworkTest, UnregisteredRecipientDropsSilently) {
   WirelessNetwork network;
   network.SendDownlinkTo(99, Ping());  // no client registered: no crash
   EXPECT_EQ(network.stats().downlink_messages, 1u);
+}
+
+TEST(NetworkTest, PerTypeCountersSumToTotalMessages) {
+  WirelessNetwork network;
+  network.set_coverage_query(
+      [](const geo::Circle&, const std::function<void(ObjectId)>& fn) {
+        fn(7);
+      });
+  network.RegisterClient(7, [](const Message&) {});
+  network.SendUplink(3, MakeMessage(CellChangeReport{3, {0, 0}, {1, 0}}));
+  network.SendUplink(3, MakeMessage(VelocityChangeReport{}));
+  network.SendDownlinkTo(7, Ping());
+  BaseStation station{42, geo::Circle{geo::Point{0, 0}, 5.0}};
+  network.Broadcast(station, MakeMessage(QueryRemoveBroadcast{{1}}));
+
+  const NetworkStats& stats = network.stats();
+  uint64_t by_type = std::accumulate(stats.messages_by_type.begin(),
+                                     stats.messages_by_type.end(), uint64_t{0});
+  EXPECT_EQ(by_type, stats.total_messages());
+  EXPECT_EQ(by_type, 4u);
+  EXPECT_EQ(stats.messages_by_type[static_cast<size_t>(
+                MessageType::kCellChangeReport)],
+            1u);
+  EXPECT_EQ(stats.messages_by_type[static_cast<size_t>(
+                MessageType::kVelocityChangeReport)],
+            1u);
+  EXPECT_EQ(stats.messages_by_type[static_cast<size_t>(
+                MessageType::kQueryRemoveBroadcast)],
+            1u);
+}
+
+TEST(NetworkStatsTest, MergeAccumulatesEveryField) {
+  WirelessNetwork a;
+  a.SendUplink(1, MakeMessage(CellChangeReport{1, {0, 0}, {1, 0}}));
+  WirelessNetwork b;
+  b.set_coverage_query(
+      [](const geo::Circle&, const std::function<void(ObjectId)>& fn) {
+        fn(1);
+        fn(2);
+      });
+  b.RegisterClient(1, [](const Message&) {});
+  b.RegisterClient(2, [](const Message&) {});
+  b.SendDownlinkTo(1, Ping());
+  BaseStation station{0, geo::Circle{geo::Point{0, 0}, 5.0}};
+  b.Broadcast(station, Ping());
+
+  NetworkStats merged;
+  merged += a.stats();
+  merged += b.stats();
+  EXPECT_EQ(merged.uplink_messages, 1u);
+  EXPECT_EQ(merged.downlink_messages, 2u);
+  EXPECT_EQ(merged.broadcast_messages, 1u);
+  EXPECT_EQ(merged.broadcast_receptions, 2u);
+  EXPECT_EQ(merged.uplink_bytes, a.stats().uplink_bytes);
+  EXPECT_EQ(merged.downlink_bytes, b.stats().downlink_bytes);
+  EXPECT_EQ(merged.total_messages(),
+            a.stats().total_messages() + b.stats().total_messages());
+  uint64_t by_type =
+      std::accumulate(merged.messages_by_type.begin(),
+                      merged.messages_by_type.end(), uint64_t{0});
+  EXPECT_EQ(by_type, merged.total_messages());
+  // Per-object byte maps merge additively too: object 1 transmitted in `a`
+  // and received in `b`.
+  EXPECT_EQ(merged.tx_bytes_per_object.at(1), a.stats().uplink_bytes);
+  EXPECT_TRUE(merged.rx_bytes_per_object.contains(1));
+  EXPECT_TRUE(merged.rx_bytes_per_object.contains(2));
+}
+
+TEST(NetworkTest, AttachedRegistryCountersMatchStats) {
+  obs::MetricsRegistry registry;
+  WirelessNetwork network;
+  network.AttachMetrics(&registry);
+  network.set_coverage_query(
+      [](const geo::Circle&, const std::function<void(ObjectId)>& fn) {
+        fn(7);
+      });
+  network.RegisterClient(7, [](const Message&) {});
+  network.SendUplink(3, MakeMessage(CellChangeReport{3, {0, 0}, {1, 0}}));
+  network.SendDownlinkTo(7, Ping());
+  BaseStation station{42, geo::Circle{geo::Point{0, 0}, 5.0}};
+  network.Broadcast(station, MakeMessage(QueryRemoveBroadcast{{1}}));
+
+  EXPECT_EQ(registry.GetCounter("net.msgs.uplink.CellChangeReport")->value(),
+            1u);
+  EXPECT_EQ(
+      registry.GetCounter("net.msgs.downlink.PositionVelocityRequest")->value(),
+      1u);
+  EXPECT_EQ(
+      registry.GetCounter("net.msgs.broadcast.QueryRemoveBroadcast")->value(),
+      1u);
+  EXPECT_EQ(registry.GetCounter("net.broadcast_receptions")->value(), 1u);
+  // Every message on the medium lands in exactly one direction bucket, so
+  // the registry's per-type counters sum to the stats total.
+  uint64_t registry_total = 0;
+  for (const char* direction : {"uplink", "downlink", "broadcast"}) {
+    for (size_t t = 0; t < kNumMessageTypes; ++t) {
+      std::string name = std::string("net.msgs.") + direction + "." +
+                         MessageTypeName(static_cast<MessageType>(t));
+      registry_total += registry.GetCounter(name)->value();
+    }
+  }
+  EXPECT_EQ(registry_total, network.stats().total_messages());
+  // The byte histogram saw one observation per message.
+  EXPECT_EQ(registry.GetHistogram("net.message_bytes", {})->count(), 3u);
 }
 
 }  // namespace

@@ -92,5 +92,56 @@ TEST(SweepDeterminismTest, RepeatedParallelSweepsAgree) {
   }
 }
 
+// The observability report is part of the determinism contract: the
+// deterministic export excludes wall-clock instruments, so the JSON string
+// for every cell must be byte-identical between a serial and a parallel
+// sweep (this is what makes --metrics-json reproducible).
+TEST(SweepDeterminismTest, MetricsReportsAreThreadCountInvariant) {
+  std::vector<SweepJob> jobs = SmallSweep();
+  SweepObsOptions obs;
+  obs.metrics = true;
+  obs.sample_stride = 1;
+  std::vector<SweepCellResult> serial = RunSweepObserved(jobs, 1, obs);
+  std::vector<SweepCellResult> parallel = RunSweepObserved(jobs, 4, obs);
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (size_t k = 0; k < jobs.size(); ++k) {
+    const std::string context = "job " + std::to_string(k) + " (" +
+                                sim::SimModeName(jobs[k].mode) + ")";
+    ExpectDeterministicFieldsEqual(serial[k].metrics, parallel[k].metrics,
+                                   context);
+    EXPECT_FALSE(serial[k].metrics_json.empty()) << context;
+    EXPECT_EQ(serial[k].metrics_json, parallel[k].metrics_json) << context;
+    // A real report, not a stub: it carries per-type message counters and a
+    // per-step series.
+    EXPECT_NE(serial[k].metrics_json.find("net.msgs."), std::string::npos)
+        << context;
+    EXPECT_NE(serial[k].metrics_json.find("uplink_msgs"), std::string::npos)
+        << context;
+  }
+}
+
+// Turning observability on must not perturb the simulation itself: the
+// counting metrics are identical with and without metrics/trace enabled.
+TEST(SweepDeterminismTest, ObservabilityDoesNotPerturbResults) {
+  std::vector<SweepJob> jobs = SmallSweep();
+  SweepObsOptions off;
+  SweepObsOptions on;
+  on.metrics = true;
+  on.trace = true;
+  on.sample_stride = 2;
+  std::vector<SweepCellResult> plain = RunSweepObserved(jobs, 2, off);
+  std::vector<SweepCellResult> observed = RunSweepObserved(jobs, 2, on);
+  for (size_t k = 0; k < jobs.size(); ++k) {
+    ExpectDeterministicFieldsEqual(plain[k].metrics, observed[k].metrics,
+                                   "job " + std::to_string(k));
+    EXPECT_TRUE(plain[k].metrics_json.empty());
+    EXPECT_TRUE(plain[k].trace_events.empty());
+    EXPECT_FALSE(observed[k].trace_events.empty());
+    // Cells are tagged with their job index as the trace pid.
+    EXPECT_EQ(observed[k].trace_events.front().pid, static_cast<int32_t>(k));
+  }
+}
+
 }  // namespace
 }  // namespace mobieyes::bench

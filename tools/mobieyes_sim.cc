@@ -9,7 +9,11 @@
 //                [--area=F] [--alen=F] [--steps=N] [--warmup=N] [--seed=N]
 //                [--delta=F] [--radius-factor=F] [--selectivity=F]
 //                [--safe-period] [--no-grouping] [--no-error] [--no-bytes]
-//                [--hotspots] [--histogram]
+//                [--hotspots] [--histogram] [--trace=PATH]
+//                [--metrics-json=PATH] [--sample-stride=N]
+//
+// Unknown flags are an error (exit 2), so typos never silently run the
+// default configuration.
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +21,7 @@
 #include <string>
 
 #include "mobieyes/net/energy.h"
+#include "mobieyes/obs/trace_recorder.h"
 #include "mobieyes/sim/alpha_model.h"
 #include "mobieyes/sim/simulation.h"
 
@@ -29,6 +34,8 @@ struct CliOptions {
   int steps = 20;
   bool show_alpha_model = true;
   bool show_histogram = false;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 void PrintUsage(const char* argv0) {
@@ -39,7 +46,9 @@ void PrintUsage(const char* argv0) {
                "          [--area=F] [--alen=F] [--steps=N] [--warmup=N]\n"
                "          [--seed=N] [--delta=F] [--radius-factor=F]\n"
                "          [--selectivity=F] [--safe-period] [--no-grouping]\n"
-               "          [--no-error] [--no-bytes]\n",
+               "          [--no-error] [--no-bytes] [--hotspots] [--histogram]\n"
+               "          [--trace=PATH] [--metrics-json=PATH]\n"
+               "          [--sample-stride=N]\n",
                argv0);
 }
 
@@ -74,7 +83,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
   for (int k = 1; k < argc; ++k) {
     std::string key;
     std::string value;
-    if (!SplitFlag(argv[k], &key, &value)) return false;
+    if (!SplitFlag(argv[k], &key, &value)) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[k]);
+      return false;
+    }
     auto& params = cli->config.params;
     if (key == "mode") {
       if (!ParseMode(value, &cli->config.mode)) return false;
@@ -114,6 +126,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       params.object_distribution = sim::ObjectDistribution::kHotspot;
     } else if (key == "histogram") {
       cli->show_histogram = true;
+    } else if (key == "trace") {
+      cli->trace_path = value;
+      cli->config.obs.enable_trace = true;
+    } else if (key == "metrics-json") {
+      cli->metrics_path = value;
+      cli->config.obs.enable_metrics = true;
+      if (cli->config.obs.sample_stride == 0) cli->config.obs.sample_stride = 1;
+    } else if (key == "sample-stride") {
+      cli->config.obs.sample_stride = std::atoi(value.c_str());
     } else if (key == "help") {
       return false;
     } else {
@@ -201,6 +222,16 @@ int main(int argc, char** argv) {
     std::printf("avg result error           %.4g (missing fraction)\n",
                 metrics.AverageError());
   }
+  std::printf("\n-- message breakdown (measured window) -----------------\n");
+  for (size_t t = 0; t < net::kNumMessageTypes; ++t) {
+    uint64_t count = metrics.network.messages_by_type[t];
+    if (count == 0) continue;
+    std::printf("%-26s %8llu msgs  %6.2f%%\n",
+                net::MessageTypeName(static_cast<net::MessageType>(t)),
+                static_cast<unsigned long long>(count),
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(metrics.network.total_messages()));
+  }
   if (cli.show_histogram) {
     std::printf("\n-- message mix (measured window) -----------------------\n");
     for (const auto& [type, row] : histogram.rows) {
@@ -221,6 +252,31 @@ int main(int argc, char** argv) {
     double best = model.OptimalAlpha();
     std::printf("model-optimal alpha        %.3g (predicted %.4g msgs/s)\n",
                 best, model.MessagesPerSecond(best));
+  }
+  if (!cli.trace_path.empty()) {
+    const obs::TraceRecorder* trace = (*simulation)->trace_recorder();
+    if (trace == nullptr ||
+        !obs::TraceRecorder::WriteFile(cli.trace_path, trace->events())) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   cli.trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 trace->events().size(), cli.trace_path.c_str());
+  }
+  if (!cli.metrics_path.empty()) {
+    std::string json = (*simulation)->ObservabilityJson();
+    std::FILE* f = std::fopen(cli.metrics_path.c_str(), "w");
+    if (f == nullptr || std::fwrite(json.data(), 1, json.size(), f) !=
+                            json.size()) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   cli.metrics_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::fprintf(stderr, "wrote metrics report to %s\n",
+                 cli.metrics_path.c_str());
   }
   return 0;
 }
