@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +38,20 @@ struct BenchState {
   int sample_stride = 0;
   int steps_override = 0;
   int objects_override = 0;
+  // Fault-injection flag overrides; negative means "flag not given" so a
+  // job's own FaultOptions survive when the flag is absent.
+  double drop_rate = -1.0;
+  double delay_rate = -1.0;
+  int delay_steps = -1;
+  double dup_rate = -1.0;
+  int outage_period = -1;
+  int outage_duration = -1;
+  double disconnect_rate = -1.0;
+  int disconnect_period = -1;
+  int disconnect_duration = -1;
+  uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
+  bool harden = false;
   std::chrono::steady_clock::time_point start;
   std::vector<RecordedTable> tables;
   std::vector<RecordedCell> cells;
@@ -129,10 +144,44 @@ void InitBench(const std::string& name, int argc, char** argv) {
       state.steps_override = std::atoi(arg + 8);
     } else if (std::strncmp(arg, "--objects=", 10) == 0) {
       state.objects_override = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--drop-rate=", 12) == 0) {
+      state.drop_rate = std::atof(arg + 12);
+    } else if (std::strncmp(arg, "--delay-steps=", 14) == 0) {
+      state.delay_steps = std::atoi(arg + 14);
+    } else if (std::strncmp(arg, "--delay-rate=", 13) == 0) {
+      state.delay_rate = std::atof(arg + 13);
+    } else if (std::strncmp(arg, "--dup-rate=", 11) == 0) {
+      state.dup_rate = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--outage=", 9) == 0) {
+      if (std::sscanf(arg + 9, "%d:%d", &state.outage_period,
+                      &state.outage_duration) != 2) {
+        std::fprintf(stderr, "[bench] bad --outage value '%s' (want P:D)\n",
+                     arg + 9);
+        state.outage_period = state.outage_duration = -1;
+      }
+    } else if (std::strncmp(arg, "--disconnect=", 13) == 0) {
+      if (std::sscanf(arg + 13, "%lf:%d:%d", &state.disconnect_rate,
+                      &state.disconnect_period,
+                      &state.disconnect_duration) != 3) {
+        std::fprintf(stderr,
+                     "[bench] bad --disconnect value '%s' (want R:P:D)\n",
+                     arg + 13);
+        state.disconnect_rate = -1.0;
+        state.disconnect_period = state.disconnect_duration = -1;
+      }
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      state.fault_seed = std::strtoull(arg + 7, nullptr, 10);
+      state.fault_seed_set = true;
+    } else if (std::strcmp(arg, "--harden") == 0) {
+      state.harden = true;
     }
   }
   if (state.sample_stride == 0 && !state.metrics_path.empty()) {
     state.sample_stride = 1;  // a metrics report should include a series
+  }
+  // A bare --delay-steps should actually delay something.
+  if (state.delay_steps > 0 && state.delay_rate < 0.0) {
+    state.delay_rate = 0.2;
   }
 }
 
@@ -151,6 +200,11 @@ SweepCellResult RunCell(const SweepJob& job, const SweepObsOptions& obs,
   config.measure_error = job.options.measure_error;
   config.track_per_object_bytes = job.options.track_per_object_bytes;
   config.warmup_steps = job.options.warmup_steps;
+  config.faults = job.faults.plan;
+  if (job.faults.harden) {
+    config.mobieyes =
+        core::HardenedOptions(config.mobieyes, job.params.time_step);
+  }
   config.obs.enable_metrics = obs.metrics;
   config.obs.enable_trace = obs.trace;
   config.obs.sample_stride = obs.sample_stride;
@@ -178,13 +232,33 @@ SweepCellResult RunCell(const SweepJob& job, const SweepObsOptions& obs,
   return result;
 }
 
-// Steps/objects smoke-run overrides from the harness flags.
+// Steps/objects smoke-run overrides and fault-injection overrides from the
+// harness flags.
 SweepJob ApplyOverrides(SweepJob job) {
   const BenchState& state = State();
   if (state.steps_override > 0) job.options.steps = state.steps_override;
   if (state.objects_override > 0) {
     job.params.num_objects = state.objects_override;
   }
+  net::FaultPlan& plan = job.faults.plan;
+  if (state.drop_rate >= 0.0) {
+    plan.uplink_drop_rate = state.drop_rate;
+    plan.downlink_drop_rate = state.drop_rate;
+  }
+  if (state.delay_steps >= 0) plan.max_delay_steps = state.delay_steps;
+  if (state.delay_rate >= 0.0) plan.delay_rate = state.delay_rate;
+  if (state.dup_rate >= 0.0) plan.duplicate_rate = state.dup_rate;
+  if (state.outage_period >= 0) {
+    plan.outage_period_steps = state.outage_period;
+    plan.outage_duration_steps = state.outage_duration;
+  }
+  if (state.disconnect_rate >= 0.0) {
+    plan.disconnect_rate = state.disconnect_rate;
+    plan.disconnect_period_steps = state.disconnect_period;
+    plan.disconnect_duration_steps = state.disconnect_duration;
+  }
+  if (state.fault_seed_set) plan.seed = state.fault_seed;
+  if (state.harden) job.faults.harden = true;
   return job;
 }
 

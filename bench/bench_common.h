@@ -28,6 +28,14 @@ struct RunOptions {
   bool track_per_object_bytes = false;
 };
 
+// Fault-injection knobs of one sweep cell (see SweepJob): the plan handed
+// to the simulation and whether to run the hardened protocol variant
+// (core::HardenedOptions) on top of the job's MobiEyes options.
+struct FaultOptions {
+  net::FaultPlan plan;
+  bool harden = false;
+};
+
 // Builds, warms up and runs one simulation; returns its metrics.
 sim::RunMetrics RunMode(const sim::SimulationParams& params,
                         sim::SimMode mode, const RunOptions& options = {},
@@ -39,6 +47,7 @@ struct SweepJob {
   sim::SimMode mode = sim::SimMode::kMobiEyesEager;
   RunOptions options;
   core::MobiEyesOptions mobieyes;
+  FaultOptions faults;
   std::string label;  // progress note, e.g. "fig03 alpha=2 EQP"
 };
 
@@ -57,6 +66,19 @@ struct SweepJob {
 //                      (default 1 when --metrics-json is given, else off)
 //   --steps=N          override every job's measured step count (smoke runs)
 //   --objects=N        override every job's object count (smoke runs)
+//
+// Fault-injection overrides, applied on top of every job's FaultOptions
+// (a job keeps its own value for any knob the flags leave unset):
+//   --drop-rate=F      message drop probability, both directions
+//   --delay-steps=N    max deferred-delivery delay; pairs with --delay-rate
+//                      (default 0.2 when --delay-steps is given alone)
+//   --delay-rate=F     probability a surviving message is delayed
+//   --dup-rate=F       probability a surviving message is duplicated
+//   --outage=P:D       base stations dark D of every P steps (staggered)
+//   --disconnect=R:P:D objects offline D of every P steps w.p. R
+//   --seed=N           fault plan seed (workload seeds are per-job)
+//   --harden           run the hardened protocol (acks, leases,
+//                      reconciliation; core::HardenedOptions)
 void InitBench(const std::string& name, int argc, char** argv);
 
 // Worker thread count RunSweep will use.

@@ -35,8 +35,12 @@ MobiEyesClient::MobiEyesClient(const mobility::World& world, ObjectId oid,
       prev_cell_(world.object(oid).cell) {}
 
 void MobiEyesClient::OnTick() {
+  ++tick_;
   const mobility::ObjectState& me = world_->object(oid_);
   Seconds now = world_->now();
+
+  // 0. Hardening: drop LQT entries whose soft-state lease lapsed.
+  if (options_.lease_duration > 0.0) ExpireLeases(now);
 
   // 1. Grid-cell crossing (§3.5).
   if (!(me.cell == prev_cell_)) {
@@ -49,15 +53,19 @@ void MobiEyesClient::OnTick() {
     geo::Point predicted = last_relayed_.PredictPosition(now);
     if (geo::Distance(me.pos, predicted) >
         options_.dead_reckoning_threshold) {
-      last_relayed_ = FocalState{me.pos, me.vel, now};
-      network_->SendUplink(
-          oid_, net::MakeMessage(net::VelocityChangeReport{oid_,
-                                                           last_relayed_}));
+      SendVelocityReport();
     }
   }
 
   // 3. Periodic evaluation of the LQT (§3.6).
   EvaluateQueries();
+
+  // 4. Hardening: retransmit unacked tracked uplinks and, periodically,
+  // reconcile the LQT with the server.
+  if (options_.enable_reliable_uplink && !pending_.empty()) {
+    RetryPendingUplinks();
+  }
+  if (options_.reconcile_period_ticks > 0) MaybeReconcile();
 }
 
 void MobiEyesClient::HandleCellCrossing(const geo::CellCoord& new_cell) {
@@ -74,8 +82,7 @@ void MobiEyesClient::HandleCellCrossing(const geo::CellCoord& new_cell) {
   // replies with newly relevant queries); under lazy propagation only focal
   // objects must report, since the server tracks their current cell.
   if (options_.propagation == PropagationMode::kEager || has_mq_) {
-    network_->SendUplink(oid_, net::MakeMessage(net::CellChangeReport{
-                                   oid_, prev_cell_, new_cell}));
+    SendCellChangeReport(new_cell);
   }
   prev_cell_ = new_cell;
 }
@@ -163,7 +170,7 @@ void MobiEyesClient::EvaluateQueries() {
       report.oid = oid_;
       report.qids.push_back(lqt_[k].qid);
       report.bitmap = lqt_[k].is_target ? 1 : 0;
-      network_->SendUplink(oid_, net::MakeMessage(std::move(report)));
+      SendBitmapReport(std::move(report));
     }
   }
 }
@@ -182,8 +189,165 @@ void MobiEyesClient::SendFlipReports(const std::vector<size_t>& dirty_groups) {
       report.qids.push_back(lqt_[k].qid);
       if (report.qids.size() == 64) break;  // bitmap capacity guard
     }
-    network_->SendUplink(oid_, net::MakeMessage(std::move(report)));
+    SendBitmapReport(std::move(report));
   }
+}
+
+void MobiEyesClient::SendVelocityReport() {
+  const mobility::ObjectState& me = world_->object(oid_);
+  last_relayed_ = FocalState{me.pos, me.vel, world_->now()};
+  net::Message message =
+      net::MakeMessage(net::VelocityChangeReport{oid_, last_relayed_});
+  if (options_.enable_reliable_uplink) {
+    // A newer velocity report supersedes any unacked one: the retransmit of
+    // the old vector would be stale anyway.
+    std::erase_if(pending_, [](const PendingUplink& p) {
+      return p.type == net::MessageType::kVelocityChangeReport;
+    });
+    PendingUplink entry;
+    entry.type = net::MessageType::kVelocityChangeReport;
+    TrackUplink(message, std::move(entry));
+  }
+  network_->SendUplink(oid_, std::move(message));
+}
+
+void MobiEyesClient::SendCellChangeReport(const geo::CellCoord& new_cell) {
+  geo::CellCoord origin = prev_cell_;
+  if (options_.enable_reliable_uplink) {
+    // Chain an unacked crossing: keeping its origin cell makes the server's
+    // RQI diff span the whole unconfirmed move.
+    auto it = std::find_if(pending_.begin(), pending_.end(),
+                           [](const PendingUplink& p) {
+                             return p.type ==
+                                    net::MessageType::kCellChangeReport;
+                           });
+    if (it != pending_.end()) {
+      origin = it->prev_cell;
+      pending_.erase(it);
+    }
+  }
+  net::Message message = net::MakeMessage(
+      net::CellChangeReport{oid_, origin, new_cell});
+  if (options_.enable_reliable_uplink) {
+    PendingUplink entry;
+    entry.type = net::MessageType::kCellChangeReport;
+    entry.prev_cell = origin;
+    TrackUplink(message, std::move(entry));
+  }
+  network_->SendUplink(oid_, std::move(message));
+}
+
+void MobiEyesClient::SendBitmapReport(net::ResultBitmapReport report) {
+  if (!options_.enable_reliable_uplink) {
+    network_->SendUplink(oid_, net::MakeMessage(std::move(report)));
+    return;
+  }
+  // A fresh report supersedes pending ones that cover any of the same
+  // queries: retransmits rebuild the bitmap from the current LQT, so the
+  // newest tracking entry carries the whole truth for its queries.
+  std::erase_if(pending_, [&report](const PendingUplink& p) {
+    if (p.type != net::MessageType::kResultBitmapReport) return false;
+    for (QueryId qid : p.qids) {
+      if (std::find(report.qids.begin(), report.qids.end(), qid) !=
+          report.qids.end()) {
+        return true;
+      }
+    }
+    return false;
+  });
+  PendingUplink entry;
+  entry.type = net::MessageType::kResultBitmapReport;
+  entry.qids = report.qids;
+  net::Message message = net::MakeMessage(std::move(report));
+  TrackUplink(message, std::move(entry));
+  network_->SendUplink(oid_, std::move(message));
+}
+
+void MobiEyesClient::TrackUplink(net::Message& message, PendingUplink entry) {
+  entry.seq = ++next_seq_;
+  entry.retries = 0;
+  entry.retry_at = tick_ + options_.uplink_retry_backoff_ticks;
+  message.seq = entry.seq;
+  // Bound the tracking state: if the link is so lossy that 16 tracked
+  // uplinks pile up, the oldest is abandoned to the lease/reconciliation
+  // repair path.
+  if (pending_.size() >= 16) pending_.erase(pending_.begin());
+  pending_.push_back(std::move(entry));
+}
+
+net::Message MobiEyesClient::RebuildPending(const PendingUplink& pending) {
+  const mobility::ObjectState& me = world_->object(oid_);
+  switch (pending.type) {
+    case net::MessageType::kVelocityChangeReport:
+      last_relayed_ = FocalState{me.pos, me.vel, world_->now()};
+      return net::MakeMessage(
+          net::VelocityChangeReport{oid_, last_relayed_});
+    case net::MessageType::kCellChangeReport:
+      return net::MakeMessage(
+          net::CellChangeReport{oid_, pending.prev_cell, me.cell});
+    default: {
+      net::ResultBitmapReport report;
+      report.oid = oid_;
+      for (QueryId qid : pending.qids) {
+        if (report.qids.size() == 64) break;
+        const LqtEntry* entry = FindEntry(qid);
+        // A query no longer in the LQT is provably not satisfied by this
+        // object, so its bit stays false.
+        if (entry != nullptr && entry->is_target) {
+          report.bitmap |= uint64_t{1} << report.qids.size();
+        }
+        report.qids.push_back(qid);
+      }
+      return net::MakeMessage(std::move(report));
+    }
+  }
+}
+
+void MobiEyesClient::RetryPendingUplinks() {
+  for (size_t k = 0; k < pending_.size();) {
+    PendingUplink& p = pending_[k];
+    if (tick_ < p.retry_at) {
+      ++k;
+      continue;
+    }
+    if (p.retries >= options_.uplink_max_retries) {
+      // Retry budget spent: give up and leave repair to the lease
+      // re-broadcast / reconciliation paths.
+      pending_.erase(pending_.begin() + k);
+      continue;
+    }
+    ++p.retries;
+    p.retry_at =
+        tick_ + (static_cast<int64_t>(options_.uplink_retry_backoff_ticks)
+                 << p.retries);
+    net::Message message = RebuildPending(p);
+    message.seq = p.seq;
+    network_->SendUplink(oid_, std::move(message));
+    ++k;
+  }
+}
+
+void MobiEyesClient::ExpireLeases(Seconds now) {
+  std::vector<size_t> expired;
+  for (size_t k = 0; k < lqt_.size(); ++k) {
+    if (lqt_[k].lease_expires_at <= now) expired.push_back(k);
+  }
+  RemoveEntries(expired);
+}
+
+void MobiEyesClient::MaybeReconcile() {
+  const int64_t period = options_.reconcile_period_ticks;
+  if ((tick_ + static_cast<int64_t>(oid_)) % period != 0) return;
+  const mobility::ObjectState& me = world_->object(oid_);
+  net::LqtReconcileRequest request;
+  request.oid = oid_;
+  request.cell = me.cell;
+  request.known_qids.reserve(lqt_.size());
+  for (const LqtEntry& entry : lqt_) {
+    request.known_qids.push_back(entry.qid);
+    if (entry.is_target) request.target_qids.push_back(entry.qid);
+  }
+  network_->SendUplink(oid_, net::MakeMessage(std::move(request)));
 }
 
 void MobiEyesClient::OnDownlink(const Message& message) {
@@ -224,6 +388,8 @@ void MobiEyesClient::OnDownlink(const Message& message) {
       for (auto& entry : lqt_) {
         if (entry.focal_oid == broadcast.focal_oid) {
           entry.focal = broadcast.state;
+          // The server only relays vectors of live queries: refresh leases.
+          entry.lease_expires_at = LeaseExpiry(now);
         }
       }
       if (broadcast.carries_query_info) {
@@ -245,6 +411,7 @@ void MobiEyesClient::OnDownlink(const Message& message) {
           if (info.mon_region.Contains(me.cell)) {
             entry->focal = info.focal;
             entry->mon_region = info.mon_region;
+            entry->lease_expires_at = LeaseExpiry(now);
           } else {
             stale.push_back(static_cast<size_t>(entry - lqt_.data()));
           }
@@ -275,6 +442,13 @@ void MobiEyesClient::OnDownlink(const Message& message) {
       }
       break;
     }
+    case net::MessageType::kUplinkAck: {
+      const auto& ack = std::get<net::UplinkAck>(message.payload);
+      std::erase_if(pending_, [&ack](const PendingUplink& p) {
+        return p.seq == ack.seq;
+      });
+      break;
+    }
     default:
       // Uplink-only types are never valid on the downlink; ignore.
       break;
@@ -291,6 +465,7 @@ void MobiEyesClient::InstallIfApplicable(const QueryInfo& info) {
     existing->focal = info.focal;
     existing->mon_region = info.mon_region;
     existing->focal_max_speed = info.focal_max_speed;
+    existing->lease_expires_at = LeaseExpiry(world_->now());
     return;
   }
   LqtEntry entry;
@@ -301,6 +476,7 @@ void MobiEyesClient::InstallIfApplicable(const QueryInfo& info) {
   entry.filter_threshold = info.filter_threshold;
   entry.mon_region = info.mon_region;
   entry.focal_max_speed = info.focal_max_speed;
+  entry.lease_expires_at = LeaseExpiry(world_->now());
   lqt_.insert(lqt_.begin() + InsertPosition(entry), std::move(entry));
 }
 
@@ -321,7 +497,7 @@ void MobiEyesClient::RemoveEntries(const std::vector<size_t>& indices) {
     lqt_.erase(lqt_.begin() + *it);
   }
   if (!report.qids.empty()) {
-    network_->SendUplink(oid_, net::MakeMessage(std::move(report)));
+    SendBitmapReport(std::move(report));
   }
 }
 

@@ -2,6 +2,7 @@
 #define MOBIEYES_CORE_CLIENT_H_
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -36,6 +37,10 @@ class MobiEyesClient {
     double focal_max_speed = 0.0;
     bool is_target = false;
     Seconds ptm = 0.0;  // next evaluation due at this time or later
+    // Soft-state lease (options.lease_duration > 0): the entry is dropped if
+    // no server broadcast refreshes it before this time, so queries removed
+    // while this object was unreachable cannot linger forever.
+    Seconds lease_expires_at = std::numeric_limits<Seconds>::infinity();
   };
 
   // `world` provides this object's own ground-truth state (a real device
@@ -82,9 +87,41 @@ class MobiEyesClient {
   // The recorder must outlive the client.
   void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  // Tracked uplinks not yet acknowledged (reliable-uplink hardening).
+  size_t pending_uplinks() const { return pending_.size(); }
+
  private:
+  // One unacknowledged tracked uplink. Retransmissions regenerate the
+  // payload from current client state (stored here is only what cannot be
+  // re-derived), so a retry never reintroduces stale data.
+  struct PendingUplink {
+    uint32_t seq = 0;
+    net::MessageType type = net::MessageType::kVelocityChangeReport;
+    geo::CellCoord prev_cell;   // kCellChangeReport: origin of the move
+    std::vector<QueryId> qids;  // kResultBitmapReport: covered queries
+    int retries = 0;
+    int64_t retry_at = 0;  // tick of the next retransmission
+  };
+
   void HandleCellCrossing(const geo::CellCoord& new_cell);
   void EvaluateQueries();
+  // Uplink send paths; with enable_reliable_uplink they stamp a sequence
+  // number and track the message for ack/retry.
+  void SendVelocityReport();
+  void SendCellChangeReport(const geo::CellCoord& new_cell);
+  void SendBitmapReport(net::ResultBitmapReport report);
+  void TrackUplink(net::Message& message, PendingUplink entry);
+  void RetryPendingUplinks();
+  net::Message RebuildPending(const PendingUplink& pending);
+  // Drops LQT entries whose lease lapsed (reporting containment flips).
+  void ExpireLeases(Seconds now);
+  // Periodic LQT/result reconciliation uplink, staggered by object id.
+  void MaybeReconcile();
+  Seconds LeaseExpiry(Seconds now) const {
+    return options_.lease_duration > 0.0
+               ? now + 2.0 * options_.lease_duration
+               : std::numeric_limits<Seconds>::infinity();
+  }
   // Installs or refreshes a query if this object lies in its monitoring
   // region, satisfies the filter and is not the query's own focal object.
   void InstallIfApplicable(const net::QueryInfo& info);
@@ -105,6 +142,11 @@ class MobiEyesClient {
   bool has_mq_ = false;
   net::FocalState last_relayed_;  // what others believe about this object
   geo::CellCoord prev_cell_;
+
+  // Reliable-uplink state (empty unless enable_reliable_uplink).
+  std::vector<PendingUplink> pending_;
+  uint32_t next_seq_ = 0;
+  int64_t tick_ = 0;
 
   Stopwatch eval_watch_;
   uint64_t queries_evaluated_ = 0;

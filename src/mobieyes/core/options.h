@@ -32,7 +32,47 @@ struct MobiEyesOptions {
   // vector when its true position drifts more than Δ from where the last
   // relayed vector predicts it to be (§3.4).
   Miles dead_reckoning_threshold = 0.2;
+
+  // --- Protocol hardening (DESIGN.md §8) ------------------------------------
+  // Defenses against lossy links (net::FaultyNetwork). All off by default:
+  // the base protocol then matches the paper exactly and pays nothing for
+  // the hooks.
+
+  // Correctness-critical uplinks (velocity/cell-change/result reports) carry
+  // a sequence number, are acknowledged by the server, and are retransmitted
+  // with exponential backoff until acked or the retry budget is spent.
+  // Retransmissions regenerate their payload from current client state, so
+  // a late retry never reintroduces stale data.
+  bool enable_reliable_uplink = false;
+  int uplink_max_retries = 4;
+  // Ticks before the first retransmit; doubles after each retry.
+  int uplink_retry_backoff_ticks = 1;
+
+  // Soft-state leases: the server periodically re-broadcasts each query's
+  // monitoring-region state (QueryUpdateBroadcast + FocalNotification) every
+  // lease_duration seconds, recovering clients that missed the original
+  // install or update; clients drop LQT entries not refreshed within twice
+  // the lease. 0 disables leases.
+  Seconds lease_duration = 0.0;
+
+  // Periodic reconciliation: every reconcile_period_ticks (staggered by
+  // object id) a client uplinks its LQT contents and result membership; the
+  // server diffs them against the RQI and repairs both sides. This is what
+  // lets an object reconnecting after a disconnect rebuild its LQT.
+  // 0 disables reconciliation.
+  int reconcile_period_ticks = 0;
 };
+
+// Canonical hardened configuration used by the fault-tolerance evaluation:
+// reliable uplinks, leases spanning `lease_ticks` time steps of `time_step`
+// seconds, and reconciliation at half the lease period.
+inline MobiEyesOptions HardenedOptions(MobiEyesOptions base, Seconds time_step,
+                                       int lease_ticks = 16) {
+  base.enable_reliable_uplink = true;
+  base.lease_duration = lease_ticks * time_step;
+  base.reconcile_period_ticks = lease_ticks / 2 > 0 ? lease_ticks / 2 : 1;
+  return base;
+}
 
 }  // namespace mobieyes::core
 

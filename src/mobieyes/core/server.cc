@@ -1,6 +1,7 @@
 #include "mobieyes/core/server.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <tuple>
 
@@ -71,6 +72,13 @@ Result<QueryId> MobiEyesServer::InstallQuery(ObjectId focal_oid,
                                              region.ReachY());
   entry.expires_at =
       duration == kNeverExpires ? kNeverExpires : now_ + duration;
+  if (options_.lease_duration > 0.0) {
+    // Stagger the first renewal by query id so lease refreshes spread over
+    // the period instead of bursting on one step.
+    entry.lease_renew_at =
+        now_ + options_.lease_duration *
+                   (1.0 + static_cast<double>(qid % 8) / 8.0);
+  }
   rqi_.Add(qid, entry.mon_region);
   focal.queries.push_back(qid);
   auto [it, inserted] = sqt_.emplace(qid, std::move(entry));
@@ -105,6 +113,38 @@ void MobiEyesServer::AdvanceTime(Seconds now) {
   for (QueryId qid : expired) {
     (void)RemoveQuery(qid);
   }
+  if (options_.lease_duration > 0.0) RenewLeases();
+}
+
+void MobiEyesServer::RenewLeases() {
+  std::vector<QueryId> due;
+  {
+    TimedSection timed(load_timer_);
+    for (const auto& [qid, entry] : sqt_) {
+      if (entry.lease_renew_at <= now_) due.push_back(qid);
+    }
+  }
+  // Sorted so the broadcast order (and hence any fault-injection draw
+  // sequence downstream) is independent of hash-map iteration order.
+  std::sort(due.begin(), due.end());
+  for (QueryId qid : due) {
+    SqtEntry& entry = sqt_.at(qid);
+    entry.lease_renew_at = now_ + options_.lease_duration;
+    // Re-assert hasMQ on the focal object (a lost FocalNotification would
+    // otherwise silence its dead reckoning forever), then refresh the
+    // monitoring region. QueryUpdateBroadcast is idempotent on receivers:
+    // they install, update or drop based on their own cell.
+    {
+      TimerPause pause(load_timer_);
+      network_->SendDownlinkTo(
+          entry.focal_oid,
+          net::MakeMessage(net::FocalNotification{entry.focal_oid, qid}));
+    }
+    net::QueryUpdateBroadcast broadcast;
+    broadcast.queries.push_back(BuildQueryInfo(entry));
+    BroadcastToRegion(entry.mon_region,
+                      net::MakeMessage(std::move(broadcast)));
+  }
 }
 
 Status MobiEyesServer::RemoveQuery(QueryId qid) {
@@ -138,8 +178,11 @@ Status MobiEyesServer::RemoveQuery(QueryId qid) {
 }
 
 void MobiEyesServer::OnUplink(ObjectId from, const Message& message) {
-  (void)from;
   TimedSection timed(load_timer_);
+  // A non-zero envelope seq marks a tracked uplink (reliable-uplink
+  // hardening): acknowledge it and drop retransmissions of messages already
+  // processed.
+  if (message.seq != 0 && AckAndDedup(from, message.seq)) return;
   switch (message.type) {
     case net::MessageType::kQueryInstallRequest: {
       TRACE_SPAN(trace_, "server.handle_query_install_request");
@@ -169,10 +212,37 @@ void MobiEyesServer::OnUplink(ObjectId from, const Message& message) {
       HandleResultBitmap(std::get<net::ResultBitmapReport>(message.payload));
       break;
     }
+    case net::MessageType::kLqtReconcileRequest: {
+      TRACE_SPAN(trace_, "server.handle_lqt_reconcile");
+      HandleLqtReconcile(
+          std::get<net::LqtReconcileRequest>(message.payload));
+      break;
+    }
     default:
       // Downlink-only types are never valid on the uplink; ignore.
       break;
   }
+}
+
+bool MobiEyesServer::AckAndDedup(ObjectId from, uint32_t seq) {
+  SeenSeqs& seen = seen_seqs_[from];
+  bool duplicate = false;
+  for (uint32_t s : seen.ring) {
+    if (s == seq) {
+      duplicate = true;
+      break;
+    }
+  }
+  if (!duplicate) {
+    seen.ring[seen.next] = seq;
+    seen.next = (seen.next + 1) % seen.ring.size();
+  }
+  // Always (re-)acknowledge: the previous ack may itself have been lost,
+  // and only an ack stops the sender's retransmissions.
+  TimerPause pause(load_timer_);
+  network_->SendDownlinkTo(from,
+                           net::MakeMessage(net::UplinkAck{from, seq}));
+  return duplicate;
 }
 
 void MobiEyesServer::HandleQueryInstallRequest(
@@ -195,6 +265,9 @@ void MobiEyesServer::HandleVelocityChange(
   auto fot_it = fot_.find(report.oid);
   if (fot_it == fot_.end()) return;  // stale report from an unbound object
   FotEntry& focal = fot_it->second;
+  // A delayed or retransmitted report can arrive after a newer one; relaying
+  // the older vector would roll every monitoring region's prediction back.
+  if (report.state.tm < focal.state.tm) return;
   focal.state = report.state;
   focal.cell = grid_->CellOf(report.state.pos);
 
@@ -324,6 +397,62 @@ void MobiEyesServer::HandleResultBitmap(const net::ResultBitmapReport& report) {
     } else {
       it->second.result.erase(report.oid);
     }
+  }
+}
+
+void MobiEyesServer::HandleLqtReconcile(
+    const net::LqtReconcileRequest& request) {
+  // Queries that should cover the object's current cell per the RQI. The
+  // client re-checks filter and cell on install, so over-sending is safe.
+  std::vector<QueryId> expected;
+  for (QueryId qid : rqi_.QueriesForCell(request.cell)) {
+    if (sqt_.at(qid).focal_oid != request.oid) expected.push_back(qid);
+  }
+  std::sort(expected.begin(), expected.end());
+  std::vector<QueryId> known = request.known_qids;
+  std::sort(known.begin(), known.end());
+
+  std::vector<QueryId> missing;
+  std::set_difference(expected.begin(), expected.end(), known.begin(),
+                      known.end(), std::back_inserter(missing));
+  std::vector<QueryId> stale;
+  std::set_difference(known.begin(), known.end(), expected.begin(),
+                      expected.end(), std::back_inserter(stale));
+
+  // Resynchronize result membership from the client's own view: what it
+  // holds is the ground truth for its containment bits, and flips reported
+  // while it was unreachable are lost for good.
+  std::unordered_set<QueryId> targets(request.target_qids.begin(),
+                                      request.target_qids.end());
+  for (QueryId qid : request.known_qids) {
+    auto it = sqt_.find(qid);
+    if (it == sqt_.end()) continue;
+    if (targets.contains(qid)) {
+      it->second.result.insert(request.oid);
+    } else {
+      it->second.result.erase(request.oid);
+    }
+  }
+  for (QueryId qid : stale) {
+    auto it = sqt_.find(qid);
+    if (it != sqt_.end()) it->second.result.erase(request.oid);
+  }
+
+  TimerPause pause(load_timer_);
+  if (!missing.empty()) {
+    net::NewQueriesNotification notification;
+    notification.oid = request.oid;
+    for (QueryId qid : missing) {
+      notification.queries.push_back(BuildQueryInfo(sqt_.at(qid)));
+    }
+    network_->SendDownlinkTo(request.oid,
+                             net::MakeMessage(std::move(notification)));
+  }
+  if (!stale.empty()) {
+    // One-to-one removal: only this object holds the stale entries.
+    network_->SendDownlinkTo(
+        request.oid,
+        net::MakeMessage(net::QueryRemoveBroadcast{std::move(stale)}));
   }
 }
 

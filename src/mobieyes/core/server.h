@@ -1,6 +1,7 @@
 #ifndef MOBIEYES_CORE_SERVER_H_
 #define MOBIEYES_CORE_SERVER_H_
 
+#include <array>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
@@ -51,6 +52,10 @@ class MobiEyesServer {
     geo::CellCoord curr_cell;
     geo::CellRange mon_region;
     Seconds expires_at = kNeverExpires;
+    // Soft-state lease (options.lease_duration > 0): when the deadline
+    // passes, the server re-broadcasts the query's monitoring-region state
+    // so clients that missed the original install or update recover.
+    Seconds lease_renew_at = std::numeric_limits<Seconds>::infinity();
     std::unordered_set<ObjectId> result;
   };
 
@@ -114,6 +119,15 @@ class MobiEyesServer {
   void HandleVelocityChange(const net::VelocityChangeReport& report);
   void HandleCellChange(const net::CellChangeReport& report);
   void HandleResultBitmap(const net::ResultBitmapReport& report);
+  void HandleLqtReconcile(const net::LqtReconcileRequest& request);
+
+  // Acknowledges a tracked uplink and dedups retransmissions. Returns true
+  // when the message was already processed and must be ignored.
+  bool AckAndDedup(ObjectId from, uint32_t seq);
+
+  // Re-broadcasts the state of queries whose lease lapsed (soft-state
+  // refresh; options.lease_duration > 0).
+  void RenewLeases();
 
   // Builds the installation payload for a query from FOT + SQT state.
   net::QueryInfo BuildQueryInfo(const SqtEntry& entry) const;
@@ -133,6 +147,15 @@ class MobiEyesServer {
   ReverseQueryIndex rqi_;
   QueryId next_qid_ = 0;
   Seconds now_ = 0.0;
+
+  // Recently seen uplink sequence numbers per object (at-most-once dedup
+  // for the reliable-uplink hardening). A small ring suffices: a client
+  // tracks at most 16 uplinks and retires them in rough FIFO order.
+  struct SeenSeqs {
+    std::array<uint32_t, 8> ring{};
+    size_t next = 0;
+  };
+  std::unordered_map<ObjectId, SeenSeqs> seen_seqs_;
 
   ReentrantTimer load_timer_;
   obs::TraceRecorder* trace_ = nullptr;

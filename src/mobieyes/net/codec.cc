@@ -274,6 +274,20 @@ struct EncodeBody {
     w.I64(p.oid);
     for (const QueryInfo& info : p.queries) w.Info(info);
   }
+  void operator()(const UplinkAck& p) {
+    w.I64(p.oid);
+    w.U32(p.seq);
+  }
+  void operator()(const LqtReconcileRequest& p) {
+    // Header count carries the known list; the target subset's length rides
+    // in the body as a u16 (it never exceeds the known list).
+    count = static_cast<uint16_t>(p.known_qids.size());
+    w.I64(p.oid);
+    w.Cell(p.cell);
+    w.U16(static_cast<uint16_t>(p.target_qids.size()));
+    for (QueryId qid : p.target_qids) w.I64(qid);
+    for (QueryId qid : p.known_qids) w.I64(qid);
+  }
 };
 
 }  // namespace
@@ -312,7 +326,7 @@ Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {
   if (body_size != buffer.size() - kHeaderBytes) {
     return Status::InvalidArgument("body length mismatch");
   }
-  if (raw_type > static_cast<uint8_t>(MessageType::kNewQueriesNotification)) {
+  if (raw_type > static_cast<uint8_t>(MessageType::kLqtReconcileRequest)) {
     return Status::InvalidArgument("unknown message type");
   }
   auto type = static_cast<MessageType>(raw_type);
@@ -417,6 +431,26 @@ Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {
       NewQueriesNotification p;
       p.oid = r.I64();
       for (uint16_t k = 0; k < count; ++k) p.queries.push_back(r.Info());
+      payload = p;
+      break;
+    }
+    case MessageType::kUplinkAck: {
+      UplinkAck p;
+      p.oid = r.I64();
+      p.seq = r.U32();
+      payload = p;
+      break;
+    }
+    case MessageType::kLqtReconcileRequest: {
+      LqtReconcileRequest p;
+      p.oid = r.I64();
+      p.cell = r.Cell();
+      uint16_t targets = r.U16();
+      if (targets > count) {
+        return Status::InvalidArgument("target count exceeds known count");
+      }
+      for (uint16_t k = 0; k < targets; ++k) p.target_qids.push_back(r.I64());
+      for (uint16_t k = 0; k < count; ++k) p.known_qids.push_back(r.I64());
       payload = p;
       break;
     }

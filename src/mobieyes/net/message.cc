@@ -45,6 +45,12 @@ struct TypeOf {
   MessageType operator()(const NewQueriesNotification&) const {
     return MessageType::kNewQueriesNotification;
   }
+  MessageType operator()(const UplinkAck&) const {
+    return MessageType::kUplinkAck;
+  }
+  MessageType operator()(const LqtReconcileRequest&) const {
+    return MessageType::kLqtReconcileRequest;
+  }
 };
 
 struct BodySize {
@@ -90,6 +96,12 @@ struct BodySize {
   size_t operator()(const NewQueriesNotification& n) const {
     return kIdBytes + n.queries.size() * kQueryInfoBytes;
   }
+  size_t operator()(const UplinkAck&) const { return kIdBytes + kSeqBytes; }
+  size_t operator()(const LqtReconcileRequest& r) const {
+    // oid, cell, a u16 target count, then both id lists.
+    return kIdBytes + kCellBytes + 2 +
+           (r.known_qids.size() + r.target_qids.size()) * kIdBytes;
+  }
 };
 
 }  // namespace
@@ -131,6 +143,10 @@ const char* MessageTypeName(MessageType type) {
       return "QueryRemoveBroadcast";
     case MessageType::kNewQueriesNotification:
       return "NewQueriesNotification";
+    case MessageType::kUplinkAck:
+      return "UplinkAck";
+    case MessageType::kLqtReconcileRequest:
+      return "LqtReconcileRequest";
   }
   return "Unknown";
 }

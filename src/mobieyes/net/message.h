@@ -142,6 +142,30 @@ struct NewQueriesNotification {
   std::vector<QueryInfo> queries;
 };
 
+// One-to-one acknowledgement of a tracked uplink (protocol hardening): the
+// server echoes the sequence number carried in the uplink's envelope so the
+// sender can stop retransmitting it.
+struct UplinkAck {
+  ObjectId oid = kInvalidObjectId;
+  uint32_t seq = 0;
+};
+
+// --- Reconciliation (protocol hardening) ------------------------------------
+
+// Periodic uplink letting the server diff an object's LQT against the RQI:
+// the object reports its current cell, every query id it holds, and the
+// subset it currently considers itself a target of. The server answers with
+// a one-to-one NewQueriesNotification for missing queries and a one-to-one
+// QueryRemoveBroadcast payload for stale ones, and resynchronizes its result
+// membership for the reported queries — this is what lets an object that was
+// disconnected (and missed installs, updates and removals) rebuild its LQT.
+struct LqtReconcileRequest {
+  ObjectId oid = kInvalidObjectId;
+  geo::CellCoord cell;
+  std::vector<QueryId> known_qids;
+  std::vector<QueryId> target_qids;  // subset of known_qids
+};
+
 // ---------------------------------------------------------------------------
 // Message envelope
 // ---------------------------------------------------------------------------
@@ -160,11 +184,13 @@ enum class MessageType {
   kQueryUpdateBroadcast,
   kQueryRemoveBroadcast,
   kNewQueriesNotification,
+  kUplinkAck,
+  kLqtReconcileRequest,
 };
 
 // Number of MessageType alternatives; used to size per-type counter arrays.
 inline constexpr size_t kNumMessageTypes =
-    static_cast<size_t>(MessageType::kNewQueriesNotification) + 1;
+    static_cast<size_t>(MessageType::kLqtReconcileRequest) + 1;
 
 using MessagePayload =
     std::variant<QueryInstallRequest, PositionReport, PositionVelocityReport,
@@ -172,11 +198,16 @@ using MessagePayload =
                  FocalNotification, PositionVelocityRequest,
                  QueryInstallBroadcast, VelocityChangeBroadcast,
                  QueryUpdateBroadcast, QueryRemoveBroadcast,
-                 NewQueriesNotification>;
+                 NewQueriesNotification, UplinkAck, LqtReconcileRequest>;
 
 struct Message {
   MessageType type;
   MessagePayload payload;
+  // Link-layer sequence number, like the src/dst addresses part of the
+  // notional header rather than the payload. Non-zero marks a tracked uplink
+  // the server must acknowledge with an UplinkAck echoing this value; zero
+  // (the default) is fire-and-forget, the paper's base protocol.
+  uint32_t seq = 0;
 };
 
 // Convenience constructor deducing `type` from the payload alternative.
@@ -192,6 +223,7 @@ inline constexpr size_t kPointBytes = 16;    // two doubles
 inline constexpr size_t kVecBytes = 16;      // two doubles
 inline constexpr size_t kTimeBytes = 8;      // timestamp
 inline constexpr size_t kCellBytes = 8;      // two int32 cell indices
+inline constexpr size_t kSeqBytes = 4;       // ack sequence number
 inline constexpr size_t kCellRangeBytes = 16;  // four int32 bounds
 inline constexpr size_t kScalarBytes = 8;    // threshold / speed
 inline constexpr size_t kRegionBytes = 1 + 2 * kScalarBytes;  // shape + extents

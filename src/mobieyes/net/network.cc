@@ -11,8 +11,16 @@ NetworkStats& NetworkStats::operator+=(const NetworkStats& other) {
   uplink_bytes += other.uplink_bytes;
   downlink_bytes += other.downlink_bytes;
   broadcast_receptions += other.broadcast_receptions;
+  undeliverable_downlinks += other.undeliverable_downlinks;
+  uplink_dropped += other.uplink_dropped;
+  downlink_dropped += other.downlink_dropped;
+  broadcast_dropped += other.broadcast_dropped;
+  delayed_messages += other.delayed_messages;
+  duplicated_messages += other.duplicated_messages;
+  disconnect_events += other.disconnect_events;
   for (size_t k = 0; k < kNumMessageTypes; ++k) {
     messages_by_type[k] += other.messages_by_type[k];
+    dropped_by_type[k] += other.dropped_by_type[k];
   }
   for (const auto& [oid, bytes] : other.tx_bytes_per_object) {
     tx_bytes_per_object[oid] += bytes;
@@ -42,7 +50,31 @@ void WirelessNetwork::AttachMetrics(obs::MetricsRegistry* registry) {
       "net.message_bytes", obs::ExponentialBounds(32.0, 2.0, 12));
   metrics_.broadcast_receptions =
       registry->GetCounter("net.broadcast_receptions");
+  metrics_.undeliverable = registry->GetCounter("net.undeliverable_downlinks");
   metrics_attached_ = true;
+}
+
+std::string NetworkStatsJson(const NetworkStats& stats) {
+  auto field = [](const char* name, uint64_t value) {
+    return "\"" + std::string(name) + "\": " + std::to_string(value);
+  };
+  std::string json = "{";
+  json += field("uplink_messages", stats.uplink_messages) + ", ";
+  json += field("downlink_messages", stats.downlink_messages) + ", ";
+  json += field("broadcast_messages", stats.broadcast_messages) + ", ";
+  json += field("uplink_bytes", stats.uplink_bytes) + ", ";
+  json += field("downlink_bytes", stats.downlink_bytes) + ", ";
+  json += field("broadcast_receptions", stats.broadcast_receptions) + ", ";
+  json += field("undeliverable_downlinks", stats.undeliverable_downlinks) +
+          ", ";
+  json += field("uplink_dropped", stats.uplink_dropped) + ", ";
+  json += field("downlink_dropped", stats.downlink_dropped) + ", ";
+  json += field("broadcast_dropped", stats.broadcast_dropped) + ", ";
+  json += field("delayed_messages", stats.delayed_messages) + ", ";
+  json += field("duplicated_messages", stats.duplicated_messages) + ", ";
+  json += field("disconnect_events", stats.disconnect_events);
+  json += '}';
+  return json;
 }
 
 void WirelessNetwork::RecordMetrics(Direction direction,
@@ -66,7 +98,7 @@ void WirelessNetwork::SendUplink(ObjectId from, Message message) {
   if (server_handler_) server_handler_(from, message);
 }
 
-void WirelessNetwork::SendDownlinkTo(ObjectId to, Message message) {
+bool WirelessNetwork::SendDownlinkTo(ObjectId to, Message message) {
   if (observer_) observer_(Direction::kDownlink, to, message);
   size_t bytes = WireSizeBytes(message);
   ++stats_.downlink_messages;
@@ -77,7 +109,15 @@ void WirelessNetwork::SendDownlinkTo(ObjectId to, Message message) {
     stats_.rx_bytes_per_object[to] += bytes;
   }
   auto it = clients_.find(to);
-  if (it != clients_.end()) it->second(message);
+  if (it == clients_.end()) {
+    // The transmission happened (counted above) but nobody decodes it: an
+    // observable routing failure rather than a silent no-op.
+    ++stats_.undeliverable_downlinks;
+    if (metrics_attached_) metrics_.undeliverable->Increment();
+    return false;
+  }
+  it->second(message);
+  return true;
 }
 
 void WirelessNetwork::Broadcast(const BaseStation& station, Message message) {

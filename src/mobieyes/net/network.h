@@ -34,9 +34,32 @@ struct NetworkStats {
   // relevant — the effect driving Fig. 9).
   uint64_t broadcast_receptions = 0;
 
+  // One-to-one downlinks addressed to an object with no registered client
+  // handler. The message was transmitted (it is counted above) but nobody
+  // decoded it — a routing failure distinct from an injected fault.
+  uint64_t undeliverable_downlinks = 0;
+
+  // --- Fault-injection outcomes (FaultyNetwork; always zero on the plain
+  // network). Dropped messages never reached the medium and are *not*
+  // included in the delivered counters above, so total_messages() remains
+  // the count of successful transmissions.
+  uint64_t uplink_dropped = 0;
+  uint64_t downlink_dropped = 0;   // one-to-one only
+  uint64_t broadcast_dropped = 0;  // whole broadcasts lost at the station
+  uint64_t delayed_messages = 0;
+  uint64_t duplicated_messages = 0;
+  uint64_t disconnect_events = 0;  // objects entering a disconnect window
+
   // Transmissions on the medium by MessageType (all directions); summing
   // this array always equals total_messages().
   std::array<uint64_t, kNumMessageTypes> messages_by_type{};
+
+  // Fault-dropped messages by MessageType (all directions).
+  std::array<uint64_t, kNumMessageTypes> dropped_by_type{};
+
+  uint64_t total_dropped() const {
+    return uplink_dropped + downlink_dropped + broadcast_dropped;
+  }
 
   uint64_t total_messages() const {
     return uplink_messages + downlink_messages;
@@ -53,6 +76,10 @@ struct NetworkStats {
   // never silently dropped.
   NetworkStats& operator+=(const NetworkStats& other);
 };
+
+// Compact JSON object of the counting (wall-clock-free) NetworkStats fields,
+// embedded in Simulation::ObservabilityJson. Deterministic for a given seed.
+std::string NetworkStatsJson(const NetworkStats& stats);
 
 // Direction of a transmission on the medium, as seen by the observer tap.
 enum class Direction {
@@ -88,8 +115,14 @@ struct MessageHistogram {
 // messages and per-base-station broadcasts. Delivery is synchronous — a
 // handler runs before the send call returns — which matches the paper's
 // per-time-step semantics and lets installation round trips complete inline.
+//
+// The send entry points are virtual so a fault-injection wrapper
+// (net::FaultyNetwork) can intercede; the fault-free simulation still
+// instantiates this class directly, so the only cost it pays for the hook
+// is the virtual dispatch itself.
 class WirelessNetwork {
  public:
+  virtual ~WirelessNetwork() = default;
   using ServerHandler = std::function<void(ObjectId from, const Message&)>;
   using ClientHandler = std::function<void(const Message&)>;
   // Enumerates the ids of all objects currently inside a circle (provided
@@ -103,7 +136,9 @@ class WirelessNetwork {
   void RegisterClient(ObjectId oid, ClientHandler handler) {
     clients_[oid] = std::move(handler);
   }
-  void set_coverage_query(CoverageQuery query) {
+  // Virtual so FaultyNetwork can wrap the query with a disconnected-object
+  // filter before broadcasts consult it.
+  virtual void set_coverage_query(CoverageQuery query) {
     coverage_query_ = std::move(query);
   }
 
@@ -116,15 +151,17 @@ class WirelessNetwork {
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   // Object -> server.
-  void SendUplink(ObjectId from, Message message);
+  virtual void SendUplink(ObjectId from, Message message);
 
   // Server -> one object (routed through the base station serving it; one
-  // downlink message on the medium).
-  void SendDownlinkTo(ObjectId to, Message message);
+  // downlink message on the medium). Returns false when the message could
+  // not be delivered — no client handler is registered for `to` (recorded in
+  // stats().undeliverable_downlinks) or a fault wrapper dropped it.
+  virtual bool SendDownlinkTo(ObjectId to, Message message);
 
   // Server -> all objects under `station` (one downlink message on the
   // medium; every covered object receives and decodes it).
-  void Broadcast(const BaseStation& station, Message message);
+  virtual void Broadcast(const BaseStation& station, Message message);
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
@@ -140,14 +177,15 @@ class WirelessNetwork {
   // "net.message_bytes") and records every delivery into them. Handles are
   // resolved once here, so the per-send cost is two pointer increments.
   // Pass nullptr to detach. The registry must outlive the network.
-  void AttachMetrics(obs::MetricsRegistry* registry);
+  virtual void AttachMetrics(obs::MetricsRegistry* registry);
 
- private:
+ protected:
   // Pre-resolved registry handles, indexed [direction][type].
   struct WireMetrics {
     std::array<std::array<obs::Counter*, kNumMessageTypes>, 3> msgs{};
     obs::Histogram* bytes = nullptr;
     obs::Counter* broadcast_receptions = nullptr;
+    obs::Counter* undeliverable = nullptr;
   };
 
   void RecordMetrics(Direction direction, const Message& message,

@@ -28,8 +28,13 @@ struct RunMetrics {
   int64_t objects = 0;
 
   // Sum over steps of the per-query mean result error vs the oracle, and
-  // the number of sampled steps (Fig. 2).
+  // the number of sampled steps (Fig. 2). Under fault injection the missing
+  // fraction alone hides spurious members (stale flips never retracted), so
+  // the dual spurious fraction and the Jaccard agreement are accumulated
+  // over the same samples.
   double error_sum = 0.0;
+  double spurious_sum = 0.0;
+  double agreement_sum = 0.0;
   int64_t error_samples = 0;
 
   // Moving-object processing (Fig. 13).
@@ -68,6 +73,20 @@ struct RunMetrics {
   double AverageError() const {
     return error_samples > 0 ? error_sum / static_cast<double>(error_samples)
                              : 0.0;
+  }
+
+  double AverageSpurious() const {
+    return error_samples > 0
+               ? spurious_sum / static_cast<double>(error_samples)
+               : 0.0;
+  }
+
+  // Mean oracle agreement; 1.0 when no samples were taken (nothing known to
+  // disagree).
+  double AverageAgreement() const {
+    return error_samples > 0
+               ? agreement_sum / static_cast<double>(error_samples)
+               : 1.0;
   }
 
   // Per object per step, in seconds (Fig. 13).

@@ -56,4 +56,28 @@ double ExactOracle::MissingFraction(
   return static_cast<double>(missing) / static_cast<double>(exact.size());
 }
 
+ExactOracle::AccuracyStats ExactOracle::Compare(
+    const std::vector<ObjectId>& exact,
+    const std::unordered_set<ObjectId>& reported) {
+  size_t intersection = 0;
+  for (ObjectId oid : exact) {
+    if (reported.contains(oid)) ++intersection;
+  }
+  AccuracyStats stats;
+  if (!exact.empty()) {
+    stats.missing = static_cast<double>(exact.size() - intersection) /
+                    static_cast<double>(exact.size());
+  }
+  if (!reported.empty()) {
+    stats.spurious = static_cast<double>(reported.size() - intersection) /
+                     static_cast<double>(reported.size());
+  }
+  size_t unioned = exact.size() + reported.size() - intersection;
+  stats.agreement = unioned == 0
+                        ? 1.0
+                        : static_cast<double>(intersection) /
+                              static_cast<double>(unioned);
+  return stats;
+}
+
 }  // namespace mobieyes::sim

@@ -51,6 +51,19 @@ class ExactOracle {
       const std::vector<ObjectId>& exact,
       const std::unordered_set<ObjectId>& reported);
 
+  // Full comparison of a reported result against the exact one, for the
+  // accuracy-under-loss evaluation: the Fig. 2 missing fraction, the dual
+  // spurious fraction (reported ids that are wrong, over the reported
+  // size), and the Jaccard agreement |exact ∩ reported| / |exact ∪
+  // reported| (1 when both sides are empty). One pass over `exact`.
+  struct AccuracyStats {
+    double missing = 0.0;
+    double spurious = 0.0;
+    double agreement = 1.0;
+  };
+  static AccuracyStats Compare(const std::vector<ObjectId>& exact,
+                               const std::unordered_set<ObjectId>& reported);
+
  private:
   const mobility::World* world_;
 };

@@ -57,7 +57,13 @@ Status Simulation::Setup() {
   world_ = std::make_unique<mobility::World>(std::move(world).value());
   oracle_ = std::make_unique<ExactOracle>(*world_);
 
-  network_ = std::make_unique<net::WirelessNetwork>();
+  if (config_.faults.active()) {
+    auto faulty = std::make_unique<net::FaultyNetwork>(config_.faults);
+    faulty_ = faulty.get();
+    network_ = std::move(faulty);
+  } else {
+    network_ = std::make_unique<net::WirelessNetwork>();
+  }
   network_->set_track_per_object_bytes(config_.track_per_object_bytes);
   if (registry_) network_->AttachMetrics(registry_.get());
   network_->set_coverage_query(
@@ -240,7 +246,10 @@ void Simulation::Run(int steps) {
       }
     }
     if (config_.measure_error) {
-      metrics_.error_sum += CurrentResultError();
+      ExactOracle::AccuracyStats accuracy = CurrentAccuracy();
+      metrics_.error_sum += accuracy.missing;
+      metrics_.spurious_sum += accuracy.spurious;
+      metrics_.agreement_sum += accuracy.agreement;
       ++metrics_.error_samples;
     }
     if (observing) RecordStepObservations(metrics_.steps - 1);
@@ -316,6 +325,11 @@ void Simulation::StepOnce() {
     world_->Step(config_.params.time_step,
                  config_.params.velocity_changes_per_step, rng_);
   }
+  // Advance the fault clock before the protocol acts: deferred deliveries
+  // due this step flush here, and this step's disconnect windows take
+  // effect for everything the protocol sends below.
+  if (faulty_ != nullptr) faulty_->AdvanceStep(sim_step_);
+  ++sim_step_;
   switch (config_.mode) {
     case SimMode::kMobiEyesEager:
     case SimMode::kMobiEyesLazy:
@@ -365,26 +379,40 @@ const std::unordered_set<ObjectId>* Simulation::ReportedResult(
 }
 
 double Simulation::CurrentResultError() const {
-  if (installed_qids_.empty()) return 0.0;
+  return CurrentAccuracy().missing;
+}
+
+ExactOracle::AccuracyStats Simulation::CurrentAccuracy() const {
+  ExactOracle::AccuracyStats mean;
+  if (installed_qids_.empty()) return mean;
   TRACE_SPAN(trace_.get(), "oracle.evaluate");
-  double total = 0.0;
+  mean.agreement = 0.0;
   static const std::unordered_set<ObjectId> kEmpty;
   for (size_t k = 0; k < installed_qids_.size(); ++k) {
     const QuerySpec& spec = query_specs_[k];
     oracle_->EvaluateInto(spec.focal_oid, spec.region, spec.filter_threshold,
                           &oracle_scratch_);
     const std::unordered_set<ObjectId>* reported = ReportedResult(k);
-    total += ExactOracle::MissingFraction(oracle_scratch_,
-                                          reported ? *reported : kEmpty);
+    ExactOracle::AccuracyStats stats =
+        ExactOracle::Compare(oracle_scratch_, reported ? *reported : kEmpty);
+    mean.missing += stats.missing;
+    mean.spurious += stats.spurious;
+    mean.agreement += stats.agreement;
   }
-  return total / static_cast<double>(installed_qids_.size());
+  double n = static_cast<double>(installed_qids_.size());
+  mean.missing /= n;
+  mean.spurious /= n;
+  mean.agreement /= n;
+  return mean;
 }
 
 std::string Simulation::ObservabilityJson(bool include_timing) const {
   std::string json = "{\"mode\": \"";
   json += SimModeName(config_.mode);
   json += "\", \"steps\": " + std::to_string(metrics_.steps) +
-          ", \"metrics\": ";
+          ", \"network\": ";
+  json += net::NetworkStatsJson(network_->stats());
+  json += ", \"metrics\": ";
   json += registry_ ? registry_->ToJson(include_timing) : "{}";
   json += ", \"series\": ";
   json += sampler_ ? sampler_->ToJson(include_timing) : "{}";

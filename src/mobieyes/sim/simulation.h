@@ -16,6 +16,7 @@
 #include "mobieyes/mobility/world.h"
 #include "mobieyes/net/base_station.h"
 #include "mobieyes/net/bmap.h"
+#include "mobieyes/net/fault_injection.h"
 #include "mobieyes/net/network.h"
 #include "mobieyes/obs/metrics_registry.h"
 #include "mobieyes/obs/step_sampler.h"
@@ -75,6 +76,11 @@ struct SimulationConfig {
   // Steps run before measurement starts; stats reset afterwards.
   int warmup_steps = 2;
   ObservabilityOptions obs;
+  // Fault injection (net::FaultyNetwork). An inactive plan (the default)
+  // instantiates the plain WirelessNetwork, so fault-free runs pay nothing
+  // beyond virtual dispatch. Faults start with the first step (setup-time
+  // installation is unfaulted) and apply to warmup steps too.
+  net::FaultPlan faults;
 };
 
 // One end-to-end simulation: a seeded workload, the mobility world, the
@@ -94,12 +100,18 @@ class Simulation {
   // vs the oracle (Fig. 2 error metric at this instant).
   double CurrentResultError() const;
 
+  // Mean over installed queries of missing/spurious/agreement vs the oracle
+  // at this instant (the accuracy-under-loss metrics).
+  ExactOracle::AccuracyStats CurrentAccuracy() const;
+
   // --- Component access (tests, benches, examples) --------------------------
 
   const SimulationConfig& config() const { return config_; }
   const geo::Grid& grid() const { return *grid_; }
   mobility::World& world() { return *world_; }
   net::WirelessNetwork& network() { return *network_; }
+  // Null unless config.faults is active.
+  net::FaultyNetwork* faulty_network() { return faulty_; }
   const ExactOracle& oracle() const { return *oracle_; }
   // Null unless running a MobiEyes mode.
   core::MobiEyesServer* server() { return server_.get(); }
@@ -152,6 +164,8 @@ class Simulation {
   std::unique_ptr<net::BaseStationLayout> layout_;
   std::unique_ptr<net::Bmap> bmap_;
   std::unique_ptr<net::WirelessNetwork> network_;
+  net::FaultyNetwork* faulty_ = nullptr;  // alias of network_ when faulted
+  int64_t sim_step_ = 0;  // fault clock: counts every step incl. warmup
   std::unique_ptr<ExactOracle> oracle_;
 
   // MobiEyes deployment (modes kMobiEyesEager / kMobiEyesLazy).

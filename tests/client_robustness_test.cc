@@ -115,6 +115,31 @@ TEST(ClientRobustnessTest, RepeatedFocalNotificationsAreStable) {
   EXPECT_FALSE(deployment.client(0).has_mq());
 }
 
+TEST(ClientRobustnessTest, AckForUnknownSequenceIsIgnored) {
+  core::MobiEyesOptions options;
+  options.enable_reliable_uplink = true;
+  MiniDeployment deployment({ObjectSpec(Point{55, 55})}, options);
+  // A stray (or very late) ack must not crash or disturb tracking state.
+  deployment.client(0).OnDownlink(MakeMessage(net::UplinkAck{0, 99}));
+  EXPECT_EQ(deployment.client(0).pending_uplinks(), 0u);
+}
+
+TEST(ClientRobustnessTest, AckWithoutReliableUplinkIsIgnored) {
+  MiniDeployment deployment({ObjectSpec(Point{55, 55})});
+  deployment.client(0).OnDownlink(MakeMessage(net::UplinkAck{0, 1}));
+  EXPECT_EQ(deployment.client(0).pending_uplinks(), 0u);
+  EXPECT_EQ(deployment.client(0).lqt_size(), 0u);
+}
+
+TEST(ClientRobustnessTest, ReconcileRequestOnDownlinkIsIgnored) {
+  MiniDeployment deployment({ObjectSpec(Point{55, 55})});
+  net::LqtReconcileRequest request;
+  request.oid = 0;
+  request.known_qids = {1, 2};
+  deployment.client(0).OnDownlink(MakeMessage(request));  // uplink-only type
+  EXPECT_EQ(deployment.client(0).lqt_size(), 0u);
+}
+
 TEST(ClientRobustnessTest, ServerIgnoresUnknownUplinks) {
   MiniDeployment deployment({ObjectSpec(Point{55, 55})});
   // Reports referencing unknown objects/queries must not corrupt state.

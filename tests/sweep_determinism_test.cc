@@ -60,9 +60,20 @@ void ExpectDeterministicFieldsEqual(const sim::RunMetrics& a,
       << context;
   EXPECT_EQ(a.lqt_size_sum, b.lqt_size_sum) << context;
   EXPECT_EQ(a.error_sum, b.error_sum) << context;
+  EXPECT_EQ(a.spurious_sum, b.spurious_sum) << context;
+  EXPECT_EQ(a.agreement_sum, b.agreement_sum) << context;
   EXPECT_EQ(a.error_samples, b.error_samples) << context;
   EXPECT_EQ(a.queries_evaluated, b.queries_evaluated) << context;
   EXPECT_EQ(a.safe_period_skips, b.safe_period_skips) << context;
+  EXPECT_EQ(a.network.uplink_dropped, b.network.uplink_dropped) << context;
+  EXPECT_EQ(a.network.downlink_dropped, b.network.downlink_dropped) << context;
+  EXPECT_EQ(a.network.broadcast_dropped, b.network.broadcast_dropped)
+      << context;
+  EXPECT_EQ(a.network.delayed_messages, b.network.delayed_messages) << context;
+  EXPECT_EQ(a.network.duplicated_messages, b.network.duplicated_messages)
+      << context;
+  EXPECT_EQ(a.network.disconnect_events, b.network.disconnect_events)
+      << context;
 }
 
 TEST(SweepDeterminismTest, SerialAndParallelSweepsAgree) {
@@ -90,6 +101,39 @@ TEST(SweepDeterminismTest, RepeatedParallelSweepsAgree) {
     ExpectDeterministicFieldsEqual(first[k], second[k],
                                    "job " + std::to_string(k));
   }
+}
+
+// Fault injection is seeded like everything else, so faulty cells (base and
+// hardened alike) must also be thread-count invariant — drops, delays and
+// disconnects included.
+TEST(SweepDeterminismTest, FaultySweepsAreThreadCountInvariant) {
+  std::vector<SweepJob> jobs = SmallSweep();
+  for (size_t k = 0; k < jobs.size(); ++k) {
+    if (jobs[k].mode != sim::SimMode::kMobiEyesEager &&
+        jobs[k].mode != sim::SimMode::kMobiEyesLazy) {
+      continue;  // fault plans target the MobiEyes protocol paths
+    }
+    jobs[k].faults.plan.uplink_drop_rate = 0.15;
+    jobs[k].faults.plan.downlink_drop_rate = 0.15;
+    jobs[k].faults.plan.delay_rate = 0.1;
+    jobs[k].faults.plan.max_delay_steps = 2;
+    jobs[k].faults.plan.duplicate_rate = 0.05;
+    jobs[k].faults.plan.disconnect_rate = 0.2;
+    jobs[k].faults.plan.disconnect_period_steps = 4;
+    jobs[k].faults.plan.disconnect_duration_steps = 1;
+    jobs[k].faults.harden = k % 2 == 0;
+  }
+  std::vector<sim::RunMetrics> serial = RunSweep(jobs, 1);
+  std::vector<sim::RunMetrics> parallel = RunSweep(jobs, 4);
+  bool saw_faults = false;
+  for (size_t k = 0; k < jobs.size(); ++k) {
+    ExpectDeterministicFieldsEqual(
+        serial[k], parallel[k],
+        "faulty job " + std::to_string(k) + " (" +
+            sim::SimModeName(jobs[k].mode) + ")");
+    saw_faults = saw_faults || serial[k].network.total_dropped() > 0;
+  }
+  EXPECT_TRUE(saw_faults);
 }
 
 // The observability report is part of the determinism contract: the

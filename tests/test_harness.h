@@ -16,6 +16,7 @@
 #include "mobieyes/mobility/world.h"
 #include "mobieyes/net/base_station.h"
 #include "mobieyes/net/bmap.h"
+#include "mobieyes/net/fault_injection.h"
 #include "mobieyes/net/network.h"
 
 namespace mobieyes::test {
@@ -33,13 +34,17 @@ struct ObjectSpec {
 };
 
 // A miniature deployment over a 100x100 universe with alpha = 10 and base
-// station side 20 (overridable). Objects get dense ids in spec order.
+// station side 20 (overridable). Objects get dense ids in spec order. An
+// active FaultPlan swaps in a net::FaultyNetwork; Tick drives its fault
+// clock, so (as in the full simulation) setup traffic is unfaulted and
+// faults start with the first tick.
 class MiniDeployment {
  public:
   explicit MiniDeployment(const std::vector<ObjectSpec>& specs,
                           core::MobiEyesOptions options = {},
                           double alpha = 10.0,
-                          double base_station_side = 20.0)
+                          double base_station_side = 20.0,
+                          net::FaultPlan faults = {})
       : rng_(7) {
     geo::Rect universe{0, 0, 100, 100};
     grid_ = std::make_unique<geo::Grid>(*geo::Grid::Make(universe, alpha));
@@ -60,7 +65,13 @@ class MiniDeployment {
     world_ = std::make_unique<mobility::World>(
         *mobility::World::Make(*grid_, std::move(objects)));
 
-    network_ = std::make_unique<net::WirelessNetwork>();
+    if (faults.active()) {
+      auto faulty = std::make_unique<net::FaultyNetwork>(faults);
+      faulty_ = faulty.get();
+      network_ = std::move(faulty);
+    } else {
+      network_ = std::make_unique<net::WirelessNetwork>();
+    }
     network_->set_coverage_query(
         [this](const geo::Circle& circle,
                const std::function<void(ObjectId)>& fn) {
@@ -89,6 +100,7 @@ class MiniDeployment {
   // tests stay deterministic) and run every client's per-step logic.
   void Tick(Seconds dt = 30.0) {
     world_->Step(dt, /*velocity_changes=*/0, rng_);
+    if (faulty_ != nullptr) faulty_->AdvanceStep(step_++);
     server_->AdvanceTime(world_->now());
     for (auto& client : clients_) client->OnTick();
   }
@@ -100,6 +112,9 @@ class MiniDeployment {
   geo::Grid& grid() { return *grid_; }
   mobility::World& world() { return *world_; }
   net::WirelessNetwork& network() { return *network_; }
+  // Null unless the deployment was built with an active FaultPlan.
+  net::FaultyNetwork* faulty_network() { return faulty_; }
+  int64_t step() const { return step_; }
   core::MobiEyesServer& server() { return *server_; }
   core::MobiEyesClient& client(ObjectId oid) {
     return *clients_[static_cast<size_t>(oid)];
@@ -107,6 +122,8 @@ class MiniDeployment {
 
  private:
   Rng rng_;
+  net::FaultyNetwork* faulty_ = nullptr;  // alias of network_ when faulted
+  int64_t step_ = 0;
   std::unique_ptr<geo::Grid> grid_;
   std::unique_ptr<net::BaseStationLayout> layout_;
   std::unique_ptr<net::Bmap> bmap_;

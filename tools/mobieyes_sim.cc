@@ -11,6 +11,14 @@
 //                [--safe-period] [--no-grouping] [--no-error] [--no-bytes]
 //                [--hotspots] [--histogram] [--trace=PATH]
 //                [--metrics-json=PATH] [--sample-stride=N]
+//                [--drop-rate=F] [--delay-steps=N] [--delay-rate=F]
+//                [--dup-rate=F] [--outage=P:D] [--disconnect=R:P:D]
+//                [--fault-seed=N] [--harden]
+//
+// The fault flags configure the net::FaultyNetwork (see
+// src/mobieyes/net/fault_injection.h); --harden switches the MobiEyes
+// protocol to the hardened variant (uplink acks + retries, soft-state
+// leases, periodic reconciliation).
 //
 // Unknown flags are an error (exit 2), so typos never silently run the
 // default configuration.
@@ -34,6 +42,8 @@ struct CliOptions {
   int steps = 20;
   bool show_alpha_model = true;
   bool show_histogram = false;
+  bool harden = false;
+  double delay_rate = -1.0;  // <0: default to 0.2 when --delay-steps is set
   std::string trace_path;
   std::string metrics_path;
 };
@@ -48,7 +58,10 @@ void PrintUsage(const char* argv0) {
                "          [--selectivity=F] [--safe-period] [--no-grouping]\n"
                "          [--no-error] [--no-bytes] [--hotspots] [--histogram]\n"
                "          [--trace=PATH] [--metrics-json=PATH]\n"
-               "          [--sample-stride=N]\n",
+               "          [--sample-stride=N]\n"
+               "          [--drop-rate=F] [--delay-steps=N] [--delay-rate=F]\n"
+               "          [--dup-rate=F] [--outage=P:D] [--disconnect=R:P:D]\n"
+               "          [--fault-seed=N] [--harden]\n",
                argv0);
 }
 
@@ -135,6 +148,37 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       if (cli->config.obs.sample_stride == 0) cli->config.obs.sample_stride = 1;
     } else if (key == "sample-stride") {
       cli->config.obs.sample_stride = std::atoi(value.c_str());
+    } else if (key == "drop-rate") {
+      cli->config.faults.uplink_drop_rate = std::atof(value.c_str());
+      cli->config.faults.downlink_drop_rate = cli->config.faults.uplink_drop_rate;
+    } else if (key == "delay-steps") {
+      cli->config.faults.max_delay_steps = std::atoi(value.c_str());
+    } else if (key == "delay-rate") {
+      cli->delay_rate = std::atof(value.c_str());
+    } else if (key == "dup-rate") {
+      cli->config.faults.duplicate_rate = std::atof(value.c_str());
+    } else if (key == "outage") {
+      if (std::sscanf(value.c_str(), "%d:%d",
+                      &cli->config.faults.outage_period_steps,
+                      &cli->config.faults.outage_duration_steps) != 2) {
+        std::fprintf(stderr, "bad --outage value '%s' (want PERIOD:DURATION)\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (key == "disconnect") {
+      if (std::sscanf(value.c_str(), "%lf:%d:%d",
+                      &cli->config.faults.disconnect_rate,
+                      &cli->config.faults.disconnect_period_steps,
+                      &cli->config.faults.disconnect_duration_steps) != 3) {
+        std::fprintf(stderr,
+                     "bad --disconnect value '%s' (want RATE:PERIOD:DURATION)\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (key == "fault-seed") {
+      cli->config.faults.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "harden") {
+      cli->harden = true;
     } else if (key == "help") {
       return false;
     } else {
@@ -152,6 +196,14 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &cli)) {
     PrintUsage(argv[0]);
     return 2;
+  }
+  if (cli.config.faults.max_delay_steps > 0 && cli.delay_rate < 0.0) {
+    cli.delay_rate = 0.2;  // a bare --delay-steps should delay something
+  }
+  if (cli.delay_rate >= 0.0) cli.config.faults.delay_rate = cli.delay_rate;
+  if (cli.harden) {
+    cli.config.mobieyes = core::HardenedOptions(cli.config.mobieyes,
+                                                cli.config.params.time_step);
   }
 
   auto simulation = sim::Simulation::Make(cli.config);
@@ -221,16 +273,45 @@ int main(int argc, char** argv) {
     std::printf("\n-- accuracy --------------------------------------------\n");
     std::printf("avg result error           %.4g (missing fraction)\n",
                 metrics.AverageError());
+    std::printf("avg spurious fraction      %.4g\n", metrics.AverageSpurious());
+    std::printf("avg oracle agreement       %.4g (Jaccard)\n",
+                metrics.AverageAgreement());
+  }
+  if (cli.config.faults.active()) {
+    std::printf("\n-- injected faults (measured window) -------------------\n");
+    std::printf("dropped                    %llu (%llu up, %llu down, "
+                "%llu broadcast)\n",
+                static_cast<unsigned long long>(
+                    metrics.network.total_dropped()),
+                static_cast<unsigned long long>(metrics.network.uplink_dropped),
+                static_cast<unsigned long long>(
+                    metrics.network.downlink_dropped),
+                static_cast<unsigned long long>(
+                    metrics.network.broadcast_dropped));
+    std::printf("delayed                    %llu\n",
+                static_cast<unsigned long long>(
+                    metrics.network.delayed_messages));
+    std::printf("duplicated                 %llu\n",
+                static_cast<unsigned long long>(
+                    metrics.network.duplicated_messages));
+    std::printf("disconnect events          %llu\n",
+                static_cast<unsigned long long>(
+                    metrics.network.disconnect_events));
+    std::printf("undeliverable downlinks    %llu\n",
+                static_cast<unsigned long long>(
+                    metrics.network.undeliverable_downlinks));
   }
   std::printf("\n-- message breakdown (measured window) -----------------\n");
   for (size_t t = 0; t < net::kNumMessageTypes; ++t) {
     uint64_t count = metrics.network.messages_by_type[t];
-    if (count == 0) continue;
-    std::printf("%-26s %8llu msgs  %6.2f%%\n",
+    uint64_t dropped = metrics.network.dropped_by_type[t];
+    if (count == 0 && dropped == 0) continue;
+    std::printf("%-26s %8llu msgs  %6.2f%%  %8llu dropped\n",
                 net::MessageTypeName(static_cast<net::MessageType>(t)),
                 static_cast<unsigned long long>(count),
                 100.0 * static_cast<double>(count) /
-                    static_cast<double>(metrics.network.total_messages()));
+                    static_cast<double>(metrics.network.total_messages()),
+                static_cast<unsigned long long>(dropped));
   }
   if (cli.show_histogram) {
     std::printf("\n-- message mix (measured window) -----------------------\n");
