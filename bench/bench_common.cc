@@ -52,6 +52,11 @@ struct BenchState {
   uint64_t fault_seed = 0;
   bool fault_seed_set = false;
   bool harden = false;
+  // Crash-recovery flag overrides, same negative-means-unset convention.
+  long long server_crash_step = -1;
+  int server_recovery_steps = -1;
+  double client_restart_rate = -1.0;
+  int checkpoint_stride = -1;
   std::chrono::steady_clock::time_point start;
   std::vector<RecordedTable> tables;
   std::vector<RecordedCell> cells;
@@ -107,6 +112,8 @@ sim::RunMetrics RunMode(const sim::SimulationParams& params, sim::SimMode mode,
   config.measure_error = options.measure_error;
   config.track_per_object_bytes = options.track_per_object_bytes;
   config.warmup_steps = options.warmup_steps;
+  config.checkpoint_stride = options.checkpoint_stride;
+  config.wal_limit = options.wal_limit;
   auto simulation = sim::Simulation::Make(config);
   if (!simulation.ok()) {
     std::fprintf(stderr, "simulation setup failed: %s\n",
@@ -169,6 +176,20 @@ void InitBench(const std::string& name, int argc, char** argv) {
         state.disconnect_rate = -1.0;
         state.disconnect_period = state.disconnect_duration = -1;
       }
+    } else if (std::strncmp(arg, "--server-crash=", 15) == 0) {
+      if (std::sscanf(arg + 15, "%lld:%d", &state.server_crash_step,
+                      &state.server_recovery_steps) != 2 ||
+          state.server_crash_step < 0 || state.server_recovery_steps < 0) {
+        std::fprintf(stderr,
+                     "[bench] bad --server-crash value '%s' (want S:R)\n",
+                     arg + 15);
+        state.server_crash_step = -1;
+        state.server_recovery_steps = -1;
+      }
+    } else if (std::strncmp(arg, "--client-restart-rate=", 22) == 0) {
+      state.client_restart_rate = std::atof(arg + 22);
+    } else if (std::strncmp(arg, "--checkpoint-stride=", 20) == 0) {
+      state.checkpoint_stride = std::atoi(arg + 20);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       state.fault_seed = std::strtoull(arg + 7, nullptr, 10);
       state.fault_seed_set = true;
@@ -200,6 +221,8 @@ SweepCellResult RunCell(const SweepJob& job, const SweepObsOptions& obs,
   config.measure_error = job.options.measure_error;
   config.track_per_object_bytes = job.options.track_per_object_bytes;
   config.warmup_steps = job.options.warmup_steps;
+  config.checkpoint_stride = job.options.checkpoint_stride;
+  config.wal_limit = job.options.wal_limit;
   config.faults = job.faults.plan;
   if (job.faults.harden) {
     config.mobieyes =
@@ -259,6 +282,16 @@ SweepJob ApplyOverrides(SweepJob job) {
   }
   if (state.fault_seed_set) plan.seed = state.fault_seed;
   if (state.harden) job.faults.harden = true;
+  if (state.server_crash_step >= 0) {
+    plan.server_crash_step = state.server_crash_step;
+    plan.server_recovery_steps = state.server_recovery_steps;
+  }
+  if (state.client_restart_rate >= 0.0) {
+    plan.client_restart_rate = state.client_restart_rate;
+  }
+  if (state.checkpoint_stride >= 0) {
+    job.options.checkpoint_stride = state.checkpoint_stride;
+  }
   return job;
 }
 

@@ -26,6 +26,11 @@ struct RunOptions {
   int warmup_steps = 2;
   bool measure_error = false;
   bool track_per_object_bytes = false;
+  // Crash recovery (MobiEyes modes): server checkpoint stride in steps
+  // (0 = only the setup-time baseline checkpoint when a crash is planned)
+  // and the WAL record budget between checkpoints.
+  int checkpoint_stride = 0;
+  size_t wal_limit = 4096;
 };
 
 // Fault-injection knobs of one sweep cell (see SweepJob): the plan handed
@@ -79,6 +84,14 @@ struct SweepJob {
 //   --seed=N           fault plan seed (workload seeds are per-job)
 //   --harden           run the hardened protocol (acks, leases,
 //                      reconciliation; core::HardenedOptions)
+//
+// Crash-recovery overrides (DESIGN.md §9):
+//   --server-crash=S:R kill the server at step S, restore it from the
+//                      durable store R steps later (R=0: restore within
+//                      the same step, before any traffic)
+//   --client-restart-rate=F  per-object per-step cold-restart probability
+//   --checkpoint-stride=N    server checkpoint every N steps (0: baseline
+//                      checkpoint only)
 void InitBench(const std::string& name, int argc, char** argv);
 
 // Worker thread count RunSweep will use.

@@ -338,16 +338,40 @@ void MobiEyesClient::ExpireLeases(Seconds now) {
 void MobiEyesClient::MaybeReconcile() {
   const int64_t period = options_.reconcile_period_ticks;
   if ((tick_ + static_cast<int64_t>(oid_)) % period != 0) return;
+  SendReconcile(/*cold_start=*/false);
+}
+
+void MobiEyesClient::SendReconcile(bool cold_start) {
   const mobility::ObjectState& me = world_->object(oid_);
   net::LqtReconcileRequest request;
   request.oid = oid_;
   request.cell = me.cell;
+  request.cold_start = cold_start;
   request.known_qids.reserve(lqt_.size());
   for (const LqtEntry& entry : lqt_) {
     request.known_qids.push_back(entry.qid);
     if (entry.is_target) request.target_qids.push_back(entry.qid);
   }
   network_->SendUplink(oid_, net::MakeMessage(std::move(request)));
+}
+
+void MobiEyesClient::Reset() {
+  lqt_.clear();
+  pending_.clear();
+  has_mq_ = false;
+  last_relayed_ = FocalState{};
+  prev_cell_ = world_->object(oid_).cell;
+  // ISN-style restart: deriving the first sequence number from the tick
+  // clock keeps the new incarnation's seq range disjoint from the old
+  // one's, so the server's dedup ring never mistakes fresh uplinks for
+  // retransmissions. (tick_ itself survives the restart — it models the
+  // device's clock, not its memory.)
+  next_seq_ = static_cast<uint32_t>(tick_) << 16;
+  // Kick off recovery immediately: one cold-start reconcile rebuilds the
+  // LQT via the server's diff path rather than waiting out the stagger.
+  if (options_.reconcile_period_ticks > 0) {
+    SendReconcile(/*cold_start=*/true);
+  }
 }
 
 void MobiEyesClient::OnDownlink(const Message& message) {

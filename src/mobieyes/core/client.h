@@ -57,6 +57,16 @@ class MobiEyesClient {
   // handling, focal dead reckoning, and periodic LQT evaluation.
   void OnTick();
 
+  // Cold restart (crash recovery, DESIGN.md §9): drops all volatile
+  // protocol state — the LQT, pending uplinks, hasMQ and the relayed-vector
+  // memory — as a device reboot would, then (when reconciliation is
+  // enabled) immediately sends a cold-start LqtReconcileRequest so the
+  // server rebuilds the LQT through the PR 3 reconciliation path instead of
+  // a re-broadcast storm. The uplink sequence counter restarts ISN-style
+  // from the tick clock so the server's dedup ring cannot mistake the new
+  // incarnation's uplinks for retransmissions of the old one's.
+  void Reset();
+
   // --- Introspection --------------------------------------------------------
 
   ObjectId oid() const { return oid_; }
@@ -117,6 +127,7 @@ class MobiEyesClient {
   void ExpireLeases(Seconds now);
   // Periodic LQT/result reconciliation uplink, staggered by object id.
   void MaybeReconcile();
+  void SendReconcile(bool cold_start);
   Seconds LeaseExpiry(Seconds now) const {
     return options_.lease_duration > 0.0
                ? now + 2.0 * options_.lease_duration

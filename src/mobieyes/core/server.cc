@@ -5,7 +5,30 @@
 #include <map>
 #include <tuple>
 
+#include "mobieyes/net/codec.h"
+
 namespace mobieyes::core {
+
+namespace {
+
+// Checkpoint image framing ("MoCI"), distinct from the store framing
+// ("MoCS") and the wire framing ("MoEY") so a buffer can never be mistaken
+// for the wrong layer.
+constexpr uint32_t kImageMagic = 0x4d6f4349;
+constexpr uint16_t kImageVersion = 1;
+
+// Hash-map keys in deterministic order, so two checkpoints of identical
+// logical state are byte-identical.
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
 
 using net::Message;
 using net::QueryInfo;
@@ -45,14 +68,26 @@ Result<QueryId> MobiEyesServer::InstallQuery(ObjectId focal_oid,
     return Status::InvalidArgument("query duration must be positive");
   }
 
+  // Write-ahead for server-side installations: uplink-driven installs are
+  // already logged by OnUplink (dispatching_), but an install through this
+  // public API would otherwise be invisible to the WAL and vanish on
+  // restore. The wire request carries no duration, so a finite-duration
+  // query replayed from the WAL loses its expiry — checkpoints taken after
+  // the install record the real deadline.
+  if (store_ != nullptr && !replaying_ && !dispatching_) {
+    store_->Append(focal_oid,
+                   net::MakeMessage(net::QueryInstallRequest{
+                       focal_oid, region, filter_threshold}));
+  }
+
   // §3.3 step 3: if the focal object is unknown, request its kinematics.
   // Delivery is synchronous, so the PositionVelocityReport round trip
-  // completes (and fills the FOT) before the call below returns.
+  // completes (and fills the FOT) before the call below returns. (During
+  // WAL replay the round trip is suppressed; Restore pre-applies the logged
+  // PositionVelocityReport instead.)
   if (!fot_.contains(focal_oid)) {
-    TimerPause pause(load_timer_);  // delivery is not server work
-    network_->SendDownlinkTo(
-        focal_oid,
-        net::MakeMessage(net::PositionVelocityRequest{focal_oid}));
+    SendDownlink(focal_oid,
+                 net::MakeMessage(net::PositionVelocityRequest{focal_oid}));
     if (!fot_.contains(focal_oid)) {
       return Status::NotFound("focal object did not report its position");
     }
@@ -87,12 +122,8 @@ Result<QueryId> MobiEyesServer::InstallQuery(ObjectId focal_oid,
   // Tell the focal object it now has a bound query (sets hasMQ), then
   // install the query on every object in the monitoring region through the
   // minimal set of covering base stations.
-  {
-    TimerPause pause(load_timer_);
-    network_->SendDownlinkTo(focal_oid,
-                             net::MakeMessage(net::FocalNotification{
-                                 focal_oid, qid}));
-  }
+  SendDownlink(focal_oid,
+               net::MakeMessage(net::FocalNotification{focal_oid, qid}));
   net::QueryInstallBroadcast broadcast;
   broadcast.queries.push_back(BuildQueryInfo(it->second));
   BroadcastToRegion(it->second.mon_region,
@@ -110,6 +141,10 @@ void MobiEyesServer::AdvanceTime(Seconds now) {
       if (entry.expires_at <= now) expired.push_back(qid);
     }
   }
+  // Sorted so removal-broadcast order does not depend on hash-map layout —
+  // a server restored from a checkpoint must behave exactly like one that
+  // never crashed.
+  std::sort(expired.begin(), expired.end());
   for (QueryId qid : expired) {
     (void)RemoveQuery(qid);
   }
@@ -134,12 +169,9 @@ void MobiEyesServer::RenewLeases() {
     // otherwise silence its dead reckoning forever), then refresh the
     // monitoring region. QueryUpdateBroadcast is idempotent on receivers:
     // they install, update or drop based on their own cell.
-    {
-      TimerPause pause(load_timer_);
-      network_->SendDownlinkTo(
-          entry.focal_oid,
-          net::MakeMessage(net::FocalNotification{entry.focal_oid, qid}));
-    }
+    SendDownlink(entry.focal_oid,
+                 net::MakeMessage(net::FocalNotification{entry.focal_oid,
+                                                         qid}));
     net::QueryUpdateBroadcast broadcast;
     broadcast.queries.push_back(BuildQueryInfo(entry));
     BroadcastToRegion(entry.mon_region,
@@ -162,11 +194,9 @@ Status MobiEyesServer::RemoveQuery(QueryId qid) {
     if (queries.empty()) {
       // No query bound to this object anymore: clear its hasMQ flag (and
       // drop it from the FOT — nothing left to mediate for it).
-      TimerPause pause(load_timer_);
-      network_->SendDownlinkTo(
-          entry.focal_oid,
-          net::MakeMessage(
-              net::FocalNotification{entry.focal_oid, kInvalidQueryId}));
+      SendDownlink(entry.focal_oid,
+                   net::MakeMessage(net::FocalNotification{
+                       entry.focal_oid, kInvalidQueryId}));
       fot_.erase(fot_it);
     }
   }
@@ -179,10 +209,19 @@ Status MobiEyesServer::RemoveQuery(QueryId qid) {
 
 void MobiEyesServer::OnUplink(ObjectId from, const Message& message) {
   TimedSection timed(load_timer_);
+  // Write-ahead: log the uplink before any handler mutates state, so the
+  // durable store always covers everything the in-memory state reflects.
+  // Duplicates are logged too — replay routes them through the same dedup.
+  if (store_ != nullptr && !replaying_) store_->Append(from, message);
+  const bool outer_dispatch = dispatching_;
+  dispatching_ = true;
   // A non-zero envelope seq marks a tracked uplink (reliable-uplink
   // hardening): acknowledge it and drop retransmissions of messages already
   // processed.
-  if (message.seq != 0 && AckAndDedup(from, message.seq)) return;
+  if (message.seq != 0 && AckAndDedup(from, message.seq)) {
+    dispatching_ = outer_dispatch;
+    return;
+  }
   switch (message.type) {
     case net::MessageType::kQueryInstallRequest: {
       TRACE_SPAN(trace_, "server.handle_query_install_request");
@@ -222,6 +261,7 @@ void MobiEyesServer::OnUplink(ObjectId from, const Message& message) {
       // Downlink-only types are never valid on the uplink; ignore.
       break;
   }
+  dispatching_ = outer_dispatch;
 }
 
 bool MobiEyesServer::AckAndDedup(ObjectId from, uint32_t seq) {
@@ -239,9 +279,7 @@ bool MobiEyesServer::AckAndDedup(ObjectId from, uint32_t seq) {
   }
   // Always (re-)acknowledge: the previous ack may itself have been lost,
   // and only an ack stops the sender's retransmissions.
-  TimerPause pause(load_timer_);
-  network_->SendDownlinkTo(from,
-                           net::MakeMessage(net::UplinkAck{from, seq}));
+  SendDownlink(from, net::MakeMessage(net::UplinkAck{from, seq}));
   return duplicate;
 }
 
@@ -332,9 +370,7 @@ void MobiEyesServer::HandleCellChange(const net::CellChangeReport& report) {
       for (QueryId qid : new_qids) {
         notification.queries.push_back(BuildQueryInfo(sqt_.at(qid)));
       }
-      TimerPause pause(load_timer_);
-      network_->SendDownlinkTo(report.oid,
-                               net::MakeMessage(std::move(notification)));
+      SendDownlink(report.oid, net::MakeMessage(std::move(notification)));
     }
   }
 
@@ -402,6 +438,22 @@ void MobiEyesServer::HandleResultBitmap(const net::ResultBitmapReport& report) {
 
 void MobiEyesServer::HandleLqtReconcile(
     const net::LqtReconcileRequest& request) {
+  if (request.cold_start) {
+    // The object restarted and lost its containment state: every result
+    // membership it previously reported is now unverifiable. Clear it
+    // everywhere and let its fresh evaluations re-report the flips —
+    // briefly missing beats spuriously present forever.
+    for (auto& [qid, entry] : sqt_) entry.result.erase(request.oid);
+    // A restarted focal object also lost hasMQ; without this repair it
+    // would stop dead-reckoning for its queries until the next lease
+    // renewal.
+    auto fot_it = fot_.find(request.oid);
+    if (fot_it != fot_.end() && !fot_it->second.queries.empty()) {
+      SendDownlink(request.oid,
+                   net::MakeMessage(net::FocalNotification{
+                       request.oid, fot_it->second.queries.front()}));
+    }
+  }
   // Queries that should cover the object's current cell per the RQI. The
   // client re-checks filter and cell on install, so over-sending is safe.
   std::vector<QueryId> expected;
@@ -438,21 +490,19 @@ void MobiEyesServer::HandleLqtReconcile(
     if (it != sqt_.end()) it->second.result.erase(request.oid);
   }
 
-  TimerPause pause(load_timer_);
   if (!missing.empty()) {
     net::NewQueriesNotification notification;
     notification.oid = request.oid;
     for (QueryId qid : missing) {
       notification.queries.push_back(BuildQueryInfo(sqt_.at(qid)));
     }
-    network_->SendDownlinkTo(request.oid,
-                             net::MakeMessage(std::move(notification)));
+    SendDownlink(request.oid, net::MakeMessage(std::move(notification)));
   }
   if (!stale.empty()) {
     // One-to-one removal: only this object holds the stale entries.
-    network_->SendDownlinkTo(
-        request.oid,
-        net::MakeMessage(net::QueryRemoveBroadcast{std::move(stale)}));
+    SendDownlink(request.oid,
+                 net::MakeMessage(
+                     net::QueryRemoveBroadcast{std::move(stale)}));
   }
 }
 
@@ -469,8 +519,15 @@ QueryInfo MobiEyesServer::BuildQueryInfo(const SqtEntry& entry) const {
   return info;
 }
 
+void MobiEyesServer::SendDownlink(ObjectId to, Message message) {
+  if (replaying_) return;  // the original delivery happened before the crash
+  TimerPause pause(load_timer_);  // delivery is the medium's work, not ours
+  network_->SendDownlinkTo(to, std::move(message));
+}
+
 void MobiEyesServer::BroadcastToRegion(const geo::CellRange& region,
                                        Message message) {
+  if (replaying_) return;  // see SendDownlink
   std::vector<BaseStationId> cover = bmap_->MinimalCover(region);
   // Computing the cover is server work; the per-station delivery below is
   // the wireless medium's (and the receivers'), so exclude it from the
@@ -497,6 +554,187 @@ const MobiEyesServer::FotEntry* MobiEyesServer::FindFocal(
     ObjectId oid) const {
   auto it = fot_.find(oid);
   return it == fot_.end() ? nullptr : &it->second;
+}
+
+void MobiEyesServer::Checkpoint() {
+  if (store_ == nullptr) return;
+  TimedSection timed(load_timer_);
+  store_->Install(EncodeImage());
+}
+
+Status MobiEyesServer::Restore(const Snapshot& store, size_t* replayed) {
+  if (store.has_checkpoint()) {
+    MOBIEYES_RETURN_NOT_OK(DecodeImage(store.checkpoint));
+  }
+  // Replay the logged uplinks through the normal dispatch with all sends
+  // suppressed: the originals were delivered before the crash, and replay
+  // must reproduce state, not traffic.
+  replaying_ = true;
+  std::vector<bool> consumed(store.wal.size(), false);
+  size_t applied = 0;
+  for (size_t k = 0; k < store.wal.size(); ++k) {
+    if (consumed[k]) continue;
+    const WalRecord& record = store.wal[k];
+    if (record.message.type == net::MessageType::kQueryInstallRequest) {
+      // A live install for an unknown focal object did a synchronous
+      // kinematics round trip whose PositionVelocityReport was logged
+      // *after* the install (nested dispatch). Replay cannot do the round
+      // trip, so apply that report first, in the position the live run
+      // effectively applied it.
+      const auto& request =
+          std::get<net::QueryInstallRequest>(record.message.payload);
+      if (!fot_.contains(request.oid)) {
+        for (size_t j = k + 1; j < store.wal.size(); ++j) {
+          const WalRecord& later = store.wal[j];
+          if (consumed[j] ||
+              later.message.type !=
+                  net::MessageType::kPositionVelocityReport ||
+              std::get<net::PositionVelocityReport>(later.message.payload)
+                      .oid != request.oid) {
+            continue;
+          }
+          OnUplink(later.from, later.message);
+          consumed[j] = true;
+          ++applied;
+          break;
+        }
+      }
+    }
+    OnUplink(record.from, record.message);
+    ++applied;
+  }
+  replaying_ = false;
+  if (replayed != nullptr) *replayed = applied;
+  return Status::OK();
+}
+
+std::vector<uint8_t> MobiEyesServer::EncodeImage() const {
+  std::vector<uint8_t> out;
+  net::ByteWriter w(&out);
+  w.U32(kImageMagic);
+  w.U16(kImageVersion);
+  w.U16(0);  // reserved
+  w.F64(now_);
+  w.I64(next_qid_);
+
+  w.U32(static_cast<uint32_t>(fot_.size()));
+  for (ObjectId oid : SortedKeys(fot_)) {
+    const FotEntry& entry = fot_.at(oid);
+    w.I64(oid);
+    w.State(entry.state);
+    w.F64(entry.max_speed);
+    w.Cell(entry.cell);
+    // The bound-query list keeps its live order: broadcast order during
+    // velocity relays follows it.
+    w.U32(static_cast<uint32_t>(entry.queries.size()));
+    for (QueryId qid : entry.queries) w.I64(qid);
+  }
+
+  w.U32(static_cast<uint32_t>(sqt_.size()));
+  for (QueryId qid : SortedKeys(sqt_)) {
+    const SqtEntry& entry = sqt_.at(qid);
+    w.I64(entry.qid);
+    w.I64(entry.focal_oid);
+    w.Region(entry.region);
+    w.F64(entry.filter_threshold);
+    w.Cell(entry.curr_cell);
+    w.Range(entry.mon_region);
+    w.F64(entry.expires_at);
+    w.F64(entry.lease_renew_at);
+    std::vector<ObjectId> result(entry.result.begin(), entry.result.end());
+    std::sort(result.begin(), result.end());
+    w.U32(static_cast<uint32_t>(result.size()));
+    for (ObjectId oid : result) w.I64(oid);
+  }
+
+  w.U32(static_cast<uint32_t>(seen_seqs_.size()));
+  for (ObjectId oid : SortedKeys(seen_seqs_)) {
+    const SeenSeqs& seen = seen_seqs_.at(oid);
+    w.I64(oid);
+    for (uint32_t seq : seen.ring) w.U32(seq);
+    w.U8(static_cast<uint8_t>(seen.next));
+  }
+  return out;
+}
+
+Status MobiEyesServer::DecodeImage(const std::vector<uint8_t>& image) {
+  net::ByteReader r(image.data(), image.size());
+  if (r.U32() != kImageMagic) {
+    return Status::InvalidArgument("checkpoint: bad magic number");
+  }
+  if (r.U16() != kImageVersion) {
+    return Status::InvalidArgument("checkpoint: unsupported version");
+  }
+  r.U16();  // reserved
+
+  fot_.clear();
+  sqt_.clear();
+  seen_seqs_.clear();
+  rqi_ = ReverseQueryIndex(*grid_);
+
+  now_ = r.F64();
+  next_qid_ = r.I64();
+
+  uint32_t fot_count = r.U32();
+  for (uint32_t k = 0; k < fot_count && r.ok(); ++k) {
+    ObjectId oid = r.I64();
+    FotEntry entry;
+    entry.state = r.State();
+    entry.max_speed = r.F64();
+    entry.cell = r.Cell();
+    uint32_t num_queries = r.U32();
+    for (uint32_t q = 0; q < num_queries && r.ok(); ++q) {
+      entry.queries.push_back(r.I64());
+    }
+    if (r.ok()) fot_.emplace(oid, std::move(entry));
+  }
+
+  uint32_t sqt_count = r.U32();
+  for (uint32_t k = 0; k < sqt_count && r.ok(); ++k) {
+    SqtEntry entry;
+    entry.qid = r.I64();
+    entry.focal_oid = r.I64();
+    entry.region = r.Region();
+    entry.filter_threshold = r.F64();
+    entry.curr_cell = r.Cell();
+    entry.mon_region = r.Range();
+    entry.expires_at = r.F64();
+    entry.lease_renew_at = r.F64();
+    uint32_t result_count = r.U32();
+    for (uint32_t q = 0; q < result_count && r.ok(); ++q) {
+      entry.result.insert(r.I64());
+    }
+    if (!r.ok()) break;
+    // The monitoring region indexes straight into the RQI matrix; a corrupt
+    // range would walk out of bounds, so reject it before Add.
+    if (entry.mon_region.i_lo > entry.mon_region.i_hi ||
+        entry.mon_region.j_lo > entry.mon_region.j_hi ||
+        !grid_->IsValid({entry.mon_region.i_lo, entry.mon_region.j_lo}) ||
+        !grid_->IsValid({entry.mon_region.i_hi, entry.mon_region.j_hi})) {
+      return Status::InvalidArgument(
+          "checkpoint: monitoring region outside the grid");
+    }
+    rqi_.Add(entry.qid, entry.mon_region);
+    sqt_.emplace(entry.qid, std::move(entry));
+  }
+
+  uint32_t seen_count = r.U32();
+  for (uint32_t k = 0; k < seen_count && r.ok(); ++k) {
+    ObjectId oid = r.I64();
+    SeenSeqs seen;
+    for (size_t s = 0; s < seen.ring.size(); ++s) seen.ring[s] = r.U32();
+    uint8_t next = r.U8();
+    if (next >= seen.ring.size()) {
+      return Status::InvalidArgument("checkpoint: dedup ring cursor range");
+    }
+    seen.next = next;
+    if (r.ok()) seen_seqs_.emplace(oid, seen);
+  }
+
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::InvalidArgument("checkpoint: truncated or malformed image");
+  }
+  return Status::OK();
 }
 
 }  // namespace mobieyes::core

@@ -13,6 +13,7 @@
 #include "mobieyes/common/units.h"
 #include "mobieyes/core/options.h"
 #include "mobieyes/core/rqi.h"
+#include "mobieyes/core/snapshot.h"
 #include "mobieyes/geo/grid.h"
 #include "mobieyes/net/bmap.h"
 #include "mobieyes/net/message.h"
@@ -113,6 +114,31 @@ class MobiEyesServer {
   // it. The recorder must outlive the server.
   void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  // --- Crash recovery (DESIGN.md §9) ---------------------------------------
+
+  // Attaches the durable store. While attached, every uplink reaching
+  // OnUplink is logged write-ahead (before its handler mutates anything), so
+  // checkpoint + WAL always covers the accepted traffic. Pass nullptr to
+  // detach. The store must outlive the server — it is the part of the
+  // mediator that survives a crash.
+  void set_durable_store(Snapshot* store) { store_ = store; }
+  Snapshot* durable_store() const { return store_; }
+
+  // Serializes the full server state (FOT, SQT including monitoring regions,
+  // result sets and lease deadlines, dedup rings, clock and id counter) into
+  // the attached store's checkpoint image and truncates its WAL. No-op
+  // without an attached store.
+  void Checkpoint();
+
+  // Rebuilds this (freshly constructed) server from `store`: decodes the
+  // checkpoint image, re-derives the RQI from the SQT monitoring regions,
+  // then replays the WAL through the normal uplink dispatch with every
+  // network send suppressed — the originals were delivered before the
+  // crash, so replay must mutate state without re-broadcasting. `replayed`
+  // (optional) receives the number of WAL records applied. A store without
+  // a checkpoint restores to a cold server plus whatever the WAL holds.
+  Status Restore(const Snapshot& store, size_t* replayed = nullptr);
+
  private:
   void HandleQueryInstallRequest(const net::QueryInstallRequest& request);
   void HandlePositionVelocityReport(const net::PositionVelocityReport& report);
@@ -136,6 +162,15 @@ class MobiEyesServer {
   // `region`.
   void BroadcastToRegion(const geo::CellRange& region, net::Message message);
 
+  // One-to-one downlink funnel: every server-originated downlink goes
+  // through here so WAL replay (replaying_) can suppress re-sends.
+  void SendDownlink(ObjectId to, net::Message message);
+
+  // Checkpoint image codec (little-endian, maps serialized in sorted key
+  // order so images are deterministic regardless of hash-map layout).
+  std::vector<uint8_t> EncodeImage() const;
+  Status DecodeImage(const std::vector<uint8_t>& image);
+
   const geo::Grid* grid_;
   const net::BaseStationLayout* layout_;
   const net::Bmap* bmap_;
@@ -156,6 +191,10 @@ class MobiEyesServer {
     size_t next = 0;
   };
   std::unordered_map<ObjectId, SeenSeqs> seen_seqs_;
+
+  Snapshot* store_ = nullptr;
+  bool replaying_ = false;   // inside Restore's WAL replay: suppress sends
+  bool dispatching_ = false;  // inside OnUplink: the WAL already has this
 
   ReentrantTimer load_timer_;
   obs::TraceRecorder* trace_ = nullptr;

@@ -1,213 +1,11 @@
 #include "mobieyes/net/codec.h"
 
-#include <cstring>
-
 namespace mobieyes::net {
 
 namespace {
 
-// --- Little-endian primitive writers/readers --------------------------------
-
-class Writer {
- public:
-  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
-
-  void U8(uint8_t v) { out_->push_back(v); }
-  void U16(uint16_t v) { Raw(&v, 2); }
-  void U32(uint32_t v) { Raw(&v, 4); }
-  void U64(uint64_t v) { Raw(&v, 8); }
-  void I32(int32_t v) { Raw(&v, 4); }
-  void I64(int64_t v) { Raw(&v, 8); }
-  void F64(double v) { Raw(&v, 8); }
-
-  void Point(const geo::Point& p) {
-    F64(p.x);
-    F64(p.y);
-  }
-  void Vec(const geo::Vec2& v) {
-    F64(v.x);
-    F64(v.y);
-  }
-  void Cell(const geo::CellCoord& c) {
-    I32(c.i);
-    I32(c.j);
-  }
-  void Range(const geo::CellRange& r) {
-    I32(r.i_lo);
-    I32(r.i_hi);
-    I32(r.j_lo);
-    I32(r.j_hi);
-  }
-  void State(const FocalState& s) {
-    Point(s.pos);
-    Vec(s.vel);
-    F64(s.tm);
-  }
-  void Region(const geo::QueryRegion& region) {
-    U8(region.shape == geo::QueryRegion::Shape::kCircle ? 0 : 1);
-    if (region.shape == geo::QueryRegion::Shape::kCircle) {
-      F64(region.radius);
-      F64(0.0);
-    } else {
-      F64(region.half_w);
-      F64(region.half_h);
-    }
-  }
-  void Info(const QueryInfo& info) {
-    I64(info.qid);
-    I64(info.focal_oid);
-    State(info.focal);
-    Region(info.region);
-    F64(info.filter_threshold);
-    Range(info.mon_region);
-    F64(info.focal_max_speed);
-  }
-  // The static (kinematics-free) part of a QueryInfo, used by the lazy
-  // velocity-change expansion where the focal state is carried once.
-  void InfoStatic(const QueryInfo& info) {
-    I64(info.qid);
-    I64(info.focal_oid);
-    Region(info.region);
-    F64(info.filter_threshold);
-    Range(info.mon_region);
-    F64(info.focal_max_speed);
-  }
-
- private:
-  void Raw(const void* data, size_t n) {
-    const auto* bytes = static_cast<const uint8_t*>(data);
-    out_->insert(out_->end(), bytes, bytes + n);
-  }
-
-  std::vector<uint8_t>* out_;
-};
-
-class Reader {
- public:
-  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
-
-  bool ok() const { return ok_; }
-  size_t remaining() const { return size_ - pos_; }
-
-  uint8_t U8() {
-    uint8_t v = 0;
-    Raw(&v, 1);
-    return v;
-  }
-  uint16_t U16() {
-    uint16_t v = 0;
-    Raw(&v, 2);
-    return v;
-  }
-  uint32_t U32() {
-    uint32_t v = 0;
-    Raw(&v, 4);
-    return v;
-  }
-  uint64_t U64() {
-    uint64_t v = 0;
-    Raw(&v, 8);
-    return v;
-  }
-  int32_t I32() {
-    int32_t v = 0;
-    Raw(&v, 4);
-    return v;
-  }
-  int64_t I64() {
-    int64_t v = 0;
-    Raw(&v, 8);
-    return v;
-  }
-  double F64() {
-    double v = 0;
-    Raw(&v, 8);
-    return v;
-  }
-
-  geo::Point Point() {
-    geo::Point p;
-    p.x = F64();
-    p.y = F64();
-    return p;
-  }
-  geo::Vec2 Vec() {
-    geo::Vec2 v;
-    v.x = F64();
-    v.y = F64();
-    return v;
-  }
-  geo::CellCoord Cell() {
-    geo::CellCoord c;
-    c.i = I32();
-    c.j = I32();
-    return c;
-  }
-  geo::CellRange Range() {
-    geo::CellRange r;
-    r.i_lo = I32();
-    r.i_hi = I32();
-    r.j_lo = I32();
-    r.j_hi = I32();
-    return r;
-  }
-  FocalState State() {
-    FocalState s;
-    s.pos = Point();
-    s.vel = Vec();
-    s.tm = F64();
-    return s;
-  }
-  geo::QueryRegion Region() {
-    uint8_t shape = U8();
-    double a = F64();
-    double b = F64();
-    if (shape == 0) {
-      return geo::QueryRegion::MakeCircle(a);
-    }
-    return geo::QueryRegion::MakeRectangle(2.0 * a, 2.0 * b);
-  }
-  QueryInfo Info() {
-    QueryInfo info;
-    info.qid = I64();
-    info.focal_oid = I64();
-    info.focal = State();
-    info.region = Region();
-    info.filter_threshold = F64();
-    info.mon_region = Range();
-    info.focal_max_speed = F64();
-    return info;
-  }
-  QueryInfo InfoStatic() {
-    QueryInfo info;
-    info.qid = I64();
-    info.focal_oid = I64();
-    info.region = Region();
-    info.filter_threshold = F64();
-    info.mon_region = Range();
-    info.focal_max_speed = F64();
-    return info;
-  }
-
- private:
-  void Raw(void* out, size_t n) {
-    if (pos_ + n > size_) {
-      ok_ = false;
-      std::memset(out, 0, n);
-      return;
-    }
-    std::memcpy(out, data_ + pos_, n);
-    pos_ += n;
-  }
-
-  const uint8_t* data_;
-  size_t size_;
-  size_t pos_ = 0;
-  bool ok_ = true;
-};
-
 struct EncodeBody {
-  Writer& w;
+  ByteWriter& w;
   uint16_t count = 0;  // element count lifted into the header
   uint8_t flags = 0;
 
@@ -282,6 +80,7 @@ struct EncodeBody {
     // Header count carries the known list; the target subset's length rides
     // in the body as a u16 (it never exceeds the known list).
     count = static_cast<uint16_t>(p.known_qids.size());
+    flags = p.cold_start ? 1 : 0;
     w.I64(p.oid);
     w.Cell(p.cell);
     w.U16(static_cast<uint16_t>(p.target_qids.size()));
@@ -295,13 +94,13 @@ struct EncodeBody {
 std::vector<uint8_t> MessageCodec::Encode(const Message& message) {
   // Body first so the header can carry count/flags and the body length.
   std::vector<uint8_t> body;
-  Writer body_writer(&body);
+  ByteWriter body_writer(&body);
   EncodeBody encoder{body_writer};
   std::visit(encoder, message.payload);
 
   std::vector<uint8_t> out;
   out.reserve(kHeaderBytes + body.size());
-  Writer header(&out);
+  ByteWriter header(&out);
   header.U32(kMagic);
   header.U8(static_cast<uint8_t>(message.type));
   header.U8(encoder.flags);
@@ -312,7 +111,7 @@ std::vector<uint8_t> MessageCodec::Encode(const Message& message) {
 }
 
 Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {
-  Reader r(buffer.data(), buffer.size());
+  ByteReader r(buffer.data(), buffer.size());
   if (buffer.size() < kHeaderBytes) {
     return Status::InvalidArgument("buffer shorter than header");
   }
@@ -331,6 +130,8 @@ Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {
   }
   auto type = static_cast<MessageType>(raw_type);
 
+  // Count loops below stop as soon as the reader fails, so a header lying
+  // about its element count cannot force large garbage allocations.
   MessagePayload payload;
   switch (type) {
     case MessageType::kQueryInstallRequest: {
@@ -372,10 +173,17 @@ Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {
       break;
     }
     case MessageType::kResultBitmapReport: {
+      // Encode truncates to 64 queries (the bitmap capacity); a larger
+      // count would shift past the uint64 below — reject it outright.
+      if (count > 64) {
+        return Status::InvalidArgument("bitmap report exceeds 64 queries");
+      }
       ResultBitmapReport p;
       p.oid = r.I64();
-      for (uint16_t k = 0; k < count; ++k) p.qids.push_back(r.I64());
-      for (size_t byte = 0; byte < (count + 7u) / 8u; ++byte) {
+      for (uint16_t k = 0; k < count && r.ok(); ++k) {
+        p.qids.push_back(r.I64());
+      }
+      for (size_t byte = 0; byte < (count + 7u) / 8u && r.ok(); ++byte) {
         p.bitmap |= static_cast<uint64_t>(r.U8()) << (8 * byte);
       }
       payload = p;
@@ -396,7 +204,9 @@ Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {
     }
     case MessageType::kQueryInstallBroadcast: {
       QueryInstallBroadcast p;
-      for (uint16_t k = 0; k < count; ++k) p.queries.push_back(r.Info());
+      for (uint16_t k = 0; k < count && r.ok(); ++k) {
+        p.queries.push_back(r.Info());
+      }
       payload = p;
       break;
     }
@@ -406,7 +216,7 @@ Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {
       p.state = r.State();
       p.carries_query_info = (flags & 1) != 0;
       if (p.carries_query_info) {
-        for (uint16_t k = 0; k < count; ++k) {
+        for (uint16_t k = 0; k < count && r.ok(); ++k) {
           QueryInfo info = r.InfoStatic();
           info.focal = p.state;  // shared kinematics
           p.queries.push_back(info);
@@ -417,20 +227,26 @@ Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {
     }
     case MessageType::kQueryUpdateBroadcast: {
       QueryUpdateBroadcast p;
-      for (uint16_t k = 0; k < count; ++k) p.queries.push_back(r.Info());
+      for (uint16_t k = 0; k < count && r.ok(); ++k) {
+        p.queries.push_back(r.Info());
+      }
       payload = p;
       break;
     }
     case MessageType::kQueryRemoveBroadcast: {
       QueryRemoveBroadcast p;
-      for (uint16_t k = 0; k < count; ++k) p.qids.push_back(r.I64());
+      for (uint16_t k = 0; k < count && r.ok(); ++k) {
+        p.qids.push_back(r.I64());
+      }
       payload = p;
       break;
     }
     case MessageType::kNewQueriesNotification: {
       NewQueriesNotification p;
       p.oid = r.I64();
-      for (uint16_t k = 0; k < count; ++k) p.queries.push_back(r.Info());
+      for (uint16_t k = 0; k < count && r.ok(); ++k) {
+        p.queries.push_back(r.Info());
+      }
       payload = p;
       break;
     }
@@ -443,20 +259,25 @@ Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {
     }
     case MessageType::kLqtReconcileRequest: {
       LqtReconcileRequest p;
+      p.cold_start = (flags & 1) != 0;
       p.oid = r.I64();
       p.cell = r.Cell();
       uint16_t targets = r.U16();
       if (targets > count) {
         return Status::InvalidArgument("target count exceeds known count");
       }
-      for (uint16_t k = 0; k < targets; ++k) p.target_qids.push_back(r.I64());
-      for (uint16_t k = 0; k < count; ++k) p.known_qids.push_back(r.I64());
+      for (uint16_t k = 0; k < targets && r.ok(); ++k) {
+        p.target_qids.push_back(r.I64());
+      }
+      for (uint16_t k = 0; k < count && r.ok(); ++k) {
+        p.known_qids.push_back(r.I64());
+      }
       payload = p;
       break;
     }
   }
   if (!r.ok()) {
-    return Status::InvalidArgument("truncated message body");
+    return Status::InvalidArgument("truncated or malformed message body");
   }
   if (r.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after body");

@@ -73,6 +73,18 @@ bool FaultyNetwork::InOutage(BaseStationId sid, int64_t step) const {
   return phase < duration;
 }
 
+bool FaultyNetwork::ShouldRestartClient(ObjectId oid, int64_t step) const {
+  if (step < 0) return false;
+  if (oid == plan_.forced_restart_oid && step == plan_.forced_restart_step) {
+    return true;
+  }
+  if (plan_.client_restart_rate <= 0.0) return false;
+  uint64_t h = Mix3(plan_.seed ^ 0xC11E57A7ULL,
+                    static_cast<uint64_t>(oid) + 1,
+                    static_cast<uint64_t>(step));
+  return HashToUnit(h) < plan_.client_restart_rate;
+}
+
 void FaultyNetwork::set_coverage_query(CoverageQuery query) {
   WirelessNetwork::set_coverage_query(
       [this, query = std::move(query)](
@@ -102,6 +114,14 @@ void FaultyNetwork::RecordDrop(Kind kind, const Message& message) {
   }
   ++stats_.dropped_by_type[static_cast<size_t>(message.type)];
   if (fault_metrics_.dropped != nullptr) fault_metrics_.dropped->Increment();
+}
+
+void FaultyNetwork::RecordUndeliverable(
+    NetworkStats::UndeliverableReason reason) {
+  ++stats_.undeliverable_by_reason[static_cast<size_t>(reason)];
+  if (fault_metrics_.dead_endpoint != nullptr) {
+    fault_metrics_.dead_endpoint->Increment();
+  }
 }
 
 bool FaultyNetwork::MaybeDefer(Kind kind, ObjectId party,
@@ -136,6 +156,12 @@ void FaultyNetwork::SendUplink(ObjectId from, Message message) {
     RecordDrop(Kind::kUplink, message);
     return;
   }
+  if (server_down_) {
+    // The message left the device but the mediator process is dead: the
+    // link did its job, so this is undeliverable, not a link drop.
+    RecordUndeliverable(NetworkStats::UndeliverableReason::kServerDown);
+    return;
+  }
   if (plan_.uplink_drop_rate > 0.0 &&
       rng_.NextBernoulli(plan_.uplink_drop_rate)) {
     RecordDrop(Kind::kUplink, message);
@@ -162,7 +188,8 @@ bool FaultyNetwork::SendDownlinkTo(ObjectId to, Message message) {
     return WirelessNetwork::SendDownlinkTo(to, std::move(message));
   }
   if (IsDisconnected(to, step_)) {
-    RecordDrop(Kind::kDownlink, message);
+    // Dead endpoint, healthy link: accounted apart from injected drops.
+    RecordUndeliverable(NetworkStats::UndeliverableReason::kReceiverDisconnected);
     return false;
   }
   if (plan_.downlink_drop_rate > 0.0 &&
@@ -224,13 +251,19 @@ void FaultyNetwork::Broadcast(const BaseStation& station, Message message) {
 void FaultyNetwork::DeliverDeferred(Deferred& entry) {
   switch (entry.kind) {
     case Kind::kUplink:
+      // The server may have crashed while the message was in flight.
+      if (server_down_) {
+        RecordUndeliverable(NetworkStats::UndeliverableReason::kServerDown);
+        break;
+      }
       WirelessNetwork::SendUplink(entry.party, std::move(entry.message));
       break;
     case Kind::kDownlink:
       // The recipient may have disconnected while the message was in
-      // flight; then the delivery is lost like any other downlink.
+      // flight; the endpoint is dead, so the delivery is undeliverable.
       if (IsDisconnected(entry.party, step_)) {
-        RecordDrop(Kind::kDownlink, entry.message);
+        RecordUndeliverable(
+            NetworkStats::UndeliverableReason::kReceiverDisconnected);
         break;
       }
       WirelessNetwork::SendDownlinkTo(entry.party, std::move(entry.message));
@@ -297,6 +330,8 @@ void FaultyNetwork::AttachMetrics(obs::MetricsRegistry* registry) {
   fault_metrics_.delayed = registry->GetCounter("net.fault.delayed");
   fault_metrics_.duplicated = registry->GetCounter("net.fault.duplicated");
   fault_metrics_.disconnects = registry->GetCounter("net.fault.disconnects");
+  fault_metrics_.dead_endpoint =
+      registry->GetCounter("net.fault.dead_endpoint");
 }
 
 }  // namespace mobieyes::net

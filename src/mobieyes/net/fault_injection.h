@@ -61,6 +61,28 @@ struct FaultPlan {
   int64_t forced_disconnect_from = 0;
   int64_t forced_disconnect_until = 0;
 
+  // --- Process-death events (crash recovery, DESIGN.md §9) -----------------
+
+  // Server crash: the mediator process dies at the start of step
+  // server_crash_step and is restored from its durable snapshot
+  // server_recovery_steps later (0 = restored within the same step, before
+  // any of that step's traffic — the zero-downtime case used by the
+  // byte-identity recovery tests). While the server is down, uplinks —
+  // including deferred ones coming due — are undeliverable, not "dropped":
+  // the link worked, the endpoint was dead. -1 disables the crash.
+  int64_t server_crash_step = -1;
+  int server_recovery_steps = 0;
+
+  // Client restarts: with probability client_restart_rate an object
+  // cold-restarts at any given step, losing its volatile state (LQT,
+  // pending uplinks, hasMQ). Decisions are stateless hashes of
+  // (seed, oid, step) so they do not perturb the message-level fault
+  // stream. The forced pair restarts exactly one object at one step for
+  // deterministic tests.
+  double client_restart_rate = 0.0;
+  ObjectId forced_restart_oid = kInvalidObjectId;
+  int64_t forced_restart_step = -1;
+
   // True when any fault can occur. An inactive plan makes FaultyNetwork
   // behave bit-for-bit like the plain WirelessNetwork: no RNG is consumed
   // and nothing is deferred, so a --drop-rate 0 run is byte-identical to a
@@ -72,7 +94,9 @@ struct FaultPlan {
            (outage_period_steps > 0 && outage_duration_steps > 0) ||
            (disconnect_rate > 0.0 && disconnect_period_steps > 0 &&
             disconnect_duration_steps > 0) ||
-           forced_disconnect_oid != kInvalidObjectId;
+           forced_disconnect_oid != kInvalidObjectId ||
+           server_crash_step >= 0 || client_restart_rate > 0.0 ||
+           forced_restart_oid != kInvalidObjectId;
   }
 };
 
@@ -108,6 +132,17 @@ class FaultyNetwork : public WirelessNetwork {
   // Whether station `sid` is inside an outage window at `step`.
   bool InOutage(BaseStationId sid, int64_t step) const;
 
+  // Whether `oid` cold-restarts at `step` (stateless hash, plus the forced
+  // test pair). The simulation polls this each step and calls
+  // Client::Reset() on hits.
+  bool ShouldRestartClient(ObjectId oid, int64_t step) const;
+
+  // The simulation flips this while the server process is down; uplinks
+  // (live or deferred coming due) are then recorded as undeliverable with
+  // reason kServerDown instead of reaching the dead handler.
+  void set_server_down(bool down) { server_down_ = down; }
+  bool server_down() const { return server_down_; }
+
   // Wraps the query so broadcasts skip disconnected objects.
   void set_coverage_query(CoverageQuery query) override;
 
@@ -131,6 +166,7 @@ class FaultyNetwork : public WirelessNetwork {
 
   bool FaultsApply() const { return step_ >= 0 && plan_.active(); }
   void RecordDrop(Kind kind, const Message& message);
+  void RecordUndeliverable(NetworkStats::UndeliverableReason reason);
   // Draws the delay decision; when delayed, enqueues `copies` deliveries of
   // the message and returns true.
   bool MaybeDefer(Kind kind, ObjectId party, const BaseStation* station,
@@ -141,6 +177,7 @@ class FaultyNetwork : public WirelessNetwork {
   FaultPlan plan_;
   Rng rng_;
   int64_t step_ = -1;  // faults apply once AdvanceStep has run
+  bool server_down_ = false;
   std::deque<Deferred> deferred_;
 
   // Registered object ids in deterministic (sorted) order, for the per-step
@@ -152,6 +189,7 @@ class FaultyNetwork : public WirelessNetwork {
     obs::Counter* delayed = nullptr;
     obs::Counter* duplicated = nullptr;
     obs::Counter* disconnects = nullptr;
+    obs::Counter* dead_endpoint = nullptr;
   };
   FaultMetrics fault_metrics_;
 };

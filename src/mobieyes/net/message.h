@@ -164,6 +164,12 @@ struct LqtReconcileRequest {
   geo::CellCoord cell;
   std::vector<QueryId> known_qids;
   std::vector<QueryId> target_qids;  // subset of known_qids
+  // Set by a client that just cold-restarted (Client::Reset): its previous
+  // containment state is gone, so the server must clear the object from all
+  // result sets (stale memberships cannot be trusted) and re-assert hasMQ
+  // if the object is focal. Carried in the header flags byte — no body
+  // bytes, so WireSizeBytes is unchanged.
+  bool cold_start = false;
 };
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,9 @@ NetworkStats& NetworkStats::operator+=(const NetworkStats& other) {
   downlink_bytes += other.downlink_bytes;
   broadcast_receptions += other.broadcast_receptions;
   undeliverable_downlinks += other.undeliverable_downlinks;
+  for (size_t k = 0; k < kNumUndeliverableReasons; ++k) {
+    undeliverable_by_reason[k] += other.undeliverable_by_reason[k];
+  }
   uplink_dropped += other.uplink_dropped;
   downlink_dropped += other.downlink_dropped;
   broadcast_dropped += other.broadcast_dropped;
@@ -72,8 +75,17 @@ std::string NetworkStatsJson(const NetworkStats& stats) {
   json += field("broadcast_dropped", stats.broadcast_dropped) + ", ";
   json += field("delayed_messages", stats.delayed_messages) + ", ";
   json += field("duplicated_messages", stats.duplicated_messages) + ", ";
-  json += field("disconnect_events", stats.disconnect_events);
-  json += '}';
+  json += field("disconnect_events", stats.disconnect_events) + ", ";
+  using Reason = NetworkStats::UndeliverableReason;
+  auto reason = [&](Reason which) {
+    return stats.undeliverable_by_reason[static_cast<size_t>(which)];
+  };
+  json += "\"undeliverable_by_reason\": {";
+  json += field("no_handler", reason(Reason::kNoHandler)) + ", ";
+  json += field("receiver_disconnected",
+                reason(Reason::kReceiverDisconnected)) + ", ";
+  json += field("server_down", reason(Reason::kServerDown));
+  json += "}}";
   return json;
 }
 
@@ -113,6 +125,8 @@ bool WirelessNetwork::SendDownlinkTo(ObjectId to, Message message) {
     // The transmission happened (counted above) but nobody decodes it: an
     // observable routing failure rather than a silent no-op.
     ++stats_.undeliverable_downlinks;
+    ++stats_.undeliverable_by_reason[static_cast<size_t>(
+        NetworkStats::UndeliverableReason::kNoHandler)];
     if (metrics_attached_) metrics_.undeliverable->Increment();
     return false;
   }

@@ -39,6 +39,19 @@ struct NetworkStats {
   // decoded it — a routing failure distinct from an injected fault.
   uint64_t undeliverable_downlinks = 0;
 
+  // Why a message could not be delivered because its *endpoint* was dead,
+  // as opposed to the link being lossy. Dead-endpoint losses are accounted
+  // here and never folded into dropped_by_type / the *_dropped counters, so
+  // "how lossy was the link" and "how long were processes down" stay
+  // separable in every report.
+  enum class UndeliverableReason {
+    kNoHandler = 0,             // mirror of undeliverable_downlinks
+    kReceiverDisconnected = 1,  // one-to-one downlink to a disconnected object
+    kServerDown = 2,            // uplink while the server process is crashed
+  };
+  static constexpr size_t kNumUndeliverableReasons = 3;
+  std::array<uint64_t, kNumUndeliverableReasons> undeliverable_by_reason{};
+
   // --- Fault-injection outcomes (FaultyNetwork; always zero on the plain
   // network). Dropped messages never reached the medium and are *not*
   // included in the delivered counters above, so total_messages() remains
@@ -59,6 +72,12 @@ struct NetworkStats {
 
   uint64_t total_dropped() const {
     return uplink_dropped + downlink_dropped + broadcast_dropped;
+  }
+
+  uint64_t total_undeliverable() const {
+    uint64_t total = 0;
+    for (uint64_t count : undeliverable_by_reason) total += count;
+    return total;
   }
 
   uint64_t total_messages() const {

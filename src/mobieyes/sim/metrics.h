@@ -42,6 +42,15 @@ struct RunMetrics {
   uint64_t queries_evaluated = 0;
   uint64_t safe_period_skips = 0;
 
+  // Crash-recovery events within the measured window (DESIGN.md §9).
+  int64_t server_crashes = 0;
+  int64_t client_restarts = 0;
+  int64_t checkpoints_taken = 0;
+  uint64_t wal_records_replayed = 0;
+  // Records lost to WAL overflow at restore time: non-zero means the
+  // restored state was stale and leases/reconciliation had to close the gap.
+  uint64_t wal_records_dropped = 0;
+
   // --- Derived figures ------------------------------------------------------
 
   double MessagesPerSecond() const {

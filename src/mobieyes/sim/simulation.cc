@@ -89,12 +89,15 @@ Status Simulation::Setup() {
                               : core::PropagationMode::kEager;
     options.dead_reckoning_threshold = params.dead_reckoning_threshold;
 
+    resolved_mobieyes_ = options;
     server_ = std::make_unique<core::MobiEyesServer>(*grid_, *layout_, *bmap_,
                                                      *network_, options);
     server_->set_trace_recorder(trace_.get());
     network_->set_server_handler(
         [this](ObjectId from, const net::Message& message) {
-          server_->OnUplink(from, message);
+          // server_ is null while the process is crashed; the fault layer
+          // swallows uplinks then, so this guard is only a backstop.
+          if (server_) server_->OnUplink(from, message);
         });
 
     clients_.reserve(world_->object_count());
@@ -115,6 +118,16 @@ Status Simulation::Setup() {
                                        spec.filter_threshold);
       MOBIEYES_RETURN_NOT_OK(qid.status());
       installed_qids_.push_back(*qid);
+    }
+
+    // Durable storage: attach the store and take the baseline checkpoint
+    // before any (possibly faulted) traffic, so a crash always has an image
+    // to restore from even at stride 0.
+    if (config_.checkpoint_stride > 0 ||
+        config_.faults.server_crash_step >= 0) {
+      snapshot_store_.wal_limit = config_.wal_limit;
+      server_->set_durable_store(&snapshot_store_);
+      server_->Checkpoint();
     }
   } else {
     std::vector<double> attrs;
@@ -325,16 +338,44 @@ void Simulation::StepOnce() {
     world_->Step(config_.params.time_step,
                  config_.params.velocity_changes_per_step, rng_);
   }
+  const int64_t step = sim_step_;
+  // Process-death events fire at the start of the step, before any traffic:
+  // a crash kills the server for [crash_step, crash_step + recovery_steps);
+  // recovery_steps == 0 restores it immediately, so no traffic is lost to
+  // downtime (the zero-downtime recovery-equivalence case).
+  if (IsMobiEyesMode(config_.mode) &&
+      config_.faults.server_crash_step >= 0) {
+    if (step == config_.faults.server_crash_step) CrashServer();
+    if (server_down_ && step >= server_restore_step_) RestoreServer();
+  }
   // Advance the fault clock before the protocol acts: deferred deliveries
   // due this step flush here, and this step's disconnect windows take
   // effect for everything the protocol sends below.
-  if (faulty_ != nullptr) faulty_->AdvanceStep(sim_step_);
+  if (faulty_ != nullptr) faulty_->AdvanceStep(step);
   ++sim_step_;
   switch (config_.mode) {
     case SimMode::kMobiEyesEager:
     case SimMode::kMobiEyesLazy:
-      server_->AdvanceTime(world_->now());
+      if (server_) server_->AdvanceTime(world_->now());
+      // Cold client restarts happen between protocol turns: the device
+      // reboots, loses its volatile state, and immediately reconciles.
+      if (faulty_ != nullptr &&
+          (config_.faults.client_restart_rate > 0.0 ||
+           config_.faults.forced_restart_oid != kInvalidObjectId)) {
+        for (auto& client : clients_) {
+          if (faulty_->ShouldRestartClient(client->oid(), step)) {
+            client->Reset();
+            ++metrics_.client_restarts;
+          }
+        }
+      }
       for (auto& client : clients_) client->OnTick();
+      // Periodic checkpoint with the step's state settled.
+      if (server_ && config_.checkpoint_stride > 0 &&
+          (step + 1) % config_.checkpoint_stride == 0) {
+        server_->Checkpoint();
+        ++metrics_.checkpoints_taken;
+      }
       break;
     case SimMode::kObjectIndex:
       naive_->OnTick();  // position stream into the index
@@ -350,6 +391,41 @@ void Simulation::StepOnce() {
       central_optimal_->OnTick();
       break;
   }
+}
+
+void Simulation::CrashServer() {
+  // The process dies with all its in-memory state; only snapshot_store_
+  // (stable storage) survives. The fault layer swallows uplinks while the
+  // handler below finds server_ null.
+  server_.reset();
+  server_down_ = true;
+  if (faulty_ != nullptr) faulty_->set_server_down(true);
+  server_restore_step_ =
+      config_.faults.server_crash_step + config_.faults.server_recovery_steps;
+  ++metrics_.server_crashes;
+}
+
+void Simulation::RestoreServer() {
+  // Account overflow before Checkpoint() below resets the store's counter.
+  metrics_.wal_records_dropped += snapshot_store_.wal_dropped;
+  server_ = std::make_unique<core::MobiEyesServer>(
+      *grid_, *layout_, *bmap_, *network_, resolved_mobieyes_);
+  server_->set_trace_recorder(trace_.get());
+  size_t replayed = 0;
+  Status status = server_->Restore(snapshot_store_, &replayed);
+  // The store is this process's own serialization; a decode failure here is
+  // a bug the recovery tests exist to catch. The server then starts cold
+  // and the soft-state machinery rebuilds what it can.
+  (void)status;
+  metrics_.wal_records_replayed += replayed;
+  server_->set_durable_store(&snapshot_store_);
+  // A recovering server checkpoints before serving, collapsing the replayed
+  // WAL into a fresh baseline image.
+  server_->Checkpoint();
+  ++metrics_.checkpoints_taken;
+  server_down_ = false;
+  if (faulty_ != nullptr) faulty_->set_server_down(false);
+  server_restore_step_ = -1;
 }
 
 RunMetrics Simulation::metrics() const {

@@ -81,6 +81,15 @@ struct SimulationConfig {
   // beyond virtual dispatch. Faults start with the first step (setup-time
   // installation is unfaulted) and apply to warmup steps too.
   net::FaultPlan faults;
+  // Crash recovery (MobiEyes modes): with checkpoint_stride > 0 the server
+  // snapshots its state into a durable store every checkpoint_stride steps
+  // (plus once at the end of setup). A planned server crash
+  // (faults.server_crash_step) restores from that store; the store is also
+  // attached — with a baseline checkpoint — whenever a crash is planned,
+  // even at stride 0. wal_limit bounds the uplink log between checkpoints:
+  // once full, newer uplinks go unlogged and the restored state is stale.
+  int checkpoint_stride = 0;
+  size_t wal_limit = 4096;
 };
 
 // One end-to-end simulation: a seeded workload, the mobility world, the
@@ -150,6 +159,11 @@ class Simulation {
   void SetupObservability();
   void StepOnce();
   void ResetMeasurement();
+  // Process-death events (crash recovery): kill the server at its planned
+  // crash step, restore it from the durable store when the recovery window
+  // elapses, and cold-restart clients the fault plan selects.
+  void CrashServer();
+  void RestoreServer();
   // Feeds per-step histograms and the sampler after measured step `step`
   // (0-based); called only when some observability component is on.
   void RecordStepObservations(int64_t step);
@@ -171,6 +185,13 @@ class Simulation {
   // MobiEyes deployment (modes kMobiEyesEager / kMobiEyesLazy).
   std::unique_ptr<core::MobiEyesServer> server_;
   std::vector<std::unique_ptr<core::MobiEyesClient>> clients_;
+  // Resolved MobiEyes options (propagation/threshold applied), kept so a
+  // post-crash replacement server is constructed identically.
+  core::MobiEyesOptions resolved_mobieyes_;
+  // Stable storage for the server (outlives the server process by design).
+  core::Snapshot snapshot_store_;
+  bool server_down_ = false;
+  int64_t server_restore_step_ = -1;
 
   // Centralized baselines.
   std::unique_ptr<baseline::ObjectIndexProcessor> object_index_;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "mobieyes/common/random.h"
 #include "mobieyes/net/codec.h"
 
@@ -296,6 +298,120 @@ TEST(CodecTest, DecodeRejectsCountBodyMismatch) {
   std::vector<uint8_t> wire = MessageCodec::Encode(MakeMessage(p));
   wire[6] = 5;  // count field low byte: claims 5 ids, body has 3
   EXPECT_FALSE(MessageCodec::Decode(wire).ok());
+}
+
+TEST(CodecTest, LqtReconcileRequestRoundTripsColdStartFlag) {
+  LqtReconcileRequest p;
+  p.oid = 13;
+  p.cell = geo::CellCoord{4, 6};
+  p.known_qids = {2, 5, 9};
+  p.target_qids = {5};
+  for (bool cold : {false, true}) {
+    p.cold_start = cold;
+    Message message = MakeMessage(p);
+    std::vector<uint8_t> wire = MessageCodec::Encode(message);
+    // The flag rides in the header flags byte: no body-size change.
+    EXPECT_EQ(wire.size(), WireSizeBytes(message));
+    auto decoded = MessageCodec::Decode(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    const auto& q = std::get<LqtReconcileRequest>(decoded->payload);
+    EXPECT_EQ(q.cold_start, cold);
+    EXPECT_EQ(q.known_qids, p.known_qids);
+    EXPECT_EQ(q.target_qids, p.target_qids);
+  }
+}
+
+TEST(CodecTest, DecodeRejectsBadRegionShapeTag) {
+  std::vector<uint8_t> wire = MessageCodec::Encode(
+      MakeMessage(QueryInstallRequest{3, geo::QueryRegion::MakeCircle(2.0),
+                                      0.5}));
+  // Body layout: i64 oid, then the region starting with its shape tag.
+  wire[16 + 8] = 7;  // neither kCircle (0) nor kRectangle (1)
+  EXPECT_FALSE(MessageCodec::Decode(wire).ok());
+}
+
+TEST(CodecTest, DecodeRejectsOversizedBitmapCount) {
+  ResultBitmapReport p;
+  p.oid = 4;
+  p.qids = {1, 2, 3};
+  p.bitmap = 0b101;
+  std::vector<uint8_t> wire = MessageCodec::Encode(MakeMessage(p));
+  wire[6] = 200;  // bitmap reports carry at most 64 qids
+  EXPECT_FALSE(MessageCodec::Decode(wire).ok());
+}
+
+// One representative of every message type: the decoder must reject every
+// truncation of every type (no assert, no crash) and survive arbitrary
+// single-byte mutations.
+std::vector<Message> FullCorpus() {
+  std::vector<Message> corpus;
+  corpus.push_back(MakeMessage(
+      QueryInstallRequest{1, geo::QueryRegion::MakeCircle(3.0), 0.5}));
+  corpus.push_back(MakeMessage(PositionReport{2, geo::Point{1, 2}}));
+  corpus.push_back(MakeMessage(PositionVelocityReport{3, SomeState(), 0.1}));
+  corpus.push_back(MakeMessage(VelocityChangeReport{4, SomeState()}));
+  corpus.push_back(MakeMessage(
+      CellChangeReport{5, geo::CellCoord{0, 1}, geo::CellCoord{1, 1}}));
+  ResultBitmapReport bitmap;
+  bitmap.oid = 6;
+  bitmap.qids = {7, 8};
+  bitmap.bitmap = 0b10;
+  corpus.push_back(MakeMessage(bitmap));
+  corpus.push_back(MakeMessage(FocalNotification{7, 1}));
+  corpus.push_back(MakeMessage(PositionVelocityRequest{8}));
+  QueryInstallBroadcast install;
+  install.queries.push_back(SomeInfo(1));
+  corpus.push_back(MakeMessage(install));
+  VelocityChangeBroadcast velocity;
+  velocity.focal_oid = 9;
+  velocity.state = SomeState();
+  velocity.carries_query_info = true;
+  velocity.queries.push_back(SomeInfo(2, velocity.state));
+  corpus.push_back(MakeMessage(velocity));
+  QueryUpdateBroadcast update;
+  update.queries.push_back(SomeInfo(3));
+  corpus.push_back(MakeMessage(update));
+  QueryRemoveBroadcast remove;
+  remove.qids = {4, 5};
+  corpus.push_back(MakeMessage(remove));
+  NewQueriesNotification notification;
+  notification.oid = 10;
+  notification.queries.push_back(SomeInfo(6));
+  corpus.push_back(MakeMessage(notification));
+  corpus.push_back(MakeMessage(UplinkAck{11, 42}));
+  LqtReconcileRequest reconcile;
+  reconcile.oid = 12;
+  reconcile.cell = geo::CellCoord{2, 3};
+  reconcile.known_qids = {1, 2};
+  reconcile.target_qids = {2};
+  reconcile.cold_start = true;
+  corpus.push_back(MakeMessage(reconcile));
+  return corpus;
+}
+
+TEST(CodecTest, EveryMessageTypeRejectsTruncationAndSurvivesMutation) {
+  std::vector<Message> corpus = FullCorpus();
+  ASSERT_EQ(corpus.size(), kNumMessageTypes);
+  std::set<MessageType> seen;
+  Rng rng(603);
+  for (const Message& message : corpus) {
+    seen.insert(message.type);
+    std::vector<uint8_t> wire = MessageCodec::Encode(message);
+    for (size_t len = 0; len < wire.size(); ++len) {
+      std::vector<uint8_t> truncated(wire.begin(), wire.begin() + len);
+      EXPECT_FALSE(MessageCodec::Decode(truncated).ok())
+          << MessageTypeName(message.type) << " accepted a truncation to "
+          << len << " bytes";
+    }
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<uint8_t> mutated = wire;
+      size_t pos = rng.NextUint64(mutated.size());
+      mutated[pos] ^= static_cast<uint8_t>(1 + rng.NextUint64(255));
+      auto decoded = MessageCodec::Decode(mutated);  // must not crash
+      (void)decoded;
+    }
+  }
+  EXPECT_EQ(seen.size(), kNumMessageTypes);
 }
 
 }  // namespace

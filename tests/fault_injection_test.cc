@@ -134,7 +134,12 @@ TEST(FaultInjectionTest, ForcedDisconnectWindowCutsBothDirections) {
   EXPECT_EQ(uplinks, 0);
   EXPECT_EQ(downlinks, 0);
   EXPECT_EQ(network.stats().uplink_dropped, 1u);
-  EXPECT_EQ(network.stats().downlink_dropped, 1u);
+  // A downlink into a disconnected endpoint is a dead-endpoint loss, kept
+  // apart from the injected link drops.
+  EXPECT_EQ(network.stats().downlink_dropped, 0u);
+  EXPECT_EQ(network.stats().undeliverable_by_reason[static_cast<size_t>(
+                NetworkStats::UndeliverableReason::kReceiverDisconnected)],
+            1u);
   EXPECT_GE(network.stats().disconnect_events, 1u);
 
   network.AdvanceStep(3);  // window over
@@ -409,6 +414,67 @@ TEST(FaultInjectionTest, HardenedProtocolHolds95PercentAgreementAt10PercentDrop)
   EXPECT_GT(base.network.total_dropped(), 0u);
   EXPECT_GE(hardened.AverageAgreement(), 0.95);
   EXPECT_GE(hardened.AverageAgreement(), base.AverageAgreement());
+}
+
+// --- Process-death events (crash recovery) ----------------------------------
+
+TEST(FaultInjectionTest, ServerDownSwallowsUplinksAsUndeliverable) {
+  FaultPlan plan;
+  plan.server_crash_step = 5;  // any crash plan activates the fault layer
+  FaultyNetwork network(plan);
+  int uplinks = 0;
+  network.set_server_handler([&](ObjectId, const Message&) { ++uplinks; });
+  network.AdvanceStep(0);
+
+  network.set_server_down(true);
+  network.SendUplink(1, MakeMessage(PositionReport{1, Point{1, 1}}));
+  EXPECT_EQ(uplinks, 0);
+  EXPECT_EQ(network.stats().uplink_dropped, 0u);
+  EXPECT_EQ(DroppedOfType(network.stats(), MessageType::kPositionReport), 0u);
+  EXPECT_EQ(network.stats().undeliverable_by_reason[static_cast<size_t>(
+                NetworkStats::UndeliverableReason::kServerDown)],
+            1u);
+
+  network.set_server_down(false);
+  network.SendUplink(1, MakeMessage(PositionReport{1, Point{1, 1}}));
+  EXPECT_EQ(uplinks, 1);
+}
+
+TEST(FaultInjectionTest, ForcedClientRestartFiresExactlyOnce) {
+  FaultPlan plan;
+  plan.forced_restart_oid = 3;
+  plan.forced_restart_step = 7;
+  FaultyNetwork network(plan);
+  for (int64_t step = 0; step < 12; ++step) {
+    for (ObjectId oid = 0; oid < 6; ++oid) {
+      bool restart = network.ShouldRestartClient(oid, step);
+      EXPECT_EQ(restart, oid == 3 && step == 7)
+          << "oid " << oid << " step " << step;
+    }
+  }
+}
+
+TEST(FaultInjectionTest, RandomClientRestartsAreSeededAndRateBounded) {
+  FaultPlan plan;
+  plan.client_restart_rate = 0.25;
+  plan.seed = 99;
+  FaultyNetwork a(plan);
+  FaultyNetwork b(plan);
+  int restarts = 0;
+  const int kObjects = 40;
+  const int kSteps = 50;
+  for (int64_t step = 0; step < kSteps; ++step) {
+    for (ObjectId oid = 0; oid < kObjects; ++oid) {
+      bool restart = a.ShouldRestartClient(oid, step);
+      // Stateless hash: two networks with the same plan agree exactly.
+      EXPECT_EQ(restart, b.ShouldRestartClient(oid, step));
+      restarts += restart ? 1 : 0;
+    }
+  }
+  double rate =
+      static_cast<double>(restarts) / (kObjects * kSteps);
+  EXPECT_GT(rate, 0.15);
+  EXPECT_LT(rate, 0.35);
 }
 
 }  // namespace

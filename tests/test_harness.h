@@ -110,6 +110,8 @@ class MiniDeployment {
   }
 
   geo::Grid& grid() { return *grid_; }
+  net::BaseStationLayout& layout() { return *layout_; }
+  net::Bmap& bmap() { return *bmap_; }
   mobility::World& world() { return *world_; }
   net::WirelessNetwork& network() { return *network_; }
   // Null unless the deployment was built with an active FaultPlan.

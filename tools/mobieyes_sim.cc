@@ -14,11 +14,16 @@
 //                [--drop-rate=F] [--delay-steps=N] [--delay-rate=F]
 //                [--dup-rate=F] [--outage=P:D] [--disconnect=R:P:D]
 //                [--fault-seed=N] [--harden]
+//                [--server-crash=S:R] [--client-restart-rate=F]
+//                [--checkpoint-stride=N]
 //
 // The fault flags configure the net::FaultyNetwork (see
 // src/mobieyes/net/fault_injection.h); --harden switches the MobiEyes
 // protocol to the hardened variant (uplink acks + retries, soft-state
-// leases, periodic reconciliation).
+// leases, periodic reconciliation). The crash-recovery flags kill the
+// server at step S and restore it from its checkpoint+WAL R steps later,
+// cold-restart clients at the given per-step rate, and set the server
+// checkpoint stride (DESIGN.md §9).
 //
 // Unknown flags are an error (exit 2), so typos never silently run the
 // default configuration.
@@ -61,7 +66,9 @@ void PrintUsage(const char* argv0) {
                "          [--sample-stride=N]\n"
                "          [--drop-rate=F] [--delay-steps=N] [--delay-rate=F]\n"
                "          [--dup-rate=F] [--outage=P:D] [--disconnect=R:P:D]\n"
-               "          [--fault-seed=N] [--harden]\n",
+               "          [--fault-seed=N] [--harden]\n"
+               "          [--server-crash=S:R] [--client-restart-rate=F]\n"
+               "          [--checkpoint-stride=N]\n",
                argv0);
 }
 
@@ -177,6 +184,23 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       }
     } else if (key == "fault-seed") {
       cli->config.faults.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "server-crash") {
+      long long crash_step = -1;
+      int recovery_steps = -1;
+      if (std::sscanf(value.c_str(), "%lld:%d", &crash_step,
+                      &recovery_steps) != 2 ||
+          crash_step < 0 || recovery_steps < 0) {
+        std::fprintf(stderr,
+                     "bad --server-crash value '%s' (want STEP:RECOVERY)\n",
+                     value.c_str());
+        return false;
+      }
+      cli->config.faults.server_crash_step = crash_step;
+      cli->config.faults.server_recovery_steps = recovery_steps;
+    } else if (key == "client-restart-rate") {
+      cli->config.faults.client_restart_rate = std::atof(value.c_str());
+    } else if (key == "checkpoint-stride") {
+      cli->config.checkpoint_stride = std::atoi(value.c_str());
     } else if (key == "harden") {
       cli->harden = true;
     } else if (key == "help") {
@@ -300,6 +324,29 @@ int main(int argc, char** argv) {
     std::printf("undeliverable downlinks    %llu\n",
                 static_cast<unsigned long long>(
                     metrics.network.undeliverable_downlinks));
+    std::printf("undeliverable (dead end)   %llu receiver-down, "
+                "%llu server-down\n",
+                static_cast<unsigned long long>(
+                    metrics.network.undeliverable_by_reason[static_cast<
+                        size_t>(net::NetworkStats::UndeliverableReason::
+                                    kReceiverDisconnected)]),
+                static_cast<unsigned long long>(
+                    metrics.network.undeliverable_by_reason[static_cast<
+                        size_t>(net::NetworkStats::UndeliverableReason::
+                                    kServerDown)]));
+  }
+  if (metrics.server_crashes > 0 || metrics.client_restarts > 0 ||
+      metrics.checkpoints_taken > 0) {
+    std::printf("\n-- crash recovery --------------------------------------\n");
+    std::printf("server crashes             %lld\n",
+                static_cast<long long>(metrics.server_crashes));
+    std::printf("client restarts            %lld\n",
+                static_cast<long long>(metrics.client_restarts));
+    std::printf("checkpoints taken          %lld\n",
+                static_cast<long long>(metrics.checkpoints_taken));
+    std::printf("WAL records replayed       %llu (%llu lost to overflow)\n",
+                static_cast<unsigned long long>(metrics.wal_records_replayed),
+                static_cast<unsigned long long>(metrics.wal_records_dropped));
   }
   std::printf("\n-- message breakdown (measured window) -----------------\n");
   for (size_t t = 0; t < net::kNumMessageTypes; ++t) {
