@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -57,6 +58,10 @@ struct BenchState {
   int server_recovery_steps = -1;
   double client_restart_rate = -1.0;
   int checkpoint_stride = -1;
+  // Sharding flag overrides, same negative-means-unset convention.
+  int shards = -1;
+  int shard_threads = -1;
+  int shard_partition = -1;  // 0 = rowband, 1 = hash
   std::chrono::steady_clock::time_point start;
   std::vector<RecordedTable> tables;
   std::vector<RecordedCell> cells;
@@ -114,6 +119,7 @@ sim::RunMetrics RunMode(const sim::SimulationParams& params, sim::SimMode mode,
   config.warmup_steps = options.warmup_steps;
   config.checkpoint_stride = options.checkpoint_stride;
   config.wal_limit = options.wal_limit;
+  config.shard_threads = options.shard_threads;
   auto simulation = sim::Simulation::Make(config);
   if (!simulation.ok()) {
     std::fprintf(stderr, "simulation setup failed: %s\n",
@@ -190,6 +196,32 @@ void InitBench(const std::string& name, int argc, char** argv) {
       state.client_restart_rate = std::atof(arg + 22);
     } else if (std::strncmp(arg, "--checkpoint-stride=", 20) == 0) {
       state.checkpoint_stride = std::atoi(arg + 20);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      state.shards = std::atoi(arg + 9);
+      if (state.shards < 1) {
+        std::fprintf(stderr, "[bench] ignoring bad --shards value '%s'\n",
+                     arg + 9);
+        state.shards = -1;
+      }
+    } else if (std::strncmp(arg, "--shard-threads=", 16) == 0) {
+      state.shard_threads = std::atoi(arg + 16);
+      if (state.shard_threads < 1) {
+        std::fprintf(stderr,
+                     "[bench] ignoring bad --shard-threads value '%s'\n",
+                     arg + 16);
+        state.shard_threads = -1;
+      }
+    } else if (std::strncmp(arg, "--shard-partition=", 18) == 0) {
+      if (std::strcmp(arg + 18, "rowband") == 0) {
+        state.shard_partition = 0;
+      } else if (std::strcmp(arg + 18, "hash") == 0) {
+        state.shard_partition = 1;
+      } else {
+        std::fprintf(stderr,
+                     "[bench] bad --shard-partition value '%s' "
+                     "(want rowband|hash)\n",
+                     arg + 18);
+      }
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       state.fault_seed = std::strtoull(arg + 7, nullptr, 10);
       state.fault_seed_set = true;
@@ -223,6 +255,7 @@ SweepCellResult RunCell(const SweepJob& job, const SweepObsOptions& obs,
   config.warmup_steps = job.options.warmup_steps;
   config.checkpoint_stride = job.options.checkpoint_stride;
   config.wal_limit = job.options.wal_limit;
+  config.shard_threads = job.options.shard_threads;
   config.faults = job.faults.plan;
   if (job.faults.harden) {
     config.mobieyes =
@@ -251,6 +284,21 @@ SweepCellResult RunCell(const SweepJob& job, const SweepObsOptions& obs,
     obs::TraceRecorder* trace = (*simulation)->trace_recorder();
     trace->SetPid(pid);
     result.trace_events = trace->TakeEvents();
+  }
+  if (obs.capture_results) {
+    const std::vector<QueryId>& qids = (*simulation)->installed_queries();
+    result.query_results.reserve(qids.size());
+    core::MobiEyesServer* server = (*simulation)->server();
+    for (QueryId qid : qids) {
+      std::vector<ObjectId> sorted;
+      const core::MobiEyesServer::SqtEntry* entry =
+          server == nullptr ? nullptr : server->FindQuery(qid);
+      if (entry != nullptr) {
+        sorted.assign(entry->result.begin(), entry->result.end());
+        std::sort(sorted.begin(), sorted.end());
+      }
+      result.query_results.push_back(std::move(sorted));
+    }
   }
   return result;
 }
@@ -292,10 +340,23 @@ SweepJob ApplyOverrides(SweepJob job) {
   if (state.checkpoint_stride >= 0) {
     job.options.checkpoint_stride = state.checkpoint_stride;
   }
+  if (state.shards > 0) job.mobieyes.sharding.num_shards = state.shards;
+  if (state.shard_threads > 0) {
+    job.options.shard_threads = state.shard_threads;
+  }
+  if (state.shard_partition >= 0) {
+    job.mobieyes.sharding.partition = state.shard_partition == 0
+                                          ? core::ShardPartition::kRowBand
+                                          : core::ShardPartition::kHash;
+  }
   return job;
 }
 
 }  // namespace
+
+SweepJob ApplyFlagOverrides(SweepJob job) {
+  return ApplyOverrides(std::move(job));
+}
 
 std::vector<SweepCellResult> RunSweepObserved(
     const std::vector<SweepJob>& jobs, int threads,

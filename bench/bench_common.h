@@ -31,6 +31,9 @@ struct RunOptions {
   // and the WAL record budget between checkpoints.
   int checkpoint_stride = 0;
   size_t wal_limit = 4096;
+  // Worker threads for the server's per-shard step phase (shard count
+  // itself lives in MobiEyesOptions::sharding).
+  int shard_threads = 1;
 };
 
 // Fault-injection knobs of one sweep cell (see SweepJob): the plan handed
@@ -92,6 +95,11 @@ struct SweepJob {
 //   --client-restart-rate=F  per-object per-step cold-restart probability
 //   --checkpoint-stride=N    server checkpoint every N steps (0: baseline
 //                      checkpoint only)
+//
+// Server sharding overrides (DESIGN.md §10):
+//   --shards=N         grid-partitioned server shards (1 = monolith)
+//   --shard-threads=N  worker threads for the per-shard step phase
+//   --shard-partition=rowband|hash  grid-to-shard assignment policy
 void InitBench(const std::string& name, int argc, char** argv);
 
 // Worker thread count RunSweep will use.
@@ -114,6 +122,10 @@ struct SweepObsOptions {
   bool metrics = false;
   bool trace = false;
   int sample_stride = 0;
+  // Capture each cell's final per-query result sets (sorted, in installed
+  // query order) into SweepCellResult::query_results. Used by the
+  // determinism tests and the shard sweep to compare runs structurally.
+  bool capture_results = false;
 };
 
 // One sweep cell's observability output.
@@ -125,12 +137,21 @@ struct SweepCellResult {
   std::string metrics_json;
   // Trace events with pid = job index. Empty when !obs.trace.
   std::vector<obs::TraceEvent> trace_events;
+  // Final result set of each installed query, sorted by object id, indexed
+  // like Simulation::installed_queries(). Empty when !obs.capture_results.
+  std::vector<std::vector<ObjectId>> query_results;
 };
 
 // RunSweep with explicit observability; results indexed like `jobs`.
 std::vector<SweepCellResult> RunSweepObserved(
     const std::vector<SweepJob>& jobs, int threads,
     const SweepObsOptions& obs);
+
+// Applies the harness flag overrides (--steps/--objects, fault-injection,
+// crash-recovery and sharding flags) to one job, exactly as RunSweep does
+// before dispatch. For benches that build jobs themselves and call
+// RunSweepObserved directly but still want the smoke-run flags to work.
+SweepJob ApplyFlagOverrides(SweepJob job);
 
 struct Series {
   std::string name;

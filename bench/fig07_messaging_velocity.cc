@@ -36,10 +36,10 @@ int main(int argc, char** argv) {
         job.params.num_queries = static_cast<int>(nmq);
         job.mode = mode;
         job.options = options;
-        job.label =
-            "fig07 nmo=" + std::to_string(job.params.velocity_changes_per_step) +
-            " nmq=" + std::to_string(job.params.num_queries) + " " +
-            sim::SimModeName(mode);
+        job.label = "fig07 nmo=" +
+                    std::to_string(job.params.velocity_changes_per_step) +
+                    " nmq=" + std::to_string(job.params.num_queries) + " " +
+                    sim::SimModeName(mode);
         jobs.push_back(job);
       }
     }

@@ -15,6 +15,23 @@ enum class PropagationMode {
   kLazy,
 };
 
+// How grid cells map onto server shards (DESIGN.md §10).
+enum class ShardPartition {
+  // Contiguous bands of grid rows: shard k owns rows [k*band, (k+1)*band).
+  // Preserves locality (a monitoring region touches few shards).
+  kRowBand,
+  // CellCoordHash(cell) % num_shards: spreads hot rows at the cost of
+  // scattering every monitoring region across all shards.
+  kHash,
+};
+
+// Server-side sharding (DESIGN.md §10). num_shards == 1 is the monolith:
+// one shard owning the whole grid, no inter-shard traffic.
+struct ShardingOptions {
+  int num_shards = 1;
+  ShardPartition partition = ShardPartition::kRowBand;
+};
+
 // Toggles for the protocol variant run by both server and clients. Server
 // and clients of one deployment must share the same options.
 struct MobiEyesOptions {
@@ -61,6 +78,10 @@ struct MobiEyesOptions {
   // lets an object reconnecting after a disconnect rebuild its LQT.
   // 0 disables reconciliation.
   int reconcile_period_ticks = 0;
+
+  // Grid partitioning of the server state across shards (DESIGN.md §10).
+  // Clients never see the shard layout; the wire protocol is unchanged.
+  ShardingOptions sharding;
 };
 
 // Canonical hardened configuration used by the fault-tolerance evaluation:

@@ -18,6 +18,12 @@ void ReverseQueryIndex::Remove(QueryId qid, const geo::CellRange& mon_region) {
   });
 }
 
+void ReverseQueryIndex::RemoveCell(QueryId qid, const geo::CellCoord& c) {
+  auto& list = cells_[grid_->FlatIndex(c)];
+  auto it = std::find(list.begin(), list.end(), qid);
+  if (it != list.end()) list.erase(it);
+}
+
 std::vector<QueryId> ReverseQueryIndex::NewQueriesForMove(
     const geo::CellCoord& prev_cell, const geo::CellCoord& new_cell) const {
   const auto& prev_list = QueriesForCell(prev_cell);

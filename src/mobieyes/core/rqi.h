@@ -24,6 +24,14 @@ class ReverseQueryIndex {
   // that was passed to Add).
   void Remove(QueryId qid, const geo::CellRange& mon_region);
 
+  // Single-cell registration, for sharded RQI slices that index only the
+  // cells their shard owns. Appending per cell keeps each row's order
+  // identical to what full-range Add calls would produce.
+  void AddCell(QueryId qid, const geo::CellCoord& c) {
+    cells_[grid_->FlatIndex(c)].push_back(qid);
+  }
+  void RemoveCell(QueryId qid, const geo::CellCoord& c);
+
   // Queries whose monitoring region covers cell c (unordered).
   const std::vector<QueryId>& QueriesForCell(const geo::CellCoord& c) const {
     return cells_[grid_->FlatIndex(c)];

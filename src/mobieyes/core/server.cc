@@ -1,49 +1,6 @@
 #include "mobieyes/core/server.h"
 
-#include <algorithm>
-#include <iterator>
-#include <map>
-#include <tuple>
-
-#include "mobieyes/net/codec.h"
-
 namespace mobieyes::core {
-
-namespace {
-
-// Checkpoint image framing ("MoCI"), distinct from the store framing
-// ("MoCS") and the wire framing ("MoEY") so a buffer can never be mistaken
-// for the wrong layer.
-constexpr uint32_t kImageMagic = 0x4d6f4349;
-constexpr uint16_t kImageVersion = 1;
-
-// Hash-map keys in deterministic order, so two checkpoints of identical
-// logical state are byte-identical.
-template <typename Map>
-std::vector<typename Map::key_type> SortedKeys(const Map& map) {
-  std::vector<typename Map::key_type> keys;
-  keys.reserve(map.size());
-  for (const auto& [key, value] : map) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-  return keys;
-}
-
-}  // namespace
-
-using net::Message;
-using net::QueryInfo;
-
-MobiEyesServer::MobiEyesServer(const geo::Grid& grid,
-                               const net::BaseStationLayout& layout,
-                               const net::Bmap& bmap,
-                               net::WirelessNetwork& network,
-                               MobiEyesOptions options)
-    : grid_(&grid),
-      layout_(&layout),
-      bmap_(&bmap),
-      network_(&network),
-      options_(options),
-      rqi_(grid) {}
 
 Result<QueryId> MobiEyesServer::InstallQuery(ObjectId focal_oid, Miles radius,
                                              double filter_threshold,
@@ -53,688 +10,6 @@ Result<QueryId> MobiEyesServer::InstallQuery(ObjectId focal_oid, Miles radius,
   }
   return InstallQuery(focal_oid, geo::QueryRegion::MakeCircle(radius),
                       filter_threshold, duration);
-}
-
-Result<QueryId> MobiEyesServer::InstallQuery(ObjectId focal_oid,
-                                             const geo::QueryRegion& region,
-                                             double filter_threshold,
-                                             Seconds duration) {
-  TimedSection timed(load_timer_);
-  TRACE_SPAN(trace_, "server.install_query");
-  if (!region.valid()) {
-    return Status::InvalidArgument("query region must have positive extent");
-  }
-  if (duration <= 0.0) {
-    return Status::InvalidArgument("query duration must be positive");
-  }
-
-  // Write-ahead for server-side installations: uplink-driven installs are
-  // already logged by OnUplink (dispatching_), but an install through this
-  // public API would otherwise be invisible to the WAL and vanish on
-  // restore. The wire request carries no duration, so a finite-duration
-  // query replayed from the WAL loses its expiry — checkpoints taken after
-  // the install record the real deadline.
-  if (store_ != nullptr && !replaying_ && !dispatching_) {
-    store_->Append(focal_oid,
-                   net::MakeMessage(net::QueryInstallRequest{
-                       focal_oid, region, filter_threshold}));
-  }
-
-  // §3.3 step 3: if the focal object is unknown, request its kinematics.
-  // Delivery is synchronous, so the PositionVelocityReport round trip
-  // completes (and fills the FOT) before the call below returns. (During
-  // WAL replay the round trip is suppressed; Restore pre-applies the logged
-  // PositionVelocityReport instead.)
-  if (!fot_.contains(focal_oid)) {
-    SendDownlink(focal_oid,
-                 net::MakeMessage(net::PositionVelocityRequest{focal_oid}));
-    if (!fot_.contains(focal_oid)) {
-      return Status::NotFound("focal object did not report its position");
-    }
-  }
-  FotEntry& focal = fot_.at(focal_oid);
-
-  // §3.3 step 4: create the SQT entry and index it in the RQI.
-  QueryId qid = next_qid_++;
-  SqtEntry entry;
-  entry.qid = qid;
-  entry.focal_oid = focal_oid;
-  entry.region = region;
-  entry.filter_threshold = filter_threshold;
-  entry.curr_cell = focal.cell;
-  entry.mon_region = grid_->MonitoringRegion(entry.curr_cell,
-                                             region.ReachX(),
-                                             region.ReachY());
-  entry.expires_at =
-      duration == kNeverExpires ? kNeverExpires : now_ + duration;
-  if (options_.lease_duration > 0.0) {
-    // Stagger the first renewal by query id so lease refreshes spread over
-    // the period instead of bursting on one step.
-    entry.lease_renew_at =
-        now_ + options_.lease_duration *
-                   (1.0 + static_cast<double>(qid % 8) / 8.0);
-  }
-  rqi_.Add(qid, entry.mon_region);
-  focal.queries.push_back(qid);
-  auto [it, inserted] = sqt_.emplace(qid, std::move(entry));
-  (void)inserted;
-
-  // Tell the focal object it now has a bound query (sets hasMQ), then
-  // install the query on every object in the monitoring region through the
-  // minimal set of covering base stations.
-  SendDownlink(focal_oid,
-               net::MakeMessage(net::FocalNotification{focal_oid, qid}));
-  net::QueryInstallBroadcast broadcast;
-  broadcast.queries.push_back(BuildQueryInfo(it->second));
-  BroadcastToRegion(it->second.mon_region,
-                    net::MakeMessage(std::move(broadcast)));
-  return qid;
-}
-
-void MobiEyesServer::AdvanceTime(Seconds now) {
-  TRACE_SPAN(trace_, "server.advance_time");
-  now_ = now;
-  std::vector<QueryId> expired;
-  {
-    TimedSection timed(load_timer_);
-    for (const auto& [qid, entry] : sqt_) {
-      if (entry.expires_at <= now) expired.push_back(qid);
-    }
-  }
-  // Sorted so removal-broadcast order does not depend on hash-map layout —
-  // a server restored from a checkpoint must behave exactly like one that
-  // never crashed.
-  std::sort(expired.begin(), expired.end());
-  for (QueryId qid : expired) {
-    (void)RemoveQuery(qid);
-  }
-  if (options_.lease_duration > 0.0) RenewLeases();
-}
-
-void MobiEyesServer::RenewLeases() {
-  std::vector<QueryId> due;
-  {
-    TimedSection timed(load_timer_);
-    for (const auto& [qid, entry] : sqt_) {
-      if (entry.lease_renew_at <= now_) due.push_back(qid);
-    }
-  }
-  // Sorted so the broadcast order (and hence any fault-injection draw
-  // sequence downstream) is independent of hash-map iteration order.
-  std::sort(due.begin(), due.end());
-  for (QueryId qid : due) {
-    SqtEntry& entry = sqt_.at(qid);
-    entry.lease_renew_at = now_ + options_.lease_duration;
-    // Re-assert hasMQ on the focal object (a lost FocalNotification would
-    // otherwise silence its dead reckoning forever), then refresh the
-    // monitoring region. QueryUpdateBroadcast is idempotent on receivers:
-    // they install, update or drop based on their own cell.
-    SendDownlink(entry.focal_oid,
-                 net::MakeMessage(net::FocalNotification{entry.focal_oid,
-                                                         qid}));
-    net::QueryUpdateBroadcast broadcast;
-    broadcast.queries.push_back(BuildQueryInfo(entry));
-    BroadcastToRegion(entry.mon_region,
-                      net::MakeMessage(std::move(broadcast)));
-  }
-}
-
-Status MobiEyesServer::RemoveQuery(QueryId qid) {
-  TimedSection timed(load_timer_);
-  auto it = sqt_.find(qid);
-  if (it == sqt_.end()) return Status::NotFound("unknown query id");
-  SqtEntry entry = std::move(it->second);
-  sqt_.erase(it);
-  rqi_.Remove(qid, entry.mon_region);
-
-  auto fot_it = fot_.find(entry.focal_oid);
-  if (fot_it != fot_.end()) {
-    auto& queries = fot_it->second.queries;
-    queries.erase(std::find(queries.begin(), queries.end(), qid));
-    if (queries.empty()) {
-      // No query bound to this object anymore: clear its hasMQ flag (and
-      // drop it from the FOT — nothing left to mediate for it).
-      SendDownlink(entry.focal_oid,
-                   net::MakeMessage(net::FocalNotification{
-                       entry.focal_oid, kInvalidQueryId}));
-      fot_.erase(fot_it);
-    }
-  }
-
-  net::QueryRemoveBroadcast broadcast;
-  broadcast.qids.push_back(qid);
-  BroadcastToRegion(entry.mon_region, net::MakeMessage(std::move(broadcast)));
-  return Status::OK();
-}
-
-void MobiEyesServer::OnUplink(ObjectId from, const Message& message) {
-  TimedSection timed(load_timer_);
-  // Write-ahead: log the uplink before any handler mutates state, so the
-  // durable store always covers everything the in-memory state reflects.
-  // Duplicates are logged too — replay routes them through the same dedup.
-  if (store_ != nullptr && !replaying_) store_->Append(from, message);
-  const bool outer_dispatch = dispatching_;
-  dispatching_ = true;
-  // A non-zero envelope seq marks a tracked uplink (reliable-uplink
-  // hardening): acknowledge it and drop retransmissions of messages already
-  // processed.
-  if (message.seq != 0 && AckAndDedup(from, message.seq)) {
-    dispatching_ = outer_dispatch;
-    return;
-  }
-  switch (message.type) {
-    case net::MessageType::kQueryInstallRequest: {
-      TRACE_SPAN(trace_, "server.handle_query_install_request");
-      HandleQueryInstallRequest(
-          std::get<net::QueryInstallRequest>(message.payload));
-      break;
-    }
-    case net::MessageType::kPositionVelocityReport: {
-      TRACE_SPAN(trace_, "server.handle_position_velocity_report");
-      HandlePositionVelocityReport(
-          std::get<net::PositionVelocityReport>(message.payload));
-      break;
-    }
-    case net::MessageType::kVelocityChangeReport: {
-      TRACE_SPAN(trace_, "server.handle_velocity_change");
-      HandleVelocityChange(
-          std::get<net::VelocityChangeReport>(message.payload));
-      break;
-    }
-    case net::MessageType::kCellChangeReport: {
-      TRACE_SPAN(trace_, "server.handle_cell_change");
-      HandleCellChange(std::get<net::CellChangeReport>(message.payload));
-      break;
-    }
-    case net::MessageType::kResultBitmapReport: {
-      TRACE_SPAN(trace_, "server.handle_result_bitmap");
-      HandleResultBitmap(std::get<net::ResultBitmapReport>(message.payload));
-      break;
-    }
-    case net::MessageType::kLqtReconcileRequest: {
-      TRACE_SPAN(trace_, "server.handle_lqt_reconcile");
-      HandleLqtReconcile(
-          std::get<net::LqtReconcileRequest>(message.payload));
-      break;
-    }
-    default:
-      // Downlink-only types are never valid on the uplink; ignore.
-      break;
-  }
-  dispatching_ = outer_dispatch;
-}
-
-bool MobiEyesServer::AckAndDedup(ObjectId from, uint32_t seq) {
-  SeenSeqs& seen = seen_seqs_[from];
-  bool duplicate = false;
-  for (uint32_t s : seen.ring) {
-    if (s == seq) {
-      duplicate = true;
-      break;
-    }
-  }
-  if (!duplicate) {
-    seen.ring[seen.next] = seq;
-    seen.next = (seen.next + 1) % seen.ring.size();
-  }
-  // Always (re-)acknowledge: the previous ack may itself have been lost,
-  // and only an ack stops the sender's retransmissions.
-  SendDownlink(from, net::MakeMessage(net::UplinkAck{from, seq}));
-  return duplicate;
-}
-
-void MobiEyesServer::HandleQueryInstallRequest(
-    const net::QueryInstallRequest& request) {
-  // A user poses a query from their mobile device; same path as a
-  // server-side installation.
-  (void)InstallQuery(request.oid, request.region, request.filter_threshold);
-}
-
-void MobiEyesServer::HandlePositionVelocityReport(
-    const net::PositionVelocityReport& report) {
-  FotEntry& entry = fot_[report.oid];
-  entry.state = report.state;
-  entry.max_speed = report.max_speed;
-  entry.cell = grid_->CellOf(report.state.pos);
-}
-
-void MobiEyesServer::HandleVelocityChange(
-    const net::VelocityChangeReport& report) {
-  auto fot_it = fot_.find(report.oid);
-  if (fot_it == fot_.end()) return;  // stale report from an unbound object
-  FotEntry& focal = fot_it->second;
-  // A delayed or retransmitted report can arrive after a newer one; relaying
-  // the older vector would roll every monitoring region's prediction back.
-  if (report.state.tm < focal.state.tm) return;
-  focal.state = report.state;
-  focal.cell = grid_->CellOf(report.state.pos);
-
-  // §3.4: relay the new vector to the monitoring region of each query bound
-  // to this focal object. Groupable queries sharing a monitoring region are
-  // served by a single broadcast (§4.1); without grouping each query gets
-  // its own broadcast as in the base protocol.
-  const bool lazy = options_.propagation == PropagationMode::kLazy;
-  if (options_.enable_query_grouping) {
-    std::map<std::tuple<int32_t, int32_t, int32_t, int32_t>,
-             std::vector<QueryId>>
-        by_region;
-    for (QueryId qid : focal.queries) {
-      const SqtEntry& entry = sqt_.at(qid);
-      by_region[{entry.mon_region.i_lo, entry.mon_region.i_hi,
-                 entry.mon_region.j_lo, entry.mon_region.j_hi}]
-          .push_back(qid);
-    }
-    for (const auto& [key, qids] : by_region) {
-      geo::CellRange region{std::get<0>(key), std::get<1>(key),
-                            std::get<2>(key), std::get<3>(key)};
-      net::VelocityChangeBroadcast broadcast;
-      broadcast.focal_oid = report.oid;
-      broadcast.state = report.state;
-      if (lazy) {
-        broadcast.carries_query_info = true;
-        for (QueryId qid : qids) {
-          broadcast.queries.push_back(BuildQueryInfo(sqt_.at(qid)));
-        }
-      }
-      BroadcastToRegion(region, net::MakeMessage(std::move(broadcast)));
-    }
-  } else {
-    for (QueryId qid : focal.queries) {
-      const SqtEntry& entry = sqt_.at(qid);
-      net::VelocityChangeBroadcast broadcast;
-      broadcast.focal_oid = report.oid;
-      broadcast.state = report.state;
-      if (lazy) {
-        broadcast.carries_query_info = true;
-        broadcast.queries.push_back(BuildQueryInfo(entry));
-      }
-      BroadcastToRegion(entry.mon_region,
-                        net::MakeMessage(std::move(broadcast)));
-    }
-  }
-}
-
-void MobiEyesServer::HandleCellChange(const net::CellChangeReport& report) {
-  // §3.5. For any reporting object under eager propagation, answer with the
-  // queries that newly cover its destination cell.
-  if (options_.propagation == PropagationMode::kEager) {
-    std::vector<QueryId> new_qids =
-        rqi_.NewQueriesForMove(report.prev_cell, report.new_cell);
-    // The object never monitors its own queries.
-    std::erase_if(new_qids, [&](QueryId qid) {
-      return sqt_.at(qid).focal_oid == report.oid;
-    });
-    if (!new_qids.empty()) {
-      net::NewQueriesNotification notification;
-      notification.oid = report.oid;
-      for (QueryId qid : new_qids) {
-        notification.queries.push_back(BuildQueryInfo(sqt_.at(qid)));
-      }
-      SendDownlink(report.oid, net::MakeMessage(std::move(notification)));
-    }
-  }
-
-  // Additional operations when the mover is a focal object: recompute each
-  // bound query's monitoring region and notify the union of the old and new
-  // regions.
-  auto fot_it = fot_.find(report.oid);
-  if (fot_it == fot_.end()) return;
-  FotEntry& focal = fot_it->second;
-  focal.cell = report.new_cell;
-
-  // Group queries that share both old and new monitoring regions into one
-  // broadcast (matching monitoring regions, §4.1).
-  std::map<std::tuple<int32_t, int32_t, int32_t, int32_t, int32_t, int32_t,
-                      int32_t, int32_t>,
-           std::vector<QueryId>>
-      by_region_pair;
-  for (QueryId qid : focal.queries) {
-    SqtEntry& entry = sqt_.at(qid);
-    geo::CellRange old_region = entry.mon_region;
-    entry.curr_cell = report.new_cell;
-    entry.mon_region = grid_->MonitoringRegion(
-        report.new_cell, entry.region.ReachX(), entry.region.ReachY());
-    rqi_.Remove(qid, old_region);
-    rqi_.Add(qid, entry.mon_region);
-    auto key = std::make_tuple(old_region.i_lo, old_region.i_hi,
-                               old_region.j_lo, old_region.j_hi,
-                               entry.mon_region.i_lo, entry.mon_region.i_hi,
-                               entry.mon_region.j_lo, entry.mon_region.j_hi);
-    if (options_.enable_query_grouping) {
-      by_region_pair[key].push_back(qid);
-    } else {
-      net::QueryUpdateBroadcast broadcast;
-      broadcast.queries.push_back(BuildQueryInfo(entry));
-      BroadcastToRegion(geo::CellRange::Union(old_region, entry.mon_region),
-                        net::MakeMessage(std::move(broadcast)));
-    }
-  }
-  for (const auto& [key, qids] : by_region_pair) {
-    geo::CellRange old_region{std::get<0>(key), std::get<1>(key),
-                              std::get<2>(key), std::get<3>(key)};
-    geo::CellRange new_region{std::get<4>(key), std::get<5>(key),
-                              std::get<6>(key), std::get<7>(key)};
-    net::QueryUpdateBroadcast broadcast;
-    for (QueryId qid : qids) {
-      broadcast.queries.push_back(BuildQueryInfo(sqt_.at(qid)));
-    }
-    BroadcastToRegion(geo::CellRange::Union(old_region, new_region),
-                      net::MakeMessage(std::move(broadcast)));
-  }
-}
-
-void MobiEyesServer::HandleResultBitmap(const net::ResultBitmapReport& report) {
-  for (size_t k = 0; k < report.qids.size(); ++k) {
-    auto it = sqt_.find(report.qids[k]);
-    if (it == sqt_.end()) continue;
-    bool is_target = (report.bitmap >> k) & 1;
-    if (is_target) {
-      it->second.result.insert(report.oid);
-    } else {
-      it->second.result.erase(report.oid);
-    }
-  }
-}
-
-void MobiEyesServer::HandleLqtReconcile(
-    const net::LqtReconcileRequest& request) {
-  if (request.cold_start) {
-    // The object restarted and lost its containment state: every result
-    // membership it previously reported is now unverifiable. Clear it
-    // everywhere and let its fresh evaluations re-report the flips —
-    // briefly missing beats spuriously present forever.
-    for (auto& [qid, entry] : sqt_) entry.result.erase(request.oid);
-    // A restarted focal object also lost hasMQ; without this repair it
-    // would stop dead-reckoning for its queries until the next lease
-    // renewal.
-    auto fot_it = fot_.find(request.oid);
-    if (fot_it != fot_.end() && !fot_it->second.queries.empty()) {
-      SendDownlink(request.oid,
-                   net::MakeMessage(net::FocalNotification{
-                       request.oid, fot_it->second.queries.front()}));
-    }
-  }
-  // Queries that should cover the object's current cell per the RQI. The
-  // client re-checks filter and cell on install, so over-sending is safe.
-  std::vector<QueryId> expected;
-  for (QueryId qid : rqi_.QueriesForCell(request.cell)) {
-    if (sqt_.at(qid).focal_oid != request.oid) expected.push_back(qid);
-  }
-  std::sort(expected.begin(), expected.end());
-  std::vector<QueryId> known = request.known_qids;
-  std::sort(known.begin(), known.end());
-
-  std::vector<QueryId> missing;
-  std::set_difference(expected.begin(), expected.end(), known.begin(),
-                      known.end(), std::back_inserter(missing));
-  std::vector<QueryId> stale;
-  std::set_difference(known.begin(), known.end(), expected.begin(),
-                      expected.end(), std::back_inserter(stale));
-
-  // Resynchronize result membership from the client's own view: what it
-  // holds is the ground truth for its containment bits, and flips reported
-  // while it was unreachable are lost for good.
-  std::unordered_set<QueryId> targets(request.target_qids.begin(),
-                                      request.target_qids.end());
-  for (QueryId qid : request.known_qids) {
-    auto it = sqt_.find(qid);
-    if (it == sqt_.end()) continue;
-    if (targets.contains(qid)) {
-      it->second.result.insert(request.oid);
-    } else {
-      it->second.result.erase(request.oid);
-    }
-  }
-  for (QueryId qid : stale) {
-    auto it = sqt_.find(qid);
-    if (it != sqt_.end()) it->second.result.erase(request.oid);
-  }
-
-  if (!missing.empty()) {
-    net::NewQueriesNotification notification;
-    notification.oid = request.oid;
-    for (QueryId qid : missing) {
-      notification.queries.push_back(BuildQueryInfo(sqt_.at(qid)));
-    }
-    SendDownlink(request.oid, net::MakeMessage(std::move(notification)));
-  }
-  if (!stale.empty()) {
-    // One-to-one removal: only this object holds the stale entries.
-    SendDownlink(request.oid,
-                 net::MakeMessage(
-                     net::QueryRemoveBroadcast{std::move(stale)}));
-  }
-}
-
-QueryInfo MobiEyesServer::BuildQueryInfo(const SqtEntry& entry) const {
-  QueryInfo info;
-  info.qid = entry.qid;
-  info.focal_oid = entry.focal_oid;
-  const FotEntry& focal = fot_.at(entry.focal_oid);
-  info.focal = focal.state;
-  info.region = entry.region;
-  info.filter_threshold = entry.filter_threshold;
-  info.mon_region = entry.mon_region;
-  info.focal_max_speed = focal.max_speed;
-  return info;
-}
-
-void MobiEyesServer::SendDownlink(ObjectId to, Message message) {
-  if (replaying_) return;  // the original delivery happened before the crash
-  TimerPause pause(load_timer_);  // delivery is the medium's work, not ours
-  network_->SendDownlinkTo(to, std::move(message));
-}
-
-void MobiEyesServer::BroadcastToRegion(const geo::CellRange& region,
-                                       Message message) {
-  if (replaying_) return;  // see SendDownlink
-  std::vector<BaseStationId> cover = bmap_->MinimalCover(region);
-  // Computing the cover is server work; the per-station delivery below is
-  // the wireless medium's (and the receivers'), so exclude it from the
-  // server-load measurement.
-  TimerPause pause(load_timer_);
-  for (BaseStationId sid : cover) {
-    network_->Broadcast(layout_->station(sid), message);
-  }
-}
-
-Result<std::unordered_set<ObjectId>> MobiEyesServer::QueryResult(
-    QueryId qid) const {
-  auto it = sqt_.find(qid);
-  if (it == sqt_.end()) return Status::NotFound("unknown query id");
-  return it->second.result;
-}
-
-const MobiEyesServer::SqtEntry* MobiEyesServer::FindQuery(QueryId qid) const {
-  auto it = sqt_.find(qid);
-  return it == sqt_.end() ? nullptr : &it->second;
-}
-
-const MobiEyesServer::FotEntry* MobiEyesServer::FindFocal(
-    ObjectId oid) const {
-  auto it = fot_.find(oid);
-  return it == fot_.end() ? nullptr : &it->second;
-}
-
-void MobiEyesServer::Checkpoint() {
-  if (store_ == nullptr) return;
-  TimedSection timed(load_timer_);
-  store_->Install(EncodeImage());
-}
-
-Status MobiEyesServer::Restore(const Snapshot& store, size_t* replayed) {
-  if (store.has_checkpoint()) {
-    MOBIEYES_RETURN_NOT_OK(DecodeImage(store.checkpoint));
-  }
-  // Replay the logged uplinks through the normal dispatch with all sends
-  // suppressed: the originals were delivered before the crash, and replay
-  // must reproduce state, not traffic.
-  replaying_ = true;
-  std::vector<bool> consumed(store.wal.size(), false);
-  size_t applied = 0;
-  for (size_t k = 0; k < store.wal.size(); ++k) {
-    if (consumed[k]) continue;
-    const WalRecord& record = store.wal[k];
-    if (record.message.type == net::MessageType::kQueryInstallRequest) {
-      // A live install for an unknown focal object did a synchronous
-      // kinematics round trip whose PositionVelocityReport was logged
-      // *after* the install (nested dispatch). Replay cannot do the round
-      // trip, so apply that report first, in the position the live run
-      // effectively applied it.
-      const auto& request =
-          std::get<net::QueryInstallRequest>(record.message.payload);
-      if (!fot_.contains(request.oid)) {
-        for (size_t j = k + 1; j < store.wal.size(); ++j) {
-          const WalRecord& later = store.wal[j];
-          if (consumed[j] ||
-              later.message.type !=
-                  net::MessageType::kPositionVelocityReport ||
-              std::get<net::PositionVelocityReport>(later.message.payload)
-                      .oid != request.oid) {
-            continue;
-          }
-          OnUplink(later.from, later.message);
-          consumed[j] = true;
-          ++applied;
-          break;
-        }
-      }
-    }
-    OnUplink(record.from, record.message);
-    ++applied;
-  }
-  replaying_ = false;
-  if (replayed != nullptr) *replayed = applied;
-  return Status::OK();
-}
-
-std::vector<uint8_t> MobiEyesServer::EncodeImage() const {
-  std::vector<uint8_t> out;
-  net::ByteWriter w(&out);
-  w.U32(kImageMagic);
-  w.U16(kImageVersion);
-  w.U16(0);  // reserved
-  w.F64(now_);
-  w.I64(next_qid_);
-
-  w.U32(static_cast<uint32_t>(fot_.size()));
-  for (ObjectId oid : SortedKeys(fot_)) {
-    const FotEntry& entry = fot_.at(oid);
-    w.I64(oid);
-    w.State(entry.state);
-    w.F64(entry.max_speed);
-    w.Cell(entry.cell);
-    // The bound-query list keeps its live order: broadcast order during
-    // velocity relays follows it.
-    w.U32(static_cast<uint32_t>(entry.queries.size()));
-    for (QueryId qid : entry.queries) w.I64(qid);
-  }
-
-  w.U32(static_cast<uint32_t>(sqt_.size()));
-  for (QueryId qid : SortedKeys(sqt_)) {
-    const SqtEntry& entry = sqt_.at(qid);
-    w.I64(entry.qid);
-    w.I64(entry.focal_oid);
-    w.Region(entry.region);
-    w.F64(entry.filter_threshold);
-    w.Cell(entry.curr_cell);
-    w.Range(entry.mon_region);
-    w.F64(entry.expires_at);
-    w.F64(entry.lease_renew_at);
-    std::vector<ObjectId> result(entry.result.begin(), entry.result.end());
-    std::sort(result.begin(), result.end());
-    w.U32(static_cast<uint32_t>(result.size()));
-    for (ObjectId oid : result) w.I64(oid);
-  }
-
-  w.U32(static_cast<uint32_t>(seen_seqs_.size()));
-  for (ObjectId oid : SortedKeys(seen_seqs_)) {
-    const SeenSeqs& seen = seen_seqs_.at(oid);
-    w.I64(oid);
-    for (uint32_t seq : seen.ring) w.U32(seq);
-    w.U8(static_cast<uint8_t>(seen.next));
-  }
-  return out;
-}
-
-Status MobiEyesServer::DecodeImage(const std::vector<uint8_t>& image) {
-  net::ByteReader r(image.data(), image.size());
-  if (r.U32() != kImageMagic) {
-    return Status::InvalidArgument("checkpoint: bad magic number");
-  }
-  if (r.U16() != kImageVersion) {
-    return Status::InvalidArgument("checkpoint: unsupported version");
-  }
-  r.U16();  // reserved
-
-  fot_.clear();
-  sqt_.clear();
-  seen_seqs_.clear();
-  rqi_ = ReverseQueryIndex(*grid_);
-
-  now_ = r.F64();
-  next_qid_ = r.I64();
-
-  uint32_t fot_count = r.U32();
-  for (uint32_t k = 0; k < fot_count && r.ok(); ++k) {
-    ObjectId oid = r.I64();
-    FotEntry entry;
-    entry.state = r.State();
-    entry.max_speed = r.F64();
-    entry.cell = r.Cell();
-    uint32_t num_queries = r.U32();
-    for (uint32_t q = 0; q < num_queries && r.ok(); ++q) {
-      entry.queries.push_back(r.I64());
-    }
-    if (r.ok()) fot_.emplace(oid, std::move(entry));
-  }
-
-  uint32_t sqt_count = r.U32();
-  for (uint32_t k = 0; k < sqt_count && r.ok(); ++k) {
-    SqtEntry entry;
-    entry.qid = r.I64();
-    entry.focal_oid = r.I64();
-    entry.region = r.Region();
-    entry.filter_threshold = r.F64();
-    entry.curr_cell = r.Cell();
-    entry.mon_region = r.Range();
-    entry.expires_at = r.F64();
-    entry.lease_renew_at = r.F64();
-    uint32_t result_count = r.U32();
-    for (uint32_t q = 0; q < result_count && r.ok(); ++q) {
-      entry.result.insert(r.I64());
-    }
-    if (!r.ok()) break;
-    // The monitoring region indexes straight into the RQI matrix; a corrupt
-    // range would walk out of bounds, so reject it before Add.
-    if (entry.mon_region.i_lo > entry.mon_region.i_hi ||
-        entry.mon_region.j_lo > entry.mon_region.j_hi ||
-        !grid_->IsValid({entry.mon_region.i_lo, entry.mon_region.j_lo}) ||
-        !grid_->IsValid({entry.mon_region.i_hi, entry.mon_region.j_hi})) {
-      return Status::InvalidArgument(
-          "checkpoint: monitoring region outside the grid");
-    }
-    rqi_.Add(entry.qid, entry.mon_region);
-    sqt_.emplace(entry.qid, std::move(entry));
-  }
-
-  uint32_t seen_count = r.U32();
-  for (uint32_t k = 0; k < seen_count && r.ok(); ++k) {
-    ObjectId oid = r.I64();
-    SeenSeqs seen;
-    for (size_t s = 0; s < seen.ring.size(); ++s) seen.ring[s] = r.U32();
-    uint8_t next = r.U8();
-    if (next >= seen.ring.size()) {
-      return Status::InvalidArgument("checkpoint: dedup ring cursor range");
-    }
-    seen.next = next;
-    if (r.ok()) seen_seqs_.emplace(oid, seen);
-  }
-
-  if (!r.ok() || r.remaining() != 0) {
-    return Status::InvalidArgument("checkpoint: truncated or malformed image");
-  }
-  return Status::OK();
 }
 
 }  // namespace mobieyes::core

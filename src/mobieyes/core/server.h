@@ -1,18 +1,15 @@
 #ifndef MOBIEYES_CORE_SERVER_H_
 #define MOBIEYES_CORE_SERVER_H_
 
-#include <array>
-#include <limits>
-#include <unordered_map>
 #include <unordered_set>
-#include <vector>
 
 #include "mobieyes/common/ids.h"
 #include "mobieyes/common/status.h"
-#include "mobieyes/common/stopwatch.h"
+#include "mobieyes/common/thread_pool.h"
 #include "mobieyes/common/units.h"
 #include "mobieyes/core/options.h"
 #include "mobieyes/core/rqi.h"
+#include "mobieyes/core/shard_router.h"
 #include "mobieyes/core/snapshot.h"
 #include "mobieyes/geo/grid.h"
 #include "mobieyes/net/bmap.h"
@@ -28,45 +25,25 @@ namespace mobieyes::core {
 // base-station broadcasts that keep the affected monitoring regions
 // current. Query results are maintained differentially from the containment
 // flips reported by the objects themselves.
+//
+// Internally the server is a ShardRouter in front of N grid-partitioned
+// ServerShards (options.sharding; DESIGN.md §10). The default single shard
+// is the monolith; more shards change nothing a client can observe — only
+// how the server's own state and step-phase work are partitioned.
 class MobiEyesServer {
  public:
-  // FOT row (paper §3.2): last reported kinematics of a focal object plus
-  // the queries bound to it.
-  struct FotEntry {
-    net::FocalState state;
-    double max_speed = 0.0;  // miles/second, carried for safe periods
-    // Last known grid cell, kept current by cell-change reports. The
-    // recorded kinematics must stay untouched between velocity reports or
-    // dead-reckoning predictions downstream would diverge.
-    geo::CellCoord cell;
-    std::vector<QueryId> queries;
-  };
+  // The table-row types moved to server_shard.h with the sharding refactor;
+  // aliased here so existing call sites keep compiling unchanged.
+  using FotEntry = core::FotEntry;
+  using SqtEntry = core::SqtEntry;
 
-  // SQT row (paper §3.2) plus the expiry time: the paper's example queries
-  // are time-bounded ("during next 2 hours"), so a query may carry a
-  // duration after which the server uninstalls it everywhere.
-  struct SqtEntry {
-    QueryId qid = kInvalidQueryId;
-    ObjectId focal_oid = kInvalidObjectId;
-    geo::QueryRegion region;
-    double filter_threshold = 1.0;
-    geo::CellCoord curr_cell;
-    geo::CellRange mon_region;
-    Seconds expires_at = kNeverExpires;
-    // Soft-state lease (options.lease_duration > 0): when the deadline
-    // passes, the server re-broadcasts the query's monitoring-region state
-    // so clients that missed the original install or update recover.
-    Seconds lease_renew_at = std::numeric_limits<Seconds>::infinity();
-    std::unordered_set<ObjectId> result;
-  };
-
-  static constexpr Seconds kNeverExpires =
-      std::numeric_limits<Seconds>::infinity();
+  static constexpr Seconds kNeverExpires = core::kNeverExpires;
 
   // `grid`, `layout`, `bmap` and `network` must outlive the server.
   MobiEyesServer(const geo::Grid& grid, const net::BaseStationLayout& layout,
                  const net::Bmap& bmap, net::WirelessNetwork& network,
-                 MobiEyesOptions options);
+                 MobiEyesOptions options)
+      : router_(grid, layout, bmap, network, options) {}
 
   // Installs a moving query bound to `focal_oid` (paper §3.3). If the focal
   // object is not yet in the FOT its kinematics are requested over the
@@ -80,39 +57,64 @@ class MobiEyesServer {
   Result<QueryId> InstallQuery(ObjectId focal_oid,
                                const geo::QueryRegion& region,
                                double filter_threshold,
-                               Seconds duration = kNeverExpires);
+                               Seconds duration = kNeverExpires) {
+    return router_.InstallQuery(focal_oid, region, filter_threshold, duration);
+  }
 
   // Advances the server clock and removes queries whose lifetime has
   // elapsed (removal broadcasts included). Call once per time step.
-  void AdvanceTime(Seconds now);
+  void AdvanceTime(Seconds now) { router_.AdvanceTime(now); }
 
-  Seconds now() const { return now_; }
+  Seconds now() const { return router_.now(); }
 
   // Removes a query: clears server state and broadcasts the removal over
   // the query's monitoring region.
-  Status RemoveQuery(QueryId qid);
+  Status RemoveQuery(QueryId qid) { return router_.RemoveQuery(qid); }
 
   // Network entry point for all uplink traffic; wire this to
   // WirelessNetwork::set_server_handler.
-  void OnUplink(ObjectId from, const net::Message& message);
+  void OnUplink(ObjectId from, const net::Message& message) {
+    router_.OnUplink(from, message);
+  }
 
   // --- Introspection (tests, oracle comparison, benches) -------------------
 
   // Current differentially-maintained result of a query.
-  Result<std::unordered_set<ObjectId>> QueryResult(QueryId qid) const;
+  Result<std::unordered_set<ObjectId>> QueryResult(QueryId qid) const {
+    return router_.QueryResult(qid);
+  }
 
-  const SqtEntry* FindQuery(QueryId qid) const;
-  const FotEntry* FindFocal(ObjectId oid) const;
-  size_t query_count() const { return sqt_.size(); }
-  const ReverseQueryIndex& rqi() const { return rqi_; }
+  const SqtEntry* FindQuery(QueryId qid) const {
+    return router_.FindQuery(qid);
+  }
+  const FotEntry* FindFocal(ObjectId oid) const {
+    return router_.FindFocal(oid);
+  }
+  size_t query_count() const { return router_.query_count(); }
+  // Shard 0's RQI slice — the full index when running single-shard.
+  const ReverseQueryIndex& rqi() const { return router_.shard(0).rqi(); }
+
+  // The sharded deployment behind the facade.
+  ShardRouter& router() { return router_; }
+  const ShardRouter& router() const { return router_; }
+  int num_shards() const { return router_.num_shards(); }
 
   // Accumulated wall time spent in server-side logic ("server load", §5.2).
-  double load_seconds() const { return load_timer_.total_seconds(); }
-  void ResetLoadTimer() { load_timer_.Reset(); }
+  double load_seconds() const { return router_.load_seconds(); }
+  // Wall time of the parallelizable step phase (expiry/lease scans and
+  // checkpoint encoding); the shard bench's comparison quantity.
+  double step_seconds() const { return router_.step_seconds(); }
+  void ResetLoadTimer() { router_.ResetLoadTimer(); }
 
   // Scoped-span tracing of the uplink handlers; null (the default) disables
   // it. The recorder must outlive the server.
-  void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
+  void set_trace_recorder(obs::TraceRecorder* trace) {
+    router_.set_trace_recorder(trace);
+  }
+
+  // Worker pool for the per-shard step phase; null (the default) runs the
+  // shards inline. The pool must outlive the server.
+  void set_thread_pool(ThreadPool* pool) { router_.set_thread_pool(pool); }
 
   // --- Crash recovery (DESIGN.md §9) ---------------------------------------
 
@@ -121,14 +123,15 @@ class MobiEyesServer {
   // checkpoint + WAL always covers the accepted traffic. Pass nullptr to
   // detach. The store must outlive the server — it is the part of the
   // mediator that survives a crash.
-  void set_durable_store(Snapshot* store) { store_ = store; }
-  Snapshot* durable_store() const { return store_; }
+  void set_durable_store(Snapshot* store) { router_.set_durable_store(store); }
+  Snapshot* durable_store() const { return router_.durable_store(); }
 
   // Serializes the full server state (FOT, SQT including monitoring regions,
   // result sets and lease deadlines, dedup rings, clock and id counter) into
   // the attached store's checkpoint image and truncates its WAL. No-op
-  // without an attached store.
-  void Checkpoint();
+  // without an attached store. The image layout is shard-count-independent:
+  // shards encode sorted fragments that merge into one global sorted image.
+  void Checkpoint() { router_.Checkpoint(); }
 
   // Rebuilds this (freshly constructed) server from `store`: decodes the
   // checkpoint image, re-derives the RQI from the SQT monitoring regions,
@@ -137,67 +140,14 @@ class MobiEyesServer {
   // crash, so replay must mutate state without re-broadcasting. `replayed`
   // (optional) receives the number of WAL records applied. A store without
   // a checkpoint restores to a cold server plus whatever the WAL holds.
-  Status Restore(const Snapshot& store, size_t* replayed = nullptr);
+  // The restoring deployment may use a different shard count than the one
+  // that wrote the store — entries re-home under the current shard map.
+  Status Restore(const Snapshot& store, size_t* replayed = nullptr) {
+    return router_.Restore(store, replayed);
+  }
 
  private:
-  void HandleQueryInstallRequest(const net::QueryInstallRequest& request);
-  void HandlePositionVelocityReport(const net::PositionVelocityReport& report);
-  void HandleVelocityChange(const net::VelocityChangeReport& report);
-  void HandleCellChange(const net::CellChangeReport& report);
-  void HandleResultBitmap(const net::ResultBitmapReport& report);
-  void HandleLqtReconcile(const net::LqtReconcileRequest& request);
-
-  // Acknowledges a tracked uplink and dedups retransmissions. Returns true
-  // when the message was already processed and must be ignored.
-  bool AckAndDedup(ObjectId from, uint32_t seq);
-
-  // Re-broadcasts the state of queries whose lease lapsed (soft-state
-  // refresh; options.lease_duration > 0).
-  void RenewLeases();
-
-  // Builds the installation payload for a query from FOT + SQT state.
-  net::QueryInfo BuildQueryInfo(const SqtEntry& entry) const;
-
-  // Sends `message` once per base station of the greedy minimal cover of
-  // `region`.
-  void BroadcastToRegion(const geo::CellRange& region, net::Message message);
-
-  // One-to-one downlink funnel: every server-originated downlink goes
-  // through here so WAL replay (replaying_) can suppress re-sends.
-  void SendDownlink(ObjectId to, net::Message message);
-
-  // Checkpoint image codec (little-endian, maps serialized in sorted key
-  // order so images are deterministic regardless of hash-map layout).
-  std::vector<uint8_t> EncodeImage() const;
-  Status DecodeImage(const std::vector<uint8_t>& image);
-
-  const geo::Grid* grid_;
-  const net::BaseStationLayout* layout_;
-  const net::Bmap* bmap_;
-  net::WirelessNetwork* network_;
-  MobiEyesOptions options_;
-
-  std::unordered_map<ObjectId, FotEntry> fot_;
-  std::unordered_map<QueryId, SqtEntry> sqt_;
-  ReverseQueryIndex rqi_;
-  QueryId next_qid_ = 0;
-  Seconds now_ = 0.0;
-
-  // Recently seen uplink sequence numbers per object (at-most-once dedup
-  // for the reliable-uplink hardening). A small ring suffices: a client
-  // tracks at most 16 uplinks and retires them in rough FIFO order.
-  struct SeenSeqs {
-    std::array<uint32_t, 8> ring{};
-    size_t next = 0;
-  };
-  std::unordered_map<ObjectId, SeenSeqs> seen_seqs_;
-
-  Snapshot* store_ = nullptr;
-  bool replaying_ = false;   // inside Restore's WAL replay: suppress sends
-  bool dispatching_ = false;  // inside OnUplink: the WAL already has this
-
-  ReentrantTimer load_timer_;
-  obs::TraceRecorder* trace_ = nullptr;
+  ShardRouter router_;
 };
 
 }  // namespace mobieyes::core

@@ -1,0 +1,197 @@
+#ifndef MOBIEYES_CORE_SHARD_ROUTER_H_
+#define MOBIEYES_CORE_SHARD_ROUTER_H_
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/common/status.h"
+#include "mobieyes/common/stopwatch.h"
+#include "mobieyes/common/thread_pool.h"
+#include "mobieyes/common/units.h"
+#include "mobieyes/core/options.h"
+#include "mobieyes/core/server_shard.h"
+#include "mobieyes/core/snapshot.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/net/bmap.h"
+#include "mobieyes/net/message.h"
+#include "mobieyes/net/network.h"
+#include "mobieyes/obs/trace_recorder.h"
+
+namespace mobieyes::core {
+
+// Coordinator in front of N grid-partitioned ServerShards (DESIGN.md §10).
+// The router owns the protocol: it dispatches every uplink serially in
+// arrival order (the in-process network is synchronous, so responses land
+// mid-tick and feed the same tick's client evaluations — reordering would
+// change observable behavior), resolves which shard homes each FOT/SQT
+// entry, migrates ownership with explicit ShardHandoff messages when a
+// focal object crosses a partition boundary, and funnels every downlink
+// through the wireless network in the exact order the monolith produced.
+// What parallelizes across shards is the step phase: expiry scans, lease
+// scans, and checkpoint-chunk encoding, all shard-local reads.
+//
+// Invariant (co-location): a focal object's FOT row and every SQT entry
+// bound to it live on the shard owning the focal's current cell. RQI rows
+// are keyed by cell and never migrate.
+class ShardRouter {
+ public:
+  // Coordinator-side traffic of the sharded deployment; all zero with one
+  // shard. Mirrored into NetworkStats::inter_shard_* by the simulation.
+  struct BackplaneStats {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    uint64_t handoffs = 0;  // subset of messages
+  };
+
+  ShardRouter(const geo::Grid& grid, const net::BaseStationLayout& layout,
+              const net::Bmap& bmap, net::WirelessNetwork& network,
+              MobiEyesOptions options);
+
+  Result<QueryId> InstallQuery(ObjectId focal_oid,
+                               const geo::QueryRegion& region,
+                               double filter_threshold, Seconds duration);
+  void AdvanceTime(Seconds now);
+  Seconds now() const { return now_; }
+  Status RemoveQuery(QueryId qid);
+  void OnUplink(ObjectId from, const net::Message& message);
+
+  // --- Introspection -------------------------------------------------------
+
+  Result<std::unordered_set<ObjectId>> QueryResult(QueryId qid) const;
+  const SqtEntry* FindQuery(QueryId qid) const;
+  const FotEntry* FindFocal(ObjectId oid) const;
+  size_t query_count() const { return qid_home_.size(); }
+
+  // The RQI row of `cell`, read from the owning shard.
+  const std::vector<QueryId>& QueriesForCell(const geo::CellCoord& cell) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardMap& shard_map() const { return map_; }
+  const ServerShard& shard(int k) const { return *shards_[k]; }
+  // Home shard of a query / focal object; -1 if unknown.
+  int ShardOfQuery(QueryId qid) const;
+  int ShardOfFocal(ObjectId oid) const;
+  const BackplaneStats& backplane() const { return backplane_; }
+
+  double load_seconds() const { return load_timer_.total_seconds(); }
+  // Wall time of the parallelized step phase (expiry scan, lease scan,
+  // checkpoint encode) — the quantity the shard bench compares across
+  // shard counts.
+  double step_seconds() const { return step_timer_.total_seconds(); }
+  void ResetLoadTimer() {
+    load_timer_.Reset();
+    step_timer_.Reset();
+    for (auto& shard : shards_) shard->stats().step_micros = 0;
+  }
+
+  void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
+  // Pool for the per-shard step phase; null (default) runs shards inline.
+  // The pool must outlive the router.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // --- Crash recovery (DESIGN.md §9, §10) ----------------------------------
+
+  void set_durable_store(Snapshot* store) { store_ = store; }
+  Snapshot* durable_store() const { return store_; }
+  void Checkpoint();
+  Status Restore(const Snapshot& store, size_t* replayed);
+
+ private:
+  void HandleQueryInstallRequest(const net::QueryInstallRequest& request);
+  void HandlePositionVelocityReport(const net::PositionVelocityReport& report);
+  void HandleVelocityChange(const net::VelocityChangeReport& report);
+  void HandleCellChange(const net::CellChangeReport& report);
+  void HandleResultBitmap(const net::ResultBitmapReport& report);
+  void HandleLqtReconcile(const net::LqtReconcileRequest& request);
+
+  bool AckAndDedup(ObjectId from, uint32_t seq);
+  void RenewLeases();
+
+  // Shard that first receives an uplink: the one owning the reporting
+  // object's cell (per the message's own cell evidence). Cross-shard work
+  // relative to this ingress is what the backplane accounting charges.
+  int IngressShard(const net::Message& message) const;
+
+  // Mutable entry lookups through the home indexes.
+  SqtEntry* MutableQuery(QueryId qid);
+  FotEntry* MutableFocal(ObjectId oid);
+
+  // Re-homes `oid` (and its bound queries) if its recorded cell moved into
+  // another shard's partition, by delivering a ShardHandoff message.
+  // Returns the (possibly new) home shard.
+  int MigrateIfNeeded(ObjectId oid);
+
+  // RQI registration fanned out to every shard intersecting the region.
+  void RqiAddAll(QueryId qid, const geo::CellRange& mon_region);
+  void RqiRemoveAll(QueryId qid, const geo::CellRange& mon_region);
+
+  // Charges one backplane message to reach `target_shard` from the current
+  // ingress shard (free when local, single-shard, or replaying the WAL).
+  void CountOp(int target_shard, size_t payload_bytes);
+
+  net::QueryInfo BuildQueryInfo(const ServerShard& home,
+                                const SqtEntry& entry) const;
+  void BroadcastToRegion(const geo::CellRange& region, net::Message message);
+  void SendDownlink(ObjectId to, net::Message message);
+
+  // Runs fn(shard_index) for every shard — on the pool when attached and
+  // multi-shard, inline otherwise — and emits per-shard trace spans (tid =
+  // shard id + 1) from the calling thread after joining. Const: it mutates
+  // no router state (workers touch only their own shard's slice).
+  template <typename Fn>
+  void ForEachShard(const char* span_name, const Fn& fn) const;
+
+  std::vector<uint8_t> EncodeImage() const;
+  Status DecodeImage(const std::vector<uint8_t>& image);
+
+  const geo::Grid* grid_;
+  const net::BaseStationLayout* layout_;
+  const net::Bmap* bmap_;
+  net::WirelessNetwork* network_;
+  MobiEyesOptions options_;
+
+  ShardMap map_;
+  std::vector<std::unique_ptr<ServerShard>> shards_;
+  // Home indexes: which shard currently owns each entry. Queries are always
+  // co-located with their focal object.
+  std::unordered_map<ObjectId, int> focal_home_;
+  std::unordered_map<QueryId, int> qid_home_;
+
+  QueryId next_qid_ = 0;
+  Seconds now_ = 0.0;
+
+  // Recently seen uplink sequence numbers per object (at-most-once dedup
+  // for the reliable-uplink hardening). A small ring suffices: a client
+  // tracks at most 16 uplinks and retires them in rough FIFO order.
+  struct SeenSeqs {
+    std::array<uint32_t, 8> ring{};
+    size_t next = 0;
+  };
+  std::unordered_map<ObjectId, SeenSeqs> seen_seqs_;
+  // Keys of seen_seqs_, kept sorted incrementally (an object enters once,
+  // on its first reliable uplink). Checkpoints write the dedup table in
+  // ascending-oid order; maintaining the order here turns the encoder's
+  // per-checkpoint key sort into a contiguous range walk that parallelizes
+  // across shards.
+  std::vector<ObjectId> seen_order_;
+
+  Snapshot* store_ = nullptr;
+  bool replaying_ = false;    // inside Restore's WAL replay: suppress sends
+  bool dispatching_ = false;  // inside OnUplink: the WAL already has this
+
+  int ctx_shard_ = 0;  // ingress shard of the uplink being dispatched
+  BackplaneStats backplane_;
+
+  ReentrantTimer load_timer_;
+  ReentrantTimer step_timer_;
+  ThreadPool* pool_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace mobieyes::core
+
+#endif  // MOBIEYES_CORE_SHARD_ROUTER_H_

@@ -29,10 +29,11 @@ struct CellCoordHash {
   }
 };
 
-// An axis-aligned rectangular block of grid cells [i_lo..i_hi] x [j_lo..j_hi]
-// (inclusive). Because a query's bounding box is a rectangle, its monitoring
-// region — the union of cells intersecting the bounding box — is always such
-// a block, so this is an exact (and compact) representation.
+// An axis-aligned rectangular block of grid cells
+// [i_lo..i_hi] x [j_lo..j_hi] (inclusive). Because a query's bounding box
+// is a rectangle, its monitoring region — the union of cells intersecting
+// the bounding box — is always such a block, so this is an exact (and
+// compact) representation.
 struct CellRange {
   int32_t i_lo = 0;
   int32_t i_hi = -1;  // empty by default (hi < lo)

@@ -16,8 +16,9 @@ Result<BaseStationLayout> BaseStationLayout::Make(const geo::Rect& universe,
   auto columns = static_cast<int>(std::ceil(universe.w / side));
   auto rows = static_cast<int>(std::ceil(universe.h / side));
   // Circumscribing radius of the side x side lattice square, padded by a
-  // sub-micrometer relative margin so the closed square — corners included —
-  // stays inside the circle under floating-point rounding (a corner point
+  // sub-micrometer relative margin so the closed square — corners
+  // included — stays inside the circle under floating-point rounding (a
+  // corner point
   // is exactly at distance side/sqrt(2), where 1-ulp rounding of the radius
   // would otherwise drop it out of coverage).
   Miles radius = side / std::numbers::sqrt2 * (1.0 + 1e-9);

@@ -52,8 +52,9 @@ bool FaultyNetwork::IsDisconnected(ObjectId oid, int64_t step) const {
   // are not aligned across objects or windows.
   const int64_t slack = period - duration;
   const int64_t offset =
-      slack > 0 ? static_cast<int64_t>(Mix(h) % static_cast<uint64_t>(slack + 1))
-                : 0;
+      slack > 0
+          ? static_cast<int64_t>(Mix(h) % static_cast<uint64_t>(slack + 1))
+          : 0;
   const int64_t phase = step - window * period;
   return phase >= offset && phase < offset + duration;
 }
@@ -189,7 +190,8 @@ bool FaultyNetwork::SendDownlinkTo(ObjectId to, Message message) {
   }
   if (IsDisconnected(to, step_)) {
     // Dead endpoint, healthy link: accounted apart from injected drops.
-    RecordUndeliverable(NetworkStats::UndeliverableReason::kReceiverDisconnected);
+    RecordUndeliverable(
+        NetworkStats::UndeliverableReason::kReceiverDisconnected);
     return false;
   }
   if (plan_.downlink_drop_rate > 0.0 &&

@@ -21,6 +21,9 @@ NetworkStats& NetworkStats::operator+=(const NetworkStats& other) {
   delayed_messages += other.delayed_messages;
   duplicated_messages += other.duplicated_messages;
   disconnect_events += other.disconnect_events;
+  inter_shard_messages += other.inter_shard_messages;
+  inter_shard_bytes += other.inter_shard_bytes;
+  inter_shard_handoffs += other.inter_shard_handoffs;
   for (size_t k = 0; k < kNumMessageTypes; ++k) {
     messages_by_type[k] += other.messages_by_type[k];
     dropped_by_type[k] += other.dropped_by_type[k];
@@ -42,8 +45,11 @@ void WirelessNetwork::AttachMetrics(obs::MetricsRegistry* registry) {
   }
   static constexpr const char* kDirectionNames[3] = {"uplink", "downlink",
                                                      "broadcast"};
+  // Only wireless types get eager counters: server-internal types (shard
+  // handoffs) never reach the medium, and registering their zero counters
+  // would perturb the deterministic metrics export by shard count.
   for (size_t d = 0; d < 3; ++d) {
-    for (size_t t = 0; t < kNumMessageTypes; ++t) {
+    for (size_t t = 0; t < kNumWirelessMessageTypes; ++t) {
       metrics_.msgs[d][t] = registry->GetCounter(
           std::string("net.msgs.") + kDirectionNames[d] + "." +
           MessageTypeName(static_cast<MessageType>(t)));
@@ -91,6 +97,9 @@ std::string NetworkStatsJson(const NetworkStats& stats) {
 
 void WirelessNetwork::RecordMetrics(Direction direction,
                                     const Message& message, size_t bytes) {
+  // Server-internal types have no eager counter (see AttachMetrics); they
+  // never reach the medium, but guard anyway rather than chase a null.
+  if (static_cast<size_t>(message.type) >= kNumWirelessMessageTypes) return;
   metrics_.msgs[static_cast<size_t>(direction)]
               [static_cast<size_t>(message.type)]
                   ->Increment();

@@ -63,6 +63,15 @@ struct NetworkStats {
   uint64_t duplicated_messages = 0;
   uint64_t disconnect_events = 0;  // objects entering a disconnect window
 
+  // --- Inter-shard backplane (DESIGN.md §10; always zero with one shard).
+  // Coordinator-to-shard traffic of the partitioned server: ownership
+  // handoffs plus cross-shard reads/updates. This is server-internal
+  // bandwidth — it never rides the wireless medium, so it is excluded from
+  // total_messages() and from the per-type wireless counters above.
+  uint64_t inter_shard_messages = 0;
+  uint64_t inter_shard_bytes = 0;
+  uint64_t inter_shard_handoffs = 0;  // subset of inter_shard_messages
+
   // Transmissions on the medium by MessageType (all directions); summing
   // this array always equals total_messages().
   std::array<uint64_t, kNumMessageTypes> messages_by_type{};
@@ -146,8 +155,8 @@ class WirelessNetwork {
   using ClientHandler = std::function<void(const Message&)>;
   // Enumerates the ids of all objects currently inside a circle (provided
   // by the mobility layer; used to deliver broadcasts).
-  using CoverageQuery =
-      std::function<void(const geo::Circle&, const std::function<void(ObjectId)>&)>;
+  using CoverageQuery = std::function<void(
+      const geo::Circle&, const std::function<void(ObjectId)>&)>;
 
   void set_server_handler(ServerHandler handler) {
     server_handler_ = std::move(handler);

@@ -211,12 +211,16 @@ void RStarTree::SplitNode(Node* node) {
   }
   std::stable_sort(by_x.begin(), by_x.end(),
                    [](const Entry* a, const Entry* b) {
-                     if (a->rect.lx != b->rect.lx) return a->rect.lx < b->rect.lx;
+                     if (a->rect.lx != b->rect.lx) {
+                       return a->rect.lx < b->rect.lx;
+                     }
                      return a->rect.hx() < b->rect.hx();
                    });
   std::stable_sort(by_y.begin(), by_y.end(),
                    [](const Entry* a, const Entry* b) {
-                     if (a->rect.ly != b->rect.ly) return a->rect.ly < b->rect.ly;
+                     if (a->rect.ly != b->rect.ly) {
+                       return a->rect.ly < b->rect.ly;
+                     }
                      return a->rect.hy() < b->rect.hy();
                    });
   double margin_x = AxisMarginSum(by_x, min_entries_);

@@ -1,5 +1,6 @@
 #include "mobieyes/sim/simulation.h"
 
+#include <cstdio>
 #include <utility>
 
 namespace mobieyes::sim {
@@ -93,6 +94,10 @@ Status Simulation::Setup() {
     server_ = std::make_unique<core::MobiEyesServer>(*grid_, *layout_, *bmap_,
                                                      *network_, options);
     server_->set_trace_recorder(trace_.get());
+    if (config_.shard_threads > 1 && server_->num_shards() > 1) {
+      shard_pool_ = std::make_unique<ThreadPool>(config_.shard_threads);
+      server_->set_thread_pool(shard_pool_.get());
+    }
     network_->set_server_handler(
         [this](ObjectId from, const net::Message& message) {
           // server_ is null while the process is crashed; the fault layer
@@ -321,6 +326,28 @@ void Simulation::RecordStepObservations(int64_t step) {
                             client_us});
   }
 
+  // Per-shard operational gauges (timing-flagged: their values depend on the
+  // shard layout, and deterministic exports must be identical across
+  // --shards). Names are shard_id-tagged, e.g. "shard.02.uplinks".
+  if (registry_ != nullptr && server_ != nullptr &&
+      server_->num_shards() > 1) {
+    const core::ShardRouter& router = server_->router();
+    for (int s = 0; s < router.num_shards(); ++s) {
+      const core::ServerShard& shard = router.shard(s);
+      char tag[24];
+      std::snprintf(tag, sizeof(tag), "shard.%02d.", s);
+      std::string prefix(tag);
+      registry_->GetGauge(prefix + "uplinks", /*timing=*/true)
+          ->Set(static_cast<double>(shard.stats().uplinks_routed));
+      registry_->GetGauge(prefix + "handoffs_in", /*timing=*/true)
+          ->Set(static_cast<double>(shard.stats().handoffs_in));
+      registry_->GetGauge(prefix + "handoffs_out", /*timing=*/true)
+          ->Set(static_cast<double>(shard.stats().handoffs_out));
+      registry_->GetGauge(prefix + "queries", /*timing=*/true)
+          ->Set(static_cast<double>(shard.sqt().size()));
+    }
+  }
+
   cursor_.uplink = stats.uplink_messages;
   cursor_.downlink = stats.downlink_messages;
   cursor_.broadcast = stats.broadcast_messages;
@@ -411,6 +438,7 @@ void Simulation::RestoreServer() {
   server_ = std::make_unique<core::MobiEyesServer>(
       *grid_, *layout_, *bmap_, *network_, resolved_mobieyes_);
   server_->set_trace_recorder(trace_.get());
+  if (shard_pool_) server_->set_thread_pool(shard_pool_.get());
   size_t replayed = 0;
   Status status = server_->Restore(snapshot_store_, &replayed);
   // The store is this process's own serialization; a decode failure here is
@@ -431,7 +459,27 @@ void Simulation::RestoreServer() {
 RunMetrics Simulation::metrics() const {
   RunMetrics snapshot = metrics_;
   snapshot.network += network_->stats();
-  if (server_) snapshot.server_seconds = server_->load_seconds();
+  if (server_) {
+    snapshot.server_seconds = server_->load_seconds();
+    snapshot.server_step_seconds = server_->step_seconds();
+    for (int s = 0; s < server_->num_shards(); ++s) {
+      double shard_seconds =
+          static_cast<double>(server_->router().shard(s).stats().step_micros) *
+          1e-6;
+      snapshot.server_step_shard_seconds += shard_seconds;
+      if (shard_seconds > snapshot.server_step_max_shard_seconds) {
+        snapshot.server_step_max_shard_seconds = shard_seconds;
+      }
+    }
+    // Coordinator-backplane traffic lives in the router, not the wireless
+    // network; surface it through the same stats struct (it is excluded
+    // from total_messages(), so the wireless figures are unaffected).
+    const core::ShardRouter::BackplaneStats& backplane =
+        server_->router().backplane();
+    snapshot.network.inter_shard_messages = backplane.messages;
+    snapshot.network.inter_shard_bytes = backplane.bytes;
+    snapshot.network.inter_shard_handoffs = backplane.handoffs;
+  }
   if (object_index_) snapshot.server_seconds = object_index_->load_seconds();
   if (query_index_) snapshot.server_seconds = query_index_->load_seconds();
   for (const auto& client : clients_) {

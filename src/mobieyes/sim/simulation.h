@@ -9,6 +9,7 @@
 #include "mobieyes/baseline/query_index.h"
 #include "mobieyes/common/random.h"
 #include "mobieyes/common/status.h"
+#include "mobieyes/common/thread_pool.h"
 #include "mobieyes/core/client.h"
 #include "mobieyes/core/options.h"
 #include "mobieyes/core/server.h"
@@ -90,6 +91,11 @@ struct SimulationConfig {
   // once full, newer uplinks go unlogged and the restored state is stale.
   int checkpoint_stride = 0;
   size_t wal_limit = 4096;
+  // Worker threads for the server's per-shard step phase (expiry/lease
+  // scans, checkpoint encoding). Only meaningful with
+  // mobieyes.sharding.num_shards > 1; 1 (the default) steps shards inline.
+  // Orthogonal to the sweep harness's cell-level --threads parallelism.
+  int shard_threads = 1;
 };
 
 // One end-to-end simulation: a seeded workload, the mobility world, the
@@ -182,7 +188,10 @@ class Simulation {
   int64_t sim_step_ = 0;  // fault clock: counts every step incl. warmup
   std::unique_ptr<ExactOracle> oracle_;
 
-  // MobiEyes deployment (modes kMobiEyesEager / kMobiEyesLazy).
+  // MobiEyes deployment (modes kMobiEyesEager / kMobiEyesLazy). The shard
+  // pool (null unless config.shard_threads > 1 with a multi-shard server) is
+  // declared before server_ so the server never outlives its worker pool.
+  std::unique_ptr<ThreadPool> shard_pool_;
   std::unique_ptr<core::MobiEyesServer> server_;
   std::vector<std::unique_ptr<core::MobiEyesClient>> clients_;
   // Resolved MobiEyes options (propagation/threshold applied), kept so a

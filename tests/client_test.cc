@@ -104,7 +104,7 @@ TEST(ClientTest, PredictionKeepsResultExactUnderConstantVelocity) {
   EXPECT_FALSE(deployment.server().QueryResult(*qid)->contains(1));
   deployment.TickN(2);  // focal at 24.5, distance 1.5 <= 3
   EXPECT_TRUE(deployment.server().QueryResult(*qid)->contains(1));
-  deployment.TickN(4);  // focal at 30.5 — but it crossed a cell; still: 4.5 > 3
+  deployment.TickN(4);  // focal at 30.5 — crossed a cell; still 4.5 > 3
   EXPECT_FALSE(deployment.server().QueryResult(*qid)->contains(1));
 }
 

@@ -209,7 +209,7 @@ TEST(CodecTest, NewQueriesNotificationRoundTrip) {
   ExpectInfoEq(q.queries[0], p.queries[0]);
 }
 
-// --- Corruption handling ------------------------------------------------------
+// --- Corruption handling -----------------------------------------------------
 
 TEST(CodecTest, DecodeRejectsShortBuffer) {
   std::vector<uint8_t> tiny(8, 0);
@@ -386,6 +386,25 @@ std::vector<Message> FullCorpus() {
   reconcile.target_qids = {2};
   reconcile.cold_start = true;
   corpus.push_back(MakeMessage(reconcile));
+  ShardHandoff handoff;
+  handoff.from_shard = 0;
+  handoff.to_shard = 3;
+  handoff.oid = 13;
+  handoff.state = SomeState();
+  handoff.max_speed = 0.2;
+  handoff.cell = geo::CellCoord{4, 5};
+  ShardQueryState qstate;
+  qstate.qid = 14;
+  qstate.focal_oid = 13;
+  qstate.region = geo::QueryRegion::MakeCircle(2.0);
+  qstate.filter_threshold = 0.75;
+  qstate.curr_cell = geo::CellCoord{4, 5};
+  qstate.mon_region = geo::CellRange{3, 5, 4, 6};
+  qstate.expires_at = 120.0;
+  qstate.lease_renew_at = 60.0;
+  qstate.result = {20, 21};
+  handoff.queries.push_back(qstate);
+  corpus.push_back(MakeMessage(handoff));
   return corpus;
 }
 

@@ -408,7 +408,8 @@ sim::RunMetrics RunLossy(double drop, bool harden) {
   return (*simulation)->metrics();
 }
 
-TEST(FaultInjectionTest, HardenedProtocolHolds95PercentAgreementAt10PercentDrop) {
+TEST(FaultInjectionTest,
+     HardenedProtocolHolds95PercentAgreementAt10PercentDrop) {
   sim::RunMetrics base = RunLossy(0.1, /*harden=*/false);
   sim::RunMetrics hardened = RunLossy(0.1, /*harden=*/true);
   EXPECT_GT(base.network.total_dropped(), 0u);

@@ -187,5 +187,95 @@ TEST(SweepDeterminismTest, ObservabilityDoesNotPerturbResults) {
   }
 }
 
+// MobiEyes-only jobs (the sharded server exists only in MobiEyes modes)
+// with the hardened protocol and fault pressure, so the comparison covers
+// dedup rings, leases and reconciliation across shard layouts too.
+std::vector<SweepJob> ShardedSweep(int num_shards,
+                                   core::ShardPartition partition,
+                                   int shard_threads) {
+  std::vector<SweepJob> jobs;
+  for (SweepJob& job : SmallSweep()) {
+    if (job.mode != sim::SimMode::kMobiEyesEager &&
+        job.mode != sim::SimMode::kMobiEyesLazy) {
+      continue;
+    }
+    job.mobieyes.sharding.num_shards = num_shards;
+    job.mobieyes.sharding.partition = partition;
+    job.options.shard_threads = shard_threads;
+    job.options.checkpoint_stride = 2;  // exercise parallel chunk encoding
+    job.faults.plan.uplink_drop_rate = 0.1;
+    job.faults.plan.downlink_drop_rate = 0.1;
+    job.faults.harden = true;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+// The tentpole contract (DESIGN.md §10): the shard count is invisible. For
+// any --shards value and either partition policy, every deterministic
+// metric, the full timing-free observability report, the oracle-accuracy
+// sums and the final per-query result sets must be byte-identical to the
+// single-shard (monolith) run.
+TEST(SweepDeterminismTest, ShardCountIsObservablyInvisible) {
+  SweepObsOptions obs;
+  obs.metrics = true;
+  obs.sample_stride = 1;
+  obs.capture_results = true;
+  std::vector<SweepCellResult> mono = RunSweepObserved(
+      ShardedSweep(1, core::ShardPartition::kRowBand, 1), 2, obs);
+  ASSERT_FALSE(mono.empty());
+  struct Layout {
+    int shards;
+    core::ShardPartition partition;
+    const char* name;
+  };
+  for (const Layout& layout :
+       {Layout{2, core::ShardPartition::kRowBand, "rowband x2"},
+        Layout{4, core::ShardPartition::kRowBand, "rowband x4"},
+        Layout{8, core::ShardPartition::kRowBand, "rowband x8"},
+        Layout{4, core::ShardPartition::kHash, "hash x4"}}) {
+    std::vector<SweepCellResult> sharded = RunSweepObserved(
+        ShardedSweep(layout.shards, layout.partition, 1), 2, obs);
+    ASSERT_EQ(sharded.size(), mono.size());
+    uint64_t handoffs = 0;
+    for (size_t k = 0; k < mono.size(); ++k) {
+      const std::string context =
+          std::string(layout.name) + " job " + std::to_string(k);
+      ExpectDeterministicFieldsEqual(mono[k].metrics, sharded[k].metrics,
+                                     context);
+      EXPECT_EQ(mono[k].metrics_json, sharded[k].metrics_json) << context;
+      EXPECT_EQ(mono[k].query_results, sharded[k].query_results) << context;
+      EXPECT_FALSE(sharded[k].query_results.empty()) << context;
+      EXPECT_EQ(mono[k].metrics.network.inter_shard_messages, 0u) << context;
+      handoffs += sharded[k].metrics.network.inter_shard_handoffs;
+    }
+    // The equivalence must be earned: focal objects do cross partition
+    // boundaries under every multi-shard layout of this workload.
+    EXPECT_GT(handoffs, 0u) << layout.name;
+  }
+}
+
+// At a fixed shard count, neither the sweep's cell-level worker count nor
+// the server's own shard_threads pool may leak into results: the step-phase
+// scans collect into per-shard buffers that merge in shard order.
+TEST(SweepDeterminismTest, ShardedSweepsAreThreadCountInvariant) {
+  SweepObsOptions obs;
+  obs.metrics = true;
+  obs.sample_stride = 1;
+  obs.capture_results = true;
+  std::vector<SweepCellResult> serial = RunSweepObserved(
+      ShardedSweep(4, core::ShardPartition::kRowBand, 1), 1, obs);
+  std::vector<SweepCellResult> parallel = RunSweepObserved(
+      ShardedSweep(4, core::ShardPartition::kRowBand, 4), 4, obs);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t k = 0; k < serial.size(); ++k) {
+    const std::string context = "sharded job " + std::to_string(k);
+    ExpectDeterministicFieldsEqual(serial[k].metrics, parallel[k].metrics,
+                                   context);
+    EXPECT_EQ(serial[k].metrics_json, parallel[k].metrics_json) << context;
+    EXPECT_EQ(serial[k].query_results, parallel[k].query_results) << context;
+  }
+}
+
 }  // namespace
 }  // namespace mobieyes::bench

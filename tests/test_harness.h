@@ -23,8 +23,8 @@ namespace mobieyes::test {
 
 struct ObjectSpec {
   // NOLINTNEXTLINE(google-explicit-constructor): terse test setup.
-  ObjectSpec(geo::Point pos_in, geo::Vec2 vel_in = {}, double max_speed_in = 1.0,
-             double attr_in = 0.0)
+  ObjectSpec(geo::Point pos_in, geo::Vec2 vel_in = {},
+             double max_speed_in = 1.0, double attr_in = 0.0)
       : pos(pos_in), vel(vel_in), max_speed(max_speed_in), attr(attr_in) {}
 
   geo::Point pos;

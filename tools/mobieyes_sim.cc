@@ -4,7 +4,8 @@
 // per-object power), plus the analytic alpha-model prediction.
 //
 // Usage:
-//   mobieyes_sim [--mode=eqp|lqp|object-index|query-index|naive|central-optimal]
+//   mobieyes_sim [--mode=eqp|lqp|object-index|query-index|naive|
+//                        central-optimal]
 //                [--objects=N] [--queries=N] [--nmo=N] [--alpha=F]
 //                [--area=F] [--alen=F] [--steps=N] [--warmup=N] [--seed=N]
 //                [--delta=F] [--radius-factor=F] [--selectivity=F]
@@ -16,6 +17,8 @@
 //                [--fault-seed=N] [--harden]
 //                [--server-crash=S:R] [--client-restart-rate=F]
 //                [--checkpoint-stride=N]
+//                [--shards=N] [--shard-threads=N]
+//                [--shard-partition=rowband|hash]
 //
 // The fault flags configure the net::FaultyNetwork (see
 // src/mobieyes/net/fault_injection.h); --harden switches the MobiEyes
@@ -23,7 +26,9 @@
 // leases, periodic reconciliation). The crash-recovery flags kill the
 // server at step S and restore it from its checkpoint+WAL R steps later,
 // cold-restart clients at the given per-step rate, and set the server
-// checkpoint stride (DESIGN.md §9).
+// checkpoint stride (DESIGN.md §9). The sharding flags split the server
+// into grid-partitioned shards behind a routing coordinator (DESIGN.md
+// §10); results and wireless traffic are identical for any shard count.
 //
 // Unknown flags are an error (exit 2), so typos never silently run the
 // default configuration.
@@ -61,14 +66,17 @@ void PrintUsage(const char* argv0) {
                "          [--area=F] [--alen=F] [--steps=N] [--warmup=N]\n"
                "          [--seed=N] [--delta=F] [--radius-factor=F]\n"
                "          [--selectivity=F] [--safe-period] [--no-grouping]\n"
-               "          [--no-error] [--no-bytes] [--hotspots] [--histogram]\n"
+               "          [--no-error] [--no-bytes] [--hotspots]\n"
+               "          [--histogram]\n"
                "          [--trace=PATH] [--metrics-json=PATH]\n"
                "          [--sample-stride=N]\n"
                "          [--drop-rate=F] [--delay-steps=N] [--delay-rate=F]\n"
                "          [--dup-rate=F] [--outage=P:D] [--disconnect=R:P:D]\n"
                "          [--fault-seed=N] [--harden]\n"
                "          [--server-crash=S:R] [--client-restart-rate=F]\n"
-               "          [--checkpoint-stride=N]\n",
+               "          [--checkpoint-stride=N]\n"
+               "          [--shards=N] [--shard-threads=N]\n"
+               "          [--shard-partition=rowband|hash]\n",
                argv0);
 }
 
@@ -157,7 +165,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       cli->config.obs.sample_stride = std::atoi(value.c_str());
     } else if (key == "drop-rate") {
       cli->config.faults.uplink_drop_rate = std::atof(value.c_str());
-      cli->config.faults.downlink_drop_rate = cli->config.faults.uplink_drop_rate;
+      cli->config.faults.downlink_drop_rate =
+          cli->config.faults.uplink_drop_rate;
     } else if (key == "delay-steps") {
       cli->config.faults.max_delay_steps = std::atoi(value.c_str());
     } else if (key == "delay-rate") {
@@ -177,9 +186,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
                       &cli->config.faults.disconnect_rate,
                       &cli->config.faults.disconnect_period_steps,
                       &cli->config.faults.disconnect_duration_steps) != 3) {
-        std::fprintf(stderr,
-                     "bad --disconnect value '%s' (want RATE:PERIOD:DURATION)\n",
-                     value.c_str());
+        std::fprintf(
+            stderr, "bad --disconnect value '%s' (want RATE:PERIOD:DURATION)\n",
+            value.c_str());
         return false;
       }
     } else if (key == "fault-seed") {
@@ -201,6 +210,31 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       cli->config.faults.client_restart_rate = std::atof(value.c_str());
     } else if (key == "checkpoint-stride") {
       cli->config.checkpoint_stride = std::atoi(value.c_str());
+    } else if (key == "shards") {
+      cli->config.mobieyes.sharding.num_shards = std::atoi(value.c_str());
+      if (cli->config.mobieyes.sharding.num_shards < 1) {
+        std::fprintf(stderr, "bad --shards value '%s'\n", value.c_str());
+        return false;
+      }
+    } else if (key == "shard-threads") {
+      cli->config.shard_threads = std::atoi(value.c_str());
+      if (cli->config.shard_threads < 1) {
+        std::fprintf(stderr, "bad --shard-threads value '%s'\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (key == "shard-partition") {
+      if (value == "rowband") {
+        cli->config.mobieyes.sharding.partition =
+            core::ShardPartition::kRowBand;
+      } else if (value == "hash") {
+        cli->config.mobieyes.sharding.partition = core::ShardPartition::kHash;
+      } else {
+        std::fprintf(stderr,
+                     "bad --shard-partition value '%s' (want rowband|hash)\n",
+                     value.c_str());
+        return false;
+      }
     } else if (key == "harden") {
       cli->harden = true;
     } else if (key == "help") {
@@ -334,6 +368,44 @@ int main(int argc, char** argv) {
                     metrics.network.undeliverable_by_reason[static_cast<
                         size_t>(net::NetworkStats::UndeliverableReason::
                                     kServerDown)]));
+  }
+  {
+    core::MobiEyesServer* server = (*simulation)->server();
+    if (server != nullptr && server->num_shards() > 1) {
+      const core::ShardRouter& router = server->router();
+      std::printf(
+          "\n-- server shards ---------------------------------------\n");
+      std::printf("shards                     %d (%s partition)\n",
+                  router.num_shards(),
+                  router.shard_map().partition() ==
+                          core::ShardPartition::kRowBand
+                      ? "rowband"
+                      : "hash");
+      std::printf("step phase                 %.6g s total (%.6g s/step)\n",
+                  metrics.server_step_seconds,
+                  metrics.steps > 0 ? metrics.server_step_seconds /
+                                          static_cast<double>(metrics.steps)
+                                    : 0.0);
+      std::printf("backplane messages         %llu (%llu bytes, "
+                  "%llu handoffs)\n",
+                  static_cast<unsigned long long>(
+                      metrics.network.inter_shard_messages),
+                  static_cast<unsigned long long>(
+                      metrics.network.inter_shard_bytes),
+                  static_cast<unsigned long long>(
+                      metrics.network.inter_shard_handoffs));
+      for (int s = 0; s < router.num_shards(); ++s) {
+        const core::ServerShard& shard = router.shard(s);
+        std::printf("shard %-2d                   %zu queries, %zu focals, "
+                    "%llu uplinks, %llu in / %llu out handoffs\n",
+                    s, shard.sqt().size(), shard.fot().size(),
+                    static_cast<unsigned long long>(
+                        shard.stats().uplinks_routed),
+                    static_cast<unsigned long long>(shard.stats().handoffs_in),
+                    static_cast<unsigned long long>(
+                        shard.stats().handoffs_out));
+      }
+    }
   }
   if (metrics.server_crashes > 0 || metrics.client_restarts > 0 ||
       metrics.checkpoints_taken > 0) {
