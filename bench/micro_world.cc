@@ -1,17 +1,39 @@
 // Microbenchmarks for the mobility layer (google-benchmark): World::Step
 // (motion + velocity redraws + cell-index maintenance) and the visitor
-// iteration primitives, at 1k/10k/100k objects. These are the per-step hot
-// paths every simulation mode sits on top of; regressions here slow the
+// iteration primitives, at 1k/10k/100k/1M objects. These are the per-step
+// hot paths every simulation mode sits on top of; regressions here slow the
 // entire bench suite.
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "mobieyes/common/random.h"
 #include "mobieyes/geo/grid.h"
 #include "mobieyes/mobility/world.h"
+
+#ifndef NDEBUG
+// Debug builds count global allocations so the steady-state-zero claim for
+// World::Step is asserted, not assumed (it would be invisible in a timing
+// run). Release builds keep the default operators: the counter itself would
+// perturb what the bench measures.
+namespace {
+uint64_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#endif  // NDEBUG
 
 namespace {
 
@@ -49,12 +71,23 @@ void BM_WorldStep(benchmark::State& state) {
   Grid grid = MakeGrid();
   World world = MakeWorld(grid, n, 1);
   Rng rng(2);
+  world.Step(30.0, n / 10, rng);  // warm the span-rebuild scratch
+#ifndef NDEBUG
+  // The SoA step must be allocation-free at steady state (ISSUE S2): probe
+  // one dedicated step outside the timed loop, where no harness-internal
+  // heap traffic can pollute the count.
+  const uint64_t allocs_before = g_alloc_count;
+  world.Step(30.0, n / 10, rng);
+  if (g_alloc_count != allocs_before) {
+    state.SkipWithError("World::Step allocated at steady state");
+  }
+#endif
   for (auto _ : state) {
     world.Step(30.0, n / 10, rng);  // nmo/no = 10% as in Table 1
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_WorldStep)->Arg(1000)->Arg(10000)->Arg(100000)
+BENCHMARK(BM_WorldStep)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_ForEachObjectInCircle(benchmark::State& state) {

@@ -3,12 +3,14 @@
 namespace mobieyes::baseline {
 
 void NaiveTracker::OnTick() {
-  for (const auto& object : world_->objects()) {
+  const size_t n = world_->object_count();
+  for (size_t k = 0; k < n; ++k) {
+    const auto oid = static_cast<ObjectId>(k);
+    const geo::Vec2 vel = world_->velocity(oid);
     // Position changed iff the object moved during the last step.
-    if (object.vel.x != 0.0 || object.vel.y != 0.0) {
-      network_->SendUplink(object.oid,
-                           net::MakeMessage(net::PositionReport{
-                               object.oid, object.pos}));
+    if (vel.x != 0.0 || vel.y != 0.0) {
+      network_->SendUplink(oid, net::MakeMessage(net::PositionReport{
+                                    oid, world_->position(oid)}));
     }
   }
 }
@@ -20,22 +22,25 @@ CentralOptimalTracker::CentralOptimalTracker(const mobility::World& world,
       network_(&network),
       threshold_(dead_reckoning_threshold) {
   last_relayed_.reserve(world.object_count());
-  for (const auto& object : world.objects()) {
-    last_relayed_.push_back(
-        net::FocalState{object.pos, object.vel, world.now()});
+  for (size_t k = 0; k < world.object_count(); ++k) {
+    const auto oid = static_cast<ObjectId>(k);
+    last_relayed_.push_back(net::FocalState{world.position(oid),
+                                            world.velocity(oid), world.now()});
   }
 }
 
 void CentralOptimalTracker::OnTick() {
   Seconds now = world_->now();
-  for (const auto& object : world_->objects()) {
-    net::FocalState& relayed = last_relayed_[object.oid];
+  const size_t n = world_->object_count();
+  for (size_t k = 0; k < n; ++k) {
+    const auto oid = static_cast<ObjectId>(k);
+    const geo::Point pos = world_->position(oid);
+    net::FocalState& relayed = last_relayed_[oid];
     geo::Point predicted = relayed.PredictPosition(now);
-    if (geo::Distance(object.pos, predicted) > threshold_) {
-      relayed = net::FocalState{object.pos, object.vel, now};
-      network_->SendUplink(object.oid,
-                           net::MakeMessage(net::VelocityChangeReport{
-                               object.oid, relayed}));
+    if (geo::Distance(pos, predicted) > threshold_) {
+      relayed = net::FocalState{pos, world_->velocity(oid), now};
+      network_->SendUplink(oid, net::MakeMessage(net::VelocityChangeReport{
+                                    oid, relayed}));
     }
   }
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "mobieyes/geo/batch_kernels.h"
+
 namespace mobieyes::core {
 
 using net::FocalState;
@@ -95,8 +97,12 @@ void MobiEyesClient::EvaluateQueries() {
   const mobility::ObjectState& me = world_->object(oid_);
   Seconds now = world_->now();
   const bool grouping = options_.enable_query_grouping;
-  std::vector<size_t> dirty_groups;  // start index of groups with flips
-  std::vector<size_t> flipped;       // individual entries (grouping off)
+  // Persistent scratch: this runs every tick for every client with a
+  // non-empty LQT, so the flip lists must not allocate at steady state.
+  std::vector<size_t>& dirty_groups = scratch_dirty_groups_;
+  std::vector<size_t>& flipped = scratch_flipped_;
+  dirty_groups.clear();
+  flipped.clear();
 
   size_t begin = 0;
   while (begin < lqt_.size()) {
@@ -133,7 +139,11 @@ void MobiEyesClient::EvaluateQueries() {
           inside = false;
           outside_larger = true;
         } else {
-          inside = entry.region.Contains(focal_pos, me.pos);
+          // Same per-lane predicate the batched span kernels apply, so the
+          // client-side monitoring check and the oracle classify a point
+          // identically.
+          inside = geo::kernels::RegionLane(entry.region, focal_pos.x,
+                                            focal_pos.y, me.pos.x, me.pos.y);
         }
       }
       ++queries_evaluated_;

@@ -159,6 +159,11 @@ class MobiEyesClient {
   uint32_t next_seq_ = 0;
   int64_t tick_ = 0;
 
+  // EvaluateQueries scratch (flip bookkeeping), reused across ticks so the
+  // per-tick LQT evaluation stays allocation-free at steady state.
+  std::vector<size_t> scratch_dirty_groups_;
+  std::vector<size_t> scratch_flipped_;
+
   Stopwatch eval_watch_;
   uint64_t queries_evaluated_ = 0;
   uint64_t safe_period_skips_ = 0;

@@ -26,15 +26,25 @@ void ReverseQueryIndex::RemoveCell(QueryId qid, const geo::CellCoord& c) {
 
 std::vector<QueryId> ReverseQueryIndex::NewQueriesForMove(
     const geo::CellCoord& prev_cell, const geo::CellCoord& new_cell) const {
-  const auto& prev_list = QueriesForCell(prev_cell);
+  std::vector<QueryId> scratch;
   std::vector<QueryId> result;
-  for (QueryId qid : QueriesForCell(new_cell)) {
-    if (std::find(prev_list.begin(), prev_list.end(), qid) ==
-        prev_list.end()) {
-      result.push_back(qid);
+  RowDifferenceInto(QueriesForCell(new_cell), QueriesForCell(prev_cell),
+                    &scratch, &result);
+  return result;
+}
+
+void ReverseQueryIndex::RowDifferenceInto(const std::vector<QueryId>& new_row,
+                                          const std::vector<QueryId>& prev_row,
+                                          std::vector<QueryId>* scratch,
+                                          std::vector<QueryId>* out) {
+  out->clear();
+  scratch->assign(prev_row.begin(), prev_row.end());
+  std::sort(scratch->begin(), scratch->end());
+  for (QueryId qid : new_row) {
+    if (!std::binary_search(scratch->begin(), scratch->end(), qid)) {
+      out->push_back(qid);
     }
   }
-  return result;
 }
 
 }  // namespace mobieyes::core

@@ -42,6 +42,17 @@ class ReverseQueryIndex {
   std::vector<QueryId> NewQueriesForMove(const geo::CellCoord& prev_cell,
                                          const geo::CellCoord& new_cell) const;
 
+  // Batched row difference: appends to *out the ids of `new_row` absent
+  // from `prev_row`, preserving new_row's order (the order RQI rows and
+  // their derived broadcasts are built in). *scratch receives a sorted copy
+  // of prev_row so each membership test is a binary search instead of the
+  // linear scan of the per-id diff; both out-params are caller-owned
+  // scratch, reusable across calls.
+  static void RowDifferenceInto(const std::vector<QueryId>& new_row,
+                                const std::vector<QueryId>& prev_row,
+                                std::vector<QueryId>* scratch,
+                                std::vector<QueryId>* out);
+
  private:
   const geo::Grid* grid_;
   std::vector<std::vector<QueryId>> cells_;

@@ -264,8 +264,11 @@ void ShardRouter::AdvanceTime(Seconds now) {
   TRACE_SPAN(trace_, "server.advance_time");
   now_ = now;
   const size_t n = static_cast<size_t>(num_shards());
-  std::vector<std::vector<QueryId>> per_shard(n);
-  std::vector<QueryId> expired;
+  std::vector<std::vector<QueryId>>& per_shard = scan_per_shard_;
+  per_shard.resize(n);
+  for (auto& part : per_shard) part.clear();
+  std::vector<QueryId>& expired = scan_merged_;
+  expired.clear();
   {
     TimedSection timed(load_timer_);
     TimedSection step(step_timer_);
@@ -288,8 +291,11 @@ void ShardRouter::AdvanceTime(Seconds now) {
 
 void ShardRouter::RenewLeases() {
   const size_t n = static_cast<size_t>(num_shards());
-  std::vector<std::vector<QueryId>> per_shard(n);
-  std::vector<QueryId> due;
+  std::vector<std::vector<QueryId>>& per_shard = scan_per_shard_;
+  per_shard.resize(n);
+  for (auto& part : per_shard) part.clear();
+  std::vector<QueryId>& due = scan_merged_;
+  due.clear();
   {
     TimedSection timed(load_timer_);
     TimedSection step(step_timer_);
@@ -589,13 +595,12 @@ void ShardRouter::HandleCellChange(const net::CellChangeReport& report) {
     const std::vector<QueryId>& new_row =
         shards_[map_.ShardOf(report.new_cell)]->QueriesForCell(
             report.new_cell);
-    std::vector<QueryId> new_qids;
-    for (QueryId qid : new_row) {
-      if (std::find(prev_row.begin(), prev_row.end(), qid) ==
-          prev_row.end()) {
-        new_qids.push_back(qid);
-      }
-    }
+    // Batched row diff (sorted scratch + binary search) instead of a
+    // per-id linear scan of the previous row; output order is still
+    // new_row's order.
+    std::vector<QueryId>& new_qids = diff_out_;
+    ReverseQueryIndex::RowDifferenceInto(new_row, prev_row, &diff_scratch_,
+                                         &new_qids);
     // The object never monitors its own queries.
     std::erase_if(new_qids, [&](QueryId qid) {
       const int home = qid_home_.at(qid);
@@ -712,7 +717,8 @@ void ShardRouter::HandleLqtReconcile(const net::LqtReconcileRequest& request) {
   }
   // Queries that should cover the object's current cell per the RQI. The
   // client re-checks filter and cell on install, so over-sending is safe.
-  std::vector<QueryId> expected;
+  std::vector<QueryId>& expected = reconcile_expected_;
+  expected.clear();
   for (QueryId qid : QueriesForCell(request.cell)) {
     const int home = qid_home_.at(qid);
     CountOp(home, kOpEntryTouch);
@@ -721,7 +727,8 @@ void ShardRouter::HandleLqtReconcile(const net::LqtReconcileRequest& request) {
     }
   }
   std::sort(expected.begin(), expected.end());
-  std::vector<QueryId> known = request.known_qids;
+  std::vector<QueryId>& known = reconcile_known_;
+  known.assign(request.known_qids.begin(), request.known_qids.end());
   std::sort(known.begin(), known.end());
 
   std::vector<QueryId> missing;

@@ -186,6 +186,19 @@ class ShardRouter {
   int ctx_shard_ = 0;  // ingress shard of the uplink being dispatched
   BackplaneStats backplane_;
 
+  // Per-step scratch, reused so the hot server phases allocate nothing at
+  // steady state: the per-shard scan outputs and their merge vector
+  // (AdvanceTime / RenewLeases), the RQI row-diff buffers
+  // (HandleCellChange), and the reconcile expected/known sets
+  // (HandleLqtReconcile). Dispatch is serial and none of the users can
+  // re-enter itself through the synchronous network, so one copy suffices.
+  std::vector<std::vector<QueryId>> scan_per_shard_;
+  std::vector<QueryId> scan_merged_;
+  std::vector<QueryId> diff_scratch_;
+  std::vector<QueryId> diff_out_;
+  std::vector<QueryId> reconcile_expected_;
+  std::vector<QueryId> reconcile_known_;
+
   ReentrantTimer load_timer_;
   ReentrantTimer step_timer_;
   ThreadPool* pool_ = nullptr;

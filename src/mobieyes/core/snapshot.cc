@@ -31,8 +31,10 @@ std::vector<uint8_t> Snapshot::Serialize() const {
   w.U64(static_cast<uint64_t>(wal_limit));
   w.U64(wal_dropped);
   w.U32(static_cast<uint32_t>(wal.size()));
+  std::vector<uint8_t> body_scratch;
+  std::vector<uint8_t> encoded;
   for (const WalRecord& record : wal) {
-    std::vector<uint8_t> encoded = net::MessageCodec::Encode(record.message);
+    net::MessageCodec::EncodeInto(record.message, &body_scratch, &encoded);
     w.I64(record.from);
     w.U32(record.message.seq);
     w.U32(static_cast<uint32_t>(encoded.size()));

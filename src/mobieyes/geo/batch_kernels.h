@@ -1,0 +1,111 @@
+#ifndef MOBIEYES_GEO_BATCH_KERNELS_H_
+#define MOBIEYES_GEO_BATCH_KERNELS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "mobieyes/geo/query_region.h"
+
+namespace mobieyes::geo::kernels {
+
+// Batched, branch-light containment kernels over the World's SoA arrays.
+//
+// The per-lane predicates below are the single definition of the
+// containment arithmetic: the scalar protocol paths (client LQT monitoring
+// checks) and the batched span kernels (oracle, coverage scans) both go
+// through them, so a point classifies identically no matter which path
+// tested it. The lane forms are bit-equivalent to Circle::Contains and
+// QueryRegion::Contains: (a-b)^2 == (b-a)^2 exactly in IEEE arithmetic.
+//
+// The Collect* kernels evaluate one region against a whole cell span (a
+// contiguous slice of the CSR index). They gather coordinates through the
+// id array, keep the store unconditional, and advance the write cursor by
+// the predicate — no data-dependent branch in the loop body, so the
+// compiler can if-convert and vectorize the gather/compare.
+
+// Point-in-circle, radius pre-squared.
+inline bool CircleLane(double px, double py, double cx, double cy,
+                       double radius_sq) {
+  const double dx = px - cx;
+  const double dy = py - cy;
+  return dx * dx + dy * dy <= radius_sq;
+}
+
+// Point-in-rectangle, rectangle given by center and half extents.
+inline bool RectLane(double px, double py, double cx, double cy,
+                     double half_w, double half_h) {
+  return std::abs(px - cx) <= half_w && std::abs(py - cy) <= half_h;
+}
+
+// Containment of (px, py) in `region` bound at (cx, cy) — the scalar entry
+// point for protocol-layer checks, same predicate as the span kernels.
+inline bool RegionLane(const QueryRegion& region, double cx, double cy,
+                       double px, double py) {
+  if (region.shape == QueryRegion::Shape::kCircle) {
+    return CircleLane(px, py, cx, cy, region.radius * region.radius);
+  }
+  return RectLane(px, py, cx, cy, region.half_w, region.half_h);
+}
+
+// Writes each id of the span whose position lies inside the circle to
+// `out`, which must have room for `count` lanes. Returns the number kept.
+template <typename OutId>
+inline size_t CollectCircle(const uint32_t* ids, size_t count,
+                            const double* xs, const double* ys, double cx,
+                            double cy, double radius_sq, OutId* out) {
+  size_t m = 0;
+  for (size_t k = 0; k < count; ++k) {
+    const auto oid = static_cast<size_t>(ids[k]);
+    out[m] = static_cast<OutId>(ids[k]);
+    m += CircleLane(xs[oid], ys[oid], cx, cy, radius_sq) ? 1 : 0;
+  }
+  return m;
+}
+
+// Oracle kernel, circular region bound at (cx, cy): keeps ids inside the
+// circle that pass the attribute filter and are not the focal object.
+template <typename OutId>
+inline size_t CollectQueryCircle(const uint32_t* ids, size_t count,
+                                 const double* xs, const double* ys,
+                                 const double* attrs, double cx, double cy,
+                                 double radius_sq, double filter_threshold,
+                                 uint32_t focal_oid, OutId* out) {
+  size_t m = 0;
+  for (size_t k = 0; k < count; ++k) {
+    const auto oid = static_cast<size_t>(ids[k]);
+    const bool hit = CircleLane(xs[oid], ys[oid], cx, cy, radius_sq) &&
+                     attrs[oid] <= filter_threshold && ids[k] != focal_oid;
+    out[m] = static_cast<OutId>(ids[k]);
+    m += hit ? 1 : 0;
+  }
+  return m;
+}
+
+// Oracle kernel, rectangular region bound at (cx, cy). Applies the
+// circumscribing-circle test *and* the exact rectangle test, mirroring the
+// legacy two-stage scan (circle pre-filter, then shape refinement) so
+// boundary points classify bit-identically.
+template <typename OutId>
+inline size_t CollectQueryRect(const uint32_t* ids, size_t count,
+                               const double* xs, const double* ys,
+                               const double* attrs, double cx, double cy,
+                               double scan_radius_sq, double half_w,
+                               double half_h, double filter_threshold,
+                               uint32_t focal_oid, OutId* out) {
+  size_t m = 0;
+  for (size_t k = 0; k < count; ++k) {
+    const auto oid = static_cast<size_t>(ids[k]);
+    const bool hit =
+        CircleLane(xs[oid], ys[oid], cx, cy, scan_radius_sq) &&
+        RectLane(xs[oid], ys[oid], cx, cy, half_w, half_h) &&
+        attrs[oid] <= filter_threshold && ids[k] != focal_oid;
+    out[m] = static_cast<OutId>(ids[k]);
+    m += hit ? 1 : 0;
+  }
+  return m;
+}
+
+}  // namespace mobieyes::geo::kernels
+
+#endif  // MOBIEYES_GEO_BATCH_KERNELS_H_

@@ -24,14 +24,6 @@ Result<Grid> Grid::Make(const Rect& universe, Miles alpha) {
   return Grid(universe, alpha, columns, rows);
 }
 
-CellCoord Grid::CellOf(const Point& p) const {
-  auto i = static_cast<int32_t>(std::floor((p.x - universe_.lx) / alpha_));
-  auto j = static_cast<int32_t>(std::floor((p.y - universe_.ly) / alpha_));
-  i = std::clamp(i, 0, columns_ - 1);
-  j = std::clamp(j, 0, rows_ - 1);
-  return CellCoord{i, j};
-}
-
 Rect Grid::CellRect(const CellCoord& c) const {
   Miles lx = universe_.lx + c.i * alpha_;
   Miles ly = universe_.ly + c.j * alpha_;

@@ -1,6 +1,8 @@
 #ifndef MOBIEYES_GEO_GRID_H_
 #define MOBIEYES_GEO_GRID_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -91,8 +93,15 @@ class Grid {
 
   // Pmap: position -> current grid cell. Positions outside the universe are
   // clamped to the border cell (objects are reflected at the border by the
-  // motion model, so this only matters for exact-boundary points).
-  CellCoord CellOf(const Point& p) const;
+  // motion model, so this only matters for exact-boundary points). Inline:
+  // World::Step calls this once per object per step.
+  CellCoord CellOf(const Point& p) const {
+    auto i = static_cast<int32_t>(std::floor((p.x - universe_.lx) / alpha_));
+    auto j = static_cast<int32_t>(std::floor((p.y - universe_.ly) / alpha_));
+    i = std::clamp(i, 0, columns_ - 1);
+    j = std::clamp(j, 0, rows_ - 1);
+    return CellCoord{i, j};
+  }
 
   // The rectangle covered by cell (i, j), clipped to the universe edge cells.
   Rect CellRect(const CellCoord& c) const;

@@ -1,44 +1,15 @@
 #include "mobieyes/mobility/motion_model.h"
 
-#include <cmath>
-#include <numbers>
-
 namespace mobieyes::mobility {
 
 void RandomVelocityModel::RandomizeVelocity(ObjectState& object, Rng& rng) {
-  double angle = rng.NextDouble(0.0, 2.0 * std::numbers::pi);
-  double speed = rng.NextDouble(0.0, object.max_speed);
-  object.vel = geo::Vec2{speed * std::cos(angle), speed * std::sin(angle)};
+  DrawVelocity(object.max_speed, rng, object.vel.x, object.vel.y);
 }
 
 void RandomVelocityModel::Advance(ObjectState& object, Seconds dt,
                                   const geo::Rect& universe) {
-  geo::Point p = object.pos + object.vel * dt;
-  // Reflect at each border. Displacements per step are small relative to
-  // the universe, but loop defensively for extreme parameterizations.
-  for (int guard = 0; guard < 64; ++guard) {
-    bool reflected = false;
-    if (p.x < universe.lx) {
-      p.x = 2 * universe.lx - p.x;
-      object.vel.x = -object.vel.x;
-      reflected = true;
-    } else if (p.x > universe.hx()) {
-      p.x = 2 * universe.hx() - p.x;
-      object.vel.x = -object.vel.x;
-      reflected = true;
-    }
-    if (p.y < universe.ly) {
-      p.y = 2 * universe.ly - p.y;
-      object.vel.y = -object.vel.y;
-      reflected = true;
-    } else if (p.y > universe.hy()) {
-      p.y = 2 * universe.hy() - p.y;
-      object.vel.y = -object.vel.y;
-      reflected = true;
-    }
-    if (!reflected) break;
-  }
-  object.pos = p;
+  AdvanceComponents(object.pos.x, object.pos.y, object.vel.x, object.vel.y,
+                    dt, universe);
 }
 
 }  // namespace mobieyes::mobility

@@ -1,6 +1,9 @@
 #ifndef MOBIEYES_MOBILITY_MOTION_MODEL_H_
 #define MOBIEYES_MOBILITY_MOTION_MODEL_H_
 
+#include <cmath>
+#include <numbers>
+
 #include "mobieyes/common/random.h"
 #include "mobieyes/geo/rect.h"
 #include "mobieyes/mobility/object_state.h"
@@ -11,8 +14,93 @@ namespace mobieyes::mobility {
 // objects re-draws a uniformly random direction and a speed uniform in
 // [0, max_speed]; all other objects keep their velocity vector. Objects
 // reflect off the universe border so they stay inside the UoD.
+//
+// The component-wise cores below are the single definition of the model's
+// arithmetic. World::Step runs them over its structure-of-arrays state and
+// the ObjectState entry points delegate to them, so both paths produce
+// bit-identical positions and velocities (the AoS-vs-SoA equivalence test
+// pins this).
 class RandomVelocityModel {
  public:
+  // The velocity redraw is split into an rng phase and an apply phase so
+  // World::Step can software-pipeline its redraw loop: DrawPolar touches
+  // only the rng (registers), ApplyPolar only memory, and the two can be
+  // separated by several loop iterations without reordering the stream.
+  //
+  // Consumes exactly two rng values (angle, then unit speed). The unit
+  // draw is bit-equivalent to the historical NextDouble(0, max_speed):
+  // that computed 0 + (max_speed - 0) * NextDouble(), which is exactly
+  // max_speed * NextDouble() for any non-negative product, so deferring
+  // the multiply into ApplyPolar changes no bits.
+  static void DrawPolar(Rng& rng, double& angle, double& unit_speed) {
+    angle = rng.NextDouble(0.0, 2.0 * std::numbers::pi);
+    unit_speed = rng.NextDouble();
+  }
+
+  // Converts a drawn (angle, unit speed) pair into velocity components.
+  static void ApplyPolar(double max_speed, double angle, double unit_speed,
+                         double& vx, double& vy) {
+    const double speed = max_speed * unit_speed;
+    vx = speed * std::cos(angle);
+    vy = speed * std::sin(angle);
+  }
+
+  // Draws a fresh direction/speed pair. Consumes exactly two rng values
+  // (angle, then speed) — callers rely on this draw order for determinism.
+  static void DrawVelocity(double max_speed, Rng& rng, double& vx,
+                           double& vy) {
+    double angle;
+    double unit_speed;
+    DrawPolar(rng, angle, unit_speed);
+    ApplyPolar(max_speed, angle, unit_speed, vx, vy);
+  }
+
+  // Advances one position by dt seconds, reflecting at the universe border
+  // (the velocity component flips on reflection).
+  static void AdvanceComponents(double& x, double& y, double& vx, double& vy,
+                                Seconds dt, const geo::Rect& universe) {
+    double px = x + vx * dt;
+    double py = y + vy * dt;
+    // Fast path: almost every advance stays inside the universe, and the
+    // reflection loop below is a no-op for it. One combined (non-short-
+    // circuit, hence single-branch) test keeps the common case free of the
+    // loop's four compare-and-branch pairs.
+    if (!(static_cast<int>(px < universe.lx) |
+          static_cast<int>(px > universe.hx()) |
+          static_cast<int>(py < universe.ly) |
+          static_cast<int>(py > universe.hy()))) [[likely]] {
+      x = px;
+      y = py;
+      return;
+    }
+    // Reflect at each border. Displacements per step are small relative to
+    // the universe, but loop defensively for extreme parameterizations.
+    for (int guard = 0; guard < 64; ++guard) {
+      bool reflected = false;
+      if (px < universe.lx) {
+        px = 2 * universe.lx - px;
+        vx = -vx;
+        reflected = true;
+      } else if (px > universe.hx()) {
+        px = 2 * universe.hx() - px;
+        vx = -vx;
+        reflected = true;
+      }
+      if (py < universe.ly) {
+        py = 2 * universe.ly - py;
+        vy = -vy;
+        reflected = true;
+      } else if (py > universe.hy()) {
+        py = 2 * universe.hy() - py;
+        vy = -vy;
+        reflected = true;
+      }
+      if (!reflected) break;
+    }
+    x = px;
+    y = py;
+  }
+
   // Assigns a fresh random normalized direction and speed to `object`.
   static void RandomizeVelocity(ObjectState& object, Rng& rng);
 

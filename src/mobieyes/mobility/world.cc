@@ -1,11 +1,52 @@
 #include "mobieyes/mobility/world.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <utility>
 
 #include "mobieyes/mobility/motion_model.h"
 
 namespace mobieyes::mobility {
+
+namespace {
+
+// Smallest double b with (b - lo) / alpha >= index. Starts from the real
+// boundary and ulp-steps to the exact float threshold; division by a
+// positive alpha is monotone, so the threshold is well defined and the
+// predicate "b <= x" reproduces floor((x - lo) / alpha) >= index exactly.
+double LowerBoundary(double lo, double alpha, int32_t index) {
+  const double target = static_cast<double>(index);
+  double b = lo + alpha * target;
+  while ((b - lo) / alpha < target) {
+    b = std::nextafter(b, std::numeric_limits<double>::infinity());
+  }
+  for (;;) {
+    const double prev =
+        std::nextafter(b, -std::numeric_limits<double>::infinity());
+    if ((prev - lo) / alpha >= target) {
+      b = prev;
+    } else {
+      break;
+    }
+  }
+  return b;
+}
+
+// Boundaries for all `count` cells along one axis, with ±inf sentinels so
+// the walk in Step clamps at the grid edge exactly like Grid::CellOf.
+std::vector<double> AxisBounds(double lo, double alpha, int32_t count) {
+  std::vector<double> bounds(static_cast<size_t>(count) + 1);
+  bounds.front() = -std::numeric_limits<double>::infinity();
+  bounds.back() = std::numeric_limits<double>::infinity();
+  for (int32_t k = 1; k < count; ++k) {
+    bounds[static_cast<size_t>(k)] = LowerBoundary(lo, alpha, k);
+  }
+  return bounds;
+}
+
+}  // namespace
 
 Result<World> World::Make(const geo::Grid& grid,
                           std::vector<ObjectState> objects) {
@@ -17,57 +58,164 @@ Result<World> World::Make(const geo::Grid& grid,
       return Status::InvalidArgument("object outside universe of discourse");
     }
   }
-  return World(grid, std::move(objects));
+  return World(grid, objects);
 }
 
-World::World(const geo::Grid& grid, std::vector<ObjectState> objects)
-    : grid_(&grid),
-      objects_(std::move(objects)),
-      cell_objects_(grid.CellCount()),
-      slot_in_cell_(objects_.size()),
-      velocity_pick_buffer_(objects_.size()) {
-  for (auto& object : objects_) {
-    object.cell = grid_->CellOf(object.pos);
-    auto& list = cell_objects_[grid_->FlatIndex(object.cell)];
-    slot_in_cell_[object.oid] = static_cast<uint32_t>(list.size());
-    list.push_back(object.oid);
+World::World(const geo::Grid& grid, const std::vector<ObjectState>& objects)
+    : grid_(&grid) {
+  const size_t n = objects.size();
+  const auto cells = static_cast<size_t>(grid.CellCount());
+  x_.resize(n);
+  y_.resize(n);
+  vx_.resize(n);
+  vy_.resize(n);
+  max_speed_.resize(n);
+  attr_.resize(n);
+  cell_i_.resize(n);
+  cell_j_.resize(n);
+  cell_start_.assign(cells + 1, 0);
+  cell_items_.resize(n);
+  cell_count_.assign(cells, 0);
+  scatter_cursor_.resize(cells);
+  velocity_pick_buffer_.resize(n);
+  col_bound_ =
+      AxisBounds(grid.universe().lx, grid.alpha(), grid.columns());
+  row_bound_ = AxisBounds(grid.universe().ly, grid.alpha(), grid.rows());
+  for (size_t k = 0; k < n; ++k) {
+    const ObjectState& object = objects[k];
+    x_[k] = object.pos.x;
+    y_[k] = object.pos.y;
+    vx_[k] = object.vel.x;
+    vy_[k] = object.vel.y;
+    max_speed_[k] = object.max_speed;
+    attr_[k] = object.attr;
+    const geo::CellCoord c = grid_->CellOf(object.pos);
+    cell_i_[k] = c.i;
+    cell_j_[k] = c.j;
+    ++cell_count_[static_cast<size_t>(grid.FlatIndex(c))];
   }
   std::iota(velocity_pick_buffer_.begin(), velocity_pick_buffer_.end(),
             ObjectId{0});
+  RebuildSpans();
 }
 
-void World::MigrateCell(ObjectState& object, const geo::CellCoord& new_cell) {
-  auto& old_list = cell_objects_[grid_->FlatIndex(object.cell)];
-  const uint32_t slot = slot_in_cell_[object.oid];
-  ObjectId moved = old_list.back();
-  old_list[slot] = moved;
-  slot_in_cell_[moved] = slot;
-  old_list.pop_back();
-  auto& new_list = cell_objects_[grid_->FlatIndex(new_cell)];
-  slot_in_cell_[object.oid] = static_cast<uint32_t>(new_list.size());
-  new_list.push_back(object.oid);
-  object.cell = new_cell;
+void World::RebuildSpans() {
+  // Counting scatter over the maintained per-cell populations: prefix-sum,
+  // then one oid-order pass. cell_count_ is kept current by the ctor, the
+  // Step loop and SetObjectState (branchless ±`changed` updates against an
+  // L1-resident array), so no counting pass over the objects is needed.
+  const size_t cells = cell_count_.size();
+  const size_t n = cell_i_.size();
+  const int64_t columns = grid_->columns();
+  uint32_t run = 0;
+  for (size_t c = 0; c < cells; ++c) {
+    cell_start_[c] = run;
+    scatter_cursor_[c] = run;
+    run += cell_count_[c];
+  }
+  cell_start_[cells] = run;
+  for (size_t oid = 0; oid < n; ++oid) {
+    const auto flat = static_cast<size_t>(
+        static_cast<int64_t>(cell_j_[oid]) * columns + cell_i_[oid]);
+    cell_items_[scatter_cursor_[flat]++] = static_cast<uint32_t>(oid);
+  }
 }
 
 void World::Step(Seconds dt, int velocity_changes, Rng& rng) {
   // Draw `velocity_changes` distinct objects with a partial Fisher-Yates
   // shuffle over the persistent identity buffer: the first `changes` slots
   // become a uniform random sample without replacement.
-  const auto n = static_cast<uint64_t>(objects_.size());
+  //
+  // The loop is software-pipelined: the rng draws (pick index, angle, unit
+  // speed — all register-only, in exactly the historical order) run `kDepth`
+  // iterations ahead of the scattered max_speed_/vx_/vy_ accesses, which
+  // are prefetched when the pick resolves and applied when they reach the
+  // back of the ring. At millions of objects every one of those accesses is
+  // a DRAM miss, and without the pipeline each iteration serializes two
+  // dependent misses (pick slot, then velocity row); overlapping them is
+  // worth ~2x on this phase. ApplyPolar is bit-equivalent to the eager
+  // DrawVelocity (see motion_model.h), and FY picks are distinct, so the
+  // deferred stores cannot race a later pick of the same object.
+  const auto n = static_cast<uint64_t>(x_.size());
   const auto changes = static_cast<uint64_t>(
       std::min<int64_t>(velocity_changes, static_cast<int64_t>(n)));
+  constexpr uint64_t kDepth = 8;
+  struct PendingDraw {
+    size_t oid;
+    double angle;
+    double unit_speed;
+  };
+  PendingDraw ring[kDepth];
   for (uint64_t k = 0; k < changes; ++k) {
-    uint64_t pick = k + rng.NextUint64(n - k);
+    const uint64_t pick = k + rng.NextUint64(n - k);
+    double angle;
+    double unit_speed;
+    RandomVelocityModel::DrawPolar(rng, angle, unit_speed);
     std::swap(velocity_pick_buffer_[k], velocity_pick_buffer_[pick]);
-    RandomVelocityModel::RandomizeVelocity(objects_[velocity_pick_buffer_[k]],
-                                           rng);
+    const auto oid = static_cast<size_t>(velocity_pick_buffer_[k]);
+    __builtin_prefetch(&max_speed_[oid]);
+    __builtin_prefetch(&vx_[oid], 1);
+    __builtin_prefetch(&vy_[oid], 1);
+    if (k >= kDepth) {
+      const PendingDraw& d = ring[k % kDepth];
+      RandomVelocityModel::ApplyPolar(max_speed_[d.oid], d.angle,
+                                      d.unit_speed, vx_[d.oid], vy_[d.oid]);
+    }
+    ring[k % kDepth] = PendingDraw{oid, angle, unit_speed};
+  }
+  for (uint64_t k = changes < kDepth ? 0 : changes - kDepth; k < changes;
+       ++k) {
+    const PendingDraw& d = ring[k % kDepth];
+    RandomVelocityModel::ApplyPolar(max_speed_[d.oid], d.angle, d.unit_speed,
+                                    vx_[d.oid], vy_[d.oid]);
   }
 
-  for (auto& object : objects_) {
-    RandomVelocityModel::Advance(object, dt, grid_->universe());
-    geo::CellCoord new_cell = grid_->CellOf(object.pos);
-    if (!(new_cell == object.cell)) MigrateCell(object, new_cell);
+  // Advance every object over the SoA arrays. Cell reassignment uses the
+  // precomputed boundary arrays instead of CellOf's two divisions: one
+  // branchless ±1 index step per axis covers any same- or adjacent-cell
+  // outcome (objects rarely move further than one cell per step), and a
+  // never-predicted walk loop handles larger jumps exactly. Everything in
+  // the loop is unconditional — migration is tallied with a flag add, not
+  // a branch — because the ~25-40% per-object migration branch this
+  // replaces was the loop's dominant cost (mispredicts plus random counter
+  // traffic). The result is bit-equivalent to Grid::CellOf per object.
+  const geo::Rect& universe = grid_->universe();
+  const int64_t columns = grid_->columns();
+  const double* col_bound = col_bound_.data();
+  const double* row_bound = row_bound_.data();
+  size_t migrations = 0;
+  for (size_t oid = 0; oid < n; ++oid) {
+    RandomVelocityModel::AdvanceComponents(x_[oid], y_[oid], vx_[oid],
+                                           vy_[oid], dt, universe);
+    const double px = x_[oid];
+    const double py = y_[oid];
+    int32_t ci = cell_i_[oid];
+    int32_t cj = cell_j_[oid];
+    const int64_t old_flat = static_cast<int64_t>(cj) * columns + ci;
+    ci += static_cast<int32_t>(px >= col_bound[ci + 1]) -
+          static_cast<int32_t>(px < col_bound[ci]);
+    cj += static_cast<int32_t>(py >= row_bound[cj + 1]) -
+          static_cast<int32_t>(py < row_bound[cj]);
+    if (px < col_bound[ci] || px >= col_bound[ci + 1]) [[unlikely]] {
+      while (px < col_bound[ci]) --ci;
+      while (px >= col_bound[ci + 1]) ++ci;
+    }
+    if (py < row_bound[cj] || py >= row_bound[cj + 1]) [[unlikely]] {
+      while (py < row_bound[cj]) --cj;
+      while (py >= row_bound[cj + 1]) ++cj;
+    }
+    cell_i_[oid] = ci;
+    cell_j_[oid] = cj;
+    const int64_t new_flat = static_cast<int64_t>(cj) * columns + ci;
+    const auto changed = static_cast<uint32_t>(new_flat != old_flat);
+    // Keep per-cell populations current without a branch: the two updates
+    // cancel when the object stayed put, and cell_count_ is small enough
+    // to live in L1 so the random accesses are cheap.
+    cell_count_[static_cast<size_t>(old_flat)] -= changed;
+    cell_count_[static_cast<size_t>(new_flat)] += changed;
+    migrations += changed;
   }
+  if (migrations != 0) RebuildSpans();
 
   now_ += dt;
   ++step_count_;
@@ -75,11 +223,20 @@ void World::Step(Seconds dt, int velocity_changes, Rng& rng) {
 
 void World::SetObjectState(ObjectId oid, const geo::Point& pos,
                            const geo::Vec2& vel) {
-  ObjectState& object = objects_[static_cast<size_t>(oid)];
-  object.vel = vel;
-  object.pos = pos;
-  geo::CellCoord new_cell = grid_->CellOf(pos);
-  if (!(new_cell == object.cell)) MigrateCell(object, new_cell);
+  const auto k = static_cast<size_t>(oid);
+  x_[k] = pos.x;
+  y_[k] = pos.y;
+  vx_[k] = vel.x;
+  vy_[k] = vel.y;
+  const geo::CellCoord c = grid_->CellOf(pos);
+  if (c.i != cell_i_[k] || c.j != cell_j_[k]) {
+    --cell_count_[static_cast<size_t>(
+        grid_->FlatIndex(geo::CellCoord{cell_i_[k], cell_j_[k]}))];
+    cell_i_[k] = c.i;
+    cell_j_[k] = c.j;
+    ++cell_count_[static_cast<size_t>(grid_->FlatIndex(c))];
+    RebuildSpans();
+  }
 }
 
 }  // namespace mobieyes::mobility

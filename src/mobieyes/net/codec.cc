@@ -119,22 +119,31 @@ struct EncodeBody {
 }  // namespace
 
 std::vector<uint8_t> MessageCodec::Encode(const Message& message) {
+  std::vector<uint8_t> scratch;
+  std::vector<uint8_t> out;
+  EncodeInto(message, &scratch, &out);
+  return out;
+}
+
+void MessageCodec::EncodeInto(const Message& message,
+                              std::vector<uint8_t>* scratch,
+                              std::vector<uint8_t>* out) {
   // Body first so the header can carry count/flags and the body length.
-  std::vector<uint8_t> body;
+  std::vector<uint8_t>& body = *scratch;
+  body.clear();
   ByteWriter body_writer(&body);
   EncodeBody encoder{body_writer};
   std::visit(encoder, message.payload);
 
-  std::vector<uint8_t> out;
-  out.reserve(kHeaderBytes + body.size());
-  ByteWriter header(&out);
+  out->clear();
+  out->reserve(kHeaderBytes + body.size());
+  ByteWriter header(out);
   header.U32(kMagic);
   header.U8(static_cast<uint8_t>(message.type));
   header.U8(encoder.flags);
   header.U16(encoder.count);
   header.U64(static_cast<uint64_t>(body.size()));
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  out->insert(out->end(), body.begin(), body.end());
 }
 
 Result<Message> MessageCodec::Decode(const std::vector<uint8_t>& buffer) {

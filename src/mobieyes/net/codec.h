@@ -253,6 +253,14 @@ class MessageCodec {
   // reports are truncated to 64 queries by construction).
   static std::vector<uint8_t> Encode(const Message& message);
 
+  // Encode variant that reuses caller-owned buffers: *out receives the
+  // encoded message (cleared first, capacity kept) and *scratch holds the
+  // body while the header is assembled. Batched encode loops (WAL
+  // serialization, checkpoint chunking) call this so steady-state encoding
+  // allocates nothing once the buffers have warmed up.
+  static void EncodeInto(const Message& message, std::vector<uint8_t>* scratch,
+                         std::vector<uint8_t>* out);
+
   // Parses a buffer produced by Encode. Returns InvalidArgument on a bad
   // magic number, unknown type, truncated buffer, trailing bytes, or any
   // malformed tag/count inside the body (unknown region shape, bitmap

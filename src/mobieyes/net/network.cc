@@ -154,8 +154,12 @@ void WirelessNetwork::Broadcast(const BaseStation& station, Message message) {
   if (!coverage_query_) return;
   // Collect receivers first: handlers may re-enter the network (e.g. an
   // object replying with an uplink), and must not observe a partially
-  // delivered broadcast.
-  std::vector<ObjectId> receivers;
+  // delivered broadcast. The list lives in a depth-indexed pool so nested
+  // broadcasts get their own vector without per-call allocation.
+  if (broadcast_depth_ == receiver_pool_.size()) receiver_pool_.emplace_back();
+  std::vector<ObjectId>& receivers = receiver_pool_[broadcast_depth_];
+  ++broadcast_depth_;
+  receivers.clear();
   coverage_query_(station.coverage,
                   [&receivers](ObjectId oid) { receivers.push_back(oid); });
   stats_.broadcast_receptions += receivers.size();
@@ -171,6 +175,7 @@ void WirelessNetwork::Broadcast(const BaseStation& station, Message message) {
     auto it = clients_.find(oid);
     if (it != clients_.end()) it->second(message);
   }
+  --broadcast_depth_;
 }
 
 }  // namespace mobieyes::net

@@ -227,6 +227,14 @@ class WirelessNetwork {
   bool track_per_object_bytes_ = true;
   WireMetrics metrics_;
   bool metrics_attached_ = false;
+
+  // Receiver scratch for Broadcast, pooled by nesting depth: a receiver's
+  // handler may uplink a reply whose server-side processing triggers a
+  // nested broadcast, which must not clobber the outer call's receiver
+  // list. Each depth level keeps its vector across calls, so steady-state
+  // broadcasts allocate nothing.
+  std::vector<std::vector<ObjectId>> receiver_pool_;
+  size_t broadcast_depth_ = 0;
 };
 
 }  // namespace mobieyes::net

@@ -1,8 +1,34 @@
 #include "mobieyes/sim/oracle.h"
 
+#include "mobieyes/geo/batch_kernels.h"
 #include "mobieyes/geo/circle.h"
 
 namespace mobieyes::sim {
+namespace {
+
+// Runs the shape-appropriate span kernel, appending matches to *out.
+void CollectSpan(const uint32_t* ids, size_t count, const double* xs,
+                 const double* ys, const double* attrs, double cx, double cy,
+                 double scan_r2, const geo::QueryRegion& region,
+                 double filter_threshold, uint32_t focal_oid,
+                 std::vector<ObjectId>* out) {
+  const size_t base = out->size();
+  out->resize(base + count);
+  ObjectId* dst = out->data() + base;
+  size_t m;
+  if (region.shape == geo::QueryRegion::Shape::kCircle) {
+    m = geo::kernels::CollectQueryCircle(ids, count, xs, ys, attrs, cx, cy,
+                                         scan_r2, filter_threshold, focal_oid,
+                                         dst);
+  } else {
+    m = geo::kernels::CollectQueryRect(ids, count, xs, ys, attrs, cx, cy,
+                                       scan_r2, region.half_w, region.half_h,
+                                       filter_threshold, focal_oid, dst);
+  }
+  out->resize(base + m);
+}
+
+}  // namespace
 
 std::unordered_set<ObjectId> ExactOracle::Evaluate(
     ObjectId focal_oid, Miles radius, double filter_threshold) const {
@@ -23,15 +49,90 @@ void ExactOracle::EvaluateInto(ObjectId focal_oid,
                                double filter_threshold,
                                std::vector<ObjectId>* out) const {
   out->clear();
-  const mobility::ObjectState& focal = world_->object(focal_oid);
-  // Scan the circumscribing circle and refine with the exact shape test.
-  geo::Circle scan{focal.pos, region.MaxReach()};
-  world_->ForEachObjectInCircle(scan, [&](ObjectId oid) {
-    if (oid != focal_oid && world_->object(oid).attr <= filter_threshold &&
-        region.Contains(focal.pos, world_->object(oid).pos)) {
-      out->push_back(oid);
-    }
+  const geo::Point focal = world_->position(focal_oid);
+  // Scan the circumscribing circle and refine with the exact shape test,
+  // one batched kernel call per contiguous row span.
+  const geo::Circle scan{focal, region.MaxReach()};
+  const geo::CellRange cells =
+      world_->grid().CellsIntersecting(scan.BoundingRect());
+  const double scan_r2 = scan.radius * scan.radius;
+  const double* xs = world_->xs();
+  const double* ys = world_->ys();
+  const double* attrs = world_->attrs();
+  const auto focal32 = static_cast<uint32_t>(focal_oid);
+  world_->ForEachRowSpan(cells, [&](const uint32_t* ids, size_t count) {
+    CollectSpan(ids, count, xs, ys, attrs, focal.x, focal.y, scan_r2, region,
+                filter_threshold, focal32, out);
   });
+}
+
+void ExactOracle::EvaluateAllInto(
+    const std::vector<BatchQuery>& queries,
+    std::vector<std::vector<ObjectId>>* results) {
+  const size_t nq = queries.size();
+  const geo::Grid& grid = world_->grid();
+  const auto cells = static_cast<size_t>(grid.CellCount());
+  const int64_t columns = grid.columns();
+  results->resize(nq);
+  batch_cx_.resize(nq);
+  batch_cy_.resize(nq);
+  batch_scan_r2_.resize(nq);
+  batch_range_.resize(nq);
+  cell_query_start_.assign(cells + 1, 0);
+  cell_query_cursor_.resize(cells);
+
+  // Pass 1: derive each query's scan parameters and count, per cell, how
+  // many queries touch it.
+  for (size_t q = 0; q < nq; ++q) {
+    (*results)[q].clear();
+    const geo::Point focal = world_->position(queries[q].focal_oid);
+    const geo::Circle scan{focal, queries[q].region.MaxReach()};
+    batch_cx_[q] = focal.x;
+    batch_cy_[q] = focal.y;
+    batch_scan_r2_[q] = scan.radius * scan.radius;
+    batch_range_[q] = grid.CellsIntersecting(scan.BoundingRect());
+    batch_range_[q].ForEach([&](int32_t i, int32_t j) {
+      ++cell_query_start_[static_cast<int64_t>(j) * columns + i + 1];
+    });
+  }
+  for (size_t c = 0; c < cells; ++c) {
+    cell_query_start_[c + 1] += cell_query_start_[c];
+    cell_query_cursor_[c] = cell_query_start_[c];
+  }
+  cell_query_items_.resize(cell_query_start_[cells]);
+  // Pass 2: scatter the cell -> query adjacency in ascending query order.
+  for (size_t q = 0; q < nq; ++q) {
+    batch_range_[q].ForEach([&](int32_t i, int32_t j) {
+      cell_query_items_[cell_query_cursor_[static_cast<int64_t>(j) * columns +
+                                           i]++] = static_cast<uint32_t>(q);
+    });
+  }
+
+  // Pass 3: stream each populated cell's object span once, evaluating it
+  // against every query whose scan area includes the cell. Flat cell
+  // indices ascend, so each query's result accumulates in the same order a
+  // per-query row scan would produce.
+  const std::vector<uint32_t>& span_offsets = world_->cell_span_offsets();
+  const std::vector<uint32_t>& span_items = world_->cell_span_items();
+  const double* xs = world_->xs();
+  const double* ys = world_->ys();
+  const double* attrs = world_->attrs();
+  for (size_t c = 0; c < cells; ++c) {
+    const uint32_t span_begin = span_offsets[c];
+    const uint32_t span_end = span_offsets[c + 1];
+    if (span_begin == span_end) continue;
+    const uint32_t* ids = &span_items[span_begin];
+    const size_t count = span_end - span_begin;
+    for (uint32_t a = cell_query_start_[c]; a < cell_query_start_[c + 1];
+         ++a) {
+      const uint32_t q = cell_query_items_[a];
+      CollectSpan(ids, count, xs, ys, attrs, batch_cx_[q], batch_cy_[q],
+                  batch_scan_r2_[q], queries[q].region,
+                  queries[q].filter_threshold,
+                  static_cast<uint32_t>(queries[q].focal_oid),
+                  &(*results)[q]);
+    }
+  }
 }
 
 double ExactOracle::MissingFraction(

@@ -6,6 +6,7 @@
 
 #include "mobieyes/common/ids.h"
 #include "mobieyes/common/units.h"
+#include "mobieyes/geo/grid.h"
 #include "mobieyes/geo/query_region.h"
 #include "mobieyes/mobility/world.h"
 
@@ -15,6 +16,11 @@ namespace mobieyes::sim {
 // moving query from the world's true object positions. Used to validate the
 // distributed protocol and to measure the result error of lazy query
 // propagation (Fig. 2).
+//
+// Evaluation runs through the batched span kernels (geo/batch_kernels.h):
+// each grid row the scan area touches is one contiguous slice of the
+// world's cell-span index, streamed through a branch-light gather/compare
+// loop instead of a per-object callback.
 class ExactOracle {
  public:
   explicit ExactOracle(const mobility::World& world) : world_(&world) {}
@@ -35,9 +41,28 @@ class ExactOracle {
   // most once, so the output needs no dedup and a caller-owned vector can be
   // reused across queries and steps (Fig. 2 measures every query every
   // step; a fresh hash set per query dominated the measurement cost).
+  // Results are in (flat cell, ascending oid) scan order.
   void EvaluateInto(ObjectId focal_oid, const geo::QueryRegion& region,
                     double filter_threshold,
                     std::vector<ObjectId>* out) const;
+
+  // One query of a cell-major batch evaluation.
+  struct BatchQuery {
+    ObjectId focal_oid = kInvalidObjectId;
+    geo::QueryRegion region;
+    double filter_threshold = 0.0;
+  };
+
+  // Evaluates every query of the batch in one cell-major pass: queries are
+  // grouped by the grid cells their scan area intersects, then each
+  // populated cell's span is streamed once against all queries touching it.
+  // (*results)[q] receives query q's exact result in the same (flat cell,
+  // ascending oid) order EvaluateInto produces — flat cell indices ascend
+  // in both scan orders, so the batch is a drop-in replacement. Reuses
+  // internal scratch and the caller's result vectors; steady-state this
+  // allocates nothing.
+  void EvaluateAllInto(const std::vector<BatchQuery>& queries,
+                       std::vector<std::vector<ObjectId>>* results);
 
   // Fraction of the exact result that `reported` misses (paper's Fig. 2
   // error metric: missing ids divided by correct result size). Zero when
@@ -66,6 +91,16 @@ class ExactOracle {
 
  private:
   const mobility::World* world_;
+
+  // Scratch for EvaluateAllInto (per-query parameters and the cell-to-query
+  // CSR adjacency), reused across calls.
+  std::vector<double> batch_cx_;
+  std::vector<double> batch_cy_;
+  std::vector<double> batch_scan_r2_;
+  std::vector<geo::CellRange> batch_range_;
+  std::vector<uint32_t> cell_query_start_;
+  std::vector<uint32_t> cell_query_cursor_;
+  std::vector<uint32_t> cell_query_items_;
 };
 
 }  // namespace mobieyes::sim

@@ -139,9 +139,9 @@ Status Simulation::Setup() {
     std::vector<geo::Point> positions;
     attrs.reserve(world_->object_count());
     positions.reserve(world_->object_count());
-    for (const auto& object : world_->objects()) {
-      attrs.push_back(object.attr);
-      positions.push_back(object.pos);
+    for (size_t oid = 0; oid < world_->object_count(); ++oid) {
+      attrs.push_back(world_->attr(static_cast<ObjectId>(oid)));
+      positions.push_back(world_->position(static_cast<ObjectId>(oid)));
     }
 
     switch (config_.mode) {
@@ -512,13 +512,23 @@ ExactOracle::AccuracyStats Simulation::CurrentAccuracy() const {
   TRACE_SPAN(trace_.get(), "oracle.evaluate");
   mean.agreement = 0.0;
   static const std::unordered_set<ObjectId> kEmpty;
+  // One cell-major batch pass computes every query's exact result: each
+  // populated cell span is streamed once against all queries touching it,
+  // instead of re-walking the index per query.
+  if (oracle_batch_.size() != installed_qids_.size()) {
+    oracle_batch_.resize(installed_qids_.size());
+    for (size_t k = 0; k < installed_qids_.size(); ++k) {
+      const QuerySpec& spec = query_specs_[k];
+      oracle_batch_[k] =
+          ExactOracle::BatchQuery{spec.focal_oid, spec.region,
+                                  spec.filter_threshold};
+    }
+  }
+  oracle_->EvaluateAllInto(oracle_batch_, &oracle_batch_results_);
   for (size_t k = 0; k < installed_qids_.size(); ++k) {
-    const QuerySpec& spec = query_specs_[k];
-    oracle_->EvaluateInto(spec.focal_oid, spec.region, spec.filter_threshold,
-                          &oracle_scratch_);
     const std::unordered_set<ObjectId>* reported = ReportedResult(k);
-    ExactOracle::AccuracyStats stats =
-        ExactOracle::Compare(oracle_scratch_, reported ? *reported : kEmpty);
+    ExactOracle::AccuracyStats stats = ExactOracle::Compare(
+        oracle_batch_results_[k], reported ? *reported : kEmpty);
     mean.missing += stats.missing;
     mean.spurious += stats.spurious;
     mean.agreement += stats.agreement;

@@ -211,9 +211,10 @@ class Simulation {
   std::vector<QuerySpec> query_specs_;
   std::vector<QueryId> installed_qids_;
 
-  // Scratch for CurrentResultError, reused across queries and steps so the
-  // per-step error measurement does not allocate per query.
-  mutable std::vector<ObjectId> oracle_scratch_;
+  // Batch-oracle inputs/outputs for CurrentAccuracy, reused across steps so
+  // the per-step error measurement does not allocate per query.
+  mutable std::vector<ExactOracle::BatchQuery> oracle_batch_;
+  mutable std::vector<std::vector<ObjectId>> oracle_batch_results_;
 
   RunMetrics metrics_;
 

@@ -153,8 +153,8 @@ TEST(WorldTest, VelocityChangesHitExactCount) {
   Rng rng(67);
   world->Step(30.0, 40, rng);
   int moving = 0;
-  for (const auto& object : world->objects()) {
-    if (object.vel.Norm() > 0.0) ++moving;
+  for (size_t oid = 0; oid < world->object_count(); ++oid) {
+    if (world->velocity(static_cast<ObjectId>(oid)).Norm() > 0.0) ++moving;
   }
   // All objects started with zero velocity; exactly 40 were re-drawn (a
   // freshly drawn speed is almost surely nonzero).
@@ -179,8 +179,10 @@ TEST(WorldTest, ForEachObjectInCircleMatchesBruteForce) {
     world->ForEachObjectInCircle(circle,
                                  [&](ObjectId oid) { via_index.insert(oid); });
     std::set<ObjectId> brute;
-    for (const auto& object : world->objects()) {
-      if (circle.Contains(object.pos)) brute.insert(object.oid);
+    for (size_t oid = 0; oid < world->object_count(); ++oid) {
+      if (circle.Contains(world->position(static_cast<ObjectId>(oid)))) {
+        brute.insert(static_cast<ObjectId>(oid));
+      }
     }
     ASSERT_EQ(via_index, brute);
   }

@@ -255,6 +255,31 @@ TEST(SweepDeterminismTest, ShardCountIsObservablyInvisible) {
   }
 }
 
+// The SoA world's span index orders each cell's objects canonically
+// (ascending oid), as a pure function of current positions rather than of
+// insertion/migration history. This run-to-run byte comparison of the full
+// observability report and the per-query result sets would catch any
+// history- or address-dependent ordering leaking out of the new layout —
+// note RepeatedParallelSweepsAgree above only compares counter fields.
+TEST(SweepDeterminismTest, RepeatedObservedRunsAreByteIdentical) {
+  SweepObsOptions obs;
+  obs.metrics = true;
+  obs.sample_stride = 1;
+  obs.capture_results = true;
+  std::vector<SweepJob> jobs =
+      ShardedSweep(2, core::ShardPartition::kRowBand, 2);
+  std::vector<SweepCellResult> first = RunSweepObserved(jobs, 2, obs);
+  std::vector<SweepCellResult> second = RunSweepObserved(jobs, 2, obs);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t k = 0; k < first.size(); ++k) {
+    const std::string context = "observed job " + std::to_string(k);
+    EXPECT_FALSE(first[k].metrics_json.empty()) << context;
+    EXPECT_EQ(first[k].metrics_json, second[k].metrics_json) << context;
+    EXPECT_EQ(first[k].query_results, second[k].query_results) << context;
+    EXPECT_FALSE(first[k].query_results.empty()) << context;
+  }
+}
+
 // At a fixed shard count, neither the sweep's cell-level worker count nor
 // the server's own shard_threads pool may leak into results: the step-phase
 // scans collect into per-shard buffers that merge in shard order.
