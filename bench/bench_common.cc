@@ -28,6 +28,7 @@ struct RecordedCell {
   std::string label;
   std::string metrics_json;
   std::vector<obs::TraceEvent> trace_events;
+  std::string heatmap_json;
 };
 
 struct BenchState {
@@ -36,6 +37,7 @@ struct BenchState {
   std::string json_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string heatmap_path;
   int sample_stride = 0;
   int steps_override = 0;
   int objects_override = 0;
@@ -151,6 +153,8 @@ void InitBench(const std::string& name, int argc, char** argv) {
       state.trace_path = arg + 8;
     } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
       state.metrics_path = arg + 15;
+    } else if (std::strncmp(arg, "--heatmap=", 10) == 0) {
+      state.heatmap_path = arg + 10;
     } else if (std::strncmp(arg, "--sample-stride=", 16) == 0) {
       state.sample_stride = std::atoi(arg + 16);
     } else if (std::strncmp(arg, "--steps=", 8) == 0) {
@@ -264,6 +268,8 @@ SweepCellResult RunCell(const SweepJob& job, const SweepObsOptions& obs,
   config.obs.enable_metrics = obs.metrics;
   config.obs.enable_trace = obs.trace;
   config.obs.sample_stride = obs.sample_stride;
+  config.obs.enable_heatmap = obs.heatmap;
+  config.obs.enable_lifecycle = obs.lifecycle;
   SweepCellResult result;
   auto simulation = sim::Simulation::Make(config);
   if (!simulation.ok()) {
@@ -272,6 +278,9 @@ SweepCellResult RunCell(const SweepJob& job, const SweepObsOptions& obs,
     return result;
   }
   (*simulation)->Run(job.options.steps);
+  // Close a partially filled heat-map window (no-op when steps landed on a
+  // window boundary) so short cells still export residency + folded totals.
+  (*simulation)->FlushHeatmap();
   result.metrics = (*simulation)->metrics();
   if (obs.metrics || obs.sample_stride > 0) {
     // Timing-free so the report depends only on the cell's seed, keeping
@@ -284,6 +293,12 @@ SweepCellResult RunCell(const SweepJob& job, const SweepObsOptions& obs,
     obs::TraceRecorder* trace = (*simulation)->trace_recorder();
     trace->SetPid(pid);
     result.trace_events = trace->TakeEvents();
+  }
+  if (obs.heatmap && (*simulation)->heatmap() != nullptr) {
+    // Deterministic flavor: layout-dependent channels excluded, so the
+    // export is byte-identical across thread and shard counts.
+    result.heatmap_json = (*simulation)->heatmap()->ToJson(
+        /*include_layout_dependent=*/false);
   }
   if (obs.capture_results) {
     const std::vector<QueryId>& qids = (*simulation)->installed_queries();
@@ -391,6 +406,9 @@ std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs,
   obs.metrics = !state.metrics_path.empty();
   obs.trace = !state.trace_path.empty();
   obs.sample_stride = obs.metrics ? state.sample_stride : 0;
+  obs.heatmap = !state.heatmap_path.empty();
+  // Lifecycle latency tables ride inside the metrics report.
+  obs.lifecycle = obs.metrics;
 
   std::vector<SweepJob> effective;
   effective.reserve(jobs.size());
@@ -400,7 +418,7 @@ std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs,
       RunSweepObserved(effective, threads, obs);
   std::vector<sim::RunMetrics> results;
   results.reserve(cells.size());
-  const bool record = obs.metrics || obs.trace;
+  const bool record = obs.metrics || obs.trace || obs.heatmap;
   // Pids must be unique across RunSweep calls for the merged trace; shift
   // this batch past the cells already recorded.
   int32_t pid_base = static_cast<int32_t>(state.cells.size());
@@ -412,7 +430,8 @@ std::vector<sim::RunMetrics> RunSweep(const std::vector<SweepJob>& jobs,
       }
       state.cells.push_back(RecordedCell{effective[k].label,
                                          std::move(cells[k].metrics_json),
-                                         std::move(cells[k].trace_events)});
+                                         std::move(cells[k].trace_events),
+                                         std::move(cells[k].heatmap_json)});
     }
   }
   return results;
@@ -481,6 +500,25 @@ bool WriteMetricsFile(const BenchState& state) {
   return std::fclose(file) == 0 && written == json.size();
 }
 
+// Writes the per-cell heat-map export. Same ordering/determinism contract
+// as the metrics file: byte-identical for any --threads, --shards or
+// --shard-threads value.
+bool WriteHeatmapFile(const BenchState& state) {
+  std::string json = "{\"bench\": \"" + JsonEscape(state.name) +
+                     "\",\n\"cells\": [\n";
+  for (size_t k = 0; k < state.cells.size(); ++k) {
+    const RecordedCell& cell = state.cells[k];
+    json += "{\"label\": \"" + JsonEscape(cell.label) + "\", \"heatmap\": ";
+    json += cell.heatmap_json.empty() ? "{}" : cell.heatmap_json;
+    json += k + 1 < state.cells.size() ? "},\n" : "}\n";
+  }
+  json += "]}\n";
+  std::FILE* file = std::fopen(state.heatmap_path.c_str(), "w");
+  if (file == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  return std::fclose(file) == 0 && written == json.size();
+}
+
 }  // namespace
 
 int FinishBench() {
@@ -504,6 +542,15 @@ int FinishBench() {
     } else {
       std::fprintf(stderr, "[bench] cannot write %s\n",
                    state.metrics_path.c_str());
+      return 1;
+    }
+  }
+  if (!state.heatmap_path.empty()) {
+    if (WriteHeatmapFile(state)) {
+      Progress("wrote " + state.heatmap_path);
+    } else {
+      std::fprintf(stderr, "[bench] cannot write %s\n",
+                   state.heatmap_path.c_str());
       return 1;
     }
   }

@@ -67,11 +67,16 @@ struct SweepJob {
 //   --trace=PATH       record Chrome-trace spans in every sweep cell and
 //                      write one merged Perfetto-loadable file to PATH
 //                      (one "process" per cell, labeled by the job label)
-//   --metrics-json=PATH  per-cell MetricsRegistry + per-step series report;
-//                      deterministic (wall-clock instruments excluded), so
-//                      the file is identical for any --threads value
+//   --metrics-json=PATH  per-cell MetricsRegistry + per-step series report
+//                      (lifecycle latency tables included); deterministic
+//                      (wall-clock instruments excluded), so the file is
+//                      identical for any --threads value
 //   --sample-stride=N  per-step sampling stride inside each cell
 //                      (default 1 when --metrics-json is given, else off)
+//   --heatmap=PATH     per-cell heat-map export (uplinks, RQI scan work,
+//                      installs, residency), deterministic flavor — the
+//                      file is byte-identical for any --threads, --shards
+//                      or --shard-threads value
 //   --steps=N          override every job's measured step count (smoke runs)
 //   --objects=N        override every job's object count (smoke runs)
 //
@@ -122,6 +127,11 @@ struct SweepObsOptions {
   bool metrics = false;
   bool trace = false;
   int sample_stride = 0;
+  // Per-cell heat-map accumulation (DESIGN.md §12); the deterministic
+  // export lands in SweepCellResult::heatmap_json.
+  bool heatmap = false;
+  // Lifecycle latency tracking; its tables ride inside metrics_json.
+  bool lifecycle = false;
   // Capture each cell's final per-query result sets (sorted, in installed
   // query order) into SweepCellResult::query_results. Used by the
   // determinism tests and the shard sweep to compare runs structurally.
@@ -137,6 +147,10 @@ struct SweepCellResult {
   std::string metrics_json;
   // Trace events with pid = job index. Empty when !obs.trace.
   std::vector<obs::TraceEvent> trace_events;
+  // HeatMap::ToJson(include_layout_dependent=false): deterministic for a
+  // given seed, byte-identical across thread and shard counts. Empty when
+  // !obs.heatmap.
+  std::string heatmap_json;
   // Final result set of each installed query, sorted by object id, indexed
   // like Simulation::installed_queries(). Empty when !obs.capture_results.
   std::vector<std::vector<ObjectId>> query_results;

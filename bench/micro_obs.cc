@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "mobieyes/obs/heatmap.h"
+#include "mobieyes/obs/lifecycle.h"
 #include "mobieyes/obs/metrics_registry.h"
 #include "mobieyes/obs/trace_recorder.h"
 #include "mobieyes/sim/simulation.h"
@@ -44,14 +46,19 @@ SimulationConfig SmallConfig(const ObservabilityOptions& obs) {
 }
 
 // One full EQP simulation step (2k objects), observability varied by the
-// benchmark arg: 0 = off, 1 = metrics+sampler, 2 = trace, 3 = everything.
+// benchmark arg: 0 = off, 1 = metrics+sampler, 2 = trace, 3 = everything
+// first-generation, 4 = heatmap+lifecycle, 5 = everything.
 void BM_SimulationStep(benchmark::State& state) {
   ObservabilityOptions obs;
-  const bool metrics = state.range(0) == 1 || state.range(0) == 3;
-  const bool trace = state.range(0) == 2 || state.range(0) == 3;
+  const bool metrics = state.range(0) == 1 || state.range(0) >= 3;
+  const bool trace = state.range(0) == 2 || state.range(0) == 3 ||
+                     state.range(0) == 5;
+  const bool spatial = state.range(0) >= 4;
   obs.enable_metrics = metrics;
   obs.sample_stride = metrics ? 1 : 0;
   obs.enable_trace = trace;
+  obs.enable_heatmap = spatial;
+  obs.enable_lifecycle = spatial;
   auto simulation = Simulation::Make(SmallConfig(obs));
   if (!simulation.ok()) {
     state.SkipWithError("setup failed");
@@ -65,9 +72,11 @@ void BM_SimulationStep(benchmark::State& state) {
   state.SetLabel(state.range(0) == 0   ? "obs off"
                  : state.range(0) == 1 ? "metrics+sampler"
                  : state.range(0) == 2 ? "trace"
+                 : state.range(0) == 3 ? "metrics+sampler+trace"
+                 : state.range(0) == 4 ? "metrics+heatmap+lifecycle"
                                        : "all on");
 }
-BENCHMARK(BM_SimulationStep)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+BENCHMARK(BM_SimulationStep)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
     ->Unit(benchmark::kMicrosecond);
 
 // The runtime-disabled span: one null test on construction and one on
@@ -125,6 +134,56 @@ void BM_HistogramObserve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HistogramObserve);
+
+// A heat-map charge: one flat-index computation plus an integer add (the
+// per-uplink cost on the router hot path when heat maps are on).
+void BM_HeatMapAdd(benchmark::State& state) {
+  mobieyes::obs::HeatMap map(64, 64);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    map.Add(mobieyes::obs::HeatMap::kUplinks,
+            static_cast<int32_t>(k % 64),
+            static_cast<int32_t>((k / 64) % 64));
+    ++k;
+    benchmark::DoNotOptimize(map);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeatMapAdd);
+
+// One per-step shard-window merge of a 64x64 map (all channels): what the
+// simulation pays per shard per step to keep the global map layout-
+// invariant.
+void BM_HeatMapMergeWindow(benchmark::State& state) {
+  mobieyes::obs::HeatMap global(64, 64);
+  mobieyes::obs::HeatMap shard(64, 64);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int c = 0; c < 256; ++c) {
+      shard.Add(mobieyes::obs::HeatMap::kUplinks, c % 64, c / 64);
+    }
+    state.ResumeTiming();
+    global.MergeWindowFrom(shard);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeatMapMergeWindow)->Unit(benchmark::kMicrosecond);
+
+// A full lifecycle round: stamp (hash-map insert) plus resolve (find,
+// erase, bucket scan) — the per-tracked-message cost.
+void BM_LifecycleStampResolve(benchmark::State& state) {
+  mobieyes::obs::LifecycleTracker tracker;
+  uint64_t key = 0;
+  for (auto _ : state) {
+    tracker.Stamp(mobieyes::obs::LifecycleTracker::kUplinkRoundTrip, key);
+    tracker.ResolveIfPending(mobieyes::obs::LifecycleTracker::kUplinkRoundTrip,
+                             key);
+    key = (key + 1) & 0xFFFF;
+    benchmark::DoNotOptimize(tracker);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LifecycleStampResolve);
 
 }  // namespace
 

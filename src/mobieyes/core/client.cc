@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "mobieyes/geo/batch_kernels.h"
+#include "mobieyes/obs/lifecycle.h"
 
 namespace mobieyes::core {
 
@@ -211,8 +212,10 @@ void MobiEyesClient::SendVelocityReport() {
   if (options_.enable_reliable_uplink) {
     // A newer velocity report supersedes any unacked one: the retransmit of
     // the old vector would be stale anyway.
-    std::erase_if(pending_, [](const PendingUplink& p) {
-      return p.type == net::MessageType::kVelocityChangeReport;
+    std::erase_if(pending_, [this](const PendingUplink& p) {
+      if (p.type != net::MessageType::kVelocityChangeReport) return false;
+      DropAckRound(p.seq);
+      return true;
     });
     PendingUplink entry;
     entry.type = net::MessageType::kVelocityChangeReport;
@@ -233,6 +236,7 @@ void MobiEyesClient::SendCellChangeReport(const geo::CellCoord& new_cell) {
                            });
     if (it != pending_.end()) {
       origin = it->prev_cell;
+      DropAckRound(it->seq);
       pending_.erase(it);
     }
   }
@@ -255,11 +259,12 @@ void MobiEyesClient::SendBitmapReport(net::ResultBitmapReport report) {
   // A fresh report supersedes pending ones that cover any of the same
   // queries: retransmits rebuild the bitmap from the current LQT, so the
   // newest tracking entry carries the whole truth for its queries.
-  std::erase_if(pending_, [&report](const PendingUplink& p) {
+  std::erase_if(pending_, [this, &report](const PendingUplink& p) {
     if (p.type != net::MessageType::kResultBitmapReport) return false;
     for (QueryId qid : p.qids) {
       if (std::find(report.qids.begin(), report.qids.end(), qid) !=
           report.qids.end()) {
+        DropAckRound(p.seq);
         return true;
       }
     }
@@ -273,15 +278,27 @@ void MobiEyesClient::SendBitmapReport(net::ResultBitmapReport report) {
   network_->SendUplink(oid_, std::move(message));
 }
 
+void MobiEyesClient::DropAckRound(uint32_t seq) {
+  if (lifecycle_ != nullptr) {
+    lifecycle_->Drop(obs::LifecycleTracker::kUplinkAck, AckKey(seq));
+  }
+}
+
 void MobiEyesClient::TrackUplink(net::Message& message, PendingUplink entry) {
   entry.seq = ++next_seq_;
   entry.retries = 0;
   entry.retry_at = tick_ + options_.uplink_retry_backoff_ticks;
   message.seq = entry.seq;
+  if (lifecycle_ != nullptr) {
+    lifecycle_->Stamp(obs::LifecycleTracker::kUplinkAck, AckKey(entry.seq));
+  }
   // Bound the tracking state: if the link is so lossy that 16 tracked
   // uplinks pile up, the oldest is abandoned to the lease/reconciliation
   // repair path.
-  if (pending_.size() >= 16) pending_.erase(pending_.begin());
+  if (pending_.size() >= 16) {
+    DropAckRound(pending_.front().seq);
+    pending_.erase(pending_.begin());
+  }
   pending_.push_back(std::move(entry));
 }
 
@@ -323,6 +340,7 @@ void MobiEyesClient::RetryPendingUplinks() {
     if (p.retries >= options_.uplink_max_retries) {
       // Retry budget spent: give up and leave repair to the lease
       // re-broadcast / reconciliation paths.
+      DropAckRound(p.seq);
       pending_.erase(pending_.begin() + k);
       continue;
     }
@@ -367,6 +385,9 @@ void MobiEyesClient::SendReconcile(bool cold_start) {
 
 void MobiEyesClient::Reset() {
   lqt_.clear();
+  // The restart loses the tracked uplinks; their ack rounds are cancelled,
+  // not left pending forever.
+  for (const PendingUplink& p : pending_) DropAckRound(p.seq);
   pending_.clear();
   has_mq_ = false;
   last_relayed_ = FocalState{};
@@ -478,6 +499,11 @@ void MobiEyesClient::OnDownlink(const Message& message) {
     }
     case net::MessageType::kUplinkAck: {
       const auto& ack = std::get<net::UplinkAck>(message.payload);
+      if (lifecycle_ != nullptr) {
+        // Duplicate acks find no open round and resolve nothing.
+        lifecycle_->ResolveIfPending(obs::LifecycleTracker::kUplinkAck,
+                                     AckKey(ack.seq));
+      }
       std::erase_if(pending_, [&ack](const PendingUplink& p) {
         return p.seq == ack.seq;
       });

@@ -16,6 +16,10 @@
 #include "mobieyes/net/network.h"
 #include "mobieyes/obs/trace_recorder.h"
 
+namespace mobieyes::obs {
+class LifecycleTracker;
+}  // namespace mobieyes::obs
+
 namespace mobieyes::core {
 
 // The moving-object side of MobiEyes (paper §3): each object keeps a local
@@ -97,6 +101,12 @@ class MobiEyesClient {
   // The recorder must outlive the client.
   void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  // Lifecycle latency tap (uplink_ack rounds keyed by (oid, seq)); null
+  // (the default) disables it. The tracker must outlive the client.
+  void set_lifecycle(obs::LifecycleTracker* lifecycle) {
+    lifecycle_ = lifecycle;
+  }
+
   // Tracked uplinks not yet acknowledged (reliable-uplink hardening).
   size_t pending_uplinks() const { return pending_.size(); }
 
@@ -164,10 +174,19 @@ class MobiEyesClient {
   std::vector<size_t> scratch_dirty_groups_;
   std::vector<size_t> scratch_flipped_;
 
+  // (oid, seq) lifecycle key for one tracked uplink's ack round.
+  uint64_t AckKey(uint32_t seq) const {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(oid_)) << 32) | seq;
+  }
+  // Cancels the ack round of a tracked uplink being abandoned (superseded,
+  // evicted, retry budget spent, or client restart).
+  void DropAckRound(uint32_t seq);
+
   Stopwatch eval_watch_;
   uint64_t queries_evaluated_ = 0;
   uint64_t safe_period_skips_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::LifecycleTracker* lifecycle_ = nullptr;
 };
 
 }  // namespace mobieyes::core

@@ -116,6 +116,20 @@ class MobiEyesServer {
   // shards inline. The pool must outlive the server.
   void set_thread_pool(ThreadPool* pool) { router_.set_thread_pool(pool); }
 
+  // Per-cell heat maps, one per shard, charged to the shard owning each
+  // charged cell (DESIGN.md §12). Merge the per-shard windows in shard
+  // order for a layout-independent global map.
+  void EnableHeatmaps(int32_t rows, int32_t cols) {
+    router_.EnableHeatmaps(rows, cols);
+  }
+  obs::HeatMap* shard_heatmap(int k) { return router_.shard_heatmap(k); }
+
+  // Lifecycle latency tap (install->first-result, handoff rounds); null
+  // (the default) disables it. The tracker must outlive the server.
+  void set_lifecycle(obs::LifecycleTracker* lifecycle) {
+    router_.set_lifecycle(lifecycle);
+  }
+
   // --- Crash recovery (DESIGN.md §9) ---------------------------------------
 
   // Attaches the durable store. While attached, every uplink reaching

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "mobieyes/net/codec.h"
+#include "mobieyes/obs/lifecycle.h"
 
 namespace mobieyes::core {
 
@@ -109,6 +110,71 @@ void ShardRouter::CountOp(int target_shard, size_t payload_bytes) {
   backplane_.bytes += net::kHeaderBytes + payload_bytes;
 }
 
+void ShardRouter::EnableHeatmaps(int32_t rows, int32_t cols) {
+  heatmaps_.clear();
+  heatmaps_.reserve(static_cast<size_t>(num_shards()));
+  for (int k = 0; k < num_shards(); ++k) {
+    heatmaps_.push_back(std::make_unique<obs::HeatMap>(rows, cols));
+  }
+}
+
+void ShardRouter::ChargeHeat(obs::HeatMap::Channel channel,
+                             const geo::CellCoord& cell, uint64_t n) {
+  // Replay suppression mirrors the send/backplane suppression: the
+  // pre-crash run already charged this work.
+  if (heatmaps_.empty() || replaying_ || n == 0) return;
+  heatmaps_[map_.ShardOf(cell)]->Add(channel, cell.i, cell.j, n);
+}
+
+bool ShardRouter::UplinkHeatCell(const Message& message,
+                                 geo::CellCoord* cell) const {
+  // Unlike IngressShard this always resolves the cell itself (never the
+  // shard), and it must stay layout-invariant: the same uplink stream
+  // charges the same cells whatever the partitioning.
+  switch (message.type) {
+    case net::MessageType::kQueryInstallRequest: {
+      const auto& p = std::get<net::QueryInstallRequest>(message.payload);
+      const FotEntry* focal = FindFocal(p.oid);
+      if (focal == nullptr) return false;
+      *cell = focal->cell;
+      return true;
+    }
+    case net::MessageType::kPositionVelocityReport: {
+      const auto& p = std::get<net::PositionVelocityReport>(message.payload);
+      *cell = grid_->CellOf(p.state.pos);
+      return true;
+    }
+    case net::MessageType::kVelocityChangeReport: {
+      const auto& p = std::get<net::VelocityChangeReport>(message.payload);
+      *cell = grid_->CellOf(p.state.pos);
+      return true;
+    }
+    case net::MessageType::kCellChangeReport: {
+      const auto& p = std::get<net::CellChangeReport>(message.payload);
+      *cell = p.new_cell;
+      return true;
+    }
+    case net::MessageType::kResultBitmapReport: {
+      const auto& p = std::get<net::ResultBitmapReport>(message.payload);
+      for (QueryId qid : p.qids) {
+        const SqtEntry* entry = FindQuery(qid);
+        if (entry != nullptr) {
+          *cell = entry->curr_cell;
+          return true;
+        }
+      }
+      return false;
+    }
+    case net::MessageType::kLqtReconcileRequest: {
+      const auto& p = std::get<net::LqtReconcileRequest>(message.payload);
+      *cell = p.cell;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
 int ShardRouter::ShardOfQuery(QueryId qid) const {
   auto it = qid_home_.find(qid);
   return it == qid_home_.end() ? -1 : it->second;
@@ -144,6 +210,8 @@ int ShardRouter::MigrateIfNeeded(ObjectId oid) {
   if (focal == nullptr) return home;
   int target = map_.ShardOf(focal->cell);
   if (target == home) return home;
+  // ExtractFocal below invalidates `focal`.
+  const geo::CellCoord handoff_cell = focal->cell;
 
   // The focal crossed a partition boundary: migrate ownership with an
   // explicit handoff message so the co-location invariant holds. The
@@ -155,6 +223,14 @@ int ShardRouter::MigrateIfNeeded(ObjectId oid) {
     ++backplane_.messages;
     ++backplane_.handoffs;
     backplane_.bytes += net::WireSizeBytes(message);
+    // Layout-dependent by nature (no handoffs with one shard), so the
+    // handoffs channel and handoff kind are excluded from deterministic
+    // exports.
+    ChargeHeat(obs::HeatMap::kHandoffs, handoff_cell, 1);
+    if (lifecycle_ != nullptr) {
+      lifecycle_->Stamp(obs::LifecycleTracker::kHandoff,
+                        static_cast<uint64_t>(oid));
+    }
   }
   auto& handoff = std::get<net::ShardHandoff>(message.payload);
   for (const net::ShardQueryState& q : handoff.queries) {
@@ -162,6 +238,12 @@ int ShardRouter::MigrateIfNeeded(ObjectId oid) {
   }
   shards_[target]->AdoptFocal(std::move(handoff));
   home_it->second = target;
+  if (lifecycle_ != nullptr && !replaying_) {
+    // Ownership transferred within the dispatch: a same-step (latency 0)
+    // round, recorded so handoff volume shows up in the lifecycle table.
+    lifecycle_->ResolveIfPending(obs::LifecycleTracker::kHandoff,
+                                 static_cast<uint64_t>(oid));
+  }
   return target;
 }
 
@@ -247,6 +329,13 @@ Result<QueryId> ShardRouter::InstallQuery(ObjectId focal_oid,
   auto [it, inserted] = shard.sqt().emplace(qid, std::move(entry));
   (void)inserted;
   qid_home_.emplace(qid, home);
+  ChargeHeat(obs::HeatMap::kInstalls, it->second.curr_cell, 1);
+  if (lifecycle_ != nullptr && !replaying_) {
+    // Install->first-result round, closed when the first target report for
+    // this query lands (result-bitmap or reconcile resync path).
+    lifecycle_->Stamp(obs::LifecycleTracker::kInstallFirstResult,
+                      static_cast<uint64_t>(qid));
+  }
 
   // Tell the focal object it now has a bound query (sets hasMQ), then
   // install the query on every object in the monitoring region through the
@@ -342,6 +431,12 @@ Status ShardRouter::RemoveQuery(QueryId qid) {
   shard.sqt().erase(it);
   qid_home_.erase(home_it);
   RqiRemoveAll(qid, entry.mon_region);
+  if (lifecycle_ != nullptr && !replaying_) {
+    // A query removed before any target reported cancels its open
+    // install->first-result round (counted, not leaked).
+    lifecycle_->Drop(obs::LifecycleTracker::kInstallFirstResult,
+                     static_cast<uint64_t>(qid));
+  }
 
   // Co-location: the focal (if still bound) lives on the same shard.
   auto fot_it = shard.fot().find(entry.focal_oid);
@@ -412,6 +507,14 @@ void ShardRouter::OnUplink(ObjectId from, const Message& message) {
   dispatching_ = true;
   ctx_shard_ = IngressShard(message);
   ++shards_[ctx_shard_]->stats().uplinks_routed;
+  if (!heatmaps_.empty() && !replaying_) {
+    // Charged per arrival (duplicates included — a retransmission is radio
+    // and routing work too), at the cell the message itself names.
+    geo::CellCoord cell;
+    if (UplinkHeatCell(message, &cell)) {
+      ChargeHeat(obs::HeatMap::kUplinks, cell, 1);
+    }
+  }
   // A non-zero envelope seq marks a tracked uplink (reliable-uplink
   // hardening): acknowledge it and drop retransmissions of messages already
   // processed.
@@ -595,6 +698,9 @@ void ShardRouter::HandleCellChange(const net::CellChangeReport& report) {
     const std::vector<QueryId>& new_row =
         shards_[map_.ShardOf(report.new_cell)]->QueriesForCell(
             report.new_cell);
+    // RQI scan work: both rows are walked to answer this crossing.
+    ChargeHeat(obs::HeatMap::kRqiScan, report.prev_cell, prev_row.size());
+    ChargeHeat(obs::HeatMap::kRqiScan, report.new_cell, new_row.size());
     // Batched row diff (sorted scratch + binary search) instead of a
     // per-id linear scan of the previous row; output order is still
     // new_row's order.
@@ -682,6 +788,11 @@ void ShardRouter::HandleResultBitmap(const net::ResultBitmapReport& report) {
     bool is_target = (report.bitmap >> k) & 1;
     if (is_target) {
       entry->result.insert(report.oid);
+      if (lifecycle_ != nullptr && !replaying_) {
+        lifecycle_->ResolveIfPending(
+            obs::LifecycleTracker::kInstallFirstResult,
+            static_cast<uint64_t>(report.qids[k]));
+      }
     } else {
       entry->result.erase(report.oid);
     }
@@ -719,6 +830,8 @@ void ShardRouter::HandleLqtReconcile(const net::LqtReconcileRequest& request) {
   // client re-checks filter and cell on install, so over-sending is safe.
   std::vector<QueryId>& expected = reconcile_expected_;
   expected.clear();
+  ChargeHeat(obs::HeatMap::kRqiScan, request.cell,
+             QueriesForCell(request.cell).size());
   for (QueryId qid : QueriesForCell(request.cell)) {
     const int home = qid_home_.at(qid);
     CountOp(home, kOpEntryTouch);
@@ -749,6 +862,11 @@ void ShardRouter::HandleLqtReconcile(const net::LqtReconcileRequest& request) {
     CountOp(qid_home_.at(qid), kOpResultFlip);
     if (targets.contains(qid)) {
       entry->result.insert(request.oid);
+      if (lifecycle_ != nullptr && !replaying_) {
+        lifecycle_->ResolveIfPending(
+            obs::LifecycleTracker::kInstallFirstResult,
+            static_cast<uint64_t>(qid));
+      }
     } else {
       entry->result.erase(request.oid);
     }

@@ -19,7 +19,12 @@
 #include "mobieyes/net/bmap.h"
 #include "mobieyes/net/message.h"
 #include "mobieyes/net/network.h"
+#include "mobieyes/obs/heatmap.h"
 #include "mobieyes/obs/trace_recorder.h"
+
+namespace mobieyes::obs {
+class LifecycleTracker;
+}  // namespace mobieyes::obs
 
 namespace mobieyes::core {
 
@@ -93,6 +98,27 @@ class ShardRouter {
   // The pool must outlive the router.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
+  // --- Heat maps & lifecycle (DESIGN.md §12) -------------------------------
+  //
+  // Creates one HeatMap per shard over a rows×cols cell raster. Every
+  // charge is attributed to the shard owning the charged *cell* (not the
+  // shard that happened to do the work), so summing the per-shard windows
+  // in fixed shard order yields totals that are byte-identical across
+  // shard counts. Charges are suppressed while replaying a WAL: the
+  // pre-crash run already recorded that work.
+  void EnableHeatmaps(int32_t rows, int32_t cols);
+  // Per-shard map, or nullptr when heat maps are disabled.
+  obs::HeatMap* shard_heatmap(int k) {
+    return heatmaps_.empty() ? nullptr : heatmaps_[k].get();
+  }
+
+  // Lifecycle latency tap (install->first-result rounds keyed by qid,
+  // handoff rounds keyed by oid); null (the default) disables it. The
+  // tracker must outlive the router.
+  void set_lifecycle(obs::LifecycleTracker* lifecycle) {
+    lifecycle_ = lifecycle;
+  }
+
   // --- Crash recovery (DESIGN.md §9, §10) ----------------------------------
 
   void set_durable_store(Snapshot* store) { store_ = store; }
@@ -132,6 +158,16 @@ class ShardRouter {
   // Charges one backplane message to reach `target_shard` from the current
   // ingress shard (free when local, single-shard, or replaying the WAL).
   void CountOp(int target_shard, size_t payload_bytes);
+
+  // Adds `n` to `channel` at `cell` on the heat map of the shard owning
+  // that cell. No-op when heat maps are disabled, while replaying a WAL,
+  // or for n == 0.
+  void ChargeHeat(obs::HeatMap::Channel channel, const geo::CellCoord& cell,
+                  uint64_t n);
+  // Cell evidence an uplink carries, for heat-map attribution; false for
+  // messages with no resolvable cell (e.g. a bitmap report whose queries
+  // are all gone).
+  bool UplinkHeatCell(const net::Message& message, geo::CellCoord* cell) const;
 
   net::QueryInfo BuildQueryInfo(const ServerShard& home,
                                 const SqtEntry& entry) const;
@@ -203,6 +239,9 @@ class ShardRouter {
   ReentrantTimer step_timer_;
   ThreadPool* pool_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  // One heat map per shard (empty unless EnableHeatmaps was called).
+  std::vector<std::unique_ptr<obs::HeatMap>> heatmaps_;
+  obs::LifecycleTracker* lifecycle_ = nullptr;
 };
 
 }  // namespace mobieyes::core

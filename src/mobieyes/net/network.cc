@@ -1,5 +1,6 @@
 #include "mobieyes/net/network.h"
 
+#include "mobieyes/obs/lifecycle.h"
 #include "mobieyes/obs/metrics_registry.h"
 
 namespace mobieyes::net {
@@ -113,6 +114,12 @@ void WirelessNetwork::SendUplink(ObjectId from, Message message) {
   stats_.uplink_bytes += bytes;
   ++stats_.messages_by_type[static_cast<size_t>(message.type)];
   if (metrics_attached_) RecordMetrics(Direction::kUplink, message, bytes);
+  if (lifecycle_ != nullptr) {
+    // A retry while the round is open keeps the original stamp (counted as
+    // a restamp), so the measured round trip starts at the first attempt
+    // that reached the medium.
+    lifecycle_->Stamp(obs::LifecycleTracker::kUplinkRoundTrip, from);
+  }
   if (track_per_object_bytes_) {
     stats_.tx_bytes_per_object[from] += bytes;
   }
@@ -126,6 +133,11 @@ bool WirelessNetwork::SendDownlinkTo(ObjectId to, Message message) {
   stats_.downlink_bytes += bytes;
   ++stats_.messages_by_type[static_cast<size_t>(message.type)];
   if (metrics_attached_) RecordMetrics(Direction::kDownlink, message, bytes);
+  if (lifecycle_ != nullptr) {
+    // The server addressing the object closes its open uplink round; a
+    // downlink with no open round is a no-op here, not an error.
+    lifecycle_->ResolveIfPending(obs::LifecycleTracker::kUplinkRoundTrip, to);
+  }
   if (track_per_object_bytes_) {
     stats_.rx_bytes_per_object[to] += bytes;
   }

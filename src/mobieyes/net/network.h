@@ -16,6 +16,7 @@ namespace mobieyes::obs {
 class MetricsRegistry;
 class Counter;
 class Histogram;
+class LifecycleTracker;
 }  // namespace mobieyes::obs
 
 namespace mobieyes::net {
@@ -207,6 +208,15 @@ class WirelessNetwork {
   // Pass nullptr to detach. The registry must outlive the network.
   virtual void AttachMetrics(obs::MetricsRegistry* registry);
 
+  // Lifecycle round-trip tap: each uplink transmission stamps an
+  // uplink_round_trip round for the sender; the next one-to-one downlink
+  // addressed to that object resolves it. nullptr (the default) disables
+  // the tap at the cost of one pointer test per send. The tracker must
+  // outlive the network.
+  void set_lifecycle(obs::LifecycleTracker* lifecycle) {
+    lifecycle_ = lifecycle;
+  }
+
  protected:
   // Pre-resolved registry handles, indexed [direction][type].
   struct WireMetrics {
@@ -227,6 +237,7 @@ class WirelessNetwork {
   bool track_per_object_bytes_ = true;
   WireMetrics metrics_;
   bool metrics_attached_ = false;
+  obs::LifecycleTracker* lifecycle_ = nullptr;
 
   // Receiver scratch for Broadcast, pooled by nesting depth: a receiver's
   // handler may uplink a reply whose server-side processing triggers a

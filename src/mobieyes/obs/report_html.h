@@ -1,0 +1,50 @@
+#ifndef MOBIEYES_OBS_REPORT_HTML_H_
+#define MOBIEYES_OBS_REPORT_HTML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mobieyes::obs {
+
+// A parsed JSON value — the offline half of the observability layer.
+// Everything the layer exports is JSON built by hand (no library), so this
+// is the matching strict reader: `tools/mobieyes_report` and the
+// `mobieyes_sim --report` flag both parse real exports through this one
+// code path, which keeps renderer and emitters honest with each other.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const {
+    return kind == Kind::kObject && object.contains(key);
+  }
+  // Null-object sentinel lookup: missing keys return a kNull value, so
+  // renderer code can chase optional paths without branching everywhere.
+  const JsonValue& At(const std::string& key) const;
+};
+
+// Strict parse (objects, arrays, strings, numbers, literals; trailing junk
+// is an error). Returns nullptr and sets *error on malformed input.
+std::unique_ptr<JsonValue> ParseJson(const std::string& text,
+                                     std::string* error);
+
+// Renders one or more observability reports into a single self-contained
+// HTML page: metrics tables, SVG sparklines for the StepSampler series,
+// colored heat-map grids, and lifecycle latency tables. No external
+// scripts, styles or fonts — the output opens from file:// anywhere.
+//
+// `root` is either a single Simulation::ObservabilityJson object or a
+// bench metrics file of the form {"bench": name, "cells":
+// [{"label": ..., "report": {...}}, ...]}; both shapes are handled.
+std::string RenderHtmlReport(const JsonValue& root, const std::string& title);
+
+}  // namespace mobieyes::obs
+
+#endif  // MOBIEYES_OBS_REPORT_HTML_H_

@@ -59,9 +59,13 @@ std::vector<StepSampler::Row> StepSampler::rows() const {
 }
 
 std::string StepSampler::ToJson(bool include_timing) const {
+  // `dropped` counts rows the ring has overwritten, so long-run truncation
+  // is visible in the export instead of silent.
   std::string json = "{\"stride\": " + std::to_string(stride_) +
                      ", \"total_recorded\": " +
-                     std::to_string(total_recorded_) + ", \"columns\": [";
+                     std::to_string(total_recorded_) + ", \"dropped\": " +
+                     std::to_string(total_recorded_ - size_) +
+                     ", \"columns\": [";
   bool first = true;
   for (const Column& column : columns_) {
     if (column.timing && !include_timing) continue;

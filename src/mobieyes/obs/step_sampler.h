@@ -50,9 +50,10 @@ class StepSampler {
   // Rows in recording order, oldest surviving row first.
   std::vector<Row> rows() const;
 
-  // {"stride": N, "columns": [...], "steps": [...], "series":
-  //  {col: [...]}} — column-major so one series plots directly. With
-  // include_timing=false, timing columns are omitted.
+  // {"stride": N, "total_recorded": N, "dropped": N, "columns": [...],
+  //  "steps": [...], "series": {col: [...]}} — column-major so one series
+  // plots directly; "dropped" is the number of rows the ring overwrote.
+  // With include_timing=false, timing columns are omitted.
   std::string ToJson(bool include_timing = true) const;
 
   // Header line plus one line per row; timing columns always included (CSV

@@ -1,5 +1,6 @@
 #include "mobieyes/sim/simulation.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -49,6 +50,11 @@ Status Simulation::Setup() {
   auto grid = geo::Grid::Make(params.universe(), params.alpha);
   MOBIEYES_RETURN_NOT_OK(grid.status());
   grid_ = std::make_unique<geo::Grid>(std::move(grid).value());
+  if (config_.obs.enable_heatmap) {
+    // Deferred from SetupObservability: the raster needs the grid extents.
+    heatmap_ =
+        std::make_unique<obs::HeatMap>(grid_->rows(), grid_->columns());
+  }
 
   Workload workload = GenerateWorkload(params, rng_);
   query_specs_ = workload.queries;
@@ -67,6 +73,7 @@ Status Simulation::Setup() {
   }
   network_->set_track_per_object_bytes(config_.track_per_object_bytes);
   if (registry_) network_->AttachMetrics(registry_.get());
+  if (lifecycle_) network_->set_lifecycle(lifecycle_.get());
   network_->set_coverage_query(
       [this](const geo::Circle& circle,
              const std::function<void(ObjectId)>& fn) {
@@ -94,6 +101,10 @@ Status Simulation::Setup() {
     server_ = std::make_unique<core::MobiEyesServer>(*grid_, *layout_, *bmap_,
                                                      *network_, options);
     server_->set_trace_recorder(trace_.get());
+    if (heatmap_) {
+      server_->EnableHeatmaps(grid_->rows(), grid_->columns());
+    }
+    if (lifecycle_) server_->set_lifecycle(lifecycle_.get());
     if (config_.shard_threads > 1 && server_->num_shards() > 1) {
       shard_pool_ = std::make_unique<ThreadPool>(config_.shard_threads);
       server_->set_thread_pool(shard_pool_.get());
@@ -111,6 +122,7 @@ Status Simulation::Setup() {
           *world_, static_cast<ObjectId>(oid), *network_, options));
       core::MobiEyesClient* client = clients_.back().get();
       client->set_trace_recorder(trace_.get());
+      if (lifecycle_) client->set_lifecycle(lifecycle_.get());
       network_->RegisterClient(
           static_cast<ObjectId>(oid),
           [client](const net::Message& message) {
@@ -220,6 +232,10 @@ void Simulation::SetupObservability() {
   if (obs.enable_trace) {
     trace_ = std::make_unique<obs::TraceRecorder>();
   }
+  if (obs.enable_lifecycle) {
+    lifecycle_ = std::make_unique<obs::LifecycleTracker>();
+  }
+  // enable_heatmap is handled in Setup once the grid exists.
   if (obs.sample_stride > 0) {
     sampler_ = std::make_unique<obs::StepSampler>(
         std::vector<obs::StepSampler::Column>{
@@ -249,12 +265,29 @@ void Simulation::ResetMeasurement() {
   // what it exists to show.
   if (registry_) registry_->Reset();
   if (sampler_) sampler_->Clear();
+  if (heatmap_) {
+    heatmap_->Reset();
+    heatmap_pending_steps_ = 0;
+    // Setup/warmup charges still sitting unmerged in the per-shard windows
+    // must not bleed into the first measured window.
+    if (server_) {
+      for (int s = 0; s < server_->num_shards(); ++s) {
+        if (obs::HeatMap* shard_map = server_->shard_heatmap(s)) {
+          shard_map->Reset();
+        }
+      }
+    }
+  }
+  if (lifecycle_) lifecycle_->Reset();
   cursor_ = StepCursor{};
 }
 
 void Simulation::Run(int steps) {
   const bool observing = registry_ != nullptr || sampler_ != nullptr;
   for (int k = 0; k < steps; ++k) {
+    // The lifecycle clock ticks on measured steps (0-based): a round
+    // stamped and resolved within one step has latency 0.
+    if (lifecycle_) lifecycle_->set_step(metrics_.steps);
     StepOnce();
     ++metrics_.steps;
     metrics_.simulated_seconds += config_.params.time_step;
@@ -269,9 +302,55 @@ void Simulation::Run(int steps) {
       metrics_.spurious_sum += accuracy.spurious;
       metrics_.agreement_sum += accuracy.agreement;
       ++metrics_.error_samples;
+      // Reconvergence after a crash: the first step where the reported
+      // results agree with the oracle again closes the open round.
+      if (lifecycle_ && accuracy.agreement >= 0.95) {
+        lifecycle_->ResolveIfPending(obs::LifecycleTracker::kCrashReconverge,
+                                     0);
+      }
     }
+    if (heatmap_) RecordHeatmap(metrics_.steps - 1);
     if (observing) RecordStepObservations(metrics_.steps - 1);
   }
+}
+
+void Simulation::RecordHeatmap(int64_t step) {
+  // Fixed shard order 0..N-1: integer window counters make the merged map
+  // identical for any partition of the same charges.
+  if (server_) {
+    for (int s = 0; s < server_->num_shards(); ++s) {
+      if (obs::HeatMap* shard_map = server_->shard_heatmap(s)) {
+        heatmap_->MergeWindowFrom(*shard_map);
+      }
+    }
+  }
+  ++heatmap_pending_steps_;
+  const int window = config_.obs.heatmap_window > 0
+                         ? config_.obs.heatmap_window
+                         : 1;
+  if ((step + 1) % window != 0) return;
+  RollHeatmapWindow();
+}
+
+void Simulation::RollHeatmapWindow() {
+  // Residency snapshot straight from the world's CSR span index: cell f
+  // holds offsets[f+1] - offsets[f] objects right now. Recorded once per
+  // window (a population snapshot, not per-step flow).
+  const std::vector<uint32_t>& offsets = world_->cell_span_offsets();
+  for (size_t f = 0; f + 1 < offsets.size(); ++f) {
+    uint64_t count = offsets[f + 1] - offsets[f];
+    if (count > 0) {
+      heatmap_->AddFlat(obs::HeatMap::kResidency, static_cast<int64_t>(f),
+                        count);
+    }
+  }
+  heatmap_->RollWindow(config_.obs.heatmap_decay);
+  heatmap_pending_steps_ = 0;
+}
+
+void Simulation::FlushHeatmap() {
+  if (heatmap_ == nullptr || heatmap_pending_steps_ == 0) return;
+  RollHeatmapWindow();
 }
 
 void Simulation::RecordStepObservations(int64_t step) {
@@ -346,6 +425,35 @@ void Simulation::RecordStepObservations(int64_t step) {
       registry_->GetGauge(prefix + "queries", /*timing=*/true)
           ->Set(static_cast<double>(shard.sqt().size()));
     }
+    // Imbalance gauges: the scheduler-facing scalars a rebalancer would
+    // watch, derived from the same per-shard numbers. step_cost ratios use
+    // the cumulative per-shard step-phase wall time; uplink share is the
+    // hottest shard's fraction of all routed uplinks. Timing-flagged like
+    // the per-shard gauges (values depend on the layout and the clock).
+    uint64_t uplinks_total = 0;
+    uint64_t uplinks_max = 0;
+    uint64_t step_us_total = 0;
+    uint64_t step_us_max = 0;
+    for (int s = 0; s < router.num_shards(); ++s) {
+      const core::ServerShard::Stats& stats = router.shard(s).stats();
+      uplinks_total += stats.uplinks_routed;
+      uplinks_max = std::max(uplinks_max, stats.uplinks_routed);
+      step_us_total += stats.step_micros;
+      step_us_max = std::max(step_us_max, stats.step_micros);
+    }
+    const double n_shards = static_cast<double>(router.num_shards());
+    const double mean_step_us =
+        static_cast<double>(step_us_total) / n_shards;
+    registry_->GetGauge("shard.imbalance.step_cost_max_over_mean",
+                        /*timing=*/true)
+        ->Set(mean_step_us > 0.0
+                  ? static_cast<double>(step_us_max) / mean_step_us
+                  : 1.0);
+    registry_->GetGauge("shard.imbalance.max_uplink_share", /*timing=*/true)
+        ->Set(uplinks_total > 0
+                  ? static_cast<double>(uplinks_max) /
+                        static_cast<double>(uplinks_total)
+                  : 1.0 / n_shards);
   }
 
   cursor_.uplink = stats.uplink_messages;
@@ -430,6 +538,14 @@ void Simulation::CrashServer() {
   server_restore_step_ =
       config_.faults.server_crash_step + config_.faults.server_recovery_steps;
   ++metrics_.server_crashes;
+  if (lifecycle_) {
+    // Two rounds open at the moment of death: until the restore completes,
+    // and until the reported results agree with the oracle again (resolved
+    // in Run's accuracy pass; stays pending — counted — when measure_error
+    // is off or agreement never recovers).
+    lifecycle_->Stamp(obs::LifecycleTracker::kCrashRestore, 0);
+    lifecycle_->Stamp(obs::LifecycleTracker::kCrashReconverge, 0);
+  }
 }
 
 void Simulation::RestoreServer() {
@@ -439,6 +555,13 @@ void Simulation::RestoreServer() {
       *grid_, *layout_, *bmap_, *network_, resolved_mobieyes_);
   server_->set_trace_recorder(trace_.get());
   if (shard_pool_) server_->set_thread_pool(shard_pool_.get());
+  // Re-wire the observability taps the dead process owned. Fresh (empty)
+  // per-shard heat maps: the global map already holds everything merged
+  // through the last completed step, and replay suppresses new charges.
+  if (heatmap_) {
+    server_->EnableHeatmaps(grid_->rows(), grid_->columns());
+  }
+  if (lifecycle_) server_->set_lifecycle(lifecycle_.get());
   size_t replayed = 0;
   Status status = server_->Restore(snapshot_store_, &replayed);
   // The store is this process's own serialization; a decode failure here is
@@ -454,6 +577,9 @@ void Simulation::RestoreServer() {
   server_down_ = false;
   if (faulty_ != nullptr) faulty_->set_server_down(false);
   server_restore_step_ = -1;
+  if (lifecycle_) {
+    lifecycle_->ResolveIfPending(obs::LifecycleTracker::kCrashRestore, 0);
+  }
 }
 
 RunMetrics Simulation::metrics() const {
@@ -550,6 +676,12 @@ std::string Simulation::ObservabilityJson(bool include_timing) const {
   json += registry_ ? registry_->ToJson(include_timing) : "{}";
   json += ", \"series\": ";
   json += sampler_ ? sampler_->ToJson(include_timing) : "{}";
+  // Layout-dependent channels/kinds follow the timing flag: deterministic
+  // exports must be identical across shard and thread counts.
+  json += ", \"heatmap\": ";
+  json += heatmap_ ? heatmap_->ToJson(include_timing) : "{}";
+  json += ", \"lifecycle\": ";
+  json += lifecycle_ ? lifecycle_->ToJson(include_timing) : "{}";
   json += '}';
   return json;
 }

@@ -19,6 +19,8 @@
 #include "mobieyes/net/bmap.h"
 #include "mobieyes/net/fault_injection.h"
 #include "mobieyes/net/network.h"
+#include "mobieyes/obs/heatmap.h"
+#include "mobieyes/obs/lifecycle.h"
 #include "mobieyes/obs/metrics_registry.h"
 #include "mobieyes/obs/step_sampler.h"
 #include "mobieyes/obs/trace_recorder.h"
@@ -57,9 +59,22 @@ struct ObservabilityOptions {
   // ring buffer of `sample_capacity` rows; 0 disables the sampler.
   int sample_stride = 0;
   size_t sample_capacity = 4096;
+  // Per-grid-cell heat maps (uplinks, RQI scan work, installs, handoffs,
+  // object residency; MobiEyes modes only). Per-shard windows merge into
+  // one global map each step; every heatmap_window steps the window is
+  // folded into an exponentially decayed view with factor heatmap_decay.
+  bool enable_heatmap = false;
+  int heatmap_window = 16;
+  double heatmap_decay = 0.5;
+  // Virtual-step protocol-round latencies (uplink round trips, client ack
+  // rounds, install->first-result, handoffs, crash recovery), measured on
+  // the simulation's step clock — no wall time, so exports stay
+  // deterministic.
+  bool enable_lifecycle = false;
 
   bool any_enabled() const {
-    return enable_metrics || enable_trace || sample_stride > 0;
+    return enable_metrics || enable_trace || sample_stride > 0 ||
+           enable_heatmap || enable_lifecycle;
   }
 };
 
@@ -149,6 +164,17 @@ class Simulation {
   obs::MetricsRegistry* metrics_registry() { return registry_.get(); }
   obs::TraceRecorder* trace_recorder() { return trace_.get(); }
   obs::StepSampler* step_sampler() { return sampler_.get(); }
+  // The global (merged) heat map and the shared lifecycle tracker.
+  obs::HeatMap* heatmap() { return heatmap_.get(); }
+  const obs::HeatMap* heatmap() const { return heatmap_.get(); }
+  // Close a partially filled heat-map window: take the residency snapshot
+  // and fold the window into totals, exactly as a heatmap_window boundary
+  // would. No-op when the last run ended on a boundary (or no heat map is
+  // on), so exports never double-roll. Call before exporting a run whose
+  // length is not a multiple of heatmap_window.
+  void FlushHeatmap();
+  obs::LifecycleTracker* lifecycle() { return lifecycle_.get(); }
+  const obs::LifecycleTracker* lifecycle() const { return lifecycle_.get(); }
 
   // JSON report combining the registry and the per-step time series:
   //   {"mode": ..., "steps": N, "metrics": {...}, "series": {...}}
@@ -173,6 +199,13 @@ class Simulation {
   // Feeds per-step histograms and the sampler after measured step `step`
   // (0-based); called only when some observability component is on.
   void RecordStepObservations(int64_t step);
+  // Merges the per-shard heat-map windows into the global map (fixed shard
+  // order) after measured step `step`, and at window boundaries snapshots
+  // object residency and rolls the decayed view.
+  void RecordHeatmap(int64_t step);
+  // Window-boundary work shared by RecordHeatmap and FlushHeatmap: the
+  // residency snapshot plus RollWindow, clearing the pending-step count.
+  void RollHeatmapWindow();
   // Reported result of installed query k under the current mode.
   const std::unordered_set<ObjectId>* ReportedResult(size_t k) const;
 
@@ -222,6 +255,11 @@ class Simulation {
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<obs::StepSampler> sampler_;
+  // Global merged heat map (created once the grid exists) and the lifecycle
+  // tracker shared by network, clients and server.
+  std::unique_ptr<obs::HeatMap> heatmap_;
+  int64_t heatmap_pending_steps_ = 0;  // steps merged since the last roll
+  std::unique_ptr<obs::LifecycleTracker> lifecycle_;
   // Pre-resolved per-step histograms (owned by registry_).
   obs::Histogram* lqt_hist_ = nullptr;
   obs::Histogram* server_step_us_hist_ = nullptr;

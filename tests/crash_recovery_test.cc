@@ -345,6 +345,57 @@ TEST(SimulationCrashTest, RecoversUnderMessageLoss) {
   EXPECT_GE((*simulation)->CurrentAccuracy().agreement, 0.85);
 }
 
+// Lifecycle matching discipline under fire (DESIGN.md §12): with drops,
+// duplicates, client cold-restarts and a server crash all active, every
+// stamp must be accounted for — resolved, cancelled or still pending at
+// export — never silently leaked, and duplicate terminal events must not
+// inflate the resolved counts past the stamped ones.
+TEST(SimulationCrashTest, LifecycleAccountingSurvivesFaultsAndCrash) {
+  sim::SimulationConfig config = SmallCrashConfig();
+  config.faults.uplink_drop_rate = 0.15;
+  config.faults.downlink_drop_rate = 0.15;
+  config.faults.duplicate_rate = 0.1;
+  config.faults.client_restart_rate = 0.02;
+  config.faults.server_crash_step = 8;
+  config.faults.server_recovery_steps = 2;
+  config.checkpoint_stride = 4;
+  config.obs.enable_lifecycle = true;
+  config.obs.enable_heatmap = true;
+
+  auto simulation = sim::Simulation::Make(config);
+  ASSERT_TRUE(simulation.ok()) << simulation.status().ToString();
+  (*simulation)->Run(24);
+  const obs::LifecycleTracker* lifecycle = (*simulation)->lifecycle();
+  ASSERT_NE(lifecycle, nullptr);
+  for (int k = 0; k < obs::LifecycleTracker::kNumKinds; ++k) {
+    const auto kind = static_cast<obs::LifecycleTracker::Kind>(k);
+    EXPECT_EQ(lifecycle->stamped(kind),
+              lifecycle->resolved(kind) + lifecycle->cancelled(kind) +
+                  lifecycle->pending(kind))
+        << obs::LifecycleTracker::KindName(kind);
+    EXPECT_LE(lifecycle->resolved(kind), lifecycle->stamped(kind))
+        << obs::LifecycleTracker::KindName(kind);
+  }
+  // The run exercised real rounds, and the crash kinds both fired and
+  // closed: the server restored and the protocol reconverged.
+  EXPECT_GT(lifecycle->resolved(obs::LifecycleTracker::kUplinkRoundTrip), 0u);
+  EXPECT_GT(lifecycle->resolved(obs::LifecycleTracker::kUplinkAck), 0u);
+  EXPECT_EQ(lifecycle->resolved(obs::LifecycleTracker::kCrashRestore), 1u);
+  // Reconvergence either completed (resolved) or is still honestly pending
+  // under this fault pressure; the stamp fired either way.
+  EXPECT_EQ(lifecycle->stamped(obs::LifecycleTracker::kCrashReconverge), 1u);
+  // The drop/dup pressure is real: some rounds were retried or cancelled.
+  EXPECT_GT(lifecycle->restamped(obs::LifecycleTracker::kUplinkAck) +
+                lifecycle->cancelled(obs::LifecycleTracker::kUplinkAck),
+            0u);
+  // Heat maps stayed coherent across the crash/restore re-wiring: charges
+  // landed both before and after the restore.
+  const obs::HeatMap* heatmap = (*simulation)->heatmap();
+  ASSERT_NE(heatmap, nullptr);
+  EXPECT_GT(heatmap->ChannelSum(obs::HeatMap::kUplinks), 0u);
+  EXPECT_GT(heatmap->ChannelSum(obs::HeatMap::kResidency), 0u);
+}
+
 // A cold-restarted client rebuilds its LQT through the reconciliation path:
 // after a few post-restart steps it matches the LQT of the same client in
 // an undisturbed twin run.

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "mobieyes/obs/heatmap.h"
+#include "mobieyes/obs/lifecycle.h"
 #include "mobieyes/obs/metrics_registry.h"
 #include "mobieyes/obs/step_sampler.h"
 #include "mobieyes/obs/trace_recorder.h"
@@ -394,6 +396,174 @@ TEST(TraceRecorderTest, NullRecorderIsNoOpAndSetPidRestamps) {
   std::vector<TraceEvent> taken = recorder.TakeEvents();
   EXPECT_EQ(taken.size(), 2u);
   EXPECT_TRUE(recorder.events().empty());
+}
+
+// ---------------------------------------------------------------------------
+// HeatMap
+
+TEST(HeatMapTest, ShardMergeMatchesMonolithicCharges) {
+  // The same charges, split across two shard maps vs applied to one map
+  // directly, must merge to identical windows (the §12 determinism
+  // contract: integer window addition commutes across partitions).
+  HeatMap mono(4, 4);
+  HeatMap shard0(4, 4);
+  HeatMap shard1(4, 4);
+  for (int k = 0; k < 10; ++k) {
+    int32_t i = k % 4;
+    int32_t j = (k * 3) % 4;
+    mono.Add(HeatMap::kUplinks, i, j);
+    (k % 2 == 0 ? shard0 : shard1).Add(HeatMap::kUplinks, i, j);
+  }
+  HeatMap merged(4, 4);
+  merged.MergeWindowFrom(shard0);
+  merged.MergeWindowFrom(shard1);
+  for (int32_t j = 0; j < 4; ++j) {
+    for (int32_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(merged.window(HeatMap::kUplinks, i, j),
+                mono.window(HeatMap::kUplinks, i, j));
+      // MergeWindowFrom drains the shard windows.
+      EXPECT_EQ(shard0.window(HeatMap::kUplinks, i, j), 0u);
+      EXPECT_EQ(shard1.window(HeatMap::kUplinks, i, j), 0u);
+    }
+  }
+  EXPECT_EQ(merged.ChannelSum(HeatMap::kUplinks), 10u);
+}
+
+TEST(HeatMapTest, RollWindowFoldsIntoTotalsAndDecayedView) {
+  HeatMap map(2, 2);
+  map.Add(HeatMap::kResidency, 0, 0, 8);
+  map.RollWindow(0.5);
+  EXPECT_EQ(map.rolls(), 1u);
+  EXPECT_EQ(map.window(HeatMap::kResidency, 0, 0), 0u);  // window cleared
+  EXPECT_EQ(map.total(HeatMap::kResidency, 0, 0), 8u);
+  EXPECT_EQ(map.decayed(HeatMap::kResidency, 0, 0), 8.0);
+
+  map.Add(HeatMap::kResidency, 0, 0, 2);
+  map.RollWindow(0.5);
+  EXPECT_EQ(map.total(HeatMap::kResidency, 0, 0), 10u);
+  EXPECT_EQ(map.decayed(HeatMap::kResidency, 0, 0), 8.0 * 0.5 + 2.0);
+
+  map.Reset();
+  EXPECT_EQ(map.rolls(), 0u);
+  EXPECT_EQ(map.total(HeatMap::kResidency, 0, 0), 0u);
+  EXPECT_EQ(map.decayed(HeatMap::kResidency, 0, 0), 0.0);
+}
+
+TEST(HeatMapTest, JsonExcludesLayoutDependentChannels) {
+  HeatMap map(2, 3);
+  map.Add(HeatMap::kUplinks, 1, 0, 4);
+  map.Add(HeatMap::kHandoffs, 2, 1, 7);
+
+  auto full = ParseJsonOrDie(map.ToJson(/*include_layout_dependent=*/true));
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(full->object.at("rows").number, 2.0);
+  EXPECT_EQ(full->object.at("cols").number, 3.0);
+  const JsonValue& channels = full->object.at("channels");
+  EXPECT_TRUE(channels.object.contains("handoffs"));
+  const JsonValue& uplinks = channels.object.at("uplinks");
+  ASSERT_EQ(uplinks.object.at("window").array.size(), 6u);
+  EXPECT_EQ(uplinks.object.at("window").array[1].number, 4.0);  // flat 0*3+1
+
+  auto det = ParseJsonOrDie(map.ToJson(/*include_layout_dependent=*/false));
+  ASSERT_NE(det, nullptr);
+  EXPECT_FALSE(det->object.at("channels").object.contains("handoffs"));
+  EXPECT_TRUE(det->object.at("channels").object.contains("uplinks"));
+}
+
+TEST(HeatMapTest, AsciiAndCsvRenderNonEmptyCells) {
+  HeatMap map(2, 2);
+  map.Add(HeatMap::kInstalls, 0, 0, 9);
+  map.Add(HeatMap::kInstalls, 1, 1, 1);
+  std::string ascii = map.ToAscii(HeatMap::kInstalls);
+  EXPECT_EQ(ascii[0], '9');  // brightest cell
+  EXPECT_NE(ascii.find('.'), std::string::npos);  // empty cells
+
+  std::string csv = map.ToCsv();
+  EXPECT_NE(csv.find("installs,0,0,0,9,0"), std::string::npos);
+  EXPECT_NE(csv.find("installs,1,1,0,1,0"), std::string::npos);
+  // Empty cells are omitted: header + 2 data lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+// ---------------------------------------------------------------------------
+// LifecycleTracker
+
+TEST(LifecycleTrackerTest, StampResolveRecordsStepLatency) {
+  LifecycleTracker tracker;
+  tracker.set_step(2);
+  tracker.Stamp(LifecycleTracker::kUplinkAck, 42);
+  tracker.set_step(5);
+  EXPECT_TRUE(tracker.ResolveIfPending(LifecycleTracker::kUplinkAck, 42));
+  EXPECT_EQ(tracker.resolved(LifecycleTracker::kUplinkAck), 1u);
+  EXPECT_EQ(tracker.latency_sum(LifecycleTracker::kUplinkAck), 3u);
+  EXPECT_EQ(tracker.pending(LifecycleTracker::kUplinkAck), 0u);
+  // Bucket for latency 3 with bounds {0,1,2,4,...}: first bound >= 3.
+  ASSERT_EQ(tracker.counts(LifecycleTracker::kUplinkAck).size(),
+            tracker.bounds().size() + 1);
+  uint64_t recorded = 0;
+  for (uint64_t c : tracker.counts(LifecycleTracker::kUplinkAck)) {
+    recorded += c;
+  }
+  EXPECT_EQ(recorded, 1u);
+}
+
+TEST(LifecycleTrackerTest, DuplicateResolveIsNoOp) {
+  LifecycleTracker tracker;
+  tracker.Stamp(LifecycleTracker::kUplinkRoundTrip, 7);
+  EXPECT_TRUE(tracker.ResolveIfPending(LifecycleTracker::kUplinkRoundTrip, 7));
+  // A retransmitted terminal event finds no pending stamp.
+  EXPECT_FALSE(tracker.ResolveIfPending(LifecycleTracker::kUplinkRoundTrip, 7));
+  EXPECT_EQ(tracker.resolved(LifecycleTracker::kUplinkRoundTrip), 1u);
+}
+
+TEST(LifecycleTrackerTest, RestampKeepsOriginalStamp) {
+  LifecycleTracker tracker;
+  tracker.set_step(1);
+  tracker.Stamp(LifecycleTracker::kUplinkAck, 9);
+  tracker.set_step(3);
+  tracker.Stamp(LifecycleTracker::kUplinkAck, 9);  // retry, same round
+  EXPECT_EQ(tracker.restamped(LifecycleTracker::kUplinkAck), 1u);
+  tracker.set_step(4);
+  EXPECT_TRUE(tracker.ResolveIfPending(LifecycleTracker::kUplinkAck, 9));
+  // Latency measured from the original stamp, not the retry.
+  EXPECT_EQ(tracker.latency_sum(LifecycleTracker::kUplinkAck), 3u);
+}
+
+TEST(LifecycleTrackerTest, DropCancelsWithoutRecording) {
+  LifecycleTracker tracker;
+  tracker.Stamp(LifecycleTracker::kInstallFirstResult, 5);
+  tracker.Drop(LifecycleTracker::kInstallFirstResult, 5);
+  EXPECT_EQ(tracker.cancelled(LifecycleTracker::kInstallFirstResult), 1u);
+  EXPECT_FALSE(
+      tracker.ResolveIfPending(LifecycleTracker::kInstallFirstResult, 5));
+  EXPECT_EQ(tracker.resolved(LifecycleTracker::kInstallFirstResult), 0u);
+  EXPECT_EQ(tracker.pending(LifecycleTracker::kInstallFirstResult), 0u);
+  // Dropping an absent key counts nothing.
+  tracker.Drop(LifecycleTracker::kInstallFirstResult, 6);
+  EXPECT_EQ(tracker.cancelled(LifecycleTracker::kInstallFirstResult), 1u);
+}
+
+TEST(LifecycleTrackerTest, JsonCountsPendingAndFiltersLayoutDependent) {
+  LifecycleTracker tracker;
+  tracker.set_step(1);
+  tracker.Stamp(LifecycleTracker::kUplinkAck, 1);  // left pending
+  tracker.Stamp(LifecycleTracker::kHandoff, 2);
+  tracker.ResolveIfPending(LifecycleTracker::kHandoff, 2);
+
+  auto full = ParseJsonOrDie(tracker.ToJson(/*include_layout_dependent=*/true));
+  ASSERT_NE(full, nullptr);
+  const JsonValue& kinds = full->object.at("kinds");
+  EXPECT_EQ(kinds.object.at("uplink_ack").object.at("pending").number, 1.0);
+  EXPECT_TRUE(kinds.object.contains("handoff"));
+
+  auto det = ParseJsonOrDie(tracker.ToJson(/*include_layout_dependent=*/false));
+  ASSERT_NE(det, nullptr);
+  EXPECT_FALSE(det->object.at("kinds").object.contains("handoff"));
+  EXPECT_TRUE(det->object.at("kinds").object.contains("uplink_round_trip"));
+
+  tracker.Reset();
+  EXPECT_EQ(tracker.pending(LifecycleTracker::kUplinkAck), 0u);
+  EXPECT_EQ(tracker.resolved(LifecycleTracker::kHandoff), 0u);
 }
 
 }  // namespace

@@ -280,6 +280,51 @@ TEST(SweepDeterminismTest, RepeatedObservedRunsAreByteIdentical) {
   }
 }
 
+// The second-generation observability exports obey the same contract
+// (DESIGN.md §12): heat maps accumulate integer windows per shard and merge
+// in fixed shard order, and lifecycle latencies are measured on the virtual
+// step clock, so both deterministic exports must be byte-identical across
+// every shard count x thread count layout.
+TEST(SweepDeterminismTest, HeatMapAndLifecycleAreLayoutInvariant) {
+  SweepObsOptions obs;
+  obs.metrics = true;
+  obs.sample_stride = 1;
+  obs.heatmap = true;
+  obs.lifecycle = true;
+  std::vector<SweepCellResult> mono = RunSweepObserved(
+      ShardedSweep(1, core::ShardPartition::kRowBand, 1), 1, obs);
+  ASSERT_FALSE(mono.empty());
+  for (size_t k = 0; k < mono.size(); ++k) {
+    EXPECT_FALSE(mono[k].heatmap_json.empty());
+    // The deterministic flavor carries the partition-invariant channels and
+    // omits the layout-dependent one.
+    EXPECT_NE(mono[k].heatmap_json.find("\"uplinks\""), std::string::npos);
+    EXPECT_NE(mono[k].heatmap_json.find("\"residency\""), std::string::npos);
+    EXPECT_EQ(mono[k].heatmap_json.find("\"handoffs\""), std::string::npos);
+    // Lifecycle tables ride inside the observability report.
+    EXPECT_NE(mono[k].metrics_json.find("\"lifecycle\""), std::string::npos);
+    EXPECT_NE(mono[k].metrics_json.find("uplink_round_trip"),
+              std::string::npos);
+    EXPECT_EQ(mono[k].metrics_json.find("\"handoff\""), std::string::npos);
+  }
+  for (int shards : {1, 4}) {
+    for (int threads : {1, 8}) {
+      if (shards == 1 && threads == 1) continue;  // the baseline itself
+      std::vector<SweepCellResult> layout = RunSweepObserved(
+          ShardedSweep(shards, core::ShardPartition::kRowBand, threads),
+          threads, obs);
+      ASSERT_EQ(layout.size(), mono.size());
+      for (size_t k = 0; k < mono.size(); ++k) {
+        const std::string context = "shards=" + std::to_string(shards) +
+                                    " threads=" + std::to_string(threads) +
+                                    " job " + std::to_string(k);
+        EXPECT_EQ(mono[k].heatmap_json, layout[k].heatmap_json) << context;
+        EXPECT_EQ(mono[k].metrics_json, layout[k].metrics_json) << context;
+      }
+    }
+  }
+}
+
 // At a fixed shard count, neither the sweep's cell-level worker count nor
 // the server's own shard_threads pool may leak into results: the step-phase
 // scans collect into per-shard buffers that merge in shard order.

@@ -12,6 +12,7 @@
 //                [--safe-period] [--no-grouping] [--no-error] [--no-bytes]
 //                [--hotspots] [--histogram] [--trace=PATH]
 //                [--metrics-json=PATH] [--sample-stride=N]
+//                [--heatmap=PATH] [--report=PATH]
 //                [--drop-rate=F] [--delay-steps=N] [--delay-rate=F]
 //                [--dup-rate=F] [--outage=P:D] [--disconnect=R:P:D]
 //                [--fault-seed=N] [--harden]
@@ -30,15 +31,23 @@
 // into grid-partitioned shards behind a routing coordinator (DESIGN.md
 // §10); results and wireless traffic are identical for any shard count.
 //
+// --heatmap=PATH writes the per-cell heat maps (uplinks, RQI scan work,
+// installs, residency) as deterministic JSON — byte-identical across
+// shard/thread counts for the same seed. --report=PATH turns on every
+// observability component and writes a single self-contained HTML report
+// (sparklines, heat-map grids, latency tables; DESIGN.md §12).
+//
 // Unknown flags are an error (exit 2), so typos never silently run the
 // default configuration.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "mobieyes/net/energy.h"
+#include "mobieyes/obs/report_html.h"
 #include "mobieyes/obs/trace_recorder.h"
 #include "mobieyes/sim/alpha_model.h"
 #include "mobieyes/sim/simulation.h"
@@ -56,7 +65,22 @@ struct CliOptions {
   double delay_rate = -1.0;  // <0: default to 0.2 when --delay-steps is set
   std::string trace_path;
   std::string metrics_path;
+  std::string heatmap_path;
+  std::string report_path;
 };
+
+// Writes `data` to `path`; prints an error and returns false on failure.
+bool WriteFileOrComplain(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr ||
+      std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    if (f != nullptr) std::fclose(f);
+    return false;
+  }
+  std::fclose(f);
+  return true;
+}
 
 void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
@@ -70,6 +94,7 @@ void PrintUsage(const char* argv0) {
                "          [--histogram]\n"
                "          [--trace=PATH] [--metrics-json=PATH]\n"
                "          [--sample-stride=N]\n"
+               "          [--heatmap=PATH] [--report=PATH]\n"
                "          [--drop-rate=F] [--delay-steps=N] [--delay-rate=F]\n"
                "          [--dup-rate=F] [--outage=P:D] [--disconnect=R:P:D]\n"
                "          [--fault-seed=N] [--harden]\n"
@@ -160,9 +185,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
     } else if (key == "metrics-json") {
       cli->metrics_path = value;
       cli->config.obs.enable_metrics = true;
+      // Lifecycle latency tables ride inside the metrics report, matching
+      // the bench harness's --metrics-json behavior.
+      cli->config.obs.enable_lifecycle = true;
       if (cli->config.obs.sample_stride == 0) cli->config.obs.sample_stride = 1;
     } else if (key == "sample-stride") {
       cli->config.obs.sample_stride = std::atoi(value.c_str());
+    } else if (key == "heatmap") {
+      cli->heatmap_path = value;
+      cli->config.obs.enable_heatmap = true;
+    } else if (key == "report") {
+      // One flag turns on everything the HTML report can render.
+      cli->report_path = value;
+      cli->config.obs.enable_metrics = true;
+      cli->config.obs.enable_heatmap = true;
+      cli->config.obs.enable_lifecycle = true;
+      if (cli->config.obs.sample_stride == 0) cli->config.obs.sample_stride = 1;
     } else if (key == "drop-rate") {
       cli->config.faults.uplink_drop_rate = std::atof(value.c_str());
       cli->config.faults.downlink_drop_rate =
@@ -464,19 +502,41 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %zu trace events to %s\n",
                  trace->events().size(), cli.trace_path.c_str());
   }
+  // Close any partially filled heat-map window before exporting: short runs
+  // (steps not a multiple of heatmap_window) still get a residency snapshot
+  // and folded totals.
+  (*simulation)->FlushHeatmap();
   if (!cli.metrics_path.empty()) {
     std::string json = (*simulation)->ObservabilityJson();
-    std::FILE* f = std::fopen(cli.metrics_path.c_str(), "w");
-    if (f == nullptr || std::fwrite(json.data(), 1, json.size(), f) !=
-                            json.size()) {
-      std::fprintf(stderr, "failed to write metrics to %s\n",
-                   cli.metrics_path.c_str());
-      if (f != nullptr) std::fclose(f);
-      return 1;
-    }
-    std::fclose(f);
+    if (!WriteFileOrComplain(cli.metrics_path, json)) return 1;
     std::fprintf(stderr, "wrote metrics report to %s\n",
                  cli.metrics_path.c_str());
+  }
+  if (!cli.heatmap_path.empty()) {
+    // Deterministic flavor (layout-dependent channels omitted): exports
+    // from different --shards/--shard-threads runs of one seed byte-match.
+    std::string json = (*simulation)->heatmap()->ToJson(false);
+    if (!WriteFileOrComplain(cli.heatmap_path, json)) return 1;
+    std::fprintf(stderr, "wrote heat-map export to %s\n",
+                 cli.heatmap_path.c_str());
+  }
+  if (!cli.report_path.empty()) {
+    std::string json = (*simulation)->ObservabilityJson();
+    std::string error;
+    std::unique_ptr<obs::JsonValue> root = obs::ParseJson(json, &error);
+    if (root == nullptr) {
+      std::fprintf(stderr, "internal error: observability JSON: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::string title = std::string("mobieyes_sim ") +
+                        sim::SimModeName(cli.config.mode) + " seed=" +
+                        std::to_string(cli.config.params.seed);
+    if (!WriteFileOrComplain(cli.report_path,
+                             obs::RenderHtmlReport(*root, title))) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote HTML report to %s\n", cli.report_path.c_str());
   }
   return 0;
 }
