@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mobieyes/common/ids.h"
+#include "mobieyes/common/status.h"
 #include "mobieyes/common/units.h"
 #include "mobieyes/core/options.h"
 #include "mobieyes/core/rqi.h"
@@ -165,6 +166,23 @@ class ServerShard {
 
   ImageChunk EncodeFotChunk() const;
   ImageChunk EncodeSqtChunk() const;
+
+  // --- Process-transport replication (DESIGN.md §13) -----------------------
+
+  // FNV-1a digest of the RQI slice, row-major over owned cells. The RQI is
+  // the delta-replicated table of the process backplane, so agreement on
+  // this digest is what a shard daemon's step acks assert.
+  uint64_t StateDigest() const;
+
+  // Full-state image for a daemon (re)join: the checkpoint chunks (FOT,
+  // SQT — the same per-entry encoding Checkpoint writes) plus the RQI rows
+  // of owned cells and the digest above. Appends to *out.
+  void EncodeStateSync(std::vector<uint8_t>* out) const;
+
+  // Replaces this shard's state with a sync image produced by
+  // EncodeStateSync on a shard with the same id and map. Verifies the
+  // embedded digest.
+  Status LoadStateSync(const uint8_t* data, size_t size);
 
   // Drops all state (checkpoint decode starts from empty shards).
   void Clear();

@@ -7,6 +7,7 @@
 #include <tuple>
 #include <utility>
 
+#include "mobieyes/core/shard_transport.h"
 #include "mobieyes/net/codec.h"
 #include "mobieyes/obs/lifecycle.h"
 
@@ -231,6 +232,9 @@ int ShardRouter::MigrateIfNeeded(ObjectId oid) {
       lifecycle_->Stamp(obs::LifecycleTracker::kHandoff,
                         static_cast<uint64_t>(oid));
     }
+    if (transport_ != nullptr) {
+      transport_->OnHandoff(home, target, oid, message);
+    }
   }
   auto& handoff = std::get<net::ShardHandoff>(message.payload);
   for (const net::ShardQueryState& q : handoff.queries) {
@@ -251,6 +255,9 @@ void ShardRouter::RqiAddAll(QueryId qid, const geo::CellRange& mon_region) {
   for (int s : map_.ShardsIntersecting(mon_region)) {
     shards_[s]->RqiAdd(qid, mon_region);
     CountOp(s, kOpRqiUpdate);
+    if (transport_ != nullptr && !replaying_) {
+      transport_->OnRqiOp(/*add=*/true, s, qid, mon_region);
+    }
   }
 }
 
@@ -258,6 +265,26 @@ void ShardRouter::RqiRemoveAll(QueryId qid, const geo::CellRange& mon_region) {
   for (int s : map_.ShardsIntersecting(mon_region)) {
     shards_[s]->RqiRemove(qid, mon_region);
     CountOp(s, kOpRqiUpdate);
+    if (transport_ != nullptr && !replaying_) {
+      transport_->OnRqiOp(/*add=*/false, s, qid, mon_region);
+    }
+  }
+}
+
+void ShardRouter::DrainDeferredUplinks() {
+  if (deferred_.empty()) return;
+  std::vector<std::pair<ObjectId, net::Message>> pending;
+  pending.swap(deferred_);
+  for (auto& [from, message] : pending) {
+    size_t parked = deferred_.size();
+    OnUplink(from, message);
+    if (deferred_.size() == parked) {
+      ++transport_stats_.uplinks_drained;
+    } else {
+      // Re-deferred (ingress shard still down): keep the original
+      // deferral's count, not two.
+      --transport_stats_.uplinks_deferred;
+    }
   }
 }
 
@@ -499,6 +526,21 @@ int ShardRouter::IngressShard(const Message& message) const {
 
 void ShardRouter::OnUplink(ObjectId from, const Message& message) {
   TimedSection timed(load_timer_);
+  // Degraded mode (DESIGN.md §13): with a process transport attached and
+  // the ingress shard's daemon down, park the uplink instead of mutating
+  // state the replica cannot follow. Deferral precedes the WAL append, so
+  // a deferred uplink is logged exactly once — when it finally dispatches.
+  if (transport_ != nullptr && !replaying_) {
+    if (!transport_->ShardAvailable(IngressShard(message))) {
+      if (deferred_.size() >= max_deferred_uplinks_) {
+        ++transport_stats_.uplinks_dropped;
+      } else {
+        deferred_.emplace_back(from, message);
+        ++transport_stats_.uplinks_deferred;
+      }
+      return;
+    }
+  }
   // Write-ahead: log the uplink before any handler mutates state, so the
   // durable store always covers everything the in-memory state reflects.
   // Duplicates are logged too — replay routes them through the same dedup.

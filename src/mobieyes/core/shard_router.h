@@ -28,6 +28,8 @@ class LifecycleTracker;
 
 namespace mobieyes::core {
 
+class ShardTransport;
+
 // Coordinator in front of N grid-partitioned ServerShards (DESIGN.md §10).
 // The router owns the protocol: it dispatches every uplink serially in
 // arrival order (the in-process network is synchronous, so responses land
@@ -75,6 +77,7 @@ class ShardRouter {
   const std::vector<QueryId>& QueriesForCell(const geo::CellCoord& cell) const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  const geo::Grid& grid() const { return *grid_; }
   const ShardMap& shard_map() const { return map_; }
   const ServerShard& shard(int k) const { return *shards_[k]; }
   // Home shard of a query / focal object; -1 if unknown.
@@ -118,6 +121,29 @@ class ShardRouter {
   void set_lifecycle(obs::LifecycleTracker* lifecycle) {
     lifecycle_ = lifecycle;
   }
+
+  // --- Process transport (DESIGN.md §13) -----------------------------------
+  //
+  // When a transport is attached, every shard-state op is mirrored through
+  // it (so out-of-process replicas track the authoritative shards) and
+  // uplinks whose ingress shard's daemon is down are deferred instead of
+  // dispatched — the degraded mode of a partial outage. Null (the default)
+  // keeps the pure in-process behavior, byte for byte.
+
+  struct TransportStats {
+    uint64_t uplinks_deferred = 0;  // queued while the ingress shard was down
+    uint64_t uplinks_dropped = 0;   // refused: deferral queue full
+    uint64_t uplinks_drained = 0;   // re-dispatched after a rejoin
+  };
+
+  void set_transport(ShardTransport* transport) { transport_ = transport; }
+  ShardTransport* transport() const { return transport_; }
+  void set_max_deferred_uplinks(size_t n) { max_deferred_uplinks_ = n; }
+  size_t deferred_uplinks() const { return deferred_.size(); }
+  const TransportStats& transport_stats() const { return transport_stats_; }
+  // Re-dispatches deferred uplinks, oldest first; an uplink whose ingress
+  // shard is still down goes back on the queue.
+  void DrainDeferredUplinks();
 
   // --- Crash recovery (DESIGN.md §9, §10) ----------------------------------
 
@@ -221,6 +247,12 @@ class ShardRouter {
 
   int ctx_shard_ = 0;  // ingress shard of the uplink being dispatched
   BackplaneStats backplane_;
+
+  ShardTransport* transport_ = nullptr;
+  size_t max_deferred_uplinks_ = 4096;
+  // Uplinks awaiting a downed ingress shard, in arrival order.
+  std::vector<std::pair<ObjectId, net::Message>> deferred_;
+  TransportStats transport_stats_;
 
   // Per-step scratch, reused so the hot server phases allocate nothing at
   // steady state: the per-shard scan outputs and their merge vector

@@ -1,0 +1,617 @@
+#include "mobieyes/core/shard_supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "mobieyes/net/codec.h"
+#include "mobieyes/obs/lifecycle.h"
+
+namespace mobieyes::core {
+
+namespace {
+
+constexpr uint64_t kRpcTypeBatch = 0;
+constexpr uint64_t kRpcTypeHeartbeat = 1;
+constexpr uint64_t kRpcTypeSync = 2;
+
+bool Executable(const std::string& path) {
+  return !path.empty() && access(path.c_str(), X_OK) == 0;
+}
+
+std::string SelfDir() {
+  char buf[4096];
+  ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string path(buf);
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+}  // namespace
+
+std::string ShardSupervisor::FindShardd(const std::string& override_path) {
+  if (Executable(override_path)) return override_path;
+  if (!override_path.empty()) return "";
+  const char* env = getenv("MOBIEYES_SHARDD");
+  if (env != nullptr && Executable(env)) return env;
+  std::string dir = SelfDir();
+  if (dir.empty()) return "";
+  for (const char* rel : {"/mobieyes_shardd", "/../tools/mobieyes_shardd",
+                          "/tools/mobieyes_shardd"}) {
+    std::string candidate = dir + rel;
+    if (Executable(candidate)) return candidate;
+  }
+  return "";
+}
+
+int64_t ShardSupervisor::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ShardSupervisor::ShardSupervisor(const SupervisorOptions& options)
+    : options_(options), rng_(options.seed * 7919 + 17) {}
+
+ShardSupervisor::~ShardSupervisor() { Shutdown(); }
+
+void ShardSupervisor::AttachRouter(ShardRouter* router) {
+  router_ = router;
+  router_->set_transport(this);
+  router_->set_max_deferred_uplinks(options_.max_deferred_uplinks);
+}
+
+uint64_t ShardSupervisor::RpcKey(const Peer& peer,
+                                 const PendingRpc& rpc) const {
+  uint64_t type = rpc.is_sync ? kRpcTypeSync
+                  : rpc.is_heartbeat ? kRpcTypeHeartbeat
+                                     : kRpcTypeBatch;
+  return (static_cast<uint64_t>(rpc.step) << 10) |
+         (static_cast<uint64_t>(peer.shard) << 2) | type;
+}
+
+Status ShardSupervisor::SpawnDaemon(Peer* peer) {
+  std::string binary = FindShardd(options_.shardd_path);
+  if (binary.empty()) {
+    return Status::NotFound(
+        "supervisor: mobieyes_shardd not found (set --shardd or "
+        "$MOBIEYES_SHARDD)");
+  }
+  char shard_arg[32], seed_arg[48], timeout_arg[48];
+  std::snprintf(shard_arg, sizeof(shard_arg), "--shard=%d", peer->shard);
+  std::snprintf(seed_arg, sizeof(seed_arg), "--seed=%llu",
+                static_cast<unsigned long long>(options_.seed));
+  std::snprintf(timeout_arg, sizeof(timeout_arg),
+                "--connect-timeout-ms=%d", options_.start_timeout_ms);
+  std::string address_arg = "--address=" + backplane_.bound_address();
+
+  pid_t pid = fork();
+  if (pid < 0) return Status::Internal("supervisor: fork failed");
+  if (pid == 0) {
+    const char* argv[] = {binary.c_str(), address_arg.c_str(), shard_arg,
+                          seed_arg,       timeout_arg,         nullptr};
+    execv(binary.c_str(), const_cast<char* const*>(argv));
+    _exit(127);
+  }
+  peer->pid = pid;
+  if (started_) ++stats_.restarts;
+  if (options_.verbose) {
+    std::fprintf(stderr, "supervisor: spawned shard %d as pid %d\n",
+                 peer->shard, static_cast<int>(pid));
+  }
+  return Status::OK();
+}
+
+Status ShardSupervisor::Start() {
+  if (router_ == nullptr) {
+    return Status::Internal("supervisor: AttachRouter before Start");
+  }
+  std::string address = options_.address;
+  if (address.empty()) {
+    char tmpl[] = "/tmp/mobieyes-bp.XXXXXX";
+    char* dir = mkdtemp(tmpl);
+    if (dir == nullptr) {
+      return Status::Internal("supervisor: mkdtemp failed");
+    }
+    socket_dir_ = dir;
+    address = "uds:" + socket_dir_ + "/bp.sock";
+  }
+  Status st = backplane_.Listen(address);
+  if (!st.ok()) return st;
+
+  peers_.clear();
+  for (int s = 0; s < router_->num_shards(); ++s) {
+    auto peer = std::make_unique<Peer>();
+    peer->shard = s;
+    peers_.push_back(std::move(peer));
+  }
+  for (auto& peer : peers_) {
+    st = SpawnDaemon(peer.get());
+    if (!st.ok()) {
+      Shutdown();
+      return st;
+    }
+  }
+  int64_t deadline = NowMicros() + int64_t{1000} * options_.start_timeout_ms;
+  while (!AllAvailable()) {
+    AcceptNewConnections();
+    ReceiveAll();
+    if (AllAvailable()) break;
+    if (NowMicros() > deadline) {
+      Shutdown();
+      return Status::Internal(
+          "supervisor: shard daemons failed to join within the start "
+          "timeout");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+bool ShardSupervisor::ShardAvailable(int shard) const {
+  if (!started_ || peers_.empty()) return true;
+  if (shard < 0 || shard >= static_cast<int>(peers_.size())) return true;
+  return peers_[shard]->up;
+}
+
+bool ShardSupervisor::AllAvailable() const {
+  for (const auto& peer : peers_) {
+    if (!peer->up) return false;
+  }
+  return !peers_.empty();
+}
+
+int64_t ShardSupervisor::down_shards() const {
+  int64_t down = 0;
+  for (const auto& peer : peers_) {
+    if (!peer->up) ++down;
+  }
+  return down;
+}
+
+size_t ShardSupervisor::queue_bytes(int shard) const {
+  if (shard < 0 || shard >= static_cast<int>(peers_.size())) return 0;
+  const Peer& peer = *peers_[shard];
+  return peer.link != nullptr ? peer.link->queued_bytes() : 0;
+}
+
+void ShardSupervisor::OnRqiOp(bool add, int shard, QueryId qid,
+                              const geo::CellRange& mon_region) {
+  if (shard < 0 || shard >= static_cast<int>(peers_.size())) return;
+  peers_[shard]->pending.RqiOp(add, qid, mon_region);
+}
+
+void ShardSupervisor::OnHandoff(int from_shard, int to_shard, ObjectId oid,
+                                const net::Message& message) {
+  if (from_shard >= 0 && from_shard < static_cast<int>(peers_.size())) {
+    peers_[from_shard]->pending.Extract(oid);
+  }
+  if (to_shard >= 0 && to_shard < static_cast<int>(peers_.size())) {
+    peers_[to_shard]->pending.Adopt(message);
+  }
+}
+
+void ShardSupervisor::CaptureSync(Peer* peer) {
+  peer->sync_image.clear();
+  const ServerShard& shard = router_->shard(peer->shard);
+  shard.EncodeStateSync(&peer->sync_image);
+  peer->sync_digest = shard.StateDigest();
+  peer->frame_log.clear();
+  peer->log_overflow = false;
+}
+
+void ShardSupervisor::CaptureSyncAll() {
+  for (auto& peer : peers_) CaptureSync(peer.get());
+}
+
+void ShardSupervisor::OnServerRestored() {
+  for (auto& peer : peers_) {
+    // Discard ops built against the pre-restore state; the fresh sync
+    // image below supersedes them.
+    peer->pending.Finish();
+    peer->need_sync = true;
+  }
+  CaptureSyncAll();
+}
+
+void ShardSupervisor::MarkDown(Peer* peer, const char* reason) {
+  if (options_.verbose && (peer->up || peer->link != nullptr)) {
+    std::fprintf(stderr, "supervisor: shard %d down (%s)\n", peer->shard,
+                 reason);
+  }
+  peer->up = false;
+  peer->link.reset();
+  for (const PendingRpc& rpc : peer->rpcs) {
+    if (lifecycle_ != nullptr) {
+      lifecycle_->Drop(obs::LifecycleTracker::kBackplaneRpc,
+                       RpcKey(*peer, rpc));
+    }
+  }
+  peer->rpcs.clear();
+  if (peer->pid > 0) {
+    // The process may still be alive (deadline miss, stalled socket):
+    // finish the job so the respawn starts from a clean slate.
+    kill(peer->pid, SIGKILL);
+    waitpid(peer->pid, nullptr, 0);
+    peer->pid = -1;
+  }
+  ++peer->respawn_attempts;
+  int64_t backoff = options_.respawn_base_steps
+                    << std::min(peer->respawn_attempts - 1, 10);
+  backoff = std::min<int64_t>(backoff, options_.respawn_max_steps);
+  // Seeded jitter keeps a herd of dead shards from respawning in lockstep.
+  backoff += static_cast<int64_t>(
+      rng_.NextUint64(static_cast<uint64_t>(options_.respawn_base_steps) +
+                      1));
+  peer->next_respawn_step = step_ + backoff;
+}
+
+void ShardSupervisor::KillShard(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(peers_.size())) return;
+  Peer* peer = peers_[shard].get();
+  if (peer->pid > 0) {
+    kill(peer->pid, SIGKILL);
+    waitpid(peer->pid, nullptr, 0);
+    peer->pid = -1;
+  }
+  MarkDown(peer, "SIGKILL fault injection");
+}
+
+void ShardSupervisor::AcceptNewConnections() {
+  for (;;) {
+    int fd = backplane_.Accept();
+    if (fd < 0) break;
+    auto link = std::make_unique<net::PeerLink>();
+    link->Adopt(fd);
+    pending_links_.push_back(std::move(link));
+  }
+}
+
+void ShardSupervisor::LogFrame(Peer* peer, const net::Frame& frame) {
+  if (peer->log_overflow) return;
+  if (peer->frame_log.size() >= options_.max_replay_frames) {
+    // Past the replay budget a rejoin takes a fresh full sync instead.
+    peer->frame_log.clear();
+    peer->log_overflow = true;
+    return;
+  }
+  LoggedFrame logged;
+  logged.frame = frame;
+  logged.digest = router_->shard(peer->shard).StateDigest();
+  peer->frame_log.push_back(std::move(logged));
+}
+
+void ShardSupervisor::SendSync(Peer* peer) {
+  if (peer->link == nullptr || !peer->link->connected()) return;
+  if (peer->sync_image.empty() || peer->log_overflow || peer->need_sync) {
+    CaptureSync(peer);
+    // Any coalesced-but-unsent ops are baked into the fresh image.
+    peer->pending.Finish();
+  }
+
+  net::Frame config;
+  config.kind = net::FrameKind::kConfig;
+  config.shard = static_cast<uint8_t>(peer->shard);
+  config.step = step_;
+  ShardConfig shard_config;
+  shard_config.universe = router_->grid().universe();
+  shard_config.alpha = router_->grid().alpha();
+  shard_config.sharding.num_shards = router_->shard_map().num_shards();
+  shard_config.sharding.partition = router_->shard_map().partition();
+  EncodeShardConfig(shard_config, &config.payload);
+
+  net::Frame sync;
+  sync.kind = net::FrameKind::kStateSync;
+  sync.shard = static_cast<uint8_t>(peer->shard);
+  sync.step = step_;
+  sync.payload = peer->sync_image;
+
+  if (!peer->link->Send(config, options_.max_queue_bytes) ||
+      !peer->link->Send(sync, options_.max_queue_bytes)) {
+    ++stats_.send_drops;
+    MarkDown(peer, "send failed during sync");
+    return;
+  }
+  stats_.frames_sent += 2;
+  stats_.bytes_sent += 2 * net::kFrameHeaderBytes + config.payload.size() +
+                       sync.payload.size();
+  ++stats_.syncs_sent;
+  PendingRpc rpc;
+  rpc.step = step_;
+  rpc.expected_digest = peer->sync_digest;
+  rpc.is_sync = true;
+  rpc.sent_micros = NowMicros();
+  if (lifecycle_ != nullptr) {
+    lifecycle_->Stamp(obs::LifecycleTracker::kBackplaneRpc,
+                      RpcKey(*peer, rpc));
+  }
+  peer->rpcs.push_back(rpc);
+
+  // Replay the buffered batches sent (or logged while down) since the
+  // stored image was captured.
+  for (const LoggedFrame& logged : peer->frame_log) {
+    if (!peer->link->Send(logged.frame, options_.max_queue_bytes)) {
+      ++stats_.send_drops;
+      MarkDown(peer, "send failed during replay");
+      return;
+    }
+    ++stats_.frames_sent;
+    stats_.bytes_sent +=
+        net::kFrameHeaderBytes + logged.frame.payload.size();
+    ++stats_.replayed_frames;
+    PendingRpc replay_rpc;
+    replay_rpc.step = step_;
+    replay_rpc.expected_digest = logged.digest;
+    replay_rpc.sent_micros = NowMicros();
+    peer->rpcs.push_back(replay_rpc);
+  }
+  peer->need_sync = false;
+  peer->last_activity_step = step_;
+}
+
+void ShardSupervisor::SendBatchOrHeartbeat(Peer* peer) {
+  bool connected = peer->link != nullptr && peer->link->connected();
+  if (connected && peer->need_sync) {
+    SendSync(peer);
+    return;
+  }
+  if (!peer->pending.empty()) {
+    net::Frame frame;
+    frame.kind = net::FrameKind::kStepBatch;
+    frame.shard = static_cast<uint8_t>(peer->shard);
+    frame.step = step_;
+    frame.payload = peer->pending.Finish();
+    // The authoritative shard already applied these ops, so its digest is
+    // exactly where the replica must land after this frame.
+    LogFrame(peer, frame);
+    if (!connected) return;  // buffered for rejoin replay
+    PendingRpc rpc;
+    rpc.step = step_;
+    rpc.expected_digest = router_->shard(peer->shard).StateDigest();
+    rpc.sent_micros = NowMicros();
+    if (!peer->link->Send(frame, options_.max_queue_bytes)) {
+      ++stats_.send_drops;
+      MarkDown(peer, "send queue full or closed");
+      return;
+    }
+    stats_.frames_sent += 1;
+    stats_.bytes_sent += net::kFrameHeaderBytes + frame.payload.size();
+    ++stats_.batches_sent;
+    if (lifecycle_ != nullptr) {
+      lifecycle_->Stamp(obs::LifecycleTracker::kBackplaneRpc,
+                        RpcKey(*peer, rpc));
+    }
+    peer->rpcs.push_back(rpc);
+    peer->last_activity_step = step_;
+    return;
+  }
+  if (connected && peer->up &&
+      step_ - peer->last_activity_step >= options_.heartbeat_stride) {
+    net::Frame frame;
+    frame.kind = net::FrameKind::kHeartbeat;
+    frame.shard = static_cast<uint8_t>(peer->shard);
+    frame.step = step_;
+    PendingRpc rpc;
+    rpc.step = step_;
+    rpc.is_heartbeat = true;
+    rpc.sent_micros = NowMicros();
+    if (!peer->link->Send(frame, options_.max_queue_bytes)) {
+      ++stats_.send_drops;
+      MarkDown(peer, "heartbeat send failed");
+      return;
+    }
+    stats_.frames_sent += 1;
+    stats_.bytes_sent += net::kFrameHeaderBytes;
+    ++stats_.heartbeats_sent;
+    if (lifecycle_ != nullptr) {
+      lifecycle_->Stamp(obs::LifecycleTracker::kBackplaneRpc,
+                        RpcKey(*peer, rpc));
+    }
+    peer->rpcs.push_back(rpc);
+    peer->last_activity_step = step_;
+  }
+}
+
+void ShardSupervisor::HandlePeerFrame(Peer* peer, const net::Frame& frame) {
+  ++stats_.frames_received;
+  stats_.bytes_received += net::kFrameHeaderBytes + frame.payload.size();
+  bool is_ack = frame.kind == net::FrameKind::kStateSyncAck ||
+                frame.kind == net::FrameKind::kStepAck ||
+                frame.kind == net::FrameKind::kHeartbeatAck;
+  if (!is_ack) return;
+  if (peer->rpcs.empty()) return;  // stale ack from a replaced connection
+
+  PendingRpc rpc = peer->rpcs.front();
+  peer->rpcs.pop_front();
+  ++stats_.acks_received;
+  int64_t rtt = NowMicros() - rpc.sent_micros;
+  if (rtt > 0) {
+    stats_.rtt_micros_total += static_cast<uint64_t>(rtt);
+    ++stats_.rtt_samples;
+  }
+  if (lifecycle_ != nullptr) {
+    lifecycle_->ResolveIfPending(obs::LifecycleTracker::kBackplaneRpc,
+                                 RpcKey(*peer, rpc));
+  }
+  if (frame.kind == net::FrameKind::kHeartbeatAck) return;
+
+  net::ByteReader r(frame.payload.data(), frame.payload.size());
+  uint64_t digest = r.U64();
+  if (frame.kind == net::FrameKind::kStepAck) r.U32();  // ops applied
+  uint8_t ok = r.U8();
+  if (!r.ok() || ok == 0 || digest != rpc.expected_digest) {
+    ++stats_.digest_mismatches;
+    peer->need_sync = true;
+    return;
+  }
+  if (rpc.is_sync || (!peer->up && peer->rpcs.empty())) {
+    // Handshake complete: the replica proved it holds the authoritative
+    // state (sync digest matched), so the shard leaves degraded mode.
+    peer->up = true;
+    peer->respawn_attempts = 0;
+  }
+}
+
+void ShardSupervisor::ReceiveAll() {
+  // Pending connections: waiting for a kHello that names the shard.
+  for (size_t k = 0; k < pending_links_.size();) {
+    std::vector<net::Frame> frames;
+    bool alive = pending_links_[k]->Receive(&frames);
+    int hello_shard = -1;
+    for (const net::Frame& frame : frames) {
+      ++stats_.frames_received;
+      stats_.bytes_received +=
+          net::kFrameHeaderBytes + frame.payload.size();
+      if (frame.kind == net::FrameKind::kHello) {
+        hello_shard = frame.shard;
+      }
+    }
+    if (hello_shard >= 0 &&
+        hello_shard < static_cast<int>(peers_.size())) {
+      Peer* peer = peers_[hello_shard].get();
+      peer->link = std::move(pending_links_[k]);
+      pending_links_.erase(pending_links_.begin() +
+                           static_cast<ptrdiff_t>(k));
+      // (Re)join handshake: config, stored sync image, buffered frames.
+      SendSync(peer);
+      continue;
+    }
+    if (!alive) {
+      pending_links_.erase(pending_links_.begin() +
+                           static_cast<ptrdiff_t>(k));
+      continue;
+    }
+    ++k;
+  }
+
+  for (auto& peer : peers_) {
+    if (peer->link == nullptr || !peer->link->connected()) continue;
+    peer->link->Flush();
+    std::vector<net::Frame> frames;
+    bool alive = peer->link->Receive(&frames);
+    for (const net::Frame& frame : frames) {
+      HandlePeerFrame(peer.get(), frame);
+    }
+    if (!alive) MarkDown(peer.get(), "socket EOF");
+  }
+}
+
+void ShardSupervisor::RespawnDue() {
+  for (auto& peer : peers_) {
+    if (peer->pid > 0 || peer->link != nullptr) continue;
+    if (step_ < peer->next_respawn_step) continue;
+    Status st = SpawnDaemon(peer.get());
+    if (!st.ok() && options_.verbose) {
+      std::fprintf(stderr, "supervisor: respawn shard %d failed: %s\n",
+                   peer->shard, st.ToString().c_str());
+    }
+  }
+}
+
+void ShardSupervisor::PumpStep(int64_t step) {
+  step_ = step;
+  AcceptNewConnections();
+  ReceiveAll();
+
+  for (auto& peer : peers_) {
+    SendBatchOrHeartbeat(peer.get());
+  }
+
+  // Acks over a loopback socket normally land within the same pump; poll
+  // briefly so the common case resolves without adding a step of lag.
+  std::vector<int> fds;
+  for (auto& peer : peers_) {
+    fds.push_back(peer->link != nullptr ? peer->link->fd() : -1);
+  }
+  std::vector<int> ready;
+  net::PollReadable(fds, /*timeout_ms=*/1, &ready);
+  ReceiveAll();
+
+  // Deadline enforcement: an unacked frame older than the timeout means
+  // the daemon is dead or wedged — same remedy either way.
+  for (auto& peer : peers_) {
+    if (peer->rpcs.empty()) continue;
+    if (step_ - peer->rpcs.front().step >= options_.timeout_steps) {
+      ++stats_.rpc_timeouts;
+      MarkDown(peer.get(), "RPC deadline exceeded");
+    }
+  }
+
+  RespawnDue();
+}
+
+Status ShardSupervisor::Quiesce(int timeout_ms) {
+  int64_t deadline = NowMicros() + int64_t{1000} * timeout_ms;
+  for (;;) {
+    AcceptNewConnections();
+    ReceiveAll();
+    RespawnDue();
+    bool settled = true;
+    for (auto& peer : peers_) {
+      bool queued = peer->link != nullptr && peer->link->queued_bytes() > 0;
+      if (!peer->up || !peer->rpcs.empty() || queued ||
+          !peer->pending.empty() || peer->need_sync) {
+        settled = false;
+        break;
+      }
+    }
+    if (settled) return Status::OK();
+    if (NowMicros() > deadline) {
+      return Status::Internal("supervisor: quiesce timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void ShardSupervisor::Shutdown() {
+  for (auto& peer : peers_) {
+    if (peer->link != nullptr && peer->link->connected()) {
+      net::Frame bye;
+      bye.kind = net::FrameKind::kShutdown;
+      bye.shard = static_cast<uint8_t>(peer->shard);
+      bye.step = step_;
+      peer->link->Send(bye, options_.max_queue_bytes);
+      peer->link->Flush();
+    }
+  }
+  // Give daemons a moment to exit on the shutdown frame, then force it.
+  for (auto& peer : peers_) {
+    if (peer->pid <= 0) continue;
+    bool reaped = false;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (waitpid(peer->pid, nullptr, WNOHANG) == peer->pid) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!reaped) {
+      kill(peer->pid, SIGKILL);
+      waitpid(peer->pid, nullptr, 0);
+    }
+    peer->pid = -1;
+  }
+  for (auto& peer : peers_) {
+    peer->link.reset();
+    peer->up = false;
+  }
+  pending_links_.clear();
+  backplane_.Close();
+  if (!socket_dir_.empty()) {
+    rmdir(socket_dir_.c_str());
+    socket_dir_.clear();
+  }
+}
+
+}  // namespace mobieyes::core

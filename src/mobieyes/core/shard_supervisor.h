@@ -1,0 +1,206 @@
+#ifndef MOBIEYES_CORE_SHARD_SUPERVISOR_H_
+#define MOBIEYES_CORE_SHARD_SUPERVISOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobieyes/common/random.h"
+#include "mobieyes/common/status.h"
+#include "mobieyes/core/shard_daemon.h"
+#include "mobieyes/core/shard_router.h"
+#include "mobieyes/core/shard_transport.h"
+#include "mobieyes/net/backplane.h"
+#include "mobieyes/net/framing.h"
+
+namespace mobieyes::obs {
+class LifecycleTracker;
+}  // namespace mobieyes::obs
+
+namespace mobieyes::core {
+
+struct SupervisorOptions {
+  // Daemon binary. Empty: $MOBIEYES_SHARDD, then mobieyes_shardd next to
+  // the running binary or in a sibling tools/ directory.
+  std::string shardd_path;
+  // Listen address ("uds:..." / "tcp:..."). Empty: a fresh UDS socket
+  // under a private temp directory, removed at shutdown.
+  std::string address;
+  // Steps between liveness probes on an otherwise idle link.
+  int heartbeat_stride = 4;
+  // Virtual-step RPC deadline: a frame unacked this many steps after it
+  // was sent marks the daemon dead (killed and rescheduled).
+  int timeout_steps = 4;
+  // Respawn backoff for a dead daemon, in steps: base doubles per
+  // consecutive failure up to max, plus seeded jitter in [0, base).
+  int respawn_base_steps = 1;
+  int respawn_max_steps = 16;
+  // Bounded per-peer send queue; a frame that would exceed this is dropped
+  // and the peer declared dead (it is not consuming).
+  size_t max_queue_bytes = 4u << 20;
+  // Step-batch frames buffered per peer for rejoin replay; past this the
+  // log is discarded and a rejoin takes a fresh full sync instead.
+  size_t max_replay_frames = 256;
+  // Degraded-mode depth: uplinks queued for a dead ingress shard
+  // (installed on the router via set_max_deferred_uplinks).
+  size_t max_deferred_uplinks = 4096;
+  // Wall-clock budget for Start()'s initial spawn-and-handshake.
+  int start_timeout_ms = 15000;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct SupervisorStats {
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t batches_sent = 0;
+  uint64_t heartbeats_sent = 0;
+  uint64_t syncs_sent = 0;
+  uint64_t acks_received = 0;
+  uint64_t rpc_timeouts = 0;
+  uint64_t digest_mismatches = 0;
+  uint64_t restarts = 0;         // respawns after a detected death
+  uint64_t replayed_frames = 0;  // logged frames re-sent on rejoin
+  uint64_t send_drops = 0;       // frames refused by a full send queue
+  // Wall round-trip of resolved RPCs (frame send -> ack read).
+  uint64_t rtt_micros_total = 0;
+  uint64_t rtt_samples = 0;
+};
+
+// Runs one daemon process per shard and keeps each a faithful replica of
+// the router's authoritative shard state (DESIGN.md §13). The router stays
+// the single serial dispatcher — the supervisor mirrors its shard ops over
+// the backplane as one coalesced frame per peer per step, verifies replica
+// agreement via digest-carrying acks, detects death by socket EOF, RPC
+// deadline or heartbeat miss, and restarts dead daemons from the stored
+// sync image (checkpoint chunks) plus the buffered frame log. While a
+// daemon is down the router defers that shard's uplinks (degraded mode).
+class ShardSupervisor : public ShardTransport {
+ public:
+  explicit ShardSupervisor(const SupervisorOptions& options);
+  ~ShardSupervisor() override;
+
+  // Points the supervisor at the authoritative router and registers itself
+  // as the router's transport. Call before Start, and again after a server
+  // restore rebuilds the router (followed by OnServerRestored).
+  void AttachRouter(ShardRouter* router);
+
+  // Listens, spawns every daemon and completes the config+sync handshake.
+  Status Start();
+
+  // One scheduler turn, called once per simulation step after all uplinks
+  // dispatched: flushes the coalesced batch (or a heartbeat) to every
+  // peer, reads acks, enforces RPC deadlines, respawns due daemons and
+  // completes rejoin handshakes.
+  void PumpStep(int64_t step);
+
+  // SIGKILLs shard's daemon (crash_sweep's kill -9 fault event). The shard
+  // is immediately degraded; the normal respawn path revives it.
+  void KillShard(int shard);
+
+  // Re-captures the sync image of every shard and forces a full resync of
+  // every peer — the authoritative state was replaced (server restore).
+  void OnServerRestored();
+
+  // Captures fresh sync images (checkpoint boundary). Call right after
+  // PumpStep, when no ops are pending.
+  void CaptureSyncAll();
+
+  // Waits (wall-bounded) until every peer is up with no outstanding RPCs
+  // and empty send queues. Test/shutdown aid.
+  Status Quiesce(int timeout_ms);
+
+  // Clean stop: kShutdown to every live daemon, reap children, close and
+  // remove the socket. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  // --- ShardTransport ------------------------------------------------------
+  bool ShardAvailable(int shard) const override;
+  void OnRqiOp(bool add, int shard, QueryId qid,
+               const geo::CellRange& mon_region) override;
+  void OnHandoff(int from_shard, int to_shard, ObjectId oid,
+                 const net::Message& message) override;
+
+  // --- Introspection -------------------------------------------------------
+  int num_peers() const { return static_cast<int>(peers_.size()); }
+  bool AllAvailable() const;
+  int64_t down_shards() const;
+  size_t queue_bytes(int shard) const;
+  const SupervisorStats& stats() const { return stats_; }
+  const std::string& address() const { return backplane_.bound_address(); }
+  void set_lifecycle(obs::LifecycleTracker* lifecycle) {
+    lifecycle_ = lifecycle;
+  }
+
+  // Resolves the daemon binary path (options override, $MOBIEYES_SHARDD,
+  // then siblings of the running executable). Empty when none is found.
+  static std::string FindShardd(const std::string& override_path);
+
+ private:
+  struct PendingRpc {
+    int64_t step = 0;
+    uint64_t expected_digest = 0;
+    bool is_sync = false;
+    bool is_heartbeat = false;
+    int64_t sent_micros = 0;  // steady-clock stamp for RTT
+  };
+
+  // A step batch kept for rejoin replay, with the authoritative digest the
+  // replica must land on after applying it.
+  struct LoggedFrame {
+    net::Frame frame;
+    uint64_t digest = 0;
+  };
+
+  struct Peer {
+    int shard = 0;
+    pid_t pid = -1;
+    std::unique_ptr<net::PeerLink> link;
+    bool up = false;         // handshake complete, replica current
+    bool need_sync = false;  // full resync owed (mismatch, restore)
+    StepBatchBuilder pending;
+    std::deque<PendingRpc> rpcs;
+    // Rejoin material: last captured sync image + batches sent since.
+    std::vector<uint8_t> sync_image;
+    uint64_t sync_digest = 0;
+    std::deque<LoggedFrame> frame_log;
+    bool log_overflow = false;
+    int64_t last_activity_step = 0;  // last frame sent
+    int64_t next_respawn_step = 0;
+    int respawn_attempts = 0;
+  };
+
+  Status SpawnDaemon(Peer* peer);
+  void MarkDown(Peer* peer, const char* reason);
+  void CaptureSync(Peer* peer);
+  void SendSync(Peer* peer);
+  void SendBatchOrHeartbeat(Peer* peer);
+  void LogFrame(Peer* peer, const net::Frame& frame);
+  void AcceptNewConnections();
+  void ReceiveAll();
+  void HandlePeerFrame(Peer* peer, const net::Frame& frame);
+  void RespawnDue();
+  uint64_t RpcKey(const Peer& peer, const PendingRpc& rpc) const;
+  static int64_t NowMicros();
+
+  SupervisorOptions options_;
+  ShardRouter* router_ = nullptr;
+  net::Backplane backplane_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  // Accepted links that have not said hello yet.
+  std::vector<std::unique_ptr<net::PeerLink>> pending_links_;
+  Rng rng_;
+  int64_t step_ = 0;
+  std::string socket_dir_;  // private temp dir to remove at shutdown
+  SupervisorStats stats_;
+  obs::LifecycleTracker* lifecycle_ = nullptr;
+  bool started_ = false;
+};
+
+}  // namespace mobieyes::core
+
+#endif  // MOBIEYES_CORE_SHARD_SUPERVISOR_H_

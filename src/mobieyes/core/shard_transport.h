@@ -1,0 +1,39 @@
+#ifndef MOBIEYES_CORE_SHARD_TRANSPORT_H_
+#define MOBIEYES_CORE_SHARD_TRANSPORT_H_
+
+#include "mobieyes/common/ids.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/net/message.h"
+
+namespace mobieyes::core {
+
+// Tap the ShardRouter drives when its shards are replicated out of process
+// (DESIGN.md §13). The router stays the single authoritative dispatcher —
+// the transport observes every state-changing shard op so it can mirror it
+// to the shard's daemon, and reports liveness so the router can run
+// degraded (defer uplinks) while a daemon is down.
+//
+// All hooks fire on the dispatch thread, outside WAL replay (a replayed op
+// was already mirrored by the pre-crash run).
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  // False while `shard`'s daemon is down (crashed, restarting, resyncing).
+  // Uplinks whose ingress shard is unavailable are deferred by the router.
+  virtual bool ShardAvailable(int shard) const = 0;
+
+  // An RQI registration (add = true) or removal on `shard`'s slice.
+  virtual void OnRqiOp(bool add, int shard, QueryId qid,
+                       const geo::CellRange& mon_region) = 0;
+
+  // A focal-ownership migration: `message` is the encoded kShardHandoff.
+  // Fires before the router applies the adopt, with both shards' state
+  // still pre-handoff.
+  virtual void OnHandoff(int from_shard, int to_shard, ObjectId oid,
+                         const net::Message& message) = 0;
+};
+
+}  // namespace mobieyes::core
+
+#endif  // MOBIEYES_CORE_SHARD_TRANSPORT_H_

@@ -1,5 +1,6 @@
 #include "mobieyes/core/snapshot.h"
 
+#include <string>
 #include <utility>
 
 #include "mobieyes/net/codec.h"
@@ -44,6 +45,19 @@ std::vector<uint8_t> Snapshot::Serialize() const {
 }
 
 Result<Snapshot> Snapshot::Parse(const std::vector<uint8_t>& buffer) {
+  // The short-read modes get their own statuses: a zero-length or
+  // header-truncated store file (a crash while the image was being written
+  // out) would otherwise surface as a misleading "bad magic number" after
+  // ByteReader's zero-filled reads.
+  if (buffer.empty()) {
+    return Status::InvalidArgument("snapshot: empty store file");
+  }
+  constexpr size_t kHeaderBytes = 4 + 2 + 2 + 8;  // magic,version,rsvd,size
+  if (buffer.size() < kHeaderBytes) {
+    return Status::InvalidArgument(
+        "snapshot: store file truncated at header (" +
+        std::to_string(buffer.size()) + " bytes)");
+  }
   net::ByteReader r(buffer.data(), buffer.size());
   if (r.U32() != kMagic) {
     return Status::InvalidArgument("snapshot: bad magic number");

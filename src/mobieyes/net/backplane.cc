@@ -1,0 +1,293 @@
+#include "mobieyes/net/backplane.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace mobieyes::net {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Backplane fds must not leak into spawned shard daemons.
+void SetCloExec(int fd) { fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+// Splits "uds:/path" / "tcp:host:port" into scheme + rest. Returns false
+// on an unknown scheme.
+bool ParseAddress(const std::string& address, bool* is_uds,
+                  std::string* rest) {
+  if (address.rfind("uds:", 0) == 0) {
+    *is_uds = true;
+    *rest = address.substr(4);
+    return true;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    *is_uds = false;
+    *rest = address.substr(4);
+    return true;
+  }
+  return false;
+}
+
+Status FillSockaddr(bool is_uds, const std::string& rest,
+                    sockaddr_storage* storage, socklen_t* len) {
+  memset(storage, 0, sizeof(*storage));
+  if (is_uds) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+    if (rest.size() + 1 > sizeof(sun->sun_path)) {
+      return Status::InvalidArgument("backplane: UDS path too long: " + rest);
+    }
+    sun->sun_family = AF_UNIX;
+    memcpy(sun->sun_path, rest.c_str(), rest.size() + 1);
+    *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                  rest.size() + 1);
+    return Status::OK();
+  }
+  size_t colon = rest.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("backplane: tcp address needs host:port");
+  }
+  std::string host = rest.substr(0, colon);
+  int port = atoi(rest.c_str() + colon + 1);
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("backplane: bad tcp port in " + rest);
+  }
+  if (host == "localhost" || host.empty()) host = "127.0.0.1";
+  auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+    return Status::InvalidArgument("backplane: bad tcp host in " + rest);
+  }
+  *len = sizeof(sockaddr_in);
+  return Status::OK();
+}
+
+}  // namespace
+
+Backplane::~Backplane() { Close(); }
+
+void Backplane::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  if (!uds_path_.empty()) {
+    unlink(uds_path_.c_str());
+    uds_path_.clear();
+  }
+}
+
+Status Backplane::Listen(const std::string& address) {
+  Close();
+  bool is_uds = false;
+  std::string rest;
+  if (!ParseAddress(address, &is_uds, &rest)) {
+    return Status::InvalidArgument("backplane: unknown address scheme: " +
+                                   address);
+  }
+  sockaddr_storage storage;
+  socklen_t len = 0;
+  Status st = FillSockaddr(is_uds, rest, &storage, &len);
+  if (!st.ok()) return st;
+
+  if (is_uds) unlink(rest.c_str());  // stale socket from a dead run
+  int fd = socket(is_uds ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("backplane: socket() failed");
+  if (!is_uds) {
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&storage), len) != 0) {
+    close(fd);
+    return Status::Internal("backplane: bind(" + address +
+                            ") failed: " + strerror(errno));
+  }
+  if (listen(fd, 16) != 0) {
+    close(fd);
+    return Status::Internal("backplane: listen failed");
+  }
+  if (!SetNonBlocking(fd)) {
+    close(fd);
+    return Status::Internal("backplane: fcntl failed");
+  }
+  SetCloExec(fd);
+  fd_ = fd;
+  if (is_uds) {
+    uds_path_ = rest;
+    bound_address_ = address;
+  } else {
+    sockaddr_in bound;
+    socklen_t blen = sizeof(bound);
+    getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+    char buf[64];
+    snprintf(buf, sizeof(buf), "tcp:%s:%d", inet_ntoa(bound.sin_addr),
+             static_cast<int>(ntohs(bound.sin_port)));
+    bound_address_ = buf;
+  }
+  return Status::OK();
+}
+
+int Backplane::Accept() {
+  if (fd_ < 0) return -1;
+  int peer = accept(fd_, nullptr, nullptr);
+  if (peer >= 0) SetCloExec(peer);
+  return peer;
+}
+
+Status BackplaneConnect(const std::string& address, int timeout_ms,
+                        int retry_sleep_ms, int* fd_out) {
+  bool is_uds = false;
+  std::string rest;
+  if (!ParseAddress(address, &is_uds, &rest)) {
+    return Status::InvalidArgument("backplane: unknown address scheme: " +
+                                   address);
+  }
+  sockaddr_storage storage;
+  socklen_t len = 0;
+  Status st = FillSockaddr(is_uds, rest, &storage, &len);
+  if (!st.ok()) return st;
+
+  int waited = 0;
+  for (;;) {
+    int fd = socket(is_uds ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::Internal("backplane: socket() failed");
+    if (connect(fd, reinterpret_cast<sockaddr*>(&storage), len) == 0) {
+      SetCloExec(fd);
+      if (!is_uds) {
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      *fd_out = fd;
+      return Status::OK();
+    }
+    close(fd);
+    if (waited >= timeout_ms) {
+      return Status::Internal("backplane: connect(" + address +
+                              ") timed out: " + strerror(errno));
+    }
+    int sleep_ms = retry_sleep_ms > 0 ? retry_sleep_ms : 10;
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    waited += sleep_ms;
+  }
+}
+
+PeerLink::~PeerLink() { Close(); }
+
+void PeerLink::Adopt(int fd) {
+  Close();
+  SetNonBlocking(fd);
+  fd_ = fd;
+  send_buf_.clear();
+  send_pos_ = 0;
+}
+
+void PeerLink::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool PeerLink::Send(const Frame& frame, size_t max_queue_bytes) {
+  if (fd_ < 0) {
+    ++stats_.send_drops;
+    return false;
+  }
+  if (queued_bytes() > max_queue_bytes) {
+    Flush();
+    if (queued_bytes() > max_queue_bytes) {
+      ++stats_.send_drops;
+      return false;
+    }
+  }
+  EncodeFrame(frame, &send_buf_);
+  ++stats_.frames_sent;
+  return Flush();
+}
+
+bool PeerLink::Flush() {
+  if (fd_ < 0) return false;
+  while (send_pos_ < send_buf_.size()) {
+    // MSG_NOSIGNAL: a peer killed mid-write must surface as EPIPE, not
+    // SIGPIPE the whole router process.
+    ssize_t n = send(fd_, send_buf_.data() + send_pos_,
+                     send_buf_.size() - send_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      send_pos_ += static_cast<size_t>(n);
+      stats_.bytes_sent += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return false;
+  }
+  if (send_pos_ == send_buf_.size() && !send_buf_.empty()) {
+    send_buf_.clear();
+    send_pos_ = 0;
+  }
+  return true;
+}
+
+bool PeerLink::Receive(std::vector<Frame>* out) {
+  if (fd_ < 0) return false;
+  size_t before = out->size();
+  uint8_t buf[16384];
+  for (;;) {
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      stats_.bytes_received += static_cast<uint64_t>(n);
+      decoder_.Feed(buf, static_cast<size_t>(n), out);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // n == 0: EOF — the peer process is gone.
+    Close();
+    stats_.frames_received += out->size() - before;
+    return false;
+  }
+  stats_.frames_received += out->size() - before;
+  return true;
+}
+
+void PollReadable(const std::vector<int>& fds, int timeout_ms,
+                  std::vector<int>* ready) {
+  ready->clear();
+  std::vector<pollfd> pfds;
+  std::vector<int> index;
+  pfds.reserve(fds.size());
+  for (size_t k = 0; k < fds.size(); ++k) {
+    if (fds[k] < 0) continue;
+    pfds.push_back(pollfd{fds[k], POLLIN, 0});
+    index.push_back(static_cast<int>(k));
+  }
+  if (pfds.empty()) return;
+  int n = poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+  if (n <= 0) return;
+  for (size_t k = 0; k < pfds.size(); ++k) {
+    if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) {
+      ready->push_back(index[k]);
+    }
+  }
+}
+
+}  // namespace mobieyes::net

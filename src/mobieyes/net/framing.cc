@@ -1,0 +1,117 @@
+#include "mobieyes/net/framing.h"
+
+#include <cstring>
+
+#include "mobieyes/net/codec.h"
+
+namespace mobieyes::net {
+
+const char* FrameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kHello:
+      return "hello";
+    case FrameKind::kConfig:
+      return "config";
+    case FrameKind::kStateSync:
+      return "state_sync";
+    case FrameKind::kStateSyncAck:
+      return "state_sync_ack";
+    case FrameKind::kStepBatch:
+      return "step_batch";
+    case FrameKind::kStepAck:
+      return "step_ack";
+    case FrameKind::kHeartbeat:
+      return "heartbeat";
+    case FrameKind::kHeartbeatAck:
+      return "heartbeat_ack";
+    case FrameKind::kShutdown:
+      return "shutdown";
+    case FrameKind::kNumFrameKinds:
+      break;
+  }
+  return "unknown";
+}
+
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.U32(kFrameMagic);
+  w.U8(static_cast<uint8_t>(frame.kind));
+  w.U8(frame.shard);
+  w.U16(frame.flags);
+  w.I64(frame.step);
+  w.U32(static_cast<uint32_t>(frame.payload.size()));
+  out->insert(out->end(), frame.payload.begin(), frame.payload.end());
+}
+
+void FrameDecoder::Consume(size_t n) {
+  consumed_ += n;
+  // Compact only once the dead prefix dominates, so a long run of small
+  // frames does not memmove per frame.
+  if (consumed_ >= 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t size,
+                        std::vector<Frame>* out) {
+  buffer_.insert(buffer_.end(), data, data + size);
+  for (;;) {
+    const uint8_t* base = buffer_.data() + consumed_;
+    size_t have = buffer_.size() - consumed_;
+    if (have < kFrameHeaderBytes) return;
+
+    uint32_t magic;
+    std::memcpy(&magic, base, 4);
+    if (magic != kFrameMagic) {
+      // Resync: skip one byte and hunt for the next magic. memchr on the
+      // first magic byte keeps the scan linear, not quadratic.
+      const auto* hit = static_cast<const uint8_t*>(
+          std::memchr(base + 1, static_cast<uint8_t>(kFrameMagic & 0xff),
+                      have - 1));
+      size_t skip = hit ? static_cast<size_t>(hit - base) : have;
+      stats_.resync_bytes += skip;
+      Consume(skip);
+      continue;
+    }
+
+    ByteReader r(base, have);
+    r.U32();  // magic, checked above
+    uint8_t kind = r.U8();
+    uint8_t shard = r.U8();
+    uint16_t flags = r.U16();
+    int64_t step = r.I64();
+    uint32_t payload_len = r.U32();
+
+    // A magic match with an impossible header is still garbage: drop the
+    // first magic byte and resync, rather than waiting forever for 4 GiB
+    // that will never arrive.
+    bool bad_kind =
+        kind >= static_cast<uint8_t>(FrameKind::kNumFrameKinds);
+    bool oversized = payload_len > kMaxFramePayload;
+    if (bad_kind || oversized) {
+      if (bad_kind) ++stats_.bad_kind;
+      if (oversized) ++stats_.oversized;
+      stats_.resync_bytes += 1;
+      Consume(1);
+      continue;
+    }
+
+    if (have < kFrameHeaderBytes + payload_len) return;  // partial frame
+
+    Frame frame;
+    frame.kind = static_cast<FrameKind>(kind);
+    frame.shard = shard;
+    frame.flags = flags;
+    frame.step = step;
+    frame.payload.assign(base + kFrameHeaderBytes,
+                         base + kFrameHeaderBytes + payload_len);
+    out->push_back(std::move(frame));
+    ++stats_.frames;
+    stats_.bytes += kFrameHeaderBytes + payload_len;
+    Consume(kFrameHeaderBytes + payload_len);
+  }
+}
+
+}  // namespace mobieyes::net

@@ -1,0 +1,91 @@
+#ifndef MOBIEYES_NET_FRAMING_H_
+#define MOBIEYES_NET_FRAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mobieyes/common/status.h"
+
+namespace mobieyes::net {
+
+// Length-prefixed framing for the shard backplane (DESIGN.md §13). A frame
+// carries one batch of backplane work between the router process and a
+// shard daemon; its payload is opaque bytes encoded with ByteWriter (state
+// syncs, per-step op batches) or MessageCodec (embedded handoff messages).
+//
+// Wire layout, little-endian, 20-byte header:
+//
+//   magic u32 ("MoBF") | kind u8 | shard u8 | flags u16 |
+//   step i64 | payload_len u32 | payload bytes
+//
+// The decoder below is incremental and hostile-input safe: partial frames
+// buffer across reads, an impossible header (bad magic, unknown kind,
+// oversized length) never allocates the claimed length, and the stream
+// resynchronizes by scanning forward for the next magic.
+
+enum class FrameKind : uint8_t {
+  kHello = 0,         // daemon -> supervisor, after connect
+  kConfig = 1,        // supervisor -> daemon: grid + shard map parameters
+  kStateSync = 2,     // supervisor -> daemon: full shard state image
+  kStateSyncAck = 3,  // daemon -> supervisor: state digest after load
+  kStepBatch = 4,     // supervisor -> daemon: coalesced per-step ops
+  kStepAck = 5,       // daemon -> supervisor: state digest after apply
+  kHeartbeat = 6,     // supervisor -> daemon: liveness probe
+  kHeartbeatAck = 7,  // daemon -> supervisor
+  kShutdown = 8,      // supervisor -> daemon: clean exit request
+  kNumFrameKinds = 9,
+};
+
+const char* FrameKindName(FrameKind kind);
+
+struct Frame {
+  FrameKind kind = FrameKind::kHeartbeat;
+  uint8_t shard = 0;
+  uint16_t flags = 0;
+  int64_t step = 0;
+  std::vector<uint8_t> payload;
+};
+
+inline constexpr uint32_t kFrameMagic = 0x4d6f4246;  // "MoBF"
+inline constexpr size_t kFrameHeaderBytes = 20;
+// A state sync of a large shard is a few MiB; anything past this cap is a
+// corrupt or hostile length prefix, not a real frame.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+// Appends the encoded frame to *out (existing contents kept, so a batch of
+// frames can share one send buffer).
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+// Incremental frame decoder over a byte stream. Feed() consumes every input
+// byte: complete frames land in *out, a trailing partial frame is buffered
+// for the next call, and malformed headers are skipped byte-by-byte until
+// the next magic (counted, never fatal — a TCP stream must survive a
+// desynchronized peer).
+class FrameDecoder {
+ public:
+  struct Stats {
+    uint64_t frames = 0;            // complete frames decoded
+    uint64_t bytes = 0;             // payload + header bytes of those frames
+    uint64_t resync_bytes = 0;      // garbage skipped hunting for magic
+    uint64_t oversized = 0;         // headers rejected for impossible length
+    uint64_t bad_kind = 0;          // headers rejected for unknown kind
+  };
+
+  void Feed(const uint8_t* data, size_t size, std::vector<Frame>* out);
+
+  // Bytes buffered waiting for the rest of a frame (or more garbage).
+  size_t pending_bytes() const { return buffer_.size() - consumed_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Drops `n` consumed bytes from the front (lazily compacted).
+  void Consume(size_t n);
+
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mobieyes::net
+
+#endif  // MOBIEYES_NET_FRAMING_H_

@@ -62,6 +62,26 @@ struct RunMetrics {
   // restored state was stale and leases/reconciliation had to close the gap.
   uint64_t wal_records_dropped = 0;
 
+  // Process-transport backplane (DESIGN.md §13). All zero under the
+  // in-process transport. RTT fields are wall-clock measurements and, like
+  // server_seconds, never feed deterministic exports.
+  uint64_t backplane_frames_sent = 0;
+  uint64_t backplane_frames_received = 0;
+  uint64_t backplane_bytes_sent = 0;
+  uint64_t backplane_bytes_received = 0;
+  uint64_t backplane_rpc_timeouts = 0;
+  uint64_t backplane_digest_mismatches = 0;
+  uint64_t backplane_replayed_frames = 0;
+  uint64_t backplane_rtt_micros = 0;
+  uint64_t backplane_rtt_samples = 0;
+  int64_t shard_restarts = 0;
+  // Degraded-mode accounting while a shard daemon was down: uplinks parked
+  // for the dead ingress shard, re-dispatched on rejoin, or lost to the
+  // bounded queue.
+  uint64_t uplinks_deferred = 0;
+  uint64_t uplinks_drained = 0;
+  uint64_t uplinks_dropped = 0;
+
   // --- Derived figures ------------------------------------------------------
 
   double MessagesPerSecond() const {
@@ -107,6 +127,27 @@ struct RunMetrics {
     return error_samples > 0
                ? agreement_sum / static_cast<double>(error_samples)
                : 1.0;
+  }
+
+  // Backplane figures for the shard-sweep table: mean RPC round trip in
+  // microseconds, and frames/bytes shipped per measured step.
+  double BackplaneRttMicros() const {
+    return backplane_rtt_samples > 0
+               ? static_cast<double>(backplane_rtt_micros) /
+                     static_cast<double>(backplane_rtt_samples)
+               : 0.0;
+  }
+
+  double BackplaneFramesPerStep() const {
+    return steps > 0 ? static_cast<double>(backplane_frames_sent) /
+                           static_cast<double>(steps)
+                     : 0.0;
+  }
+
+  double BackplaneBytesPerStep() const {
+    return steps > 0 ? static_cast<double>(backplane_bytes_sent) /
+                           static_cast<double>(steps)
+                     : 0.0;
   }
 
   // Per object per step, in seconds (Fig. 13).

@@ -146,6 +146,21 @@ Status Simulation::Setup() {
       server_->set_durable_store(&snapshot_store_);
       server_->Checkpoint();
     }
+
+    // Process transport: spawn one daemon per shard and complete the
+    // config+sync handshake before any traffic. Attached after the install
+    // storm above, so the initial sync images already hold every query —
+    // the replicas start exactly where the authoritative shards are.
+    if (config_.shard_transport ==
+            SimulationConfig::ShardTransport::kProcess &&
+        server_->num_shards() > 1) {
+      core::SupervisorOptions opts = config_.supervisor;
+      if (opts.seed == 1) opts.seed = params.seed;
+      supervisor_ = std::make_unique<core::ShardSupervisor>(opts);
+      if (lifecycle_) supervisor_->set_lifecycle(lifecycle_.get());
+      supervisor_->AttachRouter(&server_->router());
+      MOBIEYES_RETURN_NOT_OK(supervisor_->Start());
+    }
   } else {
     std::vector<double> attrs;
     std::vector<geo::Point> positions;
@@ -456,6 +471,20 @@ void Simulation::RecordStepObservations(int64_t step) {
                   : 1.0 / n_shards);
   }
 
+  // Process-transport backplane gauges: per-peer send-queue depth plus the
+  // degraded-shard count. Timing-flagged like the per-shard gauges — socket
+  // buffering depends on the host, never on the workload seed.
+  if (registry_ != nullptr && supervisor_ != nullptr) {
+    for (int s = 0; s < supervisor_->num_peers(); ++s) {
+      char tag[32];
+      std::snprintf(tag, sizeof(tag), "backplane.%02d.", s);
+      registry_->GetGauge(std::string(tag) + "queue_depth", /*timing=*/true)
+          ->Set(static_cast<double>(supervisor_->queue_bytes(s)));
+    }
+    registry_->GetGauge("backplane.down_shards", /*timing=*/true)
+        ->Set(static_cast<double>(supervisor_->down_shards()));
+  }
+
   cursor_.uplink = stats.uplink_messages;
   cursor_.downlink = stats.downlink_messages;
   cursor_.broadcast = stats.broadcast_messages;
@@ -491,6 +520,19 @@ void Simulation::StepOnce() {
   switch (config_.mode) {
     case SimMode::kMobiEyesEager:
     case SimMode::kMobiEyesLazy:
+      if (supervisor_) {
+        // Daemon fault event fires at the start of the step, like a server
+        // crash: the shard degrades before any of this step's traffic.
+        if (step == config_.shard_kill_step) {
+          supervisor_->KillShard(config_.shard_kill_index);
+        }
+        // Degraded-mode drain: uplinks parked while a shard daemon was down
+        // re-dispatch as soon as every shard is available again, ahead of
+        // this step's fresh traffic.
+        if (server_ && supervisor_->AllAvailable()) {
+          server_->router().DrainDeferredUplinks();
+        }
+      }
       if (server_) server_->AdvanceTime(world_->now());
       // Cold client restarts happen between protocol turns: the device
       // reboots, loses its volatile state, and immediately reconciles.
@@ -510,6 +552,19 @@ void Simulation::StepOnce() {
           (step + 1) % config_.checkpoint_stride == 0) {
         server_->Checkpoint();
         ++metrics_.checkpoints_taken;
+      }
+      // Backplane turn: flush this step's coalesced batches, read acks,
+      // enforce deadlines, respawn dead daemons. Skipped while the server
+      // itself is crashed (no authoritative state to mirror); the restore
+      // path resyncs every replica. Right after the pump no ops are
+      // pending, which is the invariant CaptureSyncAll needs — a sync
+      // image plus replayed later batches must not double-apply.
+      if (supervisor_ && server_) {
+        supervisor_->PumpStep(step);
+        if (config_.checkpoint_stride > 0 &&
+            (step + 1) % config_.checkpoint_stride == 0) {
+          supervisor_->CaptureSyncAll();
+        }
       }
       break;
     case SimMode::kObjectIndex:
@@ -580,6 +635,13 @@ void Simulation::RestoreServer() {
   if (lifecycle_) {
     lifecycle_->ResolveIfPending(obs::LifecycleTracker::kCrashRestore, 0);
   }
+  if (supervisor_) {
+    // The daemons outlived the server process; point the supervisor at the
+    // rebuilt router and force a full resync of every replica against the
+    // restored state.
+    supervisor_->AttachRouter(&server_->router());
+    supervisor_->OnServerRestored();
+  }
 }
 
 RunMetrics Simulation::metrics() const {
@@ -605,6 +667,24 @@ RunMetrics Simulation::metrics() const {
     snapshot.network.inter_shard_messages = backplane.messages;
     snapshot.network.inter_shard_bytes = backplane.bytes;
     snapshot.network.inter_shard_handoffs = backplane.handoffs;
+    const core::ShardRouter::TransportStats& transport =
+        server_->router().transport_stats();
+    snapshot.uplinks_deferred = transport.uplinks_deferred;
+    snapshot.uplinks_drained = transport.uplinks_drained;
+    snapshot.uplinks_dropped = transport.uplinks_dropped;
+  }
+  if (supervisor_) {
+    const core::SupervisorStats& bp = supervisor_->stats();
+    snapshot.backplane_frames_sent = bp.frames_sent;
+    snapshot.backplane_frames_received = bp.frames_received;
+    snapshot.backplane_bytes_sent = bp.bytes_sent;
+    snapshot.backplane_bytes_received = bp.bytes_received;
+    snapshot.backplane_rpc_timeouts = bp.rpc_timeouts;
+    snapshot.backplane_digest_mismatches = bp.digest_mismatches;
+    snapshot.backplane_replayed_frames = bp.replayed_frames;
+    snapshot.backplane_rtt_micros = bp.rtt_micros_total;
+    snapshot.backplane_rtt_samples = bp.rtt_samples;
+    snapshot.shard_restarts = static_cast<int64_t>(bp.restarts);
   }
   if (object_index_) snapshot.server_seconds = object_index_->load_seconds();
   if (query_index_) snapshot.server_seconds = query_index_->load_seconds();

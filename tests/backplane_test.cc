@@ -1,0 +1,333 @@
+// Shard backplane (DESIGN.md §13): framing, the socket link, the step-batch
+// and state-sync codecs, and end-to-end process-transport runs against real
+// mobieyes_shardd daemons. The daemon-backed tests skip (not fail) when the
+// binary is not discoverable, so the suite still passes on a stripped
+// install tree.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobieyes/core/options.h"
+#include "mobieyes/core/server.h"
+#include "mobieyes/core/server_shard.h"
+#include "mobieyes/core/shard_daemon.h"
+#include "mobieyes/core/shard_supervisor.h"
+#include "mobieyes/geo/grid.h"
+#include "mobieyes/net/backplane.h"
+#include "mobieyes/net/framing.h"
+#include "mobieyes/sim/simulation.h"
+
+namespace mobieyes {
+namespace {
+
+using core::ServerShard;
+using core::ShardMap;
+using core::ShardSupervisor;
+using core::StepBatchBuilder;
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameKind;
+using net::PeerLink;
+
+TEST(Framing, RoundTrip) {
+  Frame frame;
+  frame.kind = FrameKind::kStepBatch;
+  frame.shard = 3;
+  frame.flags = 7;
+  frame.step = 42;
+  frame.payload = {1, 2, 3, 4, 5};
+
+  std::vector<uint8_t> wire;
+  EncodeFrame(frame, &wire);
+  ASSERT_EQ(wire.size(), net::kFrameHeaderBytes + frame.payload.size());
+
+  FrameDecoder decoder;
+  std::vector<Frame> out;
+  decoder.Feed(wire.data(), wire.size(), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, FrameKind::kStepBatch);
+  EXPECT_EQ(out[0].shard, 3);
+  EXPECT_EQ(out[0].flags, 7);
+  EXPECT_EQ(out[0].step, 42);
+  EXPECT_EQ(out[0].payload, frame.payload);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+// --- PeerLink over a socketpair ---------------------------------------------
+
+Frame TestFrame(FrameKind kind, int64_t step, size_t payload_bytes) {
+  Frame frame;
+  frame.kind = kind;
+  frame.step = step;
+  frame.payload.assign(payload_bytes,
+                       static_cast<uint8_t>(step & 0xff));
+  return frame;
+}
+
+TEST(PeerLinkTest, SendReceiveAndEof) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  PeerLink a;
+  PeerLink b;
+  a.Adopt(sv[0]);
+  b.Adopt(sv[1]);
+
+  for (int64_t step = 0; step < 3; ++step) {
+    ASSERT_TRUE(a.Send(TestFrame(FrameKind::kStepBatch, step, 100),
+                       /*max_queue_bytes=*/1u << 20));
+  }
+  std::vector<Frame> received;
+  // Non-blocking on both ends: flush and drain until all three arrive.
+  for (int spin = 0; spin < 1000 && received.size() < 3; ++spin) {
+    ASSERT_TRUE(a.Flush());
+    ASSERT_TRUE(b.Receive(&received));
+  }
+  ASSERT_EQ(received.size(), 3u);
+  for (int64_t step = 0; step < 3; ++step) {
+    EXPECT_EQ(received[static_cast<size_t>(step)].step, step);
+    EXPECT_EQ(received[static_cast<size_t>(step)].payload.size(), 100u);
+  }
+  EXPECT_EQ(a.stats().frames_sent, 3u);
+  EXPECT_EQ(b.stats().frames_received, 3u);
+  EXPECT_EQ(b.stats().bytes_received, a.stats().bytes_sent);
+
+  // EOF: closing one end must surface as Receive() == false, link closed.
+  a.Close();
+  bool alive = true;
+  for (int spin = 0; spin < 1000 && alive; ++spin) {
+    alive = b.Receive(&received);
+  }
+  EXPECT_FALSE(alive);
+  EXPECT_FALSE(b.connected());
+}
+
+TEST(PeerLinkTest, BoundedQueueDropsWhenPeerStalls) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  PeerLink a;
+  a.Adopt(sv[0]);  // sv[1] never read: the kernel buffer eventually fills
+
+  const size_t kQueueCap = 64u << 10;
+  bool dropped = false;
+  for (int k = 0; k < 256 && !dropped; ++k) {
+    dropped = !a.Send(TestFrame(FrameKind::kStateSync, k, 256u << 10),
+                      kQueueCap);
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_GT(a.stats().send_drops, 0u);
+  // The queue never exceeds the cap: that is the non-blocking guarantee.
+  EXPECT_LE(a.queued_bytes(),
+            kQueueCap + net::kFrameHeaderBytes + (256u << 10));
+  a.Close();
+  close(sv[1]);
+}
+
+// --- Step-batch and state-sync codecs ---------------------------------------
+
+struct ShardPair {
+  geo::Grid grid = *geo::Grid::Make(geo::Rect{0, 0, 100, 100}, 10.0);
+  core::ShardingOptions options;
+  std::unique_ptr<ShardMap> map;
+  std::unique_ptr<ServerShard> authority;
+  std::unique_ptr<ServerShard> replica;
+
+  explicit ShardPair(int shards = 2) {
+    options.num_shards = shards;
+    map = std::make_unique<ShardMap>(grid, options);
+    authority = std::make_unique<ServerShard>(0, grid, *map);
+    replica = std::make_unique<ServerShard>(0, grid, *map);
+  }
+};
+
+TEST(StepBatchTest, RqiOpsReplicate) {
+  ShardPair pair;
+  StepBatchBuilder builder;
+  EXPECT_TRUE(builder.empty());
+
+  geo::CellRange r1{1, 3, 0, 2};
+  geo::CellRange r2{4, 6, 4, 6};
+  pair.authority->RqiAdd(7, r1);
+  pair.authority->RqiAdd(8, r2);
+  builder.RqiOp(true, 7, r1);
+  builder.RqiOp(true, 8, r2);
+  EXPECT_EQ(builder.op_count(), 2u);
+
+  std::vector<uint8_t> payload = builder.Finish();
+  EXPECT_TRUE(builder.empty());
+  uint32_t applied = 0;
+  ASSERT_TRUE(core::ApplyStepBatch(payload.data(), payload.size(),
+                                   pair.replica.get(), &applied)
+                  .ok());
+  EXPECT_EQ(applied, 2u);
+  EXPECT_EQ(pair.replica->StateDigest(), pair.authority->StateDigest());
+
+  // Removal must re-converge the digest too.
+  pair.authority->RqiRemove(7, r1);
+  builder.RqiOp(false, 7, r1);
+  payload = builder.Finish();
+  ASSERT_TRUE(core::ApplyStepBatch(payload.data(), payload.size(),
+                                   pair.replica.get(), nullptr)
+                  .ok());
+  EXPECT_EQ(pair.replica->StateDigest(), pair.authority->StateDigest());
+}
+
+TEST(StepBatchTest, MalformedBatchFailsCleanly) {
+  ShardPair pair;
+  // A count prefix promising more ops than the bytes deliver.
+  std::vector<uint8_t> bogus = {0xff, 0xff, 0x00, 0x00, 0x03};
+  uint32_t applied = 0;
+  EXPECT_FALSE(core::ApplyStepBatch(bogus.data(), bogus.size(),
+                                    pair.replica.get(), &applied)
+                   .ok());
+  // Truncations of a valid batch must also fail, never crash.
+  StepBatchBuilder builder;
+  builder.RqiOp(true, 11, geo::CellRange{0, 2, 0, 2});
+  builder.Extract(42);
+  std::vector<uint8_t> payload = builder.Finish();
+  for (size_t len = 0; len < payload.size(); ++len) {
+    core::ApplyStepBatch(payload.data(), len, pair.replica.get(), nullptr)
+        .ok();  // outcome length-dependent; must not crash
+  }
+}
+
+TEST(StateSyncTest, RoundTripPreservesDigest) {
+  ShardPair pair;
+  pair.authority->RqiAdd(1, geo::CellRange{0, 9, 0, 9});
+  pair.authority->RqiAdd(2, geo::CellRange{2, 4, 2, 4});
+  pair.authority->RqiAdd(3, geo::CellRange{5, 5, 5, 5});
+
+  std::vector<uint8_t> image;
+  pair.authority->EncodeStateSync(&image);
+  ASSERT_FALSE(image.empty());
+  ASSERT_TRUE(pair.replica->LoadStateSync(image.data(), image.size()).ok());
+  EXPECT_EQ(pair.replica->StateDigest(), pair.authority->StateDigest());
+
+  // The loaded RQI slice answers cell lookups identically on owned cells.
+  for (int32_t y = 0; y < 10; ++y) {
+    for (int32_t x = 0; x < 10; ++x) {
+      geo::CellCoord cell{x, y};
+      if (!pair.authority->OwnsCell(cell)) continue;
+      EXPECT_EQ(pair.replica->QueriesForCell(cell),
+                pair.authority->QueriesForCell(cell));
+    }
+  }
+
+  // Truncations must fail the load, never crash or half-apply silently.
+  for (size_t len = 0; len < image.size(); len += 7) {
+    ServerShard fresh(0, pair.grid, *pair.map);
+    EXPECT_FALSE(fresh.LoadStateSync(image.data(), len).ok());
+  }
+}
+
+// --- End-to-end over real daemons -------------------------------------------
+
+sim::SimulationConfig ProcessConfig(int shards) {
+  sim::SimulationConfig config;
+  config.params.num_objects = 1200;
+  config.params.num_queries = 80;
+  config.params.velocity_changes_per_step = 120;
+  config.mode = sim::SimMode::kMobiEyesEager;
+  config.warmup_steps = 2;
+  config.mobieyes =
+      core::HardenedOptions(config.mobieyes, config.params.time_step);
+  config.mobieyes.sharding.num_shards = shards;
+  return config;
+}
+
+std::vector<std::vector<ObjectId>> ResultsOf(sim::Simulation* simulation) {
+  std::vector<std::vector<ObjectId>> results;
+  core::MobiEyesServer* server = simulation->server();
+  for (QueryId qid : simulation->installed_queries()) {
+    std::vector<ObjectId> sorted;
+    const core::MobiEyesServer::SqtEntry* entry =
+        server == nullptr ? nullptr : server->FindQuery(qid);
+    if (entry != nullptr) {
+      sorted.assign(entry->result.begin(), entry->result.end());
+      std::sort(sorted.begin(), sorted.end());
+    }
+    results.push_back(std::move(sorted));
+  }
+  return results;
+}
+
+TEST(ProcessTransportTest, MatchesInProcessByteForByte) {
+  if (ShardSupervisor::FindShardd("").empty()) {
+    GTEST_SKIP() << "mobieyes_shardd not found";
+  }
+  sim::SimulationConfig inproc = ProcessConfig(4);
+  inproc.obs.enable_heatmap = true;
+  sim::SimulationConfig process = inproc;
+  process.shard_transport = sim::SimulationConfig::ShardTransport::kProcess;
+
+  auto a = sim::Simulation::Make(inproc);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = sim::Simulation::Make(process);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_NE((*b)->supervisor(), nullptr);
+  EXPECT_EQ((*a)->supervisor(), nullptr);
+
+  (*a)->Run(10);
+  (*b)->Run(10);
+
+  // The transport mirrors, it never decides: deterministic exports and the
+  // final result sets must be byte-identical to the in-process run.
+  EXPECT_EQ((*a)->ObservabilityJson(/*include_timing=*/false),
+            (*b)->ObservabilityJson(/*include_timing=*/false));
+  ASSERT_NE((*a)->heatmap(), nullptr);
+  ASSERT_NE((*b)->heatmap(), nullptr);
+  EXPECT_EQ((*a)->heatmap()->ToJson(/*include_layout_dependent=*/false),
+            (*b)->heatmap()->ToJson(/*include_layout_dependent=*/false));
+  EXPECT_EQ(ResultsOf((*a).get()), ResultsOf((*b).get()));
+
+  // Every replica kept pace: acks verified, no timeouts, no mismatches.
+  sim::RunMetrics metrics = (*b)->metrics();
+  EXPECT_GT(metrics.backplane_frames_sent, 0);
+  EXPECT_GT(metrics.backplane_rtt_samples, 0);
+  EXPECT_EQ(metrics.backplane_digest_mismatches, 0);
+  EXPECT_EQ(metrics.backplane_rpc_timeouts, 0);
+  EXPECT_EQ(metrics.shard_restarts, 0);
+}
+
+TEST(ProcessTransportTest, KilledDaemonRejoinsAndReconverges) {
+  if (ShardSupervisor::FindShardd("").empty()) {
+    GTEST_SKIP() << "mobieyes_shardd not found";
+  }
+  sim::SimulationConfig config = ProcessConfig(4);
+  config.shard_transport = sim::SimulationConfig::ShardTransport::kProcess;
+  config.measure_error = true;
+  config.checkpoint_stride = 4;
+  config.shard_kill_step = 8;
+  config.shard_kill_index = 1;
+
+  auto simulation = sim::Simulation::Make(config);
+  ASSERT_TRUE(simulation.ok()) << simulation.status().ToString();
+  (*simulation)->Run(20);
+
+  sim::RunMetrics metrics = (*simulation)->metrics();
+  EXPECT_GE(metrics.shard_restarts, 1);
+  EXPECT_EQ(metrics.backplane_digest_mismatches, 0);
+  // Degraded mode queued the dead shard's uplinks and drained every one.
+  EXPECT_GT(metrics.uplinks_deferred, 0);
+  EXPECT_EQ(metrics.uplinks_dropped, 0);
+  EXPECT_EQ(metrics.uplinks_drained, metrics.uplinks_deferred);
+  EXPECT_GE((*simulation)->CurrentAccuracy().agreement, 0.95);
+
+  // After the run the backplane settles: every daemon up, queues empty.
+  ASSERT_NE((*simulation)->supervisor(), nullptr);
+  // The rejoin took one state sync beyond the four initial handshakes (log
+  // replay on top is workload-dependent: the log is empty when no RQI op
+  // touched the shard since the last checkpoint capture).
+  EXPECT_GE((*simulation)->supervisor()->stats().syncs_sent, 5u);
+  EXPECT_TRUE((*simulation)->supervisor()->Quiesce(5000).ok());
+  EXPECT_TRUE((*simulation)->supervisor()->AllAvailable());
+  EXPECT_EQ((*simulation)->supervisor()->down_shards(), 0);
+}
+
+}  // namespace
+}  // namespace mobieyes

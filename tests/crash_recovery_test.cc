@@ -113,6 +113,36 @@ TEST(SnapshotTest, ParseRejectsBadMagicVersionAndTrailingBytes) {
   EXPECT_FALSE(core::Snapshot::Parse(trailing).ok());
 }
 
+// A crash while the store file itself was being written leaves a
+// zero-length or header-truncated buffer. Each short-read mode must come
+// back as its own InvalidArgument — not a misleading "bad magic" from
+// zero-filled reads, and never a crash.
+TEST(SnapshotTest, ParseRejectsZeroLengthStore) {
+  auto parsed = core::Snapshot::Parse({});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("empty store"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(SnapshotTest, ParseRejectsStoreTruncatedAtHeader) {
+  core::Snapshot store;
+  store.checkpoint = {1, 2, 3};
+  std::vector<uint8_t> buffer = store.Serialize();
+  // Every prefix strictly inside the fixed header (magic, version,
+  // reserved, image size = 16 bytes).
+  for (size_t len = 1; len < 16; ++len) {
+    std::vector<uint8_t> truncated(buffer.begin(), buffer.begin() + len);
+    auto parsed = core::Snapshot::Parse(truncated);
+    ASSERT_FALSE(parsed.ok()) << "accepted " << len << "-byte header";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find("truncated at header"),
+              std::string::npos)
+        << parsed.status().ToString();
+  }
+}
+
 // --- Server checkpoint / restore -------------------------------------------
 
 core::MobiEyesOptions HardenedTestOptions() {

@@ -1,0 +1,44 @@
+// Shard replica daemon (DESIGN.md §13). Spawned by core::ShardSupervisor,
+// one process per shard:
+//
+//   mobieyes_shardd --address=uds:/tmp/x/bp.sock --shard=2 [--seed=N]
+//                   [--connect-timeout-ms=N] [--verbose]
+//
+// Connects to the supervisor's backplane, announces itself, then mirrors
+// the authoritative shard: applies config/state-sync/step-batch frames and
+// acks each with its state digest. Exits 0 on a clean shutdown frame,
+// nonzero when the supervisor stays unreachable.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mobieyes/core/shard_daemon.h"
+
+int main(int argc, char** argv) {
+  mobieyes::core::ShardDaemonOptions options;
+  for (int k = 1; k < argc; ++k) {
+    std::string arg = argv[k];
+    if (arg.rfind("--address=", 0) == 0) {
+      options.address = arg.substr(10);
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      options.shard_id = atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--connect-timeout-ms=", 0) == 0) {
+      options.connect_timeout_ms = atoi(arg.c_str() + 21);
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      std::fprintf(stderr, "mobieyes_shardd: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (options.address.empty()) {
+    std::fprintf(stderr, "mobieyes_shardd: --address is required\n");
+    return 2;
+  }
+  mobieyes::core::ShardDaemon daemon(options);
+  return daemon.Run();
+}

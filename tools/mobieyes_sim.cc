@@ -101,7 +101,10 @@ void PrintUsage(const char* argv0) {
                "          [--server-crash=S:R] [--client-restart-rate=F]\n"
                "          [--checkpoint-stride=N]\n"
                "          [--shards=N] [--shard-threads=N]\n"
-               "          [--shard-partition=rowband|hash]\n",
+               "          [--shard-partition=rowband|hash]\n"
+               "          [--shard-transport=inproc|process] [--shardd=PATH]\n"
+               "          [--backplane-timeout-steps=N]\n"
+               "          [--heartbeat-stride=N] [--shard-kill=S:K]\n",
                argv0);
 }
 
@@ -273,6 +276,48 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
                      value.c_str());
         return false;
       }
+    } else if (key == "shard-transport") {
+      if (value == "inproc") {
+        cli->config.shard_transport =
+            sim::SimulationConfig::ShardTransport::kInProcess;
+      } else if (value == "process") {
+        cli->config.shard_transport =
+            sim::SimulationConfig::ShardTransport::kProcess;
+      } else {
+        std::fprintf(
+            stderr,
+            "bad --shard-transport value '%s' (want inproc|process)\n",
+            value.c_str());
+        return false;
+      }
+    } else if (key == "shardd") {
+      cli->config.supervisor.shardd_path = value;
+    } else if (key == "backplane-timeout-steps") {
+      cli->config.supervisor.timeout_steps = std::atoi(value.c_str());
+      if (cli->config.supervisor.timeout_steps < 1) {
+        std::fprintf(stderr, "bad --backplane-timeout-steps value '%s'\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (key == "heartbeat-stride") {
+      cli->config.supervisor.heartbeat_stride = std::atoi(value.c_str());
+      if (cli->config.supervisor.heartbeat_stride < 1) {
+        std::fprintf(stderr, "bad --heartbeat-stride value '%s'\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (key == "shard-kill") {
+      long long kill_step = -1;
+      int kill_shard = -1;
+      if (std::sscanf(value.c_str(), "%lld:%d", &kill_step, &kill_shard) !=
+              2 ||
+          kill_step < 0 || kill_shard < 0) {
+        std::fprintf(stderr, "bad --shard-kill value '%s' (want STEP:SHARD)\n",
+                     value.c_str());
+        return false;
+      }
+      cli->config.shard_kill_step = kill_step;
+      cli->config.shard_kill_index = kill_shard;
     } else if (key == "harden") {
       cli->harden = true;
     } else if (key == "help") {
@@ -444,6 +489,37 @@ int main(int argc, char** argv) {
                         shard.stats().handoffs_out));
       }
     }
+  }
+  if (core::ShardSupervisor* supervisor = (*simulation)->supervisor()) {
+    const core::SupervisorStats& bp = supervisor->stats();
+    std::printf("\n-- shard backplane (process transport) -----------------\n");
+    std::printf("daemons                    %d (%lld down now)\n",
+                supervisor->num_peers(),
+                static_cast<long long>(supervisor->down_shards()));
+    std::printf("frames sent / received     %llu / %llu\n",
+                static_cast<unsigned long long>(bp.frames_sent),
+                static_cast<unsigned long long>(bp.frames_received));
+    std::printf("bytes sent / received      %llu / %llu\n",
+                static_cast<unsigned long long>(bp.bytes_sent),
+                static_cast<unsigned long long>(bp.bytes_received));
+    std::printf("batches / heartbeats       %llu / %llu\n",
+                static_cast<unsigned long long>(bp.batches_sent),
+                static_cast<unsigned long long>(bp.heartbeats_sent));
+    std::printf("syncs / replayed frames    %llu / %llu\n",
+                static_cast<unsigned long long>(bp.syncs_sent),
+                static_cast<unsigned long long>(bp.replayed_frames));
+    std::printf("mean RPC round trip        %.1f us over %llu acks\n",
+                metrics.BackplaneRttMicros(),
+                static_cast<unsigned long long>(bp.rtt_samples));
+    std::printf("timeouts / digest misses   %llu / %llu\n",
+                static_cast<unsigned long long>(bp.rpc_timeouts),
+                static_cast<unsigned long long>(bp.digest_mismatches));
+    std::printf("daemon restarts            %llu\n",
+                static_cast<unsigned long long>(bp.restarts));
+    std::printf("uplinks deferred/drained   %llu / %llu (%llu dropped)\n",
+                static_cast<unsigned long long>(metrics.uplinks_deferred),
+                static_cast<unsigned long long>(metrics.uplinks_drained),
+                static_cast<unsigned long long>(metrics.uplinks_dropped));
   }
   if (metrics.server_crashes > 0 || metrics.client_restarts > 0 ||
       metrics.checkpoints_taken > 0) {
