@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mobieyes/common/thread_pool.h"
+#include "mobieyes/net/backplane.h"
 
 namespace mobieyes::bench {
 
@@ -70,6 +71,9 @@ struct BenchState {
   int shard_kill_index = -1;
   int backplane_timeout_steps = -1;
   int heartbeat_stride = -1;
+  int shard_authority = -1;  // -1 = flag not given, 1 = on
+  std::string backplane_fault;
+  bool backplane_fault_set = false;
   std::chrono::steady_clock::time_point start;
   std::vector<RecordedTable> tables;
   std::vector<RecordedCell> cells;
@@ -100,6 +104,22 @@ std::string JsonEscape(const std::string& s) {
     }
   }
   return out;
+}
+
+// Authority/chaos RunOptions → SimulationConfig: parses the fault spec
+// (warning and no injected faults on a bad spec) and sets authority mode.
+void ApplyBackplaneOptions(const RunOptions& options,
+                           sim::SimulationConfig* config) {
+  config->shard_authority = options.shard_authority;
+  if (!options.backplane_fault.empty()) {
+    Status st = net::ParseBackplaneFaultSpec(options.backplane_fault,
+                                             &config->backplane_fault);
+    if (!st.ok()) {
+      std::fprintf(stderr, "[bench] bad backplane fault spec '%s': %s\n",
+                   options.backplane_fault.c_str(),
+                   st.ToString().c_str());
+    }
+  }
 }
 
 void AppendDoubles(std::string* out, const std::vector<double>& values) {
@@ -134,6 +154,7 @@ sim::RunMetrics RunMode(const sim::SimulationParams& params, sim::SimMode mode,
   config.supervisor.heartbeat_stride = options.heartbeat_stride;
   config.shard_kill_step = options.shard_kill_step;
   config.shard_kill_index = options.shard_kill_index;
+  ApplyBackplaneOptions(options, &config);
   auto simulation = sim::Simulation::Make(config);
   if (!simulation.ok()) {
     std::fprintf(stderr, "simulation setup failed: %s\n",
@@ -276,6 +297,18 @@ void InitBench(const std::string& name, int argc, char** argv) {
                      arg + 19);
         state.heartbeat_stride = -1;
       }
+    } else if (std::strcmp(arg, "--shard-authority") == 0) {
+      state.shard_authority = 1;
+    } else if (std::strncmp(arg, "--backplane-fault=", 18) == 0) {
+      net::BackplaneFaultPlan probe;
+      Status st = net::ParseBackplaneFaultSpec(arg + 18, &probe);
+      if (st.ok()) {
+        state.backplane_fault = arg + 18;
+        state.backplane_fault_set = true;
+      } else {
+        std::fprintf(stderr, "[bench] bad --backplane-fault value '%s': %s\n",
+                     arg + 18, st.ToString().c_str());
+      }
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       state.fault_seed = std::strtoull(arg + 7, nullptr, 10);
       state.fault_seed_set = true;
@@ -316,6 +349,7 @@ SweepCellResult RunCell(const SweepJob& job, const SweepObsOptions& obs,
   config.supervisor.heartbeat_stride = job.options.heartbeat_stride;
   config.shard_kill_step = job.options.shard_kill_step;
   config.shard_kill_index = job.options.shard_kill_index;
+  ApplyBackplaneOptions(job.options, &config);
   config.faults = job.faults.plan;
   if (job.faults.harden) {
     config.mobieyes =
@@ -438,6 +472,12 @@ SweepJob ApplyOverrides(SweepJob job) {
   }
   if (state.heartbeat_stride >= 1) {
     job.options.heartbeat_stride = state.heartbeat_stride;
+  }
+  if (state.shard_authority >= 0) {
+    job.options.shard_authority = state.shard_authority == 1;
+  }
+  if (state.backplane_fault_set) {
+    job.options.backplane_fault = state.backplane_fault;
   }
   return job;
 }

@@ -49,6 +49,12 @@ struct RunOptions {
   // (defaults mirror core::SupervisorOptions).
   int backplane_timeout_steps = 4;
   int heartbeat_stride = 4;
+  // Authority mode (DESIGN.md §14): daemons answer the RQI scans and the
+  // router merges their digest-verified rows; requires kProcess transport.
+  bool shard_authority = false;
+  // Backplane chaos spec (net::ParseBackplaneFaultSpec grammar), e.g.
+  // "drop=0.05,delay=0.1:2,kill=12:1,seed=7". Empty: no injected faults.
+  std::string backplane_fault;
 };
 
 // Fault-injection knobs of one sweep cell (see SweepJob): the plan handed
@@ -128,6 +134,10 @@ struct SweepJob {
 //   --backplane-timeout-steps=N  virtual-step RPC deadline before a daemon
 //                      is declared dead (process transport)
 //   --heartbeat-stride=N  liveness-probe stride on idle backplane links
+//   --shard-authority  daemons execute the RQI scans; the router merges
+//                      digest-verified rows (process transport)
+//   --backplane-fault=SPEC  seeded backplane chaos plan, e.g.
+//                      drop=0.05,delay=0.1:2,trunc=0.01,kill=12:1,seed=7
 void InitBench(const std::string& name, int argc, char** argv);
 
 // Worker thread count RunSweep will use.

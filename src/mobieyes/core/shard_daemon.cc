@@ -17,7 +17,7 @@ constexpr uint8_t kOpRqiRemove = 1;
 constexpr uint8_t kOpAdopt = 2;
 constexpr uint8_t kOpExtract = 3;
 
-constexpr uint32_t kHelloVersion = 1;
+constexpr uint32_t kHelloVersion = 2;  // v2: checksummed frames + scan RPCs
 constexpr size_t kAckQueueBytes = 1u << 20;
 
 }  // namespace
@@ -221,6 +221,37 @@ bool ShardDaemon::HandleFrame(const net::Frame& frame, net::PeerLink* link) {
       ack.shard = static_cast<uint8_t>(options_.shard_id);
       ack.step = frame.step;
       link->Send(ack, kAckQueueBytes);
+      return true;
+    }
+    case net::FrameKind::kScanRequest: {
+      // Authority-mode RQI row read (DESIGN.md §14): the router asks for the
+      // queries monitoring one grid cell. The reply must be byte-for-byte
+      // what the router's warm mirror would produce — rows are built from
+      // the identical op sequence, so vector order matches by construction
+      // and the state digest protocol catches any divergence.
+      net::Frame res;
+      res.kind = net::FrameKind::kScanResult;
+      res.shard = static_cast<uint8_t>(options_.shard_id);
+      res.step = frame.step;
+      net::ByteReader r(frame.payload.data(), frame.payload.size());
+      geo::CellCoord cell;
+      cell.i = r.I32();
+      cell.j = r.I32();
+      net::ByteWriter w(&res.payload);
+      if (shard_ == nullptr || !r.ok() || r.remaining() != 0) {
+        w.U8(0);
+        w.U64(0);
+        w.U32(0);
+      } else {
+        const std::vector<QueryId>& row = shard_->QueriesForCell(cell);
+        w.U8(1);
+        // The digest proves the row came from the authoritative state: the
+        // supervisor merges the result only when it matches its mirror's.
+        w.U64(shard_->StateDigest());
+        w.U32(static_cast<uint32_t>(row.size()));
+        for (QueryId qid : row) w.I64(qid);
+      }
+      link->Send(res, kAckQueueBytes);
       return true;
     }
     case net::FrameKind::kShutdown:

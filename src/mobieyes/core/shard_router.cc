@@ -202,6 +202,16 @@ const std::vector<QueryId>& ShardRouter::QueriesForCell(
   return shards_[map_.ShardOf(cell)]->QueriesForCell(cell);
 }
 
+const std::vector<QueryId>& ShardRouter::RqiRow(
+    const geo::CellCoord& cell, std::vector<QueryId>* scratch) {
+  const int owner = map_.ShardOf(cell);
+  if (transport_ != nullptr && !replaying_ &&
+      transport_->AuthorityScan(owner, cell, scratch)) {
+    return *scratch;
+  }
+  return shards_[owner]->QueriesForCell(cell);
+}
+
 int ShardRouter::MigrateIfNeeded(ObjectId oid) {
   auto home_it = focal_home_.find(oid);
   if (home_it == focal_home_.end()) return -1;
@@ -732,14 +742,13 @@ void ShardRouter::HandleCellChange(const net::CellChangeReport& report) {
   if (options_.propagation == PropagationMode::kEager) {
     const int prev_owner = map_.ShardOf(report.prev_cell);
     const std::vector<QueryId>& prev_row =
-        shards_[prev_owner]->QueriesForCell(report.prev_cell);
+        RqiRow(report.prev_cell, &scan_row_a_);
     if (prev_owner != ctx_shard_) {
       CountOp(prev_owner,
               net::kCellBytes + prev_row.size() * net::kIdBytes);
     }
     const std::vector<QueryId>& new_row =
-        shards_[map_.ShardOf(report.new_cell)]->QueriesForCell(
-            report.new_cell);
+        RqiRow(report.new_cell, &scan_row_b_);
     // RQI scan work: both rows are walked to answer this crossing.
     ChargeHeat(obs::HeatMap::kRqiScan, report.prev_cell, prev_row.size());
     ChargeHeat(obs::HeatMap::kRqiScan, report.new_cell, new_row.size());
@@ -872,9 +881,9 @@ void ShardRouter::HandleLqtReconcile(const net::LqtReconcileRequest& request) {
   // client re-checks filter and cell on install, so over-sending is safe.
   std::vector<QueryId>& expected = reconcile_expected_;
   expected.clear();
-  ChargeHeat(obs::HeatMap::kRqiScan, request.cell,
-             QueriesForCell(request.cell).size());
-  for (QueryId qid : QueriesForCell(request.cell)) {
+  const std::vector<QueryId>& cell_row = RqiRow(request.cell, &scan_row_a_);
+  ChargeHeat(obs::HeatMap::kRqiScan, request.cell, cell_row.size());
+  for (QueryId qid : cell_row) {
     const int home = qid_home_.at(qid);
     CountOp(home, kOpEntryTouch);
     if (shards_[home]->FindQuery(qid)->focal_oid != request.oid) {

@@ -181,6 +181,14 @@ class ShardRouter {
   void RqiAddAll(QueryId qid, const geo::CellRange& mon_region);
   void RqiRemoveAll(QueryId qid, const geo::CellRange& mon_region);
 
+  // The RQI row for `cell`, read from its owning shard. In authority mode
+  // (DESIGN.md §14) the transport executes the read on the shard's daemon
+  // into *scratch; everywhere else — replica mode, WAL replay, same-step
+  // failover — the warm local mirror answers. Both paths return identical
+  // bytes, which is what keeps authority runs deterministic under chaos.
+  const std::vector<QueryId>& RqiRow(const geo::CellCoord& cell,
+                                     std::vector<QueryId>* scratch);
+
   // Charges one backplane message to reach `target_shard` from the current
   // ingress shard (free when local, single-shard, or replaying the WAL).
   void CountOp(int target_shard, size_t payload_bytes);
@@ -266,6 +274,10 @@ class ShardRouter {
   std::vector<QueryId> diff_out_;
   std::vector<QueryId> reconcile_expected_;
   std::vector<QueryId> reconcile_known_;
+  // Authority-scan result rows. Two slots: HandleCellChange holds the
+  // previous cell's row across the new cell's read.
+  std::vector<QueryId> scan_row_a_;
+  std::vector<QueryId> scan_row_b_;
 
   ReentrantTimer load_timer_;
   ReentrantTimer step_timer_;

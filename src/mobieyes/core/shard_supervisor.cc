@@ -22,6 +22,7 @@ namespace {
 constexpr uint64_t kRpcTypeBatch = 0;
 constexpr uint64_t kRpcTypeHeartbeat = 1;
 constexpr uint64_t kRpcTypeSync = 2;
+constexpr uint64_t kRpcTypeScan = 3;
 
 bool Executable(const std::string& path) {
   return !path.empty() && access(path.c_str(), X_OK) == 0;
@@ -61,7 +62,9 @@ int64_t ShardSupervisor::NowMicros() {
 }
 
 ShardSupervisor::ShardSupervisor(const SupervisorOptions& options)
-    : options_(options), rng_(options.seed * 7919 + 17) {}
+    : options_(options),
+      rng_(options.seed * 7919 + 17),
+      chaos_rng_(options.fault.seed * 6364136223846793005ull + 1442695040888963407ull) {}
 
 ShardSupervisor::~ShardSupervisor() { Shutdown(); }
 
@@ -69,12 +72,14 @@ void ShardSupervisor::AttachRouter(ShardRouter* router) {
   router_ = router;
   router_->set_transport(this);
   router_->set_max_deferred_uplinks(options_.max_deferred_uplinks);
+  for (auto& peer : peers_) peer->mirror_digest_valid = false;
 }
 
 uint64_t ShardSupervisor::RpcKey(const Peer& peer,
                                  const PendingRpc& rpc) const {
-  uint64_t type = rpc.is_sync ? kRpcTypeSync
+  uint64_t type = rpc.is_sync        ? kRpcTypeSync
                   : rpc.is_heartbeat ? kRpcTypeHeartbeat
+                  : rpc.is_scan      ? kRpcTypeScan
                                      : kRpcTypeBatch;
   return (static_cast<uint64_t>(rpc.step) << 10) |
          (static_cast<uint64_t>(peer.shard) << 2) | type;
@@ -161,6 +166,10 @@ Status ShardSupervisor::Start() {
 
 bool ShardSupervisor::ShardAvailable(int shard) const {
   if (!started_ || peers_.empty()) return true;
+  // Authority mode never defers an uplink: a dead executor's scans are
+  // served by the warm local mirror within the same step, so the shard is
+  // always available to dispatch against.
+  if (options_.authority) return true;
   if (shard < 0 || shard >= static_cast<int>(peers_.size())) return true;
   return peers_[shard]->up;
 }
@@ -190,23 +199,34 @@ void ShardSupervisor::OnRqiOp(bool add, int shard, QueryId qid,
                               const geo::CellRange& mon_region) {
   if (shard < 0 || shard >= static_cast<int>(peers_.size())) return;
   peers_[shard]->pending.RqiOp(add, qid, mon_region);
+  peers_[shard]->mirror_digest_valid = false;
 }
 
 void ShardSupervisor::OnHandoff(int from_shard, int to_shard, ObjectId oid,
                                 const net::Message& message) {
   if (from_shard >= 0 && from_shard < static_cast<int>(peers_.size())) {
     peers_[from_shard]->pending.Extract(oid);
+    peers_[from_shard]->mirror_digest_valid = false;
   }
   if (to_shard >= 0 && to_shard < static_cast<int>(peers_.size())) {
     peers_[to_shard]->pending.Adopt(message);
+    peers_[to_shard]->mirror_digest_valid = false;
   }
+}
+
+uint64_t ShardSupervisor::MirrorDigest(Peer* peer) {
+  if (!peer->mirror_digest_valid) {
+    peer->mirror_digest = router_->shard(peer->shard).StateDigest();
+    peer->mirror_digest_valid = true;
+  }
+  return peer->mirror_digest;
 }
 
 void ShardSupervisor::CaptureSync(Peer* peer) {
   peer->sync_image.clear();
   const ServerShard& shard = router_->shard(peer->shard);
   shard.EncodeStateSync(&peer->sync_image);
-  peer->sync_digest = shard.StateDigest();
+  peer->sync_digest = MirrorDigest(peer);
   peer->frame_log.clear();
   peer->log_overflow = false;
 }
@@ -221,8 +241,50 @@ void ShardSupervisor::OnServerRestored() {
     // image below supersedes them.
     peer->pending.Finish();
     peer->need_sync = true;
+    peer->mirror_digest_valid = false;
+    // Scans must come from the restored state; authority returns after
+    // the resync, at the next step boundary.
+    RevokeAuthority(peer.get());
   }
   CaptureSyncAll();
+}
+
+int64_t ShardSupervisor::RespawnBackoffSteps(int attempts, int base_steps,
+                                             int max_steps, Rng* rng) {
+  int64_t base = std::max<int64_t>(1, base_steps);
+  int64_t cap = std::max<int64_t>(base, max_steps);
+  int64_t backoff = base << std::min(std::max(attempts, 1) - 1, 10);
+  // Seeded jitter keeps a herd of dead shards from respawning in lockstep.
+  backoff += static_cast<int64_t>(
+      rng->NextUint64(static_cast<uint64_t>(base) + 1));
+  return std::clamp(backoff, base, cap);
+}
+
+void ShardSupervisor::RevokeAuthority(Peer* peer) {
+  if (peer->authoritative) {
+    peer->authoritative = false;
+    ++stats_.failovers;
+    if (options_.verbose) {
+      std::fprintf(stderr, "supervisor: shard %d failover to local mirror\n",
+                   peer->shard);
+    }
+  }
+}
+
+void ShardSupervisor::GrantAuthority() {
+  if (!options_.authority) return;
+  for (auto& peer : peers_) {
+    if (peer->authoritative || !peer->up || peer->need_sync ||
+        !peer->rpcs.empty()) {
+      continue;
+    }
+    peer->authoritative = true;
+    ++stats_.cutovers;
+    if (options_.verbose) {
+      std::fprintf(stderr, "supervisor: shard %d authority cutover\n",
+                   peer->shard);
+    }
+  }
 }
 
 void ShardSupervisor::MarkDown(Peer* peer, const char* reason) {
@@ -230,8 +292,10 @@ void ShardSupervisor::MarkDown(Peer* peer, const char* reason) {
     std::fprintf(stderr, "supervisor: shard %d down (%s)\n", peer->shard,
                  reason);
   }
+  RevokeAuthority(peer);
   peer->up = false;
   peer->link.reset();
+  peer->held.clear();
   for (const PendingRpc& rpc : peer->rpcs) {
     if (lifecycle_ != nullptr) {
       lifecycle_->Drop(obs::LifecycleTracker::kBackplaneRpc,
@@ -247,19 +311,17 @@ void ShardSupervisor::MarkDown(Peer* peer, const char* reason) {
     peer->pid = -1;
   }
   ++peer->respawn_attempts;
-  int64_t backoff = options_.respawn_base_steps
-                    << std::min(peer->respawn_attempts - 1, 10);
-  backoff = std::min<int64_t>(backoff, options_.respawn_max_steps);
-  // Seeded jitter keeps a herd of dead shards from respawning in lockstep.
-  backoff += static_cast<int64_t>(
-      rng_.NextUint64(static_cast<uint64_t>(options_.respawn_base_steps) +
-                      1));
-  peer->next_respawn_step = step_ + backoff;
+  peer->next_respawn_step =
+      step_ + RespawnBackoffSteps(peer->respawn_attempts,
+                                  options_.respawn_base_steps,
+                                  options_.respawn_max_steps, &rng_);
 }
 
 void ShardSupervisor::KillShard(int shard) {
   if (shard < 0 || shard >= static_cast<int>(peers_.size())) return;
   Peer* peer = peers_[shard].get();
+  // Already dead and awaiting respawn: don't double the backoff penalty.
+  if (peer->pid <= 0 && peer->link == nullptr && !peer->up) return;
   if (peer->pid > 0) {
     kill(peer->pid, SIGKILL);
     waitpid(peer->pid, nullptr, 0);
@@ -288,8 +350,73 @@ void ShardSupervisor::LogFrame(Peer* peer, const net::Frame& frame) {
   }
   LoggedFrame logged;
   logged.frame = frame;
-  logged.digest = router_->shard(peer->shard).StateDigest();
+  logged.digest = MirrorDigest(peer);
   peer->frame_log.push_back(std::move(logged));
+}
+
+bool ShardSupervisor::SendFrame(Peer* peer, const net::Frame& frame) {
+  if (peer->link == nullptr || !peer->link->connected()) return false;
+  // Chaos only bites after the initial handshake (so a faulty plan cannot
+  // starve Start() itself) and pauses during Quiesce (the settle phase has
+  // no step clock to notice losses).
+  if (!started_ || quiescing_ || !options_.fault.active()) {
+    return peer->link->Send(frame, options_.max_queue_bytes);
+  }
+  const net::BackplaneFaultPlan& plan = options_.fault;
+  if (chaos_rng_.NextDouble() < plan.drop_rate) {
+    // Silently vanished: the RPC deadline is what notices, exactly like a
+    // frame lost inside a real flaky transport.
+    ++stats_.chaos_frames;
+    return true;
+  }
+  std::vector<uint8_t> wire;
+  net::EncodeFrame(frame, &wire);
+  int64_t release_step = -1;
+  if (chaos_rng_.NextDouble() < plan.delay_rate) {
+    release_step = step_ + 1 +
+                   static_cast<int64_t>(chaos_rng_.NextUint64(
+                       static_cast<uint64_t>(plan.max_delay_steps)));
+    ++stats_.chaos_frames;
+  }
+  if (chaos_rng_.NextDouble() < plan.truncate_rate && wire.size() > 1) {
+    wire.resize(1 + chaos_rng_.NextUint64(wire.size() - 1));
+    ++stats_.chaos_frames;
+  }
+  if (chaos_rng_.NextDouble() < plan.flip_rate && !wire.empty()) {
+    size_t idx = static_cast<size_t>(chaos_rng_.NextUint64(wire.size()));
+    wire[idx] ^= static_cast<uint8_t>(1u << chaos_rng_.NextUint64(8));
+    ++stats_.chaos_frames;
+  }
+  if (release_step >= 0 || !peer->held.empty()) {
+    // Held frames keep FIFO order: anything sent behind a delayed frame is
+    // delayed at least as long.
+    HeldFrame held;
+    held.wire = std::move(wire);
+    held.release_step =
+        release_step >= 0 ? release_step : peer->held.back().release_step;
+    if (!peer->held.empty()) {
+      held.release_step =
+          std::max(held.release_step, peer->held.back().release_step);
+    }
+    peer->held.push_back(std::move(held));
+    return true;
+  }
+  return peer->link->SendBytes(wire.data(), wire.size(),
+                               options_.max_queue_bytes);
+}
+
+void ShardSupervisor::ReleaseDelayed(Peer* peer, bool force) {
+  while (!peer->held.empty() &&
+         (force || peer->held.front().release_step <= step_)) {
+    if (peer->link == nullptr || !peer->link->connected()) {
+      peer->held.clear();
+      return;
+    }
+    const HeldFrame& held = peer->held.front();
+    peer->link->SendBytes(held.wire.data(), held.wire.size(),
+                          options_.max_queue_bytes);
+    peer->held.pop_front();
+  }
 }
 
 void ShardSupervisor::SendSync(Peer* peer) {
@@ -317,8 +444,7 @@ void ShardSupervisor::SendSync(Peer* peer) {
   sync.step = step_;
   sync.payload = peer->sync_image;
 
-  if (!peer->link->Send(config, options_.max_queue_bytes) ||
-      !peer->link->Send(sync, options_.max_queue_bytes)) {
+  if (!SendFrame(peer, config) || !SendFrame(peer, sync)) {
     ++stats_.send_drops;
     MarkDown(peer, "send failed during sync");
     return;
@@ -341,7 +467,7 @@ void ShardSupervisor::SendSync(Peer* peer) {
   // Replay the buffered batches sent (or logged while down) since the
   // stored image was captured.
   for (const LoggedFrame& logged : peer->frame_log) {
-    if (!peer->link->Send(logged.frame, options_.max_queue_bytes)) {
+    if (!SendFrame(peer, logged.frame)) {
       ++stats_.send_drops;
       MarkDown(peer, "send failed during replay");
       return;
@@ -360,6 +486,39 @@ void ShardSupervisor::SendSync(Peer* peer) {
   peer->last_activity_step = step_;
 }
 
+bool ShardSupervisor::FlushPendingBatch(Peer* peer) {
+  net::Frame frame;
+  frame.kind = net::FrameKind::kStepBatch;
+  frame.shard = static_cast<uint8_t>(peer->shard);
+  frame.step = step_;
+  frame.payload = peer->pending.Finish();
+  // The authoritative shard already applied these ops, so its digest is
+  // exactly where the replica must land after this frame.
+  LogFrame(peer, frame);
+  if (peer->link == nullptr || !peer->link->connected()) {
+    return false;  // buffered for rejoin replay
+  }
+  PendingRpc rpc;
+  rpc.step = step_;
+  rpc.expected_digest = MirrorDigest(peer);
+  rpc.sent_micros = NowMicros();
+  if (!SendFrame(peer, frame)) {
+    ++stats_.send_drops;
+    MarkDown(peer, "send queue full or closed");
+    return false;
+  }
+  stats_.frames_sent += 1;
+  stats_.bytes_sent += net::kFrameHeaderBytes + frame.payload.size();
+  ++stats_.batches_sent;
+  if (lifecycle_ != nullptr) {
+    lifecycle_->Stamp(obs::LifecycleTracker::kBackplaneRpc,
+                      RpcKey(*peer, rpc));
+  }
+  peer->rpcs.push_back(rpc);
+  peer->last_activity_step = step_;
+  return true;
+}
+
 void ShardSupervisor::SendBatchOrHeartbeat(Peer* peer) {
   bool connected = peer->link != nullptr && peer->link->connected();
   if (connected && peer->need_sync) {
@@ -367,33 +526,7 @@ void ShardSupervisor::SendBatchOrHeartbeat(Peer* peer) {
     return;
   }
   if (!peer->pending.empty()) {
-    net::Frame frame;
-    frame.kind = net::FrameKind::kStepBatch;
-    frame.shard = static_cast<uint8_t>(peer->shard);
-    frame.step = step_;
-    frame.payload = peer->pending.Finish();
-    // The authoritative shard already applied these ops, so its digest is
-    // exactly where the replica must land after this frame.
-    LogFrame(peer, frame);
-    if (!connected) return;  // buffered for rejoin replay
-    PendingRpc rpc;
-    rpc.step = step_;
-    rpc.expected_digest = router_->shard(peer->shard).StateDigest();
-    rpc.sent_micros = NowMicros();
-    if (!peer->link->Send(frame, options_.max_queue_bytes)) {
-      ++stats_.send_drops;
-      MarkDown(peer, "send queue full or closed");
-      return;
-    }
-    stats_.frames_sent += 1;
-    stats_.bytes_sent += net::kFrameHeaderBytes + frame.payload.size();
-    ++stats_.batches_sent;
-    if (lifecycle_ != nullptr) {
-      lifecycle_->Stamp(obs::LifecycleTracker::kBackplaneRpc,
-                        RpcKey(*peer, rpc));
-    }
-    peer->rpcs.push_back(rpc);
-    peer->last_activity_step = step_;
+    FlushPendingBatch(peer);
     return;
   }
   if (connected && peer->up &&
@@ -406,7 +539,7 @@ void ShardSupervisor::SendBatchOrHeartbeat(Peer* peer) {
     rpc.step = step_;
     rpc.is_heartbeat = true;
     rpc.sent_micros = NowMicros();
-    if (!peer->link->Send(frame, options_.max_queue_bytes)) {
+    if (!SendFrame(peer, frame)) {
       ++stats_.send_drops;
       MarkDown(peer, "heartbeat send failed");
       return;
@@ -453,6 +586,8 @@ void ShardSupervisor::HandlePeerFrame(Peer* peer, const net::Frame& frame) {
   if (!r.ok() || ok == 0 || digest != rpc.expected_digest) {
     ++stats_.digest_mismatches;
     peer->need_sync = true;
+    // A diverged replica must not keep answering scans.
+    RevokeAuthority(peer);
     return;
   }
   if (rpc.is_sync || (!peer->up && peer->rpcs.empty())) {
@@ -461,6 +596,130 @@ void ShardSupervisor::HandlePeerFrame(Peer* peer, const net::Frame& frame) {
     peer->up = true;
     peer->respawn_attempts = 0;
   }
+}
+
+bool ShardSupervisor::AuthorityScan(int shard, const geo::CellCoord& cell,
+                                    std::vector<QueryId>* out) {
+  if (!options_.authority || !started_) return false;
+  if (shard < 0 || shard >= static_cast<int>(peers_.size())) return false;
+  Peer* peer = peers_[shard].get();
+  if (!peer->authoritative || !peer->up || peer->need_sync ||
+      peer->link == nullptr || !peer->link->connected()) {
+    ++stats_.scans_local;
+    return false;
+  }
+
+  // Ship the shard's coalesced ops first: the daemon must observe every
+  // mutation this dispatch already applied to the mirror before it answers
+  // the row read (RQI rows mutate mid-step, and later uplinks read them).
+  if (!peer->pending.empty() && !FlushPendingBatch(peer)) {
+    ++stats_.scans_local;
+    return false;
+  }
+
+  net::Frame req;
+  req.kind = net::FrameKind::kScanRequest;
+  req.shard = static_cast<uint8_t>(peer->shard);
+  req.step = step_;
+  net::ByteWriter w(&req.payload);
+  w.I32(cell.i);
+  w.I32(cell.j);
+  PendingRpc scan_rpc;
+  scan_rpc.step = step_;
+  scan_rpc.is_scan = true;
+  scan_rpc.sent_micros = NowMicros();
+  if (!SendFrame(peer, req)) {
+    ++stats_.send_drops;
+    MarkDown(peer, "send failed during scan");
+    ++stats_.scans_local;
+    return false;
+  }
+  stats_.frames_sent += 1;
+  stats_.bytes_sent += net::kFrameHeaderBytes + req.payload.size();
+  peer->rpcs.push_back(scan_rpc);
+  peer->last_activity_step = step_;
+
+  // Blocking wait, wall-bounded. The socket is FIFO and the daemon answers
+  // in arrival order, so acks of everything sent before the scan drain
+  // first; a SIGKILLed daemon surfaces as a fast EOF, and the deadline
+  // only pays for a genuinely wedged one. Either way the scan fails over
+  // to the local mirror before this step's dispatch continues.
+  const int64_t deadline =
+      scan_rpc.sent_micros + int64_t{1000} * options_.authority_timeout_ms;
+  const uint64_t expected_digest = MirrorDigest(peer);
+  bool got = false;
+  bool ok = false;
+  std::vector<net::Frame> frames;
+  for (;;) {
+    peer->link->Flush();
+    frames.clear();
+    bool alive = peer->link->Receive(&frames);
+    for (const net::Frame& frame : frames) {
+      if (frame.kind != net::FrameKind::kScanResult) {
+        HandlePeerFrame(peer, frame);
+        continue;
+      }
+      ++stats_.frames_received;
+      stats_.bytes_received += net::kFrameHeaderBytes + frame.payload.size();
+      // Unwind the RPC queue through the scan. Skipped entries mean the
+      // daemon never saw those frames (chaos ate them) — the digest check
+      // below decides whether its state is still trustworthy.
+      while (!peer->rpcs.empty()) {
+        PendingRpc rpc = peer->rpcs.front();
+        peer->rpcs.pop_front();
+        if (lifecycle_ != nullptr) {
+          lifecycle_->Drop(obs::LifecycleTracker::kBackplaneRpc,
+                           RpcKey(*peer, rpc));
+        }
+        if (rpc.is_scan) {
+          int64_t rtt = NowMicros() - rpc.sent_micros;
+          if (rtt > 0) {
+            stats_.scan_rtt_micros_total += static_cast<uint64_t>(rtt);
+            ++stats_.scan_rtt_samples;
+          }
+          break;
+        }
+      }
+      net::ByteReader r(frame.payload.data(), frame.payload.size());
+      uint8_t status = r.U8();
+      uint64_t digest = r.U64();
+      uint32_t count = r.U32();
+      out->clear();
+      for (uint32_t k = 0; r.ok() && k < count; ++k) {
+        out->push_back(r.I64());
+      }
+      // The result is merged only when the daemon proves it answered from
+      // the authoritative state: its digest must match the local mirror's.
+      // This is what keeps authority runs byte-identical even when chaos
+      // swallowed an earlier batch.
+      ok = r.ok() && r.remaining() == 0 && status == 1 &&
+           out->size() == count && digest == expected_digest;
+      got = true;
+    }
+    if (got) break;
+    if (!alive) {
+      MarkDown(peer, "EOF during scan");
+      ++stats_.scans_local;
+      return false;
+    }
+    if (NowMicros() > deadline) {
+      ++stats_.rpc_timeouts;
+      MarkDown(peer, "scan deadline exceeded");
+      ++stats_.scans_local;
+      return false;
+    }
+    std::vector<int> ready;
+    net::PollReadable({peer->link->fd()}, /*timeout_ms=*/1, &ready);
+  }
+  if (!ok) {
+    ++stats_.digest_mismatches;
+    peer->need_sync = true;
+    RevokeAuthority(peer);
+    ++stats_.scans_local;
+    return false;
+  }
+  ++stats_.scans_remote;
+  return true;
 }
 
 void ShardSupervisor::ReceiveAll() {
@@ -477,8 +736,8 @@ void ShardSupervisor::ReceiveAll() {
         hello_shard = frame.shard;
       }
     }
-    if (hello_shard >= 0 &&
-        hello_shard < static_cast<int>(peers_.size())) {
+    if (hello_shard >= 0 && hello_shard < static_cast<int>(peers_.size()) &&
+        alive) {
       Peer* peer = peers_[hello_shard].get();
       peer->link = std::move(pending_links_[k]);
       pending_links_.erase(pending_links_.begin() +
@@ -487,6 +746,10 @@ void ShardSupervisor::ReceiveAll() {
       SendSync(peer);
       continue;
     }
+    // A hello from a socket that already hit EOF (the daemon died right
+    // after introducing itself) must NOT be adopted: a dead link attached
+    // to the peer has no further EOF to observe, so nothing would ever
+    // mark the peer down again and RespawnDue would skip it forever.
     if (!alive) {
       pending_links_.erase(pending_links_.begin() +
                            static_cast<ptrdiff_t>(k));
@@ -496,7 +759,14 @@ void ShardSupervisor::ReceiveAll() {
   }
 
   for (auto& peer : peers_) {
-    if (peer->link == nullptr || !peer->link->connected()) continue;
+    if (peer->link == nullptr) continue;
+    if (!peer->link->connected()) {
+      // A link can die outside Receive (failed send, adopted-then-closed
+      // socket): reap it here or the peer wedges — ReceiveAll would skip
+      // it and RespawnDue treats any attached link as a live daemon.
+      MarkDown(peer.get(), "link lost outside receive");
+      continue;
+    }
     peer->link->Flush();
     std::vector<net::Frame> frames;
     bool alive = peer->link->Receive(&frames);
@@ -510,7 +780,9 @@ void ShardSupervisor::ReceiveAll() {
 void ShardSupervisor::RespawnDue() {
   for (auto& peer : peers_) {
     if (peer->pid > 0 || peer->link != nullptr) continue;
-    if (step_ < peer->next_respawn_step) continue;
+    // Quiesce freezes the step clock, so backoff expressed in steps would
+    // never elapse there — respawn immediately instead.
+    if (!quiescing_ && step_ < peer->next_respawn_step) continue;
     Status st = SpawnDaemon(peer.get());
     if (!st.ok() && options_.verbose) {
       std::fprintf(stderr, "supervisor: respawn shard %d failed: %s\n",
@@ -521,10 +793,22 @@ void ShardSupervisor::RespawnDue() {
 
 void ShardSupervisor::PumpStep(int64_t step) {
   step_ = step;
+  // Scheduled chaos SIGKILLs fire at the step boundary.
+  for (const auto& [kill_step, kill_shard] : options_.fault.kills) {
+    if (kill_step == step) {
+      ++stats_.chaos_kills;
+      KillShard(kill_shard);
+    }
+  }
   AcceptNewConnections();
   ReceiveAll();
+  // Clean cutover: a peer that drained last step's RPCs (and any resync)
+  // takes scan authority from here on — never mid-step, so a rejoining
+  // daemon cannot serve a partially-shipped step.
+  GrantAuthority();
 
   for (auto& peer : peers_) {
+    ReleaseDelayed(peer.get(), /*force=*/false);
     SendBatchOrHeartbeat(peer.get());
   }
 
@@ -537,6 +821,7 @@ void ShardSupervisor::PumpStep(int64_t step) {
   std::vector<int> ready;
   net::PollReadable(fds, /*timeout_ms=*/1, &ready);
   ReceiveAll();
+  GrantAuthority();
 
   // Deadline enforcement: an unacked frame older than the timeout means
   // the daemon is dead or wedged — same remedy either way.
@@ -553,10 +838,33 @@ void ShardSupervisor::PumpStep(int64_t step) {
 
 Status ShardSupervisor::Quiesce(int timeout_ms) {
   int64_t deadline = NowMicros() + int64_t{1000} * timeout_ms;
+  quiescing_ = true;
   for (;;) {
     AcceptNewConnections();
     ReceiveAll();
+    // The step clock is frozen here, so the virtual-step RPC deadline can
+    // never fire — enforce it in wall time instead: a frame a chaos fault
+    // swallowed right before the run ended must still get its peer marked
+    // down, respawned and resynced.
+    const int64_t rpc_wall_budget =
+        int64_t{1000} * std::max(options_.authority_timeout_ms, 250);
+    for (auto& peer : peers_) {
+      if (peer->rpcs.empty()) continue;
+      if (NowMicros() - peer->rpcs.front().sent_micros > rpc_wall_budget) {
+        ++stats_.rpc_timeouts;
+        MarkDown(peer.get(), "RPC wall deadline during quiesce");
+      }
+    }
     RespawnDue();
+    // Quiesce no longer advances steps, so chaos-held frames would never
+    // release on their own — flush them. Likewise nothing else drives
+    // outbound traffic here: a rejoined peer still owing a resync or
+    // holding coalesced ops needs SendBatchOrHeartbeat called for it, or
+    // the settle condition below could never be met.
+    for (auto& peer : peers_) {
+      ReleaseDelayed(peer.get(), /*force=*/true);
+      SendBatchOrHeartbeat(peer.get());
+    }
     bool settled = true;
     for (auto& peer : peers_) {
       bool queued = peer->link != nullptr && peer->link->queued_bytes() > 0;
@@ -566,8 +874,25 @@ Status ShardSupervisor::Quiesce(int timeout_ms) {
         break;
       }
     }
-    if (settled) return Status::OK();
+    if (settled) {
+      quiescing_ = false;
+      return Status::OK();
+    }
     if (NowMicros() > deadline) {
+      if (options_.verbose) {
+        for (const auto& peer : peers_) {
+          std::fprintf(
+              stderr,
+              "supervisor: quiesce wedge shard %d up=%d pid=%d link=%d "
+              "rpcs=%zu pending=%d need_sync=%d held=%zu queued=%zu\n",
+              peer->shard, peer->up ? 1 : 0, static_cast<int>(peer->pid),
+              peer->link != nullptr ? 1 : 0, peer->rpcs.size(),
+              peer->pending.empty() ? 0 : 1, peer->need_sync ? 1 : 0,
+              peer->held.size(),
+              peer->link != nullptr ? peer->link->queued_bytes() : 0);
+        }
+      }
+      quiescing_ = false;
       return Status::Internal("supervisor: quiesce timed out");
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));

@@ -48,6 +48,17 @@ struct SupervisorOptions {
   size_t max_deferred_uplinks = 4096;
   // Wall-clock budget for Start()'s initial spawn-and-handshake.
   int start_timeout_ms = 15000;
+  // Authority mode (DESIGN.md §14): daemons execute the RQI row reads and
+  // the router merges their digest-verified results; the local shard
+  // objects become the warm failover mirror instead of the serving copy.
+  bool authority = false;
+  // Wall-clock deadline for one blocking authority scan; past it the
+  // daemon is declared dead and the scan fails over to the local mirror
+  // within the same step.
+  int authority_timeout_ms = 250;
+  // Seeded backplane chaos applied to every outbound frame after startup,
+  // plus scheduled SIGKILLs fired at step boundaries.
+  net::BackplaneFaultPlan fault;
   uint64_t seed = 1;
   bool verbose = false;
 };
@@ -69,16 +80,39 @@ struct SupervisorStats {
   // Wall round-trip of resolved RPCs (frame send -> ack read).
   uint64_t rtt_micros_total = 0;
   uint64_t rtt_samples = 0;
+  // Authority mode: scans answered by a daemon vs served by the local
+  // mirror (daemon down, resyncing, or failed mid-scan).
+  uint64_t scans_remote = 0;
+  uint64_t scans_local = 0;
+  // Authority revoked mid-step (death, digest divergence) / granted back
+  // at a step boundary. The initial grants count as cutovers too.
+  uint64_t failovers = 0;
+  uint64_t cutovers = 0;
+  // Chaos layer: frame faults injected (drop/delay/truncate/flip) and
+  // scheduled SIGKILLs fired.
+  uint64_t chaos_frames = 0;
+  uint64_t chaos_kills = 0;
+  // Wall round-trip of remote-answered scans (request send -> result read).
+  uint64_t scan_rtt_micros_total = 0;
+  uint64_t scan_rtt_samples = 0;
 };
 
 // Runs one daemon process per shard and keeps each a faithful replica of
-// the router's authoritative shard state (DESIGN.md §13). The router stays
-// the single serial dispatcher — the supervisor mirrors its shard ops over
-// the backplane as one coalesced frame per peer per step, verifies replica
+// the router's shard state (DESIGN.md §13). The router stays the single
+// serial dispatcher — the supervisor mirrors its shard ops over the
+// backplane as one coalesced frame per peer per step, verifies replica
 // agreement via digest-carrying acks, detects death by socket EOF, RPC
 // deadline or heartbeat miss, and restarts dead daemons from the stored
 // sync image (checkpoint chunks) plus the buffered frame log. While a
 // daemon is down the router defers that shard's uplinks (degraded mode).
+//
+// With options.authority set (DESIGN.md §14) the daemons additionally
+// execute the RQI row reads: the router's shard objects become a warm
+// standby mirror, scans go to the daemons as blocking digest-verified
+// RPCs, and a dead or diverged daemon fails over to the mirror within the
+// same virtual step — no step blocks, no uplink is deferred. The seeded
+// fault plan in options.fault layers deterministic chaos (frame drops,
+// delays, truncations, bit flips, scheduled SIGKILLs) over the backplane.
 class ShardSupervisor : public ShardTransport {
  public:
   explicit ShardSupervisor(const SupervisorOptions& options);
@@ -124,6 +158,14 @@ class ShardSupervisor : public ShardTransport {
                const geo::CellRange& mon_region) override;
   void OnHandoff(int from_shard, int to_shard, ObjectId oid,
                  const net::Message& message) override;
+  // Authority-mode scan: flushes the shard's coalesced ops (so the daemon
+  // observes every mutation this dispatch already applied), then blocks on
+  // a kScanRequest. The result is accepted only with the daemon's state
+  // digest matching the local mirror's; on death, deadline or divergence
+  // the scan fails over to the mirror within the same step (returns
+  // false). See DESIGN.md §14.
+  bool AuthorityScan(int shard, const geo::CellCoord& cell,
+                     std::vector<QueryId>* out) override;
 
   // --- Introspection -------------------------------------------------------
   int num_peers() const { return static_cast<int>(peers_.size()); }
@@ -140,13 +182,28 @@ class ShardSupervisor : public ShardTransport {
   // then siblings of the running executable). Empty when none is found.
   static std::string FindShardd(const std::string& override_path);
 
+  // Backoff before respawn attempt `attempts` (1-based), in steps: base
+  // doubles per consecutive failure, seeded jitter in [0, base] is added,
+  // and the result is clamped to [base, max(base, max_steps)]. Exposed for
+  // the bounds test.
+  static int64_t RespawnBackoffSteps(int attempts, int base_steps,
+                                     int max_steps, Rng* rng);
+
  private:
   struct PendingRpc {
     int64_t step = 0;
     uint64_t expected_digest = 0;
     bool is_sync = false;
     bool is_heartbeat = false;
+    bool is_scan = false;
     int64_t sent_micros = 0;  // steady-clock stamp for RTT
+  };
+
+  // A chaos-delayed frame's wire bytes, released at a later step. Frames
+  // queued behind a held one are held too, preserving send order.
+  struct HeldFrame {
+    std::vector<uint8_t> wire;
+    int64_t release_step = 0;
   };
 
   // A step batch kept for rejoin replay, with the authoritative digest the
@@ -162,8 +219,13 @@ class ShardSupervisor : public ShardTransport {
     std::unique_ptr<net::PeerLink> link;
     bool up = false;         // handshake complete, replica current
     bool need_sync = false;  // full resync owed (mismatch, restore)
+    // Authority mode: this daemon currently executes the shard's scans.
+    // Granted only at a step boundary (clean cutover), revoked on death or
+    // digest divergence (failover to the local mirror).
+    bool authoritative = false;
     StepBatchBuilder pending;
     std::deque<PendingRpc> rpcs;
+    std::deque<HeldFrame> held;  // chaos-delayed outbound frames
     // Rejoin material: last captured sync image + batches sent since.
     std::vector<uint8_t> sync_image;
     uint64_t sync_digest = 0;
@@ -172,6 +234,11 @@ class ShardSupervisor : public ShardTransport {
     int64_t last_activity_step = 0;  // last frame sent
     int64_t next_respawn_step = 0;
     int respawn_attempts = 0;
+    // Lazily computed digest of the local mirror, invalidated by every
+    // replicated op. StateDigest() walks the whole shard, and authority
+    // mode needs the digest per scan, not just per step.
+    uint64_t mirror_digest = 0;
+    bool mirror_digest_valid = false;
   };
 
   Status SpawnDaemon(Peer* peer);
@@ -185,6 +252,25 @@ class ShardSupervisor : public ShardTransport {
   void HandlePeerFrame(Peer* peer, const net::Frame& frame);
   void RespawnDue();
   uint64_t RpcKey(const Peer& peer, const PendingRpc& rpc) const;
+  // Chaos-aware send: encodes the frame, rolls the fault plan against it
+  // (drop / delay / truncate / flip), and queues whatever survives on the
+  // link. Returns false only when the link refused the bytes — an injected
+  // fault still reports success, so loss is detected by the RPC deadline,
+  // exactly like a real flaky transport.
+  bool SendFrame(Peer* peer, const net::Frame& frame);
+  // Flushes chaos-held frames whose release step arrived (all of them when
+  // `force`, for shutdown paths that no longer advance steps).
+  void ReleaseDelayed(Peer* peer, bool force);
+  // Revokes scan authority mid-step (counts a failover).
+  void RevokeAuthority(Peer* peer);
+  // Grants authority to synced idle peers (counts cutovers). Step-boundary
+  // only, so a rejoining daemon never serves a partially-shipped step.
+  void GrantAuthority();
+  // Flushes the peer's coalesced ops as a mid-step batch. False when the
+  // send failed (peer marked down inside).
+  bool FlushPendingBatch(Peer* peer);
+  // The local mirror's state digest, cached until the next replicated op.
+  uint64_t MirrorDigest(Peer* peer);
   static int64_t NowMicros();
 
   SupervisorOptions options_;
@@ -194,11 +280,15 @@ class ShardSupervisor : public ShardTransport {
   // Accepted links that have not said hello yet.
   std::vector<std::unique_ptr<net::PeerLink>> pending_links_;
   Rng rng_;
+  Rng chaos_rng_{1};  // reseeded from the fault plan in the constructor
   int64_t step_ = 0;
   std::string socket_dir_;  // private temp dir to remove at shutdown
   SupervisorStats stats_;
   obs::LifecycleTracker* lifecycle_ = nullptr;
   bool started_ = false;
+  // Set inside Quiesce: chaos injection pauses and recovery switches to
+  // wall-clock pacing (virtual steps no longer advance there).
+  bool quiescing_ = false;
 };
 
 }  // namespace mobieyes::core

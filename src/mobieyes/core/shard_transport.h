@@ -1,6 +1,8 @@
 #ifndef MOBIEYES_CORE_SHARD_TRANSPORT_H_
 #define MOBIEYES_CORE_SHARD_TRANSPORT_H_
 
+#include <vector>
+
 #include "mobieyes/common/ids.h"
 #include "mobieyes/geo/grid.h"
 #include "mobieyes/net/message.h"
@@ -32,6 +34,20 @@ class ShardTransport {
   // still pre-handoff.
   virtual void OnHandoff(int from_shard, int to_shard, ObjectId oid,
                          const net::Message& message) = 0;
+
+  // Authority mode (DESIGN.md §14): execute the RQI row read for `cell` on
+  // `shard`'s authoritative executor, filling *out with the monitoring
+  // query ids in row order. Returns false when the transport is not
+  // authoritative for the shard right now (replica mode, daemon down or
+  // resyncing) — the router then serves the scan from its warm local
+  // mirror, which is the same-step failover path.
+  virtual bool AuthorityScan(int shard, const geo::CellCoord& cell,
+                             std::vector<QueryId>* out) {
+    (void)shard;
+    (void)cell;
+    (void)out;
+    return false;
+  }
 };
 
 }  // namespace mobieyes::core

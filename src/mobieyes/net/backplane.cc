@@ -223,6 +223,24 @@ bool PeerLink::Send(const Frame& frame, size_t max_queue_bytes) {
   return Flush();
 }
 
+bool PeerLink::SendBytes(const uint8_t* data, size_t size,
+                         size_t max_queue_bytes) {
+  if (fd_ < 0) {
+    ++stats_.send_drops;
+    return false;
+  }
+  if (queued_bytes() > max_queue_bytes) {
+    Flush();
+    if (queued_bytes() > max_queue_bytes) {
+      ++stats_.send_drops;
+      return false;
+    }
+  }
+  send_buf_.insert(send_buf_.end(), data, data + size);
+  ++stats_.frames_sent;
+  return Flush();
+}
+
 bool PeerLink::Flush() {
   if (fd_ < 0) return false;
   while (send_pos_ < send_buf_.size()) {
@@ -267,6 +285,82 @@ bool PeerLink::Receive(std::vector<Frame>* out) {
   }
   stats_.frames_received += out->size() - before;
   return true;
+}
+
+namespace {
+
+// Parses "key=value" with a double value; rejects rates outside [0, 1].
+Status ParseRate(const std::string& field, const std::string& value,
+                 double* out) {
+  char* end = nullptr;
+  double v = strtod(value.c_str(), &end);
+  if (end == value.c_str() || (end != nullptr && *end != '\0') || v < 0.0 ||
+      v > 1.0) {
+    return Status::InvalidArgument("backplane fault: bad rate in " + field);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseBackplaneFaultSpec(const std::string& spec,
+                               BackplaneFaultPlan* plan) {
+  *plan = BackplaneFaultPlan{};
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string field = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (field.empty()) continue;
+    size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("backplane fault: expected key=value: " +
+                                     field);
+    }
+    std::string key = field.substr(0, eq);
+    std::string value = field.substr(eq + 1);
+    Status st = Status::OK();
+    if (key == "drop") {
+      st = ParseRate(field, value, &plan->drop_rate);
+    } else if (key == "trunc") {
+      st = ParseRate(field, value, &plan->truncate_rate);
+    } else if (key == "flip") {
+      st = ParseRate(field, value, &plan->flip_rate);
+    } else if (key == "delay") {
+      // delay=RATE or delay=RATE:MAX_STEPS
+      size_t colon = value.find(':');
+      st = ParseRate(field, value.substr(0, colon), &plan->delay_rate);
+      if (st.ok() && colon != std::string::npos) {
+        int steps = atoi(value.c_str() + colon + 1);
+        if (steps < 1) {
+          return Status::InvalidArgument(
+              "backplane fault: delay steps must be >= 1: " + field);
+        }
+        plan->max_delay_steps = steps;
+      }
+    } else if (key == "kill") {
+      size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument(
+            "backplane fault: kill needs STEP:SHARD: " + field);
+      }
+      int64_t step = atoll(value.c_str());
+      int shard = atoi(value.c_str() + colon + 1);
+      if (step < 0 || shard < 0) {
+        return Status::InvalidArgument("backplane fault: bad kill in " +
+                                       field);
+      }
+      plan->kills.emplace_back(step, shard);
+    } else if (key == "seed") {
+      plan->seed = static_cast<uint64_t>(atoll(value.c_str()));
+    } else {
+      return Status::InvalidArgument("backplane fault: unknown key: " + key);
+    }
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 void PollReadable(const std::vector<int>& fds, int timeout_ms,

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mobieyes/common/status.h"
@@ -78,6 +79,10 @@ class PeerLink {
   // Returns false — dropping the frame — when the queue already holds
   // `max_queue_bytes` unsent bytes.
   bool Send(const Frame& frame, size_t max_queue_bytes);
+  // Queues pre-encoded wire bytes verbatim — the chaos layer's injection
+  // point, where a frame's encoding may have been flipped or truncated.
+  // Same queue bound and flush behavior as Send(); counts one frame sent.
+  bool SendBytes(const uint8_t* data, size_t size, size_t max_queue_bytes);
   // Writes as much queued output as the socket accepts. Returns false on a
   // fatal socket error (the link is closed).
   bool Flush();
@@ -102,6 +107,35 @@ class PeerLink {
 // (entries < 0 are skipped). Returns the indexes of readable/hung-up fds.
 void PollReadable(const std::vector<int>& fds, int timeout_ms,
                   std::vector<int>* ready);
+
+// --- Backplane chaos plan (DESIGN.md §14) -----------------------------------
+//
+// Seeded fault injection between the router and its shard daemons. The
+// supervisor applies the plan to every outbound frame (after the initial
+// start handshake) and fires the scheduled SIGKILLs at step boundaries, so
+// a chaos run is reproducible from the plan alone.
+
+struct BackplaneFaultPlan {
+  double drop_rate = 0.0;      // frame silently discarded
+  double delay_rate = 0.0;     // frame held for 1..max_delay_steps steps
+  int max_delay_steps = 2;
+  double truncate_rate = 0.0;  // frame's wire bytes cut short
+  double flip_rate = 0.0;      // one random bit flipped in the wire bytes
+  // Scheduled daemon SIGKILLs: (virtual step, shard index).
+  std::vector<std::pair<int64_t, int>> kills;
+  uint64_t seed = 1;
+
+  bool active() const {
+    return drop_rate > 0.0 || delay_rate > 0.0 || truncate_rate > 0.0 ||
+           flip_rate > 0.0 || !kills.empty();
+  }
+};
+
+// Parses a chaos spec of comma-separated fields into *plan:
+//   drop=F | delay=F[:STEPS] | trunc=F | flip=F | kill=STEP:SHARD | seed=N
+// e.g. "drop=0.02,flip=0.01,kill=12:1,kill=20:0,seed=7". kill= repeats.
+Status ParseBackplaneFaultSpec(const std::string& spec,
+                               BackplaneFaultPlan* plan);
 
 }  // namespace mobieyes::net
 

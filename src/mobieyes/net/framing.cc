@@ -26,20 +26,35 @@ const char* FrameKindName(FrameKind kind) {
       return "heartbeat_ack";
     case FrameKind::kShutdown:
       return "shutdown";
+    case FrameKind::kScanRequest:
+      return "scan_request";
+    case FrameKind::kScanResult:
+      return "scan_result";
     case FrameKind::kNumFrameKinds:
       break;
   }
   return "unknown";
 }
 
+uint32_t FramePayloadChecksum(const uint8_t* data, size_t size) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
 void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
   ByteWriter w(out);
   w.U32(kFrameMagic);
+  w.U8(kFrameVersion);
   w.U8(static_cast<uint8_t>(frame.kind));
   w.U8(frame.shard);
-  w.U16(frame.flags);
+  w.U8(frame.flags);
   w.I64(frame.step);
   w.U32(static_cast<uint32_t>(frame.payload.size()));
+  w.U32(FramePayloadChecksum(frame.payload.data(), frame.payload.size()));
   out->insert(out->end(), frame.payload.begin(), frame.payload.end());
 }
 
@@ -78,19 +93,22 @@ void FrameDecoder::Feed(const uint8_t* data, size_t size,
 
     ByteReader r(base, have);
     r.U32();  // magic, checked above
+    uint8_t version = r.U8();
     uint8_t kind = r.U8();
     uint8_t shard = r.U8();
-    uint16_t flags = r.U16();
+    uint8_t flags = r.U8();
     int64_t step = r.I64();
     uint32_t payload_len = r.U32();
+    uint32_t payload_crc = r.U32();
 
     // A magic match with an impossible header is still garbage: drop the
     // first magic byte and resync, rather than waiting forever for 4 GiB
     // that will never arrive.
-    bool bad_kind =
-        kind >= static_cast<uint8_t>(FrameKind::kNumFrameKinds);
+    bool bad_version = version != kFrameVersion;
+    bool bad_kind = kind >= static_cast<uint8_t>(FrameKind::kNumFrameKinds);
     bool oversized = payload_len > kMaxFramePayload;
-    if (bad_kind || oversized) {
+    if (bad_version || bad_kind || oversized) {
+      if (bad_version) ++stats_.bad_version;
       if (bad_kind) ++stats_.bad_kind;
       if (oversized) ++stats_.oversized;
       stats_.resync_bytes += 1;
@@ -99,6 +117,18 @@ void FrameDecoder::Feed(const uint8_t* data, size_t size,
     }
 
     if (have < kFrameHeaderBytes + payload_len) return;  // partial frame
+
+    // Verify the payload checksum only once the whole frame is buffered. A
+    // mismatch means a flipped or spliced payload; resync one byte forward
+    // so a real frame whose header was swallowed by a truncated predecessor
+    // can still be recovered.
+    if (FramePayloadChecksum(base + kFrameHeaderBytes, payload_len) !=
+        payload_crc) {
+      ++stats_.checksum_mismatch;
+      stats_.resync_bytes += 1;
+      Consume(1);
+      continue;
+    }
 
     Frame frame;
     frame.kind = static_cast<FrameKind>(kind);

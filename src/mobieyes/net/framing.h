@@ -1,6 +1,7 @@
 #ifndef MOBIEYES_NET_FRAMING_H_
 #define MOBIEYES_NET_FRAMING_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -8,20 +9,26 @@
 
 namespace mobieyes::net {
 
-// Length-prefixed framing for the shard backplane (DESIGN.md §13). A frame
-// carries one batch of backplane work between the router process and a
+// Length-prefixed framing for the shard backplane (DESIGN.md §13-14). A
+// frame carries one batch of backplane work between the router process and a
 // shard daemon; its payload is opaque bytes encoded with ByteWriter (state
-// syncs, per-step op batches) or MessageCodec (embedded handoff messages).
+// syncs, per-step op batches, scan results) or MessageCodec (embedded
+// handoff messages).
 //
-// Wire layout, little-endian, 20-byte header:
+// Wire layout, little-endian, 24-byte header (version 2):
 //
-//   magic u32 ("MoBF") | kind u8 | shard u8 | flags u16 |
-//   step i64 | payload_len u32 | payload bytes
+//   magic u32 ("MoBF") | version u8 | kind u8 | shard u8 | flags u8 |
+//   step i64 | payload_len u32 | payload_crc u32 | payload bytes
+//
+// payload_crc is FNV-1a-32 over the payload bytes, so chaos-injected
+// corruption (bit flips, truncation splices) is rejected at decode instead
+// of reaching ApplyStepBatch. Version 1 frames (no version byte, u16 flags,
+// no checksum) are rejected as bad_version garbage.
 //
 // The decoder below is incremental and hostile-input safe: partial frames
-// buffer across reads, an impossible header (bad magic, unknown kind,
-// oversized length) never allocates the claimed length, and the stream
-// resynchronizes by scanning forward for the next magic.
+// buffer across reads, an impossible header (bad magic, wrong version,
+// unknown kind, oversized length) never allocates the claimed length, and
+// the stream resynchronizes by scanning forward for the next magic.
 
 enum class FrameKind : uint8_t {
   kHello = 0,         // daemon -> supervisor, after connect
@@ -33,7 +40,9 @@ enum class FrameKind : uint8_t {
   kHeartbeat = 6,     // supervisor -> daemon: liveness probe
   kHeartbeatAck = 7,  // daemon -> supervisor
   kShutdown = 8,      // supervisor -> daemon: clean exit request
-  kNumFrameKinds = 9,
+  kScanRequest = 9,   // supervisor -> daemon: RQI row read for one cell
+  kScanResult = 10,   // daemon -> supervisor: qids monitoring that cell
+  kNumFrameKinds = 11,
 };
 
 const char* FrameKindName(FrameKind kind);
@@ -41,16 +50,21 @@ const char* FrameKindName(FrameKind kind);
 struct Frame {
   FrameKind kind = FrameKind::kHeartbeat;
   uint8_t shard = 0;
-  uint16_t flags = 0;
+  uint8_t flags = 0;
   int64_t step = 0;
   std::vector<uint8_t> payload;
 };
 
 inline constexpr uint32_t kFrameMagic = 0x4d6f4246;  // "MoBF"
-inline constexpr size_t kFrameHeaderBytes = 20;
+inline constexpr uint8_t kFrameVersion = 2;
+inline constexpr size_t kFrameHeaderBytes = 24;
 // A state sync of a large shard is a few MiB; anything past this cap is a
 // corrupt or hostile length prefix, not a real frame.
 inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+// FNV-1a-32 over the payload, the frame checksum. Cheap, portable, and
+// strong enough to catch single-bit flips and truncation splices.
+uint32_t FramePayloadChecksum(const uint8_t* data, size_t size);
 
 // Appends the encoded frame to *out (existing contents kept, so a batch of
 // frames can share one send buffer).
@@ -64,11 +78,13 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
 class FrameDecoder {
  public:
   struct Stats {
-    uint64_t frames = 0;            // complete frames decoded
-    uint64_t bytes = 0;             // payload + header bytes of those frames
-    uint64_t resync_bytes = 0;      // garbage skipped hunting for magic
-    uint64_t oversized = 0;         // headers rejected for impossible length
-    uint64_t bad_kind = 0;          // headers rejected for unknown kind
+    uint64_t frames = 0;        // complete frames decoded
+    uint64_t bytes = 0;         // payload + header bytes of those frames
+    uint64_t resync_bytes = 0;  // garbage skipped hunting for magic
+    uint64_t oversized = 0;     // headers rejected for impossible length
+    uint64_t bad_kind = 0;      // headers rejected for unknown kind
+    uint64_t bad_version = 0;   // headers rejected for wrong frame version
+    uint64_t checksum_mismatch = 0;  // full frames rejected for bad crc
   };
 
   void Feed(const uint8_t* data, size_t size, std::vector<Frame>* out);

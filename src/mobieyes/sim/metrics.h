@@ -74,6 +74,18 @@ struct RunMetrics {
   uint64_t backplane_replayed_frames = 0;
   uint64_t backplane_rtt_micros = 0;
   uint64_t backplane_rtt_samples = 0;
+  // Authority mode (DESIGN.md §14): scans answered by a daemon vs served
+  // by the warm local mirror, authority handoffs in both directions, and
+  // the blocking-scan round trip.
+  uint64_t backplane_scans_remote = 0;
+  uint64_t backplane_scans_local = 0;
+  uint64_t backplane_failovers = 0;
+  uint64_t backplane_cutovers = 0;
+  uint64_t backplane_scan_rtt_micros = 0;
+  uint64_t backplane_scan_rtt_samples = 0;
+  // Chaos layer: injected frame faults and scheduled SIGKILLs.
+  uint64_t backplane_chaos_frames = 0;
+  uint64_t backplane_chaos_kills = 0;
   int64_t shard_restarts = 0;
   // Degraded-mode accounting while a shard daemon was down: uplinks parked
   // for the dead ingress shard, re-dispatched on rejoin, or lost to the
@@ -135,6 +147,14 @@ struct RunMetrics {
     return backplane_rtt_samples > 0
                ? static_cast<double>(backplane_rtt_micros) /
                      static_cast<double>(backplane_rtt_samples)
+               : 0.0;
+  }
+
+  // Mean blocking-scan round trip in authority mode, in microseconds.
+  double BackplaneScanRttMicros() const {
+    return backplane_scan_rtt_samples > 0
+               ? static_cast<double>(backplane_scan_rtt_micros) /
+                     static_cast<double>(backplane_scan_rtt_samples)
                : 0.0;
   }
 

@@ -156,6 +156,9 @@ Status Simulation::Setup() {
         server_->num_shards() > 1) {
       core::SupervisorOptions opts = config_.supervisor;
       if (opts.seed == 1) opts.seed = params.seed;
+      opts.authority = config_.shard_authority;
+      opts.fault = config_.backplane_fault;
+      if (opts.fault.seed == 1) opts.fault.seed = params.seed;
       supervisor_ = std::make_unique<core::ShardSupervisor>(opts);
       if (lifecycle_) supervisor_->set_lifecycle(lifecycle_.get());
       supervisor_->AttachRouter(&server_->router());
@@ -483,6 +486,11 @@ void Simulation::RecordStepObservations(int64_t step) {
     }
     registry_->GetGauge("backplane.down_shards", /*timing=*/true)
         ->Set(static_cast<double>(supervisor_->down_shards()));
+    const core::SupervisorStats& sstats = supervisor_->stats();
+    registry_->GetGauge("backplane.failovers", /*timing=*/true)
+        ->Set(static_cast<double>(sstats.failovers));
+    registry_->GetGauge("backplane.chaos_injections", /*timing=*/true)
+        ->Set(static_cast<double>(sstats.chaos_frames + sstats.chaos_kills));
   }
 
   cursor_.uplink = stats.uplink_messages;
@@ -684,6 +692,14 @@ RunMetrics Simulation::metrics() const {
     snapshot.backplane_replayed_frames = bp.replayed_frames;
     snapshot.backplane_rtt_micros = bp.rtt_micros_total;
     snapshot.backplane_rtt_samples = bp.rtt_samples;
+    snapshot.backplane_scans_remote = bp.scans_remote;
+    snapshot.backplane_scans_local = bp.scans_local;
+    snapshot.backplane_failovers = bp.failovers;
+    snapshot.backplane_cutovers = bp.cutovers;
+    snapshot.backplane_scan_rtt_micros = bp.scan_rtt_micros_total;
+    snapshot.backplane_scan_rtt_samples = bp.scan_rtt_samples;
+    snapshot.backplane_chaos_frames = bp.chaos_frames;
+    snapshot.backplane_chaos_kills = bp.chaos_kills;
     snapshot.shard_restarts = static_cast<int64_t>(bp.restarts);
   }
   if (object_index_) snapshot.server_seconds = object_index_->load_seconds();

@@ -123,6 +123,15 @@ struct SimulationConfig {
   // Process-transport tuning (address, heartbeat stride, RPC deadline,
   // respawn backoff, daemon binary path); kProcess only.
   core::SupervisorOptions supervisor;
+  // Authority mode (kProcess only, DESIGN.md §14): daemons execute the RQI
+  // scans and the router merges their digest-verified results; the local
+  // shards become the warm failover mirror. Both paths serve identical
+  // bytes, so deterministic exports stay byte-identical to in-process —
+  // even across failovers. Sets supervisor.authority.
+  bool shard_authority = false;
+  // Seeded backplane chaos (kProcess only): frame drops/delays/truncations
+  // /bit-flips plus scheduled SIGKILLs. Sets supervisor.fault.
+  net::BackplaneFaultPlan backplane_fault;
   // Fault event (kProcess only): SIGKILL the shard_kill_index daemon at sim
   // step shard_kill_step (counted like faults.server_crash_step: warmup
   // steps included; -1 disables). The shard runs degraded until the

@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "mobieyes/common/random.h"
 
 #include "mobieyes/core/options.h"
 #include "mobieyes/core/server.h"
@@ -57,6 +60,102 @@ TEST(Framing, RoundTrip) {
   EXPECT_EQ(out[0].step, 42);
   EXPECT_EQ(out[0].payload, frame.payload);
   EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Framing, ChecksumRejectsCorruptedPayload) {
+  Frame frame;
+  frame.kind = FrameKind::kStepBatch;
+  frame.step = 7;
+  frame.payload = {10, 20, 30, 40};
+  std::vector<uint8_t> wire;
+  EncodeFrame(frame, &wire);
+
+  // Pristine wire decodes; the same wire with one payload bit flipped must
+  // be rejected by the FNV-1a payload checksum, not delivered corrupted.
+  std::vector<uint8_t> corrupted = wire;
+  corrupted[net::kFrameHeaderBytes + 1] ^= 0x08;
+  FrameDecoder decoder;
+  std::vector<Frame> out;
+  decoder.Feed(corrupted.data(), corrupted.size(), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_GE(decoder.stats().checksum_mismatch, 1u);
+  // The stream recovers: the pristine copy decodes after the bad one.
+  decoder.Feed(wire.data(), wire.size(), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, frame.payload);
+}
+
+// --- Backplane addresses and chaos specs ------------------------------------
+
+TEST(BackplaneAddressTest, RejectsOverlongUdsPath) {
+  // One byte past sizeof(sockaddr_un::sun_path) (terminator included) must
+  // fail with a clear error, never a silent truncation to a wrong socket.
+  const std::string path = "/tmp/" + std::string(sizeof(sockaddr_un{}.sun_path), 'x');
+  net::Backplane backplane;
+  Status st = backplane.Listen("uds:" + path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("too long"), std::string::npos)
+      << st.ToString();
+  int fd = -1;
+  st = net::BackplaneConnect("uds:" + path, /*timeout_ms=*/0,
+                             /*retry_sleep_ms=*/0, &fd);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("too long"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(BackplaneFaultSpecTest, ParsesEveryField) {
+  net::BackplaneFaultPlan plan;
+  ASSERT_TRUE(net::ParseBackplaneFaultSpec(
+                  "drop=0.1,delay=0.2:3,trunc=0.05,flip=0.01,kill=8:1,"
+                  "kill=12:0,seed=9",
+                  &plan)
+                  .ok());
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.1);
+  EXPECT_DOUBLE_EQ(plan.delay_rate, 0.2);
+  EXPECT_EQ(plan.max_delay_steps, 3);
+  EXPECT_DOUBLE_EQ(plan.truncate_rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan.flip_rate, 0.01);
+  ASSERT_EQ(plan.kills.size(), 2u);
+  EXPECT_EQ(plan.kills[0], (std::pair<int64_t, int>{8, 1}));
+  EXPECT_EQ(plan.kills[1], (std::pair<int64_t, int>{12, 0}));
+  EXPECT_EQ(plan.seed, 9u);
+  EXPECT_TRUE(plan.active());
+
+  net::BackplaneFaultPlan empty;
+  EXPECT_FALSE(empty.active());
+}
+
+TEST(BackplaneFaultSpecTest, RejectsMalformedSpecs) {
+  for (const char* spec :
+       {"drop=1.5", "drop=-0.1", "delay=0.2:0", "bogus=1", "kill=5",
+        "kill=-1:0", "kill=5:-1", "drop", "=0.1"}) {
+    net::BackplaneFaultPlan plan;
+    EXPECT_FALSE(net::ParseBackplaneFaultSpec(spec, &plan).ok())
+        << "accepted: " << spec;
+  }
+}
+
+// --- Respawn backoff ---------------------------------------------------------
+
+TEST(RespawnBackoffTest, StaysWithinBoundsAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    Rng rng(seed);
+    for (int attempts = 1; attempts <= 24; ++attempts) {
+      int64_t steps =
+          ShardSupervisor::RespawnBackoffSteps(attempts, /*base_steps=*/2,
+                                               /*max_steps=*/16, &rng);
+      EXPECT_GE(steps, 2) << "seed=" << seed << " attempts=" << attempts;
+      EXPECT_LE(steps, 16) << "seed=" << seed << " attempts=" << attempts;
+    }
+  }
+  // Degenerate configs: max below base collapses to base, and the first
+  // attempt with jitter still cannot exceed the cap.
+  Rng rng(3);
+  for (int attempts = 1; attempts <= 8; ++attempts) {
+    EXPECT_EQ(ShardSupervisor::RespawnBackoffSteps(attempts, 4, 1, &rng), 4);
+    EXPECT_EQ(ShardSupervisor::RespawnBackoffSteps(attempts, 1, 1, &rng), 1);
+  }
 }
 
 // --- PeerLink over a socketpair ---------------------------------------------
@@ -327,6 +426,168 @@ TEST(ProcessTransportTest, KilledDaemonRejoinsAndReconverges) {
   EXPECT_TRUE((*simulation)->supervisor()->Quiesce(5000).ok());
   EXPECT_TRUE((*simulation)->supervisor()->AllAvailable());
   EXPECT_EQ((*simulation)->supervisor()->down_shards(), 0);
+}
+
+TEST(ProcessTransportTest, KillShardOnDeadShardIsANoOp) {
+  if (ShardSupervisor::FindShardd("").empty()) {
+    GTEST_SKIP() << "mobieyes_shardd not found";
+  }
+  sim::SimulationConfig config = ProcessConfig(2);
+  config.shard_transport = sim::SimulationConfig::ShardTransport::kProcess;
+  auto simulation = sim::Simulation::Make(config);
+  ASSERT_TRUE(simulation.ok()) << simulation.status().ToString();
+  (*simulation)->Run(4);
+
+  ShardSupervisor* supervisor = (*simulation)->supervisor();
+  ASSERT_NE(supervisor, nullptr);
+  ASSERT_TRUE(supervisor->Quiesce(5000).ok());
+  supervisor->KillShard(1);
+  EXPECT_EQ(supervisor->down_shards(), 1);
+  const core::SupervisorStats after_first = supervisor->stats();
+  // Killing an already-dead shard must change nothing: no signal, no second
+  // death bookkeeping, no crash.
+  supervisor->KillShard(1);
+  supervisor->KillShard(1);
+  EXPECT_EQ(supervisor->down_shards(), 1);
+  EXPECT_EQ(supervisor->stats().restarts, after_first.restarts);
+  EXPECT_EQ(supervisor->stats().failovers, after_first.failovers);
+  // Out-of-range shard indexes are ignored too.
+  supervisor->KillShard(-1);
+  supervisor->KillShard(99);
+  EXPECT_EQ(supervisor->down_shards(), 1);
+}
+
+// --- Authority mode (DESIGN.md §14) -----------------------------------------
+
+sim::SimulationConfig AuthorityConfig(int shards) {
+  sim::SimulationConfig config = ProcessConfig(shards);
+  config.shard_transport = sim::SimulationConfig::ShardTransport::kProcess;
+  config.shard_authority = true;
+  return config;
+}
+
+TEST(AuthorityModeTest, MatchesInProcessByteForByte) {
+  if (ShardSupervisor::FindShardd("").empty()) {
+    GTEST_SKIP() << "mobieyes_shardd not found";
+  }
+  // The acceptance bar: two shard counts, fault-free, and the daemons —
+  // not the mirror — answered the scans.
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    sim::SimulationConfig inproc = ProcessConfig(shards);
+    inproc.obs.enable_heatmap = true;
+    sim::SimulationConfig authority = AuthorityConfig(shards);
+    authority.obs.enable_heatmap = true;
+
+    auto a = sim::Simulation::Make(inproc);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    auto b = sim::Simulation::Make(authority);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    (*a)->Run(10);
+    (*b)->Run(10);
+
+    EXPECT_EQ((*a)->ObservabilityJson(/*include_timing=*/false),
+              (*b)->ObservabilityJson(/*include_timing=*/false));
+    EXPECT_EQ((*a)->heatmap()->ToJson(/*include_layout_dependent=*/false),
+              (*b)->heatmap()->ToJson(/*include_layout_dependent=*/false));
+    EXPECT_EQ(ResultsOf((*a).get()), ResultsOf((*b).get()));
+
+    sim::RunMetrics metrics = (*b)->metrics();
+    EXPECT_GT(metrics.backplane_scans_remote, 0u);
+    EXPECT_GT(metrics.backplane_scan_rtt_samples, 0u);
+    EXPECT_EQ(metrics.backplane_digest_mismatches, 0u);
+    EXPECT_EQ(metrics.backplane_failovers, 0u);
+    // Every shard got its clean initial cutover to daemon authority.
+    EXPECT_GE(metrics.backplane_cutovers,
+              static_cast<uint64_t>(shards));
+    // Authority mode never defers an uplink: the mirror absorbs outages.
+    EXPECT_EQ(metrics.uplinks_deferred, 0u);
+    EXPECT_EQ(metrics.uplinks_dropped, 0u);
+  }
+}
+
+TEST(AuthorityModeTest, SigkillFailsOverSameStepWithoutDroppingUplinks) {
+  if (ShardSupervisor::FindShardd("").empty()) {
+    GTEST_SKIP() << "mobieyes_shardd not found";
+  }
+  // Reference run: same seed, in-process. The SIGKILLed authority run must
+  // still produce these exact result sets — failover to the warm mirror is
+  // invisible to the query pipeline.
+  sim::SimulationConfig inproc = ProcessConfig(4);
+  inproc.measure_error = true;
+  auto a = sim::Simulation::Make(inproc);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  (*a)->Run(20);
+
+  sim::SimulationConfig config = AuthorityConfig(4);
+  config.measure_error = true;
+  config.checkpoint_stride = 4;
+  config.shard_kill_step = 8;
+  config.shard_kill_index = 1;
+  auto b = sim::Simulation::Make(config);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  (*b)->Run(20);
+
+  EXPECT_EQ(ResultsOf((*a).get()), ResultsOf((*b).get()));
+
+  sim::RunMetrics metrics = (*b)->metrics();
+  // The death was noticed and authority revoked mid-step (failover), the
+  // daemon respawned, resynced and took authority back (cutover beyond the
+  // four initial grants).
+  EXPECT_GE(metrics.backplane_failovers, 1u);
+  EXPECT_GE(metrics.shard_restarts, 1);
+  EXPECT_GE(metrics.backplane_cutovers, 5u);
+  // The mirror served scans while the daemon was gone; the daemons served
+  // scans before and after.
+  EXPECT_GT(metrics.backplane_scans_local, 0u);
+  EXPECT_GT(metrics.backplane_scans_remote, 0u);
+  // No step blocked on the dead daemon: zero deferred, zero dropped.
+  EXPECT_EQ(metrics.uplinks_deferred, 0u);
+  EXPECT_EQ(metrics.uplinks_dropped, 0u);
+  EXPECT_GE((*b)->CurrentAccuracy().agreement, 0.95);
+
+  ASSERT_NE((*b)->supervisor(), nullptr);
+  EXPECT_TRUE((*b)->supervisor()->Quiesce(5000).ok());
+  EXPECT_TRUE((*b)->supervisor()->AllAvailable());
+}
+
+TEST(AuthorityModeTest, ChaosRunReconvergesWithoutLosingUplinks) {
+  if (ShardSupervisor::FindShardd("").empty()) {
+    GTEST_SKIP() << "mobieyes_shardd not found";
+  }
+  sim::SimulationConfig inproc = ProcessConfig(4);
+  inproc.measure_error = true;
+  auto a = sim::Simulation::Make(inproc);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  (*a)->Run(20);
+
+  sim::SimulationConfig config = AuthorityConfig(4);
+  config.measure_error = true;
+  config.checkpoint_stride = 4;
+  ASSERT_TRUE(net::ParseBackplaneFaultSpec(
+                  "drop=0.1,delay=0.15:2,trunc=0.03,flip=0.03,kill=10:2,"
+                  "seed=5",
+                  &config.backplane_fault)
+                  .ok());
+  auto b = sim::Simulation::Make(config);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  (*b)->Run(20);
+
+  // Chaos corrupts the backplane, never the answer: result sets identical
+  // to the untouched in-process run, full oracle agreement, and not one
+  // uplink lost.
+  EXPECT_EQ(ResultsOf((*a).get()), ResultsOf((*b).get()));
+  sim::RunMetrics metrics = (*b)->metrics();
+  EXPECT_GT(metrics.backplane_chaos_frames, 0u);
+  EXPECT_EQ(metrics.backplane_chaos_kills, 1u);
+  EXPECT_EQ(metrics.uplinks_dropped, 0u);
+  EXPECT_EQ(metrics.uplinks_deferred, 0u);
+  EXPECT_GE((*b)->CurrentAccuracy().agreement, 0.95);
+
+  // The backplane itself settles after the storm.
+  ASSERT_NE((*b)->supervisor(), nullptr);
+  EXPECT_TRUE((*b)->supervisor()->Quiesce(5000).ok());
+  EXPECT_TRUE((*b)->supervisor()->AllAvailable());
 }
 
 }  // namespace

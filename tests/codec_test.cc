@@ -456,20 +456,26 @@ std::vector<uint8_t> EncodeTestFrame(FrameKind kind, uint8_t shard,
   return out;
 }
 
-// A 20-byte header claiming `payload_len` bytes of payload (none appended),
-// with an arbitrary kind byte — for oversized-length and bad-kind cases.
-std::vector<uint8_t> RawHeader(uint8_t kind, uint32_t payload_len) {
+// A 24-byte v2 header claiming `payload_len` bytes of payload (none
+// appended), with arbitrary version/kind/checksum bytes — for bad-version,
+// oversized-length, bad-kind and checksum-mismatch cases.
+std::vector<uint8_t> RawHeader(uint8_t kind, uint32_t payload_len,
+                               uint8_t version = kFrameVersion,
+                               uint32_t payload_crc = 0) {
   std::vector<uint8_t> out;
   for (int k = 0; k < 4; ++k) {
     out.push_back(static_cast<uint8_t>(kFrameMagic >> (8 * k)));
   }
+  out.push_back(version);
   out.push_back(kind);
   out.push_back(0);  // shard
-  out.push_back(0);  // flags lo
-  out.push_back(0);  // flags hi
+  out.push_back(0);  // flags
   for (int k = 0; k < 8; ++k) out.push_back(0);  // step
   for (int k = 0; k < 4; ++k) {
     out.push_back(static_cast<uint8_t>(payload_len >> (8 * k)));
+  }
+  for (int k = 0; k < 4; ++k) {
+    out.push_back(static_cast<uint8_t>(payload_crc >> (8 * k)));
   }
   return out;
 }
@@ -490,6 +496,8 @@ struct HostileStreamCase {
   uint64_t expect_oversized;
   uint64_t expect_bad_kind;
   size_t expect_pending;  // bytes still buffered after the full stream
+  uint64_t expect_bad_version = 0;
+  uint64_t expect_checksum_min = 0;  // at least this many payload-crc hits
 };
 
 std::vector<Frame> FeedAll(const std::vector<uint8_t>& stream,
@@ -512,6 +520,13 @@ TEST(FramingTest, HostileByteStreams) {
   // Truncated copy of `good`: header + 2 of 5 payload bytes.
   const std::vector<uint8_t> truncated(
       good.begin(), good.begin() + kFrameHeaderBytes + 2);
+  // Copies of `good` with a corrupted payload byte / corrupted stored
+  // checksum: the header parses, the payload arrives, and the FNV-1a check
+  // must reject the frame (one byte consumed, resync hunts on).
+  std::vector<uint8_t> bad_payload = good;
+  bad_payload[kFrameHeaderBytes + 2] ^= 0x40;
+  std::vector<uint8_t> bad_crc = good;
+  bad_crc[kFrameHeaderBytes - 1] ^= 0x01;
 
   std::vector<HostileStreamCase> cases = {
       {"single frame", good, 1, 0, 0, 0, 0},
@@ -525,13 +540,30 @@ TEST(FramingTest, HostileByteStreams) {
       {"bad kind then frame",
        Concat({RawHeader(200, 4), good}), 1, 1, 0, 1, 0},
       {"bad kind zero-length",
-       Concat({RawHeader(9, 0), good2}), 1, 1, 0, 1, 0},
+       Concat({RawHeader(static_cast<uint8_t>(FrameKind::kNumFrameKinds), 0),
+               good2}),
+       1, 1, 0, 1, 0},
+      {"stale version v1 then frame",
+       Concat({RawHeader(4, 4, /*version=*/1), good}), 1, 1, 0, 0, 0,
+       /*bad_version=*/1},
+      {"future version then frame",
+       Concat({RawHeader(4, 4, /*version=*/0x7f), good}), 1, 1, 0, 0, 0,
+       /*bad_version=*/1},
+      {"corrupted payload byte then frame",
+       Concat({bad_payload, good2}), 1, 1, 0, 0, 0, 0,
+       /*checksum_min=*/1},
+      {"corrupted stored checksum then frame",
+       Concat({bad_crc, good2}), 1, 1, 0, 0, 0, 0, /*checksum_min=*/1},
+      {"zero-length frame with bad checksum",
+       Concat({RawHeader(4, 0, kFrameVersion, /*payload_crc=*/0), good}), 1,
+       1, 0, 0, 0, 0, /*checksum_min=*/1},
       {"truncated frame stays pending", truncated, 0, 0, 0, 0,
        truncated.size()},
       {"frame then truncated tail", Concat({good, truncated}), 1, 0, 0, 0,
        truncated.size()},
       // Exactly one header's worth so the skip fires at the same point for
-      // every chunking (the decoder hunts only once >= 20 bytes buffer).
+      // every chunking (the decoder hunts only once a full header could
+      // be buffered).
       {"pure garbage no magic", std::vector<uint8_t>(kFrameHeaderBytes, 0xaa),
        0, kFrameHeaderBytes, 0, 0, 0},
       {"lone magic waits for header",
@@ -549,6 +581,8 @@ TEST(FramingTest, HostileByteStreams) {
       EXPECT_GE(decoder.stats().resync_bytes, c.expect_resync_min);
       EXPECT_EQ(decoder.stats().oversized, c.expect_oversized);
       EXPECT_EQ(decoder.stats().bad_kind, c.expect_bad_kind);
+      EXPECT_EQ(decoder.stats().bad_version, c.expect_bad_version);
+      EXPECT_GE(decoder.stats().checksum_mismatch, c.expect_checksum_min);
       EXPECT_EQ(decoder.pending_bytes(), c.expect_pending);
       EXPECT_EQ(decoder.stats().frames, c.expect_frames);
     }

@@ -5,9 +5,12 @@
 //                   [--connect-timeout-ms=N] [--verbose]
 //
 // Connects to the supervisor's backplane, announces itself, then mirrors
-// the authoritative shard: applies config/state-sync/step-batch frames and
-// acks each with its state digest. Exits 0 on a clean shutdown frame,
-// nonzero when the supervisor stays unreachable.
+// the shard: applies config/state-sync/step-batch frames and acks each with
+// its state digest. Under --shard-authority (DESIGN.md §14) the daemon is
+// the authoritative executor: it additionally answers kScanRequest frames
+// with digest-stamped RQI rows that the router merges into the hot path.
+// Exits 0 on a clean shutdown frame, nonzero when the supervisor stays
+// unreachable.
 
 #include <cstdio>
 #include <cstdlib>

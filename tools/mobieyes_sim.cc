@@ -46,6 +46,7 @@
 #include <memory>
 #include <string>
 
+#include "mobieyes/net/backplane.h"
 #include "mobieyes/net/energy.h"
 #include "mobieyes/obs/report_html.h"
 #include "mobieyes/obs/trace_recorder.h"
@@ -104,7 +105,10 @@ void PrintUsage(const char* argv0) {
                "          [--shard-partition=rowband|hash]\n"
                "          [--shard-transport=inproc|process] [--shardd=PATH]\n"
                "          [--backplane-timeout-steps=N]\n"
-               "          [--heartbeat-stride=N] [--shard-kill=S:K]\n",
+               "          [--heartbeat-stride=N] [--shard-kill=S:K]\n"
+               "          [--shard-authority] "
+               "[--backplane-fault=drop=F,delay=F:N,trunc=F,flip=F,"
+               "kill=S:K,seed=N]\n",
                argv0);
 }
 
@@ -304,6 +308,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       if (cli->config.supervisor.heartbeat_stride < 1) {
         std::fprintf(stderr, "bad --heartbeat-stride value '%s'\n",
                      value.c_str());
+        return false;
+      }
+    } else if (key == "shard-authority") {
+      cli->config.shard_authority = true;
+    } else if (key == "backplane-fault") {
+      Status st = net::ParseBackplaneFaultSpec(value,
+                                               &cli->config.backplane_fault);
+      if (!st.ok()) {
+        std::fprintf(stderr, "bad --backplane-fault value '%s': %s\n",
+                     value.c_str(), st.ToString().c_str());
         return false;
       }
     } else if (key == "shard-kill") {
@@ -520,6 +534,30 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(metrics.uplinks_deferred),
                 static_cast<unsigned long long>(metrics.uplinks_drained),
                 static_cast<unsigned long long>(metrics.uplinks_dropped));
+    if (metrics.backplane_scans_remote + metrics.backplane_scans_local > 0 ||
+        metrics.backplane_failovers > 0 || metrics.backplane_cutovers > 0) {
+      std::printf("authority scans            %llu remote / %llu local\n",
+                  static_cast<unsigned long long>(
+                      metrics.backplane_scans_remote),
+                  static_cast<unsigned long long>(
+                      metrics.backplane_scans_local));
+      std::printf("failovers / cutovers       %llu / %llu\n",
+                  static_cast<unsigned long long>(
+                      metrics.backplane_failovers),
+                  static_cast<unsigned long long>(
+                      metrics.backplane_cutovers));
+      std::printf("mean scan round trip       %.1f us over %llu scans\n",
+                  metrics.BackplaneScanRttMicros(),
+                  static_cast<unsigned long long>(
+                      metrics.backplane_scan_rtt_samples));
+    }
+    if (metrics.backplane_chaos_frames + metrics.backplane_chaos_kills > 0) {
+      std::printf("chaos injections           %llu frames, %llu kills\n",
+                  static_cast<unsigned long long>(
+                      metrics.backplane_chaos_frames),
+                  static_cast<unsigned long long>(
+                      metrics.backplane_chaos_kills));
+    }
   }
   if (metrics.server_crashes > 0 || metrics.client_restarts > 0 ||
       metrics.checkpoints_taken > 0) {
