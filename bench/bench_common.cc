@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mobieyes/common/thread_pool.h"
+#include "mobieyes/core/rebalance.h"
 #include "mobieyes/net/backplane.h"
 
 namespace mobieyes::bench {
@@ -65,6 +66,8 @@ struct BenchState {
   int shards = -1;
   int shard_threads = -1;
   int shard_partition = -1;  // 0 = rowband, 1 = hash
+  std::string rebalance_spec;  // "off" or STRIDE:THRESHOLD:MAX_MOVES
+  bool rebalance_set = false;
   int shard_transport = -1;  // 0 = inproc, 1 = process
   std::string shardd_path;
   long long shard_kill_step = -1;
@@ -258,6 +261,16 @@ void InitBench(const std::string& name, int argc, char** argv) {
                      "[bench] bad --shard-partition value '%s' "
                      "(want rowband|hash)\n",
                      arg + 18);
+      }
+    } else if (std::strncmp(arg, "--rebalance=", 12) == 0) {
+      core::ShardingOptions probe;
+      Status st = core::ParseRebalanceSpec(arg + 12, &probe);
+      if (st.ok()) {
+        state.rebalance_spec = arg + 12;
+        state.rebalance_set = true;
+      } else {
+        std::fprintf(stderr, "[bench] bad --rebalance value '%s': %s\n",
+                     arg + 12, st.ToString().c_str());
       }
     } else if (std::strncmp(arg, "--shard-transport=", 18) == 0) {
       if (std::strcmp(arg + 18, "inproc") == 0) {
@@ -453,6 +466,11 @@ SweepJob ApplyOverrides(SweepJob job) {
     job.mobieyes.sharding.partition = state.shard_partition == 0
                                           ? core::ShardPartition::kRowBand
                                           : core::ShardPartition::kHash;
+  }
+  if (state.rebalance_set) {
+    // Validated at parse time; re-applied per job so every cell of the
+    // sweep (whatever its own sharding options) gets the override.
+    core::ParseRebalanceSpec(state.rebalance_spec, &job.mobieyes.sharding);
   }
   if (state.shard_transport >= 0) {
     job.options.shard_transport =

@@ -30,6 +30,21 @@ enum class ShardPartition {
 struct ShardingOptions {
   int num_shards = 1;
   ShardPartition partition = ShardPartition::kRowBand;
+
+  // Online rebalancing (DESIGN.md §15): every rebalance_stride steps the
+  // router reads the step-synchronous per-cell load window and, when the
+  // hottest shard's load exceeds rebalance_threshold times the mean, moves
+  // up to rebalance_max_moves cells to colder shards, advancing the
+  // partition epoch. 0 (the default) disables rebalancing — the partition
+  // stays frozen at its epoch-0 seed and every code path is byte-identical
+  // to the pre-rebalancing build.
+  int rebalance_stride = 0;
+  double rebalance_threshold = 1.2;
+  int rebalance_max_moves = 8;
+
+  bool rebalance_enabled() const {
+    return rebalance_stride > 0 && num_shards > 1;
+  }
 };
 
 // Toggles for the protocol variant run by both server and clients. Server

@@ -1,0 +1,106 @@
+#include "mobieyes/core/rebalance.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mobieyes::core {
+
+Status ParseRebalanceSpec(const std::string& spec,
+                          ShardingOptions* sharding) {
+  if (spec.empty() || spec == "off") {
+    sharding->rebalance_stride = 0;
+    return Status::OK();
+  }
+  int stride = 0;
+  double threshold = 0.0;
+  int max_moves = 0;
+  char trailing = '\0';
+  if (std::sscanf(spec.c_str(), "%d:%lf:%d%c", &stride, &threshold,
+                  &max_moves, &trailing) != 3 ||
+      stride < 1 || threshold <= 1.0 || max_moves < 1) {
+    return Status::InvalidArgument(
+        "rebalance spec: want off or STRIDE:THRESHOLD:MAX_MOVES with "
+        "STRIDE >= 1, THRESHOLD > 1.0, MAX_MOVES >= 1");
+  }
+  sharding->rebalance_stride = stride;
+  sharding->rebalance_threshold = threshold;
+  sharding->rebalance_max_moves = max_moves;
+  return Status::OK();
+}
+
+std::vector<CellMove> PlanRebalance(const std::vector<int32_t>& owners,
+                                    const std::vector<uint64_t>& load,
+                                    int num_shards, double threshold,
+                                    int max_moves) {
+  std::vector<CellMove> moves;
+  if (num_shards <= 1 || max_moves <= 0 || owners.empty() ||
+      load.size() != owners.size()) {
+    return moves;
+  }
+
+  std::vector<uint64_t> shard_load(static_cast<size_t>(num_shards), 0);
+  uint64_t total = 0;
+  for (size_t f = 0; f < owners.size(); ++f) {
+    shard_load[static_cast<size_t>(owners[f])] += load[f];
+    total += load[f];
+  }
+  if (total == 0) return moves;
+  const double mean = static_cast<double>(total) / num_shards;
+
+  // Working copy of the assignment so later iterations see earlier moves.
+  std::vector<int32_t> owner = owners;
+  std::vector<bool> moved(owners.size(), false);
+
+  while (static_cast<int>(moves.size()) < max_moves) {
+    int hot = 0;
+    int cold = 0;
+    for (int s = 1; s < num_shards; ++s) {
+      if (shard_load[static_cast<size_t>(s)] >
+          shard_load[static_cast<size_t>(hot)]) {
+        hot = s;
+      }
+      if (shard_load[static_cast<size_t>(s)] <
+          shard_load[static_cast<size_t>(cold)]) {
+        cold = s;
+      }
+    }
+    if (static_cast<double>(shard_load[static_cast<size_t>(hot)]) <=
+        threshold * mean) {
+      break;  // balanced enough
+    }
+
+    // Hottest not-yet-moved loaded cell of the hot shard (ties: lowest
+    // flat index, so the pick is order-independent).
+    int64_t pick = -1;
+    uint64_t pick_load = 0;
+    for (size_t f = 0; f < owner.size(); ++f) {
+      if (owner[f] != hot || moved[f] || load[f] == 0) continue;
+      if (load[f] > pick_load) {
+        pick = static_cast<int64_t>(f);
+        pick_load = load[f];
+      }
+    }
+    if (pick < 0) break;  // hot shard's load is not attributable to cells
+
+    // Only move when it strictly narrows the hot/cold gap; otherwise the
+    // plan would oscillate cell-sized load back and forth.
+    if (shard_load[static_cast<size_t>(cold)] + pick_load >=
+        shard_load[static_cast<size_t>(hot)]) {
+      break;
+    }
+
+    shard_load[static_cast<size_t>(hot)] -= pick_load;
+    shard_load[static_cast<size_t>(cold)] += pick_load;
+    owner[static_cast<size_t>(pick)] = cold;
+    moved[static_cast<size_t>(pick)] = true;
+    moves.push_back(CellMove{static_cast<int32_t>(pick), cold});
+  }
+
+  std::sort(moves.begin(), moves.end(),
+            [](const CellMove& a, const CellMove& b) {
+              return a.flat < b.flat;
+            });
+  return moves;
+}
+
+}  // namespace mobieyes::core

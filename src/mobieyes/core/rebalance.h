@@ -1,0 +1,41 @@
+#ifndef MOBIEYES_CORE_REBALANCE_H_
+#define MOBIEYES_CORE_REBALANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mobieyes/common/status.h"
+#include "mobieyes/core/server_shard.h"
+
+namespace mobieyes::core {
+
+// Deterministic rebalance planner (DESIGN.md §15). Pure function of its
+// arguments: `owners` is the current cell→shard assignment (one entry per
+// flat cell index), `load` the step-synchronous per-cell uplink counts
+// accumulated since the last planning point (layout-invariant — charged at
+// the cell, not the shard, so the plan is identical across thread counts
+// and transports). Returns a bounded move set, sorted by flat index, that
+// shaves load off the hottest shard when its share exceeds `threshold`
+// times the mean; an empty vector means the partition stays put.
+//
+// Greedy policy, chosen for determinism over optimality: while the hottest
+// shard is above threshold and moves remain, move its hottest cell (ties:
+// lowest flat index) to the coldest shard (ties: lowest shard id), but only
+// when that strictly narrows the gap. A cell never moves twice in one plan.
+std::vector<CellMove> PlanRebalance(const std::vector<int32_t>& owners,
+                                    const std::vector<uint64_t>& load,
+                                    int num_shards, double threshold,
+                                    int max_moves);
+
+// Parses a --rebalance flag value into the sharding options: "off" (or "")
+// disables rebalancing (stride 0 — the byte-identical default path), and
+// "STRIDE:THRESHOLD:MAX_MOVES" (e.g. "8:1.2:16") enables it with stride >= 1
+// steps between planning points, threshold > 1.0, and max_moves >= 1 cell
+// moves per rebalance. Shared by mobieyes_sim and the bench harness so
+// every CLI accepts the same spelling.
+Status ParseRebalanceSpec(const std::string& spec, ShardingOptions* sharding);
+
+}  // namespace mobieyes::core
+
+#endif  // MOBIEYES_CORE_REBALANCE_H_

@@ -54,6 +54,16 @@ class ShardRouter {
     uint64_t handoffs = 0;  // subset of messages
   };
 
+  // Online rebalancing volume (DESIGN.md §15); all zero with rebalancing
+  // off. Deterministic at fixed shard count: every field counts planner
+  // decisions, never wall clock.
+  struct RebalanceStats {
+    uint64_t events = 0;        // rebalances that moved at least one cell
+    uint64_t cells_moved = 0;
+    uint64_t focals_moved = 0;  // handoffs driven by cell reassignment
+    uint64_t rqi_ids_moved = 0;  // query ids carried by moved RQI rows
+  };
+
   ShardRouter(const geo::Grid& grid, const net::BaseStationLayout& layout,
               const net::Bmap& bmap, net::WirelessNetwork& network,
               MobiEyesOptions options);
@@ -84,6 +94,18 @@ class ShardRouter {
   int ShardOfQuery(QueryId qid) const;
   int ShardOfFocal(ObjectId oid) const;
   const BackplaneStats& backplane() const { return backplane_; }
+  const RebalanceStats& rebalance_stats() const { return rebalance_stats_; }
+
+  // --- Online rebalancing (DESIGN.md §15) ----------------------------------
+  //
+  // Called once per simulation step, at the step boundary (after the tick's
+  // uplinks, before the step's checkpoint and transport pump). Every
+  // rebalance_stride steps it plans against the per-cell uplink-load window
+  // accumulated since the last planning point and, when the plan is
+  // non-empty, advances the partition epoch and migrates RQI rows and focal
+  // ownership under the new assignment. No-op unless
+  // options.sharding.rebalance_enabled().
+  void MaybeRebalance(int64_t step);
 
   double load_seconds() const { return load_timer_.total_seconds(); }
   // Wall time of the parallelized step phase (expiry scan, lease scan,
@@ -110,9 +132,11 @@ class ShardRouter {
   // shard counts. Charges are suppressed while replaying a WAL: the
   // pre-crash run already recorded that work.
   void EnableHeatmaps(int32_t rows, int32_t cols);
-  // Per-shard map, or nullptr when heat maps are disabled.
+  // Per-shard map, or nullptr when heat maps are disabled or `k` is not a
+  // shard index.
   obs::HeatMap* shard_heatmap(int k) {
-    return heatmaps_.empty() ? nullptr : heatmaps_[k].get();
+    if (k < 0 || static_cast<size_t>(k) >= heatmaps_.size()) return nullptr;
+    return heatmaps_[k].get();
   }
 
   // Lifecycle latency tap (install->first-result rounds keyed by qid,
@@ -176,6 +200,11 @@ class ShardRouter {
   // another shard's partition, by delivering a ShardHandoff message.
   // Returns the (possibly new) home shard.
   int MigrateIfNeeded(ObjectId oid);
+
+  // Applies a non-empty rebalance plan: advances the map epoch, moves the
+  // affected RQI rows verbatim, and re-homes every focal object whose cell
+  // changed owner through the ordinary kShardHandoff path.
+  void ExecuteRebalance(const std::vector<CellMove>& moves);
 
   // RQI registration fanned out to every shard intersecting the region.
   void RqiAddAll(QueryId qid, const geo::CellRange& mon_region);
@@ -255,6 +284,14 @@ class ShardRouter {
 
   int ctx_shard_ = 0;  // ingress shard of the uplink being dispatched
   BackplaneStats backplane_;
+  RebalanceStats rebalance_stats_;
+  // Per-cell uplink counts since the last planning point (sized to the grid
+  // only when rebalancing is enabled). Charged at the cell an uplink names
+  // — layout- and thread-invariant, like the heat maps — and zeroed after
+  // every planning point, moved or not.
+  std::vector<uint64_t> load_window_;
+  // Scratch for MaybeRebalance's assignment snapshot.
+  std::vector<int32_t> owners_scratch_;
 
   ShardTransport* transport_ = nullptr;
   size_t max_deferred_uplinks_ = 4096;

@@ -214,6 +214,29 @@ void ShardSupervisor::OnHandoff(int from_shard, int to_shard, ObjectId oid,
   }
 }
 
+void ShardSupervisor::OnPartitionUpdate(uint64_t epoch,
+                                        const std::vector<CellMove>& moves) {
+  for (auto& peer : peers_) {
+    peer->pending.PartitionUpdate(epoch, moves);
+    // StateDigest covers owned cells only, so an epoch advance moves every
+    // shard's digest, not just the two sides of each cell move.
+    peer->mirror_digest_valid = false;
+  }
+}
+
+void ShardSupervisor::OnRqiRowMove(int from_shard, int to_shard,
+                                   const geo::CellCoord& cell,
+                                   const std::vector<QueryId>& row) {
+  if (from_shard >= 0 && from_shard < static_cast<int>(peers_.size())) {
+    peers_[from_shard]->pending.RqiRowClear(cell);
+    peers_[from_shard]->mirror_digest_valid = false;
+  }
+  if (to_shard >= 0 && to_shard < static_cast<int>(peers_.size())) {
+    peers_[to_shard]->pending.RqiRowSet(cell, row);
+    peers_[to_shard]->mirror_digest_valid = false;
+  }
+}
+
 uint64_t ShardSupervisor::MirrorDigest(Peer* peer) {
   if (!peer->mirror_digest_valid) {
     peer->mirror_digest = router_->shard(peer->shard).StateDigest();
@@ -227,6 +250,11 @@ void ShardSupervisor::CaptureSync(Peer* peer) {
   const ServerShard& shard = router_->shard(peer->shard);
   shard.EncodeStateSync(&peer->sync_image);
   peer->sync_digest = MirrorDigest(peer);
+  peer->sync_epoch = router_->shard_map().epoch();
+  peer->sync_assignment.clear();
+  if (peer->sync_epoch > 0) {
+    router_->shard_map().AssignmentSnapshot(&peer->sync_assignment);
+  }
   peer->frame_log.clear();
   peer->log_overflow = false;
 }
@@ -351,6 +379,7 @@ void ShardSupervisor::LogFrame(Peer* peer, const net::Frame& frame) {
   LoggedFrame logged;
   logged.frame = frame;
   logged.digest = MirrorDigest(peer);
+  logged.epoch = router_->shard_map().epoch();
   peer->frame_log.push_back(std::move(logged));
 }
 
@@ -436,6 +465,10 @@ void ShardSupervisor::SendSync(Peer* peer) {
   shard_config.alpha = router_->grid().alpha();
   shard_config.sharding.num_shards = router_->shard_map().num_shards();
   shard_config.sharding.partition = router_->shard_map().partition();
+  // Capture-time epoch, not the live one: the frame log replayed below
+  // carries every partition update since the image was taken.
+  shard_config.epoch = peer->sync_epoch;
+  shard_config.owners = peer->sync_assignment;
   EncodeShardConfig(shard_config, &config.payload);
 
   net::Frame sync;
@@ -456,6 +489,7 @@ void ShardSupervisor::SendSync(Peer* peer) {
   PendingRpc rpc;
   rpc.step = step_;
   rpc.expected_digest = peer->sync_digest;
+  rpc.expected_epoch = peer->sync_epoch;
   rpc.is_sync = true;
   rpc.sent_micros = NowMicros();
   if (lifecycle_ != nullptr) {
@@ -479,6 +513,7 @@ void ShardSupervisor::SendSync(Peer* peer) {
     PendingRpc replay_rpc;
     replay_rpc.step = step_;
     replay_rpc.expected_digest = logged.digest;
+    replay_rpc.expected_epoch = logged.epoch;
     replay_rpc.sent_micros = NowMicros();
     peer->rpcs.push_back(replay_rpc);
   }
@@ -501,6 +536,7 @@ bool ShardSupervisor::FlushPendingBatch(Peer* peer) {
   PendingRpc rpc;
   rpc.step = step_;
   rpc.expected_digest = MirrorDigest(peer);
+  rpc.expected_epoch = router_->shard_map().epoch();
   rpc.sent_micros = NowMicros();
   if (!SendFrame(peer, frame)) {
     ++stats_.send_drops;
@@ -583,7 +619,13 @@ void ShardSupervisor::HandlePeerFrame(Peer* peer, const net::Frame& frame) {
   uint64_t digest = r.U64();
   if (frame.kind == net::FrameKind::kStepAck) r.U32();  // ops applied
   uint8_t ok = r.U8();
-  if (!r.ok() || ok == 0 || digest != rpc.expected_digest) {
+  // Optional epoch tail (absent while the replica sits at epoch 0). A
+  // replica at the wrong partition epoch would pass digest checks only by
+  // luck — treat a mismatch exactly like a digest divergence.
+  uint64_t peer_epoch = 0;
+  if (r.ok() && r.remaining() > 0) peer_epoch = r.U64();
+  if (!r.ok() || r.remaining() != 0 || ok == 0 ||
+      digest != rpc.expected_digest || peer_epoch != rpc.expected_epoch) {
     ++stats_.digest_mismatches;
     peer->need_sync = true;
     // A diverged replica must not keep answering scans.
@@ -624,6 +666,12 @@ bool ShardSupervisor::AuthorityScan(int shard, const geo::CellCoord& cell,
   net::ByteWriter w(&req.payload);
   w.I32(cell.i);
   w.I32(cell.j);
+  // Stamp the partition epoch the answer must come from (tail omitted at
+  // epoch 0, keeping the pre-epoch wire bytes). A daemon at another epoch
+  // — or one that lost this cell to a rebalance — refuses, and the scan
+  // fails over to the local mirror below.
+  const uint64_t live_epoch = router_->shard_map().epoch();
+  if (live_epoch > 0) w.U64(live_epoch);
   PendingRpc scan_rpc;
   scan_rpc.step = step_;
   scan_rpc.is_scan = true;

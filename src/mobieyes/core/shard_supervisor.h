@@ -158,6 +158,16 @@ class ShardSupervisor : public ShardTransport {
                const geo::CellRange& mon_region) override;
   void OnHandoff(int from_shard, int to_shard, ObjectId oid,
                  const net::Message& message) override;
+  // Rebalance mirroring (DESIGN.md §15): the partition update is coalesced
+  // into EVERY peer's next batch (each replica re-homes its map before the
+  // row moves below land), and each moved RQI row becomes a clear op on the
+  // old owner plus a set op on the new one. Epoch numbers ride the acks, so
+  // a replica that missed an update is caught by the epoch check exactly
+  // like a digest divergence and resynced.
+  void OnPartitionUpdate(uint64_t epoch,
+                         const std::vector<CellMove>& moves) override;
+  void OnRqiRowMove(int from_shard, int to_shard, const geo::CellCoord& cell,
+                    const std::vector<QueryId>& row) override;
   // Authority-mode scan: flushes the shard's coalesced ops (so the daemon
   // observes every mutation this dispatch already applied), then blocks on
   // a kScanRequest. The result is accepted only with the daemon's state
@@ -193,6 +203,9 @@ class ShardSupervisor : public ShardTransport {
   struct PendingRpc {
     int64_t step = 0;
     uint64_t expected_digest = 0;
+    // Partition epoch the replica must sit at after applying the frame; a
+    // mismatching epoch in the ack forces a resync like a digest mismatch.
+    uint64_t expected_epoch = 0;
     bool is_sync = false;
     bool is_heartbeat = false;
     bool is_scan = false;
@@ -211,6 +224,7 @@ class ShardSupervisor : public ShardTransport {
   struct LoggedFrame {
     net::Frame frame;
     uint64_t digest = 0;
+    uint64_t epoch = 0;  // partition epoch after this frame applies
   };
 
   struct Peer {
@@ -229,6 +243,13 @@ class ShardSupervisor : public ShardTransport {
     // Rejoin material: last captured sync image + batches sent since.
     std::vector<uint8_t> sync_image;
     uint64_t sync_digest = 0;
+    // Partition epoch (and, past epoch 0, the explicit assignment) at
+    // capture time. The rejoin config carries THIS epoch, not the live one:
+    // the frame log holds every partition update since capture, so replay
+    // walks a rejoining daemon forward to the live epoch the same way it
+    // walks its RQI state forward.
+    uint64_t sync_epoch = 0;
+    std::vector<int32_t> sync_assignment;
     std::deque<LoggedFrame> frame_log;
     bool log_overflow = false;
     int64_t last_activity_step = 0;  // last frame sent

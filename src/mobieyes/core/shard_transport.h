@@ -3,7 +3,10 @@
 
 #include <vector>
 
+#include <cstdint>
+
 #include "mobieyes/common/ids.h"
+#include "mobieyes/core/server_shard.h"
 #include "mobieyes/geo/grid.h"
 #include "mobieyes/net/message.h"
 
@@ -34,6 +37,28 @@ class ShardTransport {
   // still pre-handoff.
   virtual void OnHandoff(int from_shard, int to_shard, ObjectId oid,
                          const net::Message& message) = 0;
+
+  // A partition epoch advance (DESIGN.md §15): the router applied `moves`
+  // and is now at `epoch`. Fires at a step boundary, before the per-cell
+  // RQI row moves and focal handoffs of the same rebalance, so mirrors
+  // re-home ownership before state migrates under the new assignment.
+  virtual void OnPartitionUpdate(uint64_t epoch,
+                                 const std::vector<CellMove>& moves) {
+    (void)epoch;
+    (void)moves;
+  }
+
+  // A whole RQI row moving between shards during a rebalance: `from_shard`
+  // drops its row for `cell`, `to_shard` installs `row` verbatim (order
+  // preserved — row order drives broadcast order).
+  virtual void OnRqiRowMove(int from_shard, int to_shard,
+                            const geo::CellCoord& cell,
+                            const std::vector<QueryId>& row) {
+    (void)from_shard;
+    (void)to_shard;
+    (void)cell;
+    (void)row;
+  }
 
   // Authority mode (DESIGN.md §14): execute the RQI row read for `cell` on
   // `shard`'s authoritative executor, filling *out with the monitoring

@@ -86,6 +86,14 @@ struct RunMetrics {
   // Chaos layer: injected frame faults and scheduled SIGKILLs.
   uint64_t backplane_chaos_frames = 0;
   uint64_t backplane_chaos_kills = 0;
+  // Online rebalancing (DESIGN.md §15). All zero with --rebalance=off.
+  // Deterministic at a fixed shard count: counts planner decisions and the
+  // migration volume they drove, never wall clock.
+  uint64_t rebalance_events = 0;
+  uint64_t rebalance_cells_moved = 0;
+  uint64_t rebalance_focals_moved = 0;
+  uint64_t rebalance_rqi_ids_moved = 0;
+  uint64_t rebalance_epoch = 0;  // partition epoch at the end of the run
   int64_t shard_restarts = 0;
   // Degraded-mode accounting while a shard daemon was down: uplinks parked
   // for the dead ingress shard, re-dispatched on rejoin, or lost to the

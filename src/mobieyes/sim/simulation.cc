@@ -472,6 +472,25 @@ void Simulation::RecordStepObservations(int64_t step) {
                   ? static_cast<double>(uplinks_max) /
                         static_cast<double>(uplinks_total)
                   : 1.0 / n_shards);
+    // Rebalance instruments (DESIGN.md §15), registered only when online
+    // rebalancing is on — runs with --rebalance=off keep their deterministic
+    // exports byte-identical. The values themselves are deterministic at a
+    // fixed shard count (the planner's inputs are layout-invariant), so
+    // they are NOT timing-flagged: the epoch gauge annotates the HTML
+    // report timeline and the counters feed the migration-volume tables.
+    if (config_.mobieyes.sharding.rebalance_enabled()) {
+      const core::ShardRouter::RebalanceStats& rb = router.rebalance_stats();
+      registry_->GetGauge("rebalance.epoch", /*timing=*/false)
+          ->Set(static_cast<double>(router.shard_map().epoch()));
+      registry_->GetGauge("rebalance.events", /*timing=*/false)
+          ->Set(static_cast<double>(rb.events));
+      registry_->GetGauge("rebalance.cells_moved", /*timing=*/false)
+          ->Set(static_cast<double>(rb.cells_moved));
+      registry_->GetGauge("rebalance.focals_moved", /*timing=*/false)
+          ->Set(static_cast<double>(rb.focals_moved));
+      registry_->GetGauge("rebalance.rqi_ids_moved", /*timing=*/false)
+          ->Set(static_cast<double>(rb.rqi_ids_moved));
+    }
   }
 
   // Process-transport backplane gauges: per-peer send-queue depth plus the
@@ -555,6 +574,11 @@ void Simulation::StepOnce() {
         }
       }
       for (auto& client : clients_) client->OnTick();
+      // Rebalance turn (DESIGN.md §15): with the step's uplinks dispatched
+      // and before the checkpoint or the backplane pump, so migration ops
+      // ride this step's coalesced batches and a checkpoint taken below
+      // already carries the advanced epoch.
+      if (server_) server_->router().MaybeRebalance(step);
       // Periodic checkpoint with the step's state settled.
       if (server_ && config_.checkpoint_stride > 0 &&
           (step + 1) % config_.checkpoint_stride == 0) {
@@ -680,6 +704,13 @@ RunMetrics Simulation::metrics() const {
     snapshot.uplinks_deferred = transport.uplinks_deferred;
     snapshot.uplinks_drained = transport.uplinks_drained;
     snapshot.uplinks_dropped = transport.uplinks_dropped;
+    const core::ShardRouter::RebalanceStats& rb =
+        server_->router().rebalance_stats();
+    snapshot.rebalance_events = rb.events;
+    snapshot.rebalance_cells_moved = rb.cells_moved;
+    snapshot.rebalance_focals_moved = rb.focals_moved;
+    snapshot.rebalance_rqi_ids_moved = rb.rqi_ids_moved;
+    snapshot.rebalance_epoch = server_->router().shard_map().epoch();
   }
   if (supervisor_) {
     const core::SupervisorStats& bp = supervisor_->stats();

@@ -1,0 +1,454 @@
+// Online rebalancing (DESIGN.md §15): the deterministic planner, the
+// versioned ShardMap, the assignment run-length codec, the live-migration
+// equivalence contract (a rebalanced sharded server stays observably
+// identical to the monolith), and checkpoint/restore of a rebalanced
+// partition — same-count round trips and N→M re-homing under the restored
+// epoch.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mobieyes/core/rebalance.h"
+#include "mobieyes/core/server.h"
+#include "mobieyes/core/server_shard.h"
+#include "mobieyes/core/snapshot.h"
+#include "test_harness.h"
+
+namespace mobieyes {
+namespace {
+
+using core::CellMove;
+using core::PlanRebalance;
+using core::ShardMap;
+using core::ShardingOptions;
+
+// Sharded options with rebalancing on: plan every `stride` steps, act when
+// the hottest shard is 1.01x the mean, move up to 16 cells per event.
+core::MobiEyesOptions RebalancingOptions(int num_shards, int stride = 1) {
+  core::MobiEyesOptions options;
+  options.sharding.num_shards = num_shards;
+  options.sharding.rebalance_stride = stride;
+  options.sharding.rebalance_threshold = 1.01;
+  options.sharding.rebalance_max_moves = 16;
+  return options;
+}
+
+// --- Planner -----------------------------------------------------------------
+
+TEST(RebalancePlannerTest, BalancedLoadPlansNothing) {
+  // 4 cells, 2 shards, equal halves: already balanced at any threshold > 1.
+  std::vector<int32_t> owners = {0, 0, 1, 1};
+  std::vector<uint64_t> load = {5, 5, 5, 5};
+  EXPECT_TRUE(PlanRebalance(owners, load, 2, 1.2, 8).empty());
+  EXPECT_TRUE(PlanRebalance(owners, load, 2, 1.01, 8).empty());
+}
+
+TEST(RebalancePlannerTest, MovesHottestCellToColdestShard) {
+  // Shard 0 carries everything; the plan sheds its hottest cell to shard 1
+  // and stops as soon as the hot shard is back within threshold: moving
+  // cell 1 (load 40) leaves 35 vs 40, under 1.2x the mean of 37.5.
+  std::vector<int32_t> owners = {0, 0, 0, 0, 1, 1};
+  std::vector<uint64_t> load = {10, 40, 20, 5, 0, 0};
+  std::vector<CellMove> moves = PlanRebalance(owners, load, 2, 1.2, 8);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0], (CellMove{1, 1}));
+}
+
+TEST(RebalancePlannerTest, RespectsMoveBudget) {
+  std::vector<int32_t> owners = {0, 0, 0, 0, 0, 1};
+  std::vector<uint64_t> load = {9, 8, 7, 6, 5, 0};
+  std::vector<CellMove> moves = PlanRebalance(owners, load, 2, 1.01, 2);
+  EXPECT_EQ(moves.size(), 2u);
+}
+
+TEST(RebalancePlannerTest, ZeroAndUnattributableLoadPlanNothing) {
+  std::vector<int32_t> owners = {0, 0, 1, 1};
+  EXPECT_TRUE(PlanRebalance(owners, {0, 0, 0, 0}, 2, 1.2, 8).empty());
+  // Mismatched vector sizes are refused rather than read out of bounds.
+  EXPECT_TRUE(PlanRebalance(owners, {1, 2, 3}, 2, 1.2, 8).empty());
+  EXPECT_TRUE(PlanRebalance(owners, {1, 2, 3, 4}, 1, 1.2, 8).empty());
+}
+
+TEST(RebalancePlannerTest, ReplanningAfterApplyIsStable) {
+  // Applying a plan and re-planning against the same load window must not
+  // oscillate the cells back: the strict gap-narrowing rule converges.
+  std::vector<int32_t> owners = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<uint64_t> load = {12, 9, 3, 1, 0, 0, 0, 0};
+  std::vector<CellMove> first = PlanRebalance(owners, load, 2, 1.05, 8);
+  ASSERT_FALSE(first.empty());
+  for (const CellMove& move : first) {
+    owners[static_cast<size_t>(move.flat)] = move.to_shard;
+  }
+  std::vector<CellMove> second = PlanRebalance(owners, load, 2, 1.05, 8);
+  for (const CellMove& move : second) {
+    // Nothing moves back to shard 0 undoing the first plan.
+    EXPECT_NE(move.to_shard, 0) << "flat " << move.flat;
+  }
+}
+
+TEST(RebalancePlannerTest, TiesBreakByLowestFlatIndexAndShardId) {
+  // Equal cell loads: the lower flat index moves. Equal shard loads: the
+  // lower shard id receives. Both keep the plan order-independent.
+  std::vector<int32_t> owners = {0, 0, 0, 1, 2, 2};
+  std::vector<uint64_t> load = {6, 6, 6, 0, 0, 0};
+  std::vector<CellMove> moves = PlanRebalance(owners, load, 3, 1.01, 1);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0], (CellMove{0, 1}));
+}
+
+// --- Spec parsing ------------------------------------------------------------
+
+TEST(RebalanceSpecTest, ParsesAndValidates) {
+  ShardingOptions sharding;
+  ASSERT_TRUE(core::ParseRebalanceSpec("8:1.2:16", &sharding).ok());
+  EXPECT_EQ(sharding.rebalance_stride, 8);
+  EXPECT_DOUBLE_EQ(sharding.rebalance_threshold, 1.2);
+  EXPECT_EQ(sharding.rebalance_max_moves, 16);
+
+  sharding.rebalance_stride = 4;
+  ASSERT_TRUE(core::ParseRebalanceSpec("off", &sharding).ok());
+  EXPECT_EQ(sharding.rebalance_stride, 0);
+
+  for (const char* bad : {"x", "0:1.2:8", "4:1.0:8", "4:1.2:0", "4:1.2:8:9",
+                          "4:1.2", "4:1.2:8x"}) {
+    EXPECT_FALSE(core::ParseRebalanceSpec(bad, &sharding).ok()) << bad;
+  }
+}
+
+// --- Versioned ShardMap ------------------------------------------------------
+
+TEST(ShardMapEpochTest, SeedAssignmentSurvivesEpochRoundTrip) {
+  geo::Grid grid = *geo::Grid::Make(geo::Rect{0, 0, 100, 100}, 10.0);
+  ShardingOptions options;
+  options.num_shards = 4;
+  ShardMap map(grid, options);
+  EXPECT_EQ(map.epoch(), 0u);
+
+  std::vector<int32_t> seed;
+  map.AssignmentSnapshot(&seed);
+  ASSERT_EQ(seed.size(), static_cast<size_t>(map.cell_count()));
+
+  // An explicit table equal to the seed answers identically at epoch > 0.
+  ASSERT_TRUE(map.SetAssignment(3, seed).ok());
+  EXPECT_EQ(map.epoch(), 3u);
+  for (int32_t j = 0; j < grid.rows(); ++j) {
+    for (int32_t i = 0; i < grid.columns(); ++i) {
+      EXPECT_EQ(map.ShardOf({i, j}), map.SeedOwner(grid.FlatIndex({i, j})));
+    }
+  }
+
+  // Empty owners = seed reset while keeping the epoch (N→M restores).
+  ASSERT_TRUE(map.SetAssignment(5, {}).ok());
+  EXPECT_EQ(map.epoch(), 5u);
+  std::vector<int32_t> after;
+  map.AssignmentSnapshot(&after);
+  EXPECT_EQ(after, seed);
+}
+
+TEST(ShardMapEpochTest, RejectsMalformedAssignmentsAndStaleEpochs) {
+  geo::Grid grid = *geo::Grid::Make(geo::Rect{0, 0, 100, 100}, 10.0);
+  ShardingOptions options;
+  options.num_shards = 4;
+  ShardMap map(grid, options);
+
+  // Wrong size and out-of-range owners are refused.
+  EXPECT_FALSE(map.SetAssignment(1, {0, 1, 2}).ok());
+  std::vector<int32_t> bad(static_cast<size_t>(map.cell_count()), 0);
+  bad[7] = 4;  // num_shards is 4
+  EXPECT_FALSE(map.SetAssignment(1, bad).ok());
+  bad[7] = -1;
+  EXPECT_FALSE(map.SetAssignment(1, bad).ok());
+  EXPECT_EQ(map.epoch(), 0u);
+
+  // Moves must advance the epoch and stay in range.
+  ASSERT_TRUE(map.ApplyMoves(1, {{0, 3}}).ok());
+  EXPECT_EQ(map.epoch(), 1u);
+  EXPECT_EQ(map.ShardOf({0, 0}), 3);
+  EXPECT_FALSE(map.ApplyMoves(1, {{1, 2}}).ok());  // not greater
+  EXPECT_FALSE(map.ApplyMoves(0, {{1, 2}}).ok());
+  EXPECT_FALSE(map.ApplyMoves(2, {{-1, 2}}).ok());  // flat out of range
+  EXPECT_FALSE(map.ApplyMoves(2, {{0, 4}}).ok());   // shard out of range
+  EXPECT_EQ(map.epoch(), 1u);
+}
+
+TEST(AssignmentCodecTest, RoundTripsAndRejectsTruncation) {
+  // Runs of mixed lengths, including a long tail.
+  std::vector<int32_t> owners;
+  for (int k = 0; k < 10; ++k) owners.push_back(k % 3);
+  for (int k = 0; k < 50; ++k) owners.push_back(2);
+  std::vector<uint8_t> bytes;
+  core::EncodeAssignment(owners, &bytes);
+  // RLE: far fewer bytes than one word per cell.
+  EXPECT_LT(bytes.size(), owners.size() * 4);
+
+  std::vector<int32_t> back;
+  size_t consumed = 0;
+  ASSERT_TRUE(core::DecodeAssignment(bytes.data(), bytes.size(), 3, &back,
+                                     &consumed)
+                  .ok());
+  EXPECT_EQ(back, owners);
+  EXPECT_EQ(consumed, bytes.size());
+
+  // Every strict prefix fails cleanly.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<int32_t> scratch;
+    size_t n = 0;
+    EXPECT_FALSE(
+        core::DecodeAssignment(bytes.data(), cut, 3, &scratch, &n).ok())
+        << "prefix " << cut;
+  }
+  // Owner ids outside [0, num_shards) are refused at decode time.
+  std::vector<int32_t> scratch;
+  EXPECT_FALSE(core::DecodeAssignment(bytes.data(), bytes.size(), 2, &scratch,
+                                      &consumed)
+                   .ok());
+}
+
+// --- Live migration equivalence ----------------------------------------------
+
+// Everything piles onto shard 0's row band, rebalancing fires repeatedly,
+// and the sharded server must stay observably identical to a monolith twin:
+// result sets, order-sensitive RQI rows, wireless traffic, and the
+// co-location invariant under the rebalanced map.
+TEST(RebalanceMigrationTest, RebalancedShardedServerMatchesMonolith) {
+  std::vector<test::ObjectSpec> specs;
+  for (int k = 0; k < 12; ++k) {
+    // Low y: all of shard 0's band under the 4-way row-band split. Slow
+    // upward drift keeps some churn without leaving the hot band quickly.
+    specs.push_back(test::ObjectSpec({5.0 + 7.5 * k, 4.0 + (k % 3)},
+                                     {0.0, 0.005 * (k % 4)},
+                                     /*max_speed_in=*/0.1));
+  }
+  core::MobiEyesOptions mono_options;
+  test::MiniDeployment mono(specs, mono_options);
+  test::MiniDeployment sharded(specs, RebalancingOptions(4));
+  for (ObjectId oid = 0; oid < 6; ++oid) {
+    ASSERT_TRUE(mono.server().InstallQuery(oid, 12.0, 0.5).ok());
+    ASSERT_TRUE(sharded.server().InstallQuery(oid, 12.0, 0.5).ok());
+  }
+
+  core::ShardRouter& router = sharded.server().router();
+  for (int step = 0; step < 20; ++step) {
+    mono.Tick();
+    sharded.Tick();
+    router.MaybeRebalance(step);
+
+    for (QueryId qid = 0; qid < 6; ++qid) {
+      const core::SqtEntry* a = mono.server().FindQuery(qid);
+      const core::SqtEntry* b = sharded.server().FindQuery(qid);
+      ASSERT_NE(a, nullptr) << "step " << step;
+      ASSERT_NE(b, nullptr) << "step " << step;
+      EXPECT_EQ(b->result, a->result) << "step " << step << " qid " << qid;
+
+      // Co-location under the *current* (possibly rebalanced) map.
+      const core::FotEntry* focal = sharded.server().FindFocal(b->focal_oid);
+      ASSERT_NE(focal, nullptr);
+      int home = router.ShardOfFocal(b->focal_oid);
+      EXPECT_EQ(home, router.shard_map().ShardOf(focal->cell))
+          << "step " << step;
+      EXPECT_EQ(router.ShardOfQuery(qid), home) << "step " << step;
+    }
+    // RQI rows, order included, through the rebalanced ownership.
+    const geo::Grid& grid = mono.grid();
+    for (int32_t j = 0; j < grid.rows(); ++j) {
+      for (int32_t i = 0; i < grid.columns(); ++i) {
+        ASSERT_EQ(router.QueriesForCell({i, j}),
+                  mono.server().rqi().QueriesForCell({i, j}))
+            << "step " << step << " cell (" << i << ", " << j << ")";
+      }
+    }
+    EXPECT_EQ(sharded.network().stats().uplink_bytes,
+              mono.network().stats().uplink_bytes)
+        << "step " << step;
+    EXPECT_EQ(sharded.network().stats().downlink_bytes,
+              mono.network().stats().downlink_bytes)
+        << "step " << step;
+  }
+
+  // The skewed workload really drove rebalances and migrations.
+  const core::ShardRouter::RebalanceStats& stats = router.rebalance_stats();
+  EXPECT_GT(stats.events, 0u);
+  EXPECT_GT(stats.cells_moved, 0u);
+  EXPECT_GT(router.shard_map().epoch(), 0u);
+}
+
+TEST(RebalanceMigrationTest, DisabledRebalancingNeverTouchesThePartition) {
+  std::vector<test::ObjectSpec> specs;
+  for (int k = 0; k < 8; ++k) {
+    specs.push_back(test::ObjectSpec({10.0 + 10.0 * k, 5.0}, {0.0, 0.01},
+                                     /*max_speed_in=*/0.1));
+  }
+  core::MobiEyesOptions options;
+  options.sharding.num_shards = 4;  // rebalance_stride stays 0
+  test::MiniDeployment d(specs, options);
+  for (ObjectId oid = 0; oid < 4; ++oid) {
+    ASSERT_TRUE(d.server().InstallQuery(oid, 10.0, 0.5).ok());
+  }
+  core::ShardRouter& router = d.server().router();
+  for (int step = 0; step < 10; ++step) {
+    d.Tick();
+    router.MaybeRebalance(step);
+  }
+  EXPECT_EQ(router.shard_map().epoch(), 0u);
+  EXPECT_EQ(router.rebalance_stats().events, 0u);
+}
+
+// --- Checkpoint/restore of a rebalanced partition ----------------------------
+
+// Drives a skewed deployment until the epoch advances, checkpoints, and
+// returns the store (plus the live deployment through *live for state
+// comparison).
+void DriveRebalancedDeployment(test::MiniDeployment* d,
+                               core::Snapshot* store) {
+  d->server().set_durable_store(store);
+  for (ObjectId oid = 0; oid < 5; ++oid) {
+    ASSERT_TRUE(d->server().InstallQuery(oid, 12.0, 0.5).ok());
+  }
+  core::ShardRouter& router = d->server().router();
+  for (int step = 0; step < 12; ++step) {
+    d->Tick();
+    router.MaybeRebalance(step);
+  }
+  ASSERT_GT(router.shard_map().epoch(), 0u)
+      << "workload failed to trigger a rebalance";
+  d->server().Checkpoint();
+  ASSERT_FALSE(store->checkpoint.empty());
+}
+
+std::vector<test::ObjectSpec> SkewedSpecs() {
+  std::vector<test::ObjectSpec> specs;
+  for (int k = 0; k < 10; ++k) {
+    specs.push_back(test::ObjectSpec({5.0 + 9.0 * k, 3.0 + (k % 4)},
+                                     {0.0, 0.004 * (k % 3)},
+                                     /*max_speed_in=*/0.1));
+  }
+  return specs;
+}
+
+TEST(RebalanceCheckpointTest, RoundTripRestoresEpochAndAssignment) {
+  std::vector<test::ObjectSpec> specs = SkewedSpecs();
+  test::MiniDeployment d(specs, RebalancingOptions(4));
+  core::Snapshot store;
+  DriveRebalancedDeployment(&d, &store);
+  const ShardMap& live_map = d.server().router().shard_map();
+  std::vector<int32_t> live_owners;
+  live_map.AssignmentSnapshot(&live_owners);
+
+  // Same shard count: epoch AND explicit owner table come back verbatim.
+  core::MobiEyesServer restored(d.grid(), d.layout(), d.bmap(), d.network(),
+                                RebalancingOptions(4));
+  ASSERT_TRUE(restored.Restore(store).ok());
+  const ShardMap& back_map = restored.router().shard_map();
+  EXPECT_EQ(back_map.epoch(), live_map.epoch());
+  std::vector<int32_t> back_owners;
+  back_map.AssignmentSnapshot(&back_owners);
+  EXPECT_EQ(back_owners, live_owners);
+
+  // State re-homed under the restored assignment, queries intact.
+  EXPECT_EQ(restored.query_count(), d.server().query_count());
+  const core::ShardRouter& router = restored.router();
+  for (QueryId qid = 0; qid < 5; ++qid) {
+    const core::SqtEntry* live = d.server().FindQuery(qid);
+    const core::SqtEntry* back = restored.FindQuery(qid);
+    ASSERT_NE(live, nullptr);
+    ASSERT_NE(back, nullptr) << "qid " << qid;
+    EXPECT_EQ(back->result, live->result) << "qid " << qid;
+    const core::FotEntry* focal = restored.FindFocal(back->focal_oid);
+    ASSERT_NE(focal, nullptr);
+    int home = router.ShardOfFocal(back->focal_oid);
+    EXPECT_EQ(home, back_map.ShardOf(focal->cell)) << "qid " << qid;
+    EXPECT_EQ(router.ShardOfQuery(qid), home) << "qid " << qid;
+  }
+  const geo::Grid& grid = d.grid();
+  for (int32_t j = 0; j < grid.rows(); ++j) {
+    for (int32_t i = 0; i < grid.columns(); ++i) {
+      EXPECT_EQ(router.QueriesForCell({i, j}),
+                d.server().router().QueriesForCell({i, j}))
+          << "cell (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(RebalanceCheckpointTest, NtoMRestoreRehomesUnderRestoredEpoch) {
+  std::vector<test::ObjectSpec> specs = SkewedSpecs();
+  test::MiniDeployment d(specs, RebalancingOptions(4));
+  core::Snapshot store;
+  DriveRebalancedDeployment(&d, &store);
+  const uint64_t live_epoch = d.server().router().shard_map().epoch();
+
+  for (int restore_shards : {1, 2, 8}) {
+    // The stored owner table indexes 4 shards; a different deployment falls
+    // back to its own seed partition but keeps the epoch counter, so later
+    // rebalances keep advancing it monotonically.
+    core::MobiEyesServer restored(d.grid(), d.layout(), d.bmap(), d.network(),
+                                  RebalancingOptions(restore_shards));
+    ASSERT_TRUE(restored.Restore(store).ok()) << restore_shards << " shards";
+    const ShardMap& map = restored.router().shard_map();
+    EXPECT_EQ(map.epoch(), live_epoch) << restore_shards << " shards";
+    std::vector<int32_t> owners;
+    map.AssignmentSnapshot(&owners);
+    for (size_t f = 0; f < owners.size(); ++f) {
+      EXPECT_EQ(owners[f], map.SeedOwner(static_cast<int64_t>(f)))
+          << restore_shards << " shards, flat " << f;
+    }
+
+    EXPECT_EQ(restored.query_count(), d.server().query_count());
+    const core::ShardRouter& router = restored.router();
+    for (QueryId qid = 0; qid < 5; ++qid) {
+      const core::SqtEntry* live = d.server().FindQuery(qid);
+      const core::SqtEntry* back = restored.FindQuery(qid);
+      ASSERT_NE(live, nullptr);
+      ASSERT_NE(back, nullptr) << restore_shards << " shards, qid " << qid;
+      EXPECT_EQ(back->result, live->result)
+          << restore_shards << " shards, qid " << qid;
+      const core::FotEntry* focal = restored.FindFocal(back->focal_oid);
+      ASSERT_NE(focal, nullptr);
+      int home = router.ShardOfFocal(back->focal_oid);
+      EXPECT_EQ(home, map.ShardOf(focal->cell));
+      EXPECT_EQ(router.ShardOfQuery(qid), home);
+    }
+    // And the restored deployment keeps serving and rebalancing.
+    core::MobiEyesServer* server = &restored;
+    server->AdvanceTime(d.world().now() + 30.0);
+    server->router().MaybeRebalance(0);
+    EXPECT_GE(server->router().shard_map().epoch(), live_epoch);
+  }
+}
+
+TEST(RebalanceCheckpointTest, EpochZeroCheckpointStaysVersionOne) {
+  // With rebalancing off the image must remain byte-identical to the
+  // pre-epoch format: same workload, rebalancing on but never triggered
+  // (stride larger than the run) vs plain sharding.
+  std::vector<test::ObjectSpec> specs = SkewedSpecs();
+  std::vector<std::vector<uint8_t>> images;
+  for (int variant = 0; variant < 2; ++variant) {
+    core::MobiEyesOptions options;
+    options.sharding.num_shards = 4;
+    if (variant == 1) {
+      options.sharding.rebalance_stride = 1000;  // enabled, never fires
+      options.sharding.rebalance_threshold = 1.2;
+      options.sharding.rebalance_max_moves = 4;
+    }
+    test::MiniDeployment d(specs, options);
+    core::Snapshot store;
+    d.server().set_durable_store(&store);
+    for (ObjectId oid = 0; oid < 4; ++oid) {
+      ASSERT_TRUE(d.server().InstallQuery(oid, 12.0, 0.5).ok());
+    }
+    core::ShardRouter& router = d.server().router();
+    for (int step = 0; step < 8; ++step) {
+      d.Tick();
+      router.MaybeRebalance(step);
+    }
+    EXPECT_EQ(router.shard_map().epoch(), 0u);
+    d.server().Checkpoint();
+    images.push_back(store.checkpoint);
+  }
+  EXPECT_EQ(images[1], images[0]);
+}
+
+}  // namespace
+}  // namespace mobieyes

@@ -20,6 +20,7 @@
 //                [--checkpoint-stride=N]
 //                [--shards=N] [--shard-threads=N]
 //                [--shard-partition=rowband|hash]
+//                [--rebalance=off|STRIDE:THRESHOLD:MAX_MOVES]
 //
 // The fault flags configure the net::FaultyNetwork (see
 // src/mobieyes/net/fault_injection.h); --harden switches the MobiEyes
@@ -46,6 +47,7 @@
 #include <memory>
 #include <string>
 
+#include "mobieyes/core/rebalance.h"
 #include "mobieyes/net/backplane.h"
 #include "mobieyes/net/energy.h"
 #include "mobieyes/obs/report_html.h"
@@ -103,6 +105,7 @@ void PrintUsage(const char* argv0) {
                "          [--checkpoint-stride=N]\n"
                "          [--shards=N] [--shard-threads=N]\n"
                "          [--shard-partition=rowband|hash]\n"
+               "          [--rebalance=off|STRIDE:THRESHOLD:MAX_MOVES]\n"
                "          [--shard-transport=inproc|process] [--shardd=PATH]\n"
                "          [--backplane-timeout-steps=N]\n"
                "          [--heartbeat-stride=N] [--shard-kill=S:K]\n"
@@ -278,6 +281,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
         std::fprintf(stderr,
                      "bad --shard-partition value '%s' (want rowband|hash)\n",
                      value.c_str());
+        return false;
+      }
+    } else if (key == "rebalance") {
+      Status st = core::ParseRebalanceSpec(
+          value, &cli->config.mobieyes.sharding);
+      if (!st.ok()) {
+        std::fprintf(stderr, "bad --rebalance value '%s': %s\n", value.c_str(),
+                     st.ToString().c_str());
         return false;
       }
     } else if (key == "shard-transport") {
@@ -501,6 +512,22 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(shard.stats().handoffs_in),
                     static_cast<unsigned long long>(
                         shard.stats().handoffs_out));
+      }
+      if (cli.config.mobieyes.sharding.rebalance_enabled()) {
+        std::printf(
+            "\n-- online rebalancing ----------------------------------\n");
+        std::printf("partition epoch            %llu\n",
+                    static_cast<unsigned long long>(metrics.rebalance_epoch));
+        std::printf("rebalance events           %llu (%llu cells moved)\n",
+                    static_cast<unsigned long long>(metrics.rebalance_events),
+                    static_cast<unsigned long long>(
+                        metrics.rebalance_cells_moved));
+        std::printf("migration volume           %llu focal handoffs, "
+                    "%llu RQI row ids\n",
+                    static_cast<unsigned long long>(
+                        metrics.rebalance_focals_moved),
+                    static_cast<unsigned long long>(
+                        metrics.rebalance_rqi_ids_moved));
       }
     }
   }
